@@ -1,0 +1,37 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Each benchmark regenerates one table or figure of the paper (see
+DESIGN.md's experiment index) and prints the rows/series the paper
+reports.  Simulated metrics (goodput, round trips, counts) are the
+deliverable; wall-clock timing via pytest-benchmark is reported for the
+heavy experiments with a single round (re-running a 60-second simulated
+download five times would measure nothing new).
+"""
+
+import os
+
+import pytest
+
+FULL_SCALE = bool(os.environ.get("REPRO_FULL_FIG4"))
+
+
+def report(title: str, lines) -> None:
+    """Print a paper-style result block (shown with pytest -s or on the
+    captured stdout of the benchmark run)."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}")
+    if isinstance(lines, str):
+        lines = lines.splitlines()
+    for line in lines:
+        print(line)
+    print(bar)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a heavy simulation exactly once under pytest-benchmark."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return run

@@ -1,0 +1,114 @@
+"""A8 — Per-stream cryptographic contexts and trial decryption (2.3).
+
+"Each stream has its own cryptographic context [...] we leverage the
+AEAD cipher to find the stream: check the authentication tag of the
+incoming record until we find the stream that properly verifies the
+tag.  This operation is lightweight."  And: "each failed decryption is
+considered a forgery attempt."
+
+The benchmark runs N streams over one and over two TCP connections,
+reports trial-decryption statistics, and verifies forgery accounting.
+"""
+
+from repro.core.session import TcplsContext, TcplsServer, TcplsSession
+from repro.netsim.middlebox import PayloadCorruptor
+from repro.netsim.scenarios import dual_path_network
+from repro.tcp.stack import TcpStack
+from repro.tls.certificates import CertificateAuthority, TrustStore
+
+from conftest import report
+
+N_STREAMS = 6
+PER_STREAM = 200_000
+
+
+def _run(n_conns: int, corrupt: bool = False):
+    topo = dual_path_network(rate_bps=30e6)
+    if corrupt:
+        topo.v4_links[0].add_transformer(
+            topo.client.interfaces["eth0"], PayloadCorruptor(every=40)
+        )
+    ca = CertificateAuthority("Bench Root", seed=b"a8")
+    identity = ca.issue_identity("server.example", seed=b"a8srv")
+    trust = TrustStore()
+    trust.add_authority(ca)
+    sessions = []
+    TcplsServer(
+        TcplsContext(identity=identity, seed=2),
+        TcpStack(topo.server, seed=3),
+        on_session=sessions.append,
+    )
+    client = TcplsSession(
+        TcplsContext(trust_store=trust, server_name="server.example", seed=4),
+        TcpStack(topo.client, seed=5),
+    )
+    client.connect(topo.server_v4)
+    client.handshake()
+    topo.sim.run(until=1.0)
+    conn_ids = [0]
+    if n_conns == 2:
+        v6 = client.connect(topo.server_v6, src=topo.client_v6)
+        client.handshake(conn_id=v6)
+        topo.sim.run(until=1.5)
+        conn_ids.append(v6)
+
+    received = {}
+    sessions[0].on_stream_data = lambda sid, d: received.setdefault(
+        sid, bytearray()
+    ).extend(d)
+    streams = [
+        client.stream_new(conn_id=conn_ids[i % len(conn_ids)])
+        for i in range(N_STREAMS)
+    ]
+    client.streams_attach()
+    for index, stream in enumerate(streams):
+        client.send(stream, bytes([index]) * PER_STREAM)
+    topo.sim.run(until=60.0)
+    ok = all(
+        bytes(received.get(stream, b"")) == bytes([index]) * PER_STREAM
+        for index, stream in enumerate(streams)
+    )
+    server = sessions[0]
+    return {
+        "ok": ok,
+        "records": server.stats["records_received"],
+        "trials": server.contexts.trial_decryptions,
+        "forgeries": server.contexts.forgery_suspects,
+        "trials_per_record": server.contexts.trial_decryptions
+        / max(server.stats["records_received"], 1),
+    }
+
+
+def test_a8_streams_over_one_and_two_connections(once):
+    def run():
+        return _run(n_conns=1), _run(n_conns=2)
+
+    one, two = once(run)
+    report(
+        f"A8 — {N_STREAMS} streams with per-stream crypto contexts",
+        [
+            f"{'':<18}{'records':>9}{'tag trials':>12}{'trials/rec':>12}"
+            f"{'forgeries':>11}",
+            f"{'1 TCP connection':<18}{one['records']:>9}{one['trials']:>12}"
+            f"{one['trials_per_record']:>12.2f}{one['forgeries']:>11}",
+            f"{'2 TCP connections':<18}{two['records']:>9}{two['trials']:>12}"
+            f"{two['trials_per_record']:>12.2f}{two['forgeries']:>11}",
+        ],
+    )
+    assert one["ok"] and two["ok"]
+    assert one["forgeries"] == 0 and two["forgeries"] == 0
+    # Trial decryption is bounded by the context count per connection
+    # (control + streams), and splitting streams over two connections
+    # halves each connection's candidate set.
+    assert one["trials_per_record"] <= N_STREAMS + 1
+    assert two["trials_per_record"] <= N_STREAMS / 2 + 1.5
+
+
+def test_a8_forgery_accounting(once):
+    """Tampered records are counted as forgery attempts (section 2.3)."""
+    result = once(_run, 1, True)
+    report(
+        "A8b — tampering shows up as forgery suspects",
+        [f"forgery suspects counted: {result['forgeries']}"],
+    )
+    assert result["forgeries"] > 0

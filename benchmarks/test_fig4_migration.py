@@ -1,0 +1,157 @@
+"""F4 — Figure 4: application-level connection migration during a download.
+
+The paper's experiment: an IPMininet network with a dual-stack client and
+server, one IPv4-only OSPF path and one IPv6-only OSPF6 path, 30 Mbps
+bandwidth with the lowest delay on the v4 link.  The application
+downloads a 60 MB file and migrates to the v6 connection in the middle
+of the download by chaining the 5 API calls of section 3.2.  The plotted
+series is per-connection goodput over time.
+
+Shape expectations reproduced here (not testbed absolutes):
+
+- goodput ≈ link rate on the v4 connection before migration;
+- a smooth handover: no interval of (near-)zero aggregate goodput around
+  the migration point;
+- after migration all goodput is on the v6 connection and the download
+  completes, byte-exact.
+
+By default the benchmark runs a scaled download (12 MB at 30 Mbps) to
+keep wall-clock time reasonable; set ``REPRO_FULL_FIG4=1`` for the
+paper's full 60 MB.
+"""
+
+import os
+
+from repro.core.events import Event
+from repro.core.migration import migrate
+from repro.core.session import TcplsContext, TcplsServer, TcplsSession
+from repro.netsim.scenarios import dual_path_network
+from repro.tcp.stack import TcpStack
+from repro.tls.certificates import CertificateAuthority, TrustStore
+
+from conftest import FULL_SCALE, report
+
+FILE_SIZE = 60_000_000 if FULL_SCALE else 12_000_000
+RATE = 30e6
+INTERVAL = 0.25  # goodput bin width in seconds
+
+
+def _run_experiment():
+    topo = dual_path_network(rate_bps=RATE, v4_delay=0.010, v6_delay=0.025)
+    ca = CertificateAuthority("Bench Root", seed=b"f4")
+    identity = ca.issue_identity("server.example", seed=b"f4srv")
+    trust = TrustStore()
+    trust.add_authority(ca)
+    client_stack = TcpStack(topo.client, seed=11)
+    server_stack = TcpStack(topo.server, seed=12)
+    sessions = []
+    TcplsServer(
+        TcplsContext(identity=identity, seed=13),
+        server_stack,
+        on_session=sessions.append,
+    )
+    client = TcplsSession(
+        TcplsContext(trust_store=trust, server_name="server.example", seed=14),
+        client_stack,
+    )
+
+    # Establish over v4 and start the download (server pushes the file).
+    v4_conn = client.connect(topo.server_v4)
+    client.handshake()
+    topo.sim.run(until=0.5)
+    server = sessions[0]
+    received = bytearray()
+    client.on_stream_data = lambda sid, d: received.extend(d)
+    file_stream = server.stream_new()
+    server.streams_attach()
+    server.send(file_stream, b"\xf4" * FILE_SIZE)
+
+    # Trigger the 5-call migration chain mid-download.
+    migration_time = []
+
+    def trigger_migration():
+        if len(received) < FILE_SIZE * 0.4:
+            topo.sim.schedule(0.05, trigger_migration)
+            return
+        migration_time.append(topo.sim.now)
+        v6_conn = client.connect(topo.server_v6, src=topo.client_v6)
+        migrate(client, v6_conn, retire_conn_id=v4_conn)
+
+    topo.sim.schedule(0.1, trigger_migration)
+
+    done_time = []
+
+    def poll_done():
+        if len(received) >= FILE_SIZE:
+            done_time.append(topo.sim.now)
+        else:
+            topo.sim.schedule(0.05, poll_done)
+
+    topo.sim.schedule(0.1, poll_done)
+    horizon = FILE_SIZE * 8 / RATE * 3 + 10
+    topo.sim.run(until=horizon)
+
+    # Build the per-connection goodput series from the delivery log.
+    series = {}
+    for t, conn_id, nbytes in client.delivery_log:
+        bucket = int(t / INTERVAL)
+        series.setdefault(conn_id, {})
+        series[conn_id][bucket] = series[conn_id].get(bucket, 0) + nbytes
+    return topo, client, received, series, migration_time, done_time
+
+
+def _mbps(nbytes: int) -> float:
+    return nbytes * 8 / INTERVAL / 1e6
+
+
+def test_fig4_connection_migration(once):
+    topo, client, received, series, migration_time, done_time = once(_run_experiment)
+
+    assert done_time, "download did not complete"
+    assert bytes(received) == b"\xf4" * FILE_SIZE
+    assert migration_time, "migration never triggered"
+    migration_bucket = int(migration_time[0] / INTERVAL)
+
+    v4_conn, v6_conn = 0, 1
+    assert v6_conn in series, "no data ever flowed on the v6 connection"
+    last_bucket = int(done_time[0] / INTERVAL)
+
+    # Shape 1: pre-migration goodput on v4 approaches the 30 Mbps link.
+    pre = [
+        _mbps(series[v4_conn].get(b, 0))
+        for b in range(2, migration_bucket - 1)
+    ]
+    steady_pre = sorted(pre)[len(pre) // 2] if pre else 0.0
+    assert steady_pre > 0.6 * 30, f"pre-migration goodput too low: {steady_pre}"
+
+    # Shape 2: post-migration goodput rides v6 (v4 silent), still near rate.
+    post_range = range(migration_bucket + 4, max(last_bucket - 1, migration_bucket + 5))
+    post_v6 = [_mbps(series[v6_conn].get(b, 0)) for b in post_range]
+    post_v4 = [_mbps(series[v4_conn].get(b, 0)) for b in post_range]
+    if post_v6:
+        steady_post = sorted(post_v6)[len(post_v6) // 2]
+        assert steady_post > 0.6 * 30, f"post-migration goodput too low: {steady_post}"
+    assert sum(post_v4) == 0.0, "v4 still carried data after migration"
+
+    # Shape 3: smooth handover — no dead interval around the migration.
+    around = [
+        _mbps(series[v4_conn].get(b, 0)) + _mbps(series[v6_conn].get(b, 0))
+        for b in range(migration_bucket - 1, migration_bucket + 4)
+    ]
+    assert min(around) > 5.0, f"goodput hole during handover: {around}"
+
+    # Render the figure's series.
+    lines = [
+        f"{'t(s)':>6} {'v4 Mbps':>9} {'v6 Mbps':>9}  "
+        f"(migration at t={migration_time[0]:.2f}s, done t={done_time[0]:.2f}s,"
+        f" file={FILE_SIZE / 1e6:.0f} MB)"
+    ]
+    for bucket in range(0, last_bucket + 1):
+        v4 = _mbps(series.get(v4_conn, {}).get(bucket, 0))
+        v6 = _mbps(series.get(v6_conn, {}).get(bucket, 0))
+        marker = "  <-- migration" if bucket == migration_bucket else ""
+        bar = "#" * int(v4 / 2) + "+" * int(v6 / 2)
+        lines.append(
+            f"{bucket * INTERVAL:>6.2f} {v4:>9.2f} {v6:>9.2f}  {bar}{marker}"
+        )
+    report("Figure 4 — App-level connection migration during download", lines)

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Failover: surviving a middlebox-forged TCP RST (paper section 2.1).
+
+A middlebox on the path forges a RST mid-transfer — the attack that
+kills any plain TCP or TLS/TCP connection.  TCPLS detects the failure,
+re-establishes a TCP connection with a JOIN cookie, replays the records
+the peer never acknowledged, and the transfer completes byte-exact.
+
+Run:  python examples/failover_demo.py
+"""
+
+from repro.core import TcplsContext, TcplsServer, TcplsSession
+from repro.core.events import Event
+from repro.netsim.middlebox import RstInjector
+from repro.netsim.scenarios import simple_duplex_network
+from repro.tcp.stack import TcpStack
+from repro.tls.certificates import CertificateAuthority, TrustStore
+
+FILE_SIZE = 2_000_000
+
+
+def main() -> None:
+    net, client_host, server_host, link = simple_duplex_network(
+        rate_bps=30e6, delay=0.01
+    )
+    injector = RstInjector(trigger_bytes=FILE_SIZE // 3)
+    link.add_transformer(list(client_host.interfaces.values())[0], injector)
+
+    ca = CertificateAuthority("Example Root CA")
+    identity = ca.issue_identity("server.example")
+    trust = TrustStore()
+    trust.add_authority(ca)
+    sessions = []
+    TcplsServer(TcplsContext(identity=identity), TcpStack(server_host),
+                on_session=sessions.append)
+    client = TcplsSession(
+        TcplsContext(trust_store=trust, server_name="server.example",
+                     connection_user_timeout=2.0),
+        TcpStack(client_host),
+    )
+
+    client.on(
+        Event.CONN_FAILED,
+        lambda **kw: print(
+            f"t={net.sim.now:6.3f}s  connection {kw['conn_id']} FAILED "
+            f"({kw['reason']}) — a middlebox forged a RST"
+        ),
+    )
+    client.on(
+        Event.JOIN,
+        lambda **kw: print(
+            f"t={net.sim.now:6.3f}s  reconnected: connection {kw['conn_id']} "
+            "joined the session with a one-time cookie"
+        ),
+    )
+    client.on(
+        Event.FAILOVER,
+        lambda **kw: print(
+            f"t={net.sim.now:6.3f}s  failover {kw['from_conn']} -> "
+            f"{kw['to_conn']}; unacknowledged records replayed"
+        ),
+    )
+
+    client.connect("10.0.0.2")
+    client.handshake()
+    net.sim.run(until=0.5)
+    server = sessions[0]
+    received = bytearray()
+    server.on_stream_data = lambda sid, d: received.extend(d)
+
+    stream = client.stream_new()
+    client.streams_attach()
+    payload = bytes(i % 256 for i in range(FILE_SIZE))
+    print(f"t={net.sim.now:6.3f}s  uploading {FILE_SIZE / 1e6:.0f} MB "
+          f"(RST bomb armed at {injector.trigger_bytes / 1e6:.1f} MB)")
+    client.send(stream, payload)
+    net.sim.run(until=30.0)
+
+    print(f"t={net.sim.now:6.3f}s  server received "
+          f"{len(received) / 1e6:.1f} MB, byte-exact: "
+          f"{bytes(received) == payload}")
+    print(f"records replayed: {client.stats['frames_replayed']}, "
+          f"duplicates discarded by the receiver: "
+          f"{server.tracker.duplicates}")
+
+
+if __name__ == "__main__":
+    main()

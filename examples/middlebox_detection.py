@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Middlebox detection by SYN echo (paper section 4.5).
+
+The client sends its SYN, byte for byte as transmitted, through the
+encrypted channel; the server compares it with the SYN it actually
+received and reports every difference — revealing NATs, option
+strippers, and transparent proxies that are invisible to the endpoints
+otherwise.
+
+Run:  python examples/middlebox_detection.py
+"""
+
+from repro.core import TcplsContext, TcplsServer, TcplsSession
+from repro.core.events import Event
+from repro.netsim.middlebox import Nat44, OptionStripper, TransparentProxyMangler
+from repro.netsim.topology import Network
+from repro.tcp.options import KIND_SACK_PERMITTED, KIND_TIMESTAMPS
+from repro.tcp.stack import TcpStack
+from repro.tls.certificates import CertificateAuthority, TrustStore
+
+
+def probe(label: str, outbound=None, inbound=None) -> None:
+    net = Network()
+    client_host = net.add_host("client")
+    server_host = net.add_host("server")
+    ci = client_host.add_interface("eth0").configure_ipv4("10.0.0.1/24")
+    si = server_host.add_interface("eth0").configure_ipv4("20.0.0.2/24")
+    link = net.connect(ci, si, delay=0.01)
+    client_host.add_route("20.0.0.0/24", ci)
+    server_host.add_route("20.0.0.0/24", si)
+    server_host.add_route("10.0.0.0/24", si)
+    if outbound is not None:
+        link.add_transformer(ci, outbound)
+    if inbound is not None:
+        link.add_transformer(si, inbound)
+
+    ca = CertificateAuthority("Example Root CA")
+    identity = ca.issue_identity("server.example")
+    trust = TrustStore()
+    trust.add_authority(ca)
+    TcplsServer(TcplsContext(identity=identity), TcpStack(server_host))
+    client = TcplsSession(
+        TcplsContext(trust_store=trust, server_name="server.example"),
+        TcpStack(client_host),
+    )
+    findings = []
+    client.on(Event.PROBE_REPORT, lambda **kw: findings.extend(kw["differences"]))
+    client.connect("20.0.0.2")
+    client.handshake()
+    net.sim.run(until=1.0)
+    client.send_middlebox_probe()
+    net.sim.run(until=2.0)
+
+    print(f"\npath: {label}")
+    if not findings:
+        print("  no middlebox interference detected")
+    for finding in findings:
+        print(f"  ! {finding}")
+
+
+def main() -> None:
+    probe("clean")
+    nat = Nat44(public_address="20.0.0.9")
+    probe("through a NAT", outbound=nat.outbound, inbound=nat.inbound)
+    probe(
+        "through an option-stripping middlebox",
+        outbound=OptionStripper([KIND_TIMESTAMPS, KIND_SACK_PERMITTED]),
+    )
+    probe(
+        "through a transparent proxy",
+        outbound=TransparentProxyMangler(clamp_mss=536),
+    )
+
+
+if __name__ == "__main__":
+    main()

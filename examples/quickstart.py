@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Quickstart: a TCPLS client and server on a simulated network.
+
+Covers the core workflow end to end:
+
+1. build a simulated network (two hosts, one link);
+2. start a TCPLS server with a certificate;
+3. connect, handshake, open a stream, exchange data;
+4. ship a TCP option (User Timeout) through the encrypted channel;
+5. close the session securely.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import TcplsContext, TcplsServer, TcplsSession
+from repro.core.events import Event
+from repro.netsim.scenarios import simple_duplex_network
+from repro.tcp.options import UserTimeout
+from repro.tcp.stack import TcpStack
+from repro.tls.certificates import CertificateAuthority, TrustStore
+
+
+def main() -> None:
+    # -- 1. the network ----------------------------------------------------
+    net, client_host, server_host, _link = simple_duplex_network(
+        rate_bps=100e6, delay=0.005
+    )
+
+    # -- 2. PKI + server -----------------------------------------------------
+    ca = CertificateAuthority("Example Root CA")
+    identity = ca.issue_identity("server.example")
+    trust = TrustStore()
+    trust.add_authority(ca)
+
+    sessions = []
+    TcplsServer(
+        TcplsContext(identity=identity),
+        TcpStack(server_host),
+        port=443,
+        on_session=sessions.append,
+    )
+
+    # -- 3. client: connect, handshake, stream, data ---------------------------
+    client = TcplsSession(
+        TcplsContext(trust_store=trust, server_name="server.example"),
+        TcpStack(client_host),
+    )
+    client.on(
+        Event.HANDSHAKE_DONE,
+        lambda **kw: print(f"[client] handshake complete on connection {kw['conn_id']}"),
+    )
+    client.connect("10.0.0.2", port=443)
+    client.handshake()
+    net.sim.run(until=1.0)
+
+    server = sessions[0]
+    print(f"[server] session established, CONNID={server.connection_id.hex()}")
+
+    # Echo server: send everything back on the same stream.
+    def echo(stream_id: int, data: bytes) -> None:
+        print(f"[server] stream {stream_id}: {len(data)} bytes -> echoing")
+        server.send(stream_id, data)
+
+    server.on_stream_data = echo
+
+    replies = []
+    client.on_stream_data = lambda sid, data: replies.append((sid, data))
+
+    stream = client.stream_new()
+    client.streams_attach()
+    client.send(stream, b"hello TCPLS!" * 3)
+    net.sim.run(until=2.0)
+    print(f"[client] echo received: {bytes(replies[0][1])[:24]!r}...")
+
+    # -- 4. a TCP option through the secure channel ----------------------------
+    server.on(
+        Event.TCP_OPTION_RECEIVED,
+        lambda **kw: print(
+            f"[server] TCP option kind={kw['kind']} received over the "
+            f"encrypted channel; applied user_timeout="
+            f"{server.connections[0].tcp.user_timeout}s"
+        ),
+    )
+    client.send_tcp_option(UserTimeout(timeout=30))
+    net.sim.run(until=3.0)
+
+    # -- 5. secure close ----------------------------------------------------------
+    client.close()
+    net.sim.run(until=4.0)
+    print(f"[client] session closed securely: {client.session_closed}")
+    print(f"[server] session closed securely: {server.session_closed}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""Baseline stacks for the paper's comparisons.
+
+- ``apps.TcpFileServer``/``TcpFileClient``: plain TCP (the "TCP" column
+  of Table 1) — reliability without security.
+- ``apps.TlsFileServer``/``TlsFileClient``: classic layered TLS over TCP
+  (the "TLS/TCP" column) — security without a cross-layer view: no
+  streams, no migration, no failover, no secure control channel.
+
+The mini-QUIC baseline lives in ``repro.quic``.
+"""
+
+from repro.baselines.apps import (
+    TcpFileClient,
+    TcpFileServer,
+    TlsFileClient,
+    TlsFileServer,
+)
+
+__all__ = ["TcpFileServer", "TcpFileClient", "TlsFileServer", "TlsFileClient"]

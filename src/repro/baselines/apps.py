@@ -1,0 +1,192 @@
+"""File-transfer applications over the baseline stacks.
+
+Every server sends ``file_size`` bytes of a deterministic pattern to each
+client that connects, then closes.  Clients record time-to-first-byte and
+completion time — the metrics the benchmarks report.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from repro.tcp.stack import TcpStack
+from repro.tls.certificates import Identity, TrustStore
+from repro.tls.session import SessionTicketStore, TlsConfig, TlsSession
+
+
+def file_pattern(size: int) -> bytes:
+    """A deterministic, compressible-but-not-constant payload."""
+    unit = bytes(range(256))
+    return (unit * (size // 256 + 1))[:size]
+
+
+class TcpFileServer:
+    """Plain-TCP file server."""
+
+    def __init__(self, stack: TcpStack, port: int = 80, file_size: int = 1_000_000):
+        self.file_size = file_size
+        self.connections_served = 0
+        stack.listen(port, self._on_connection)
+
+    def _on_connection(self, conn) -> None:
+        self.connections_served += 1
+
+        def on_established():
+            conn.send(file_pattern(self.file_size))
+            conn.close()
+
+        conn.on_established = on_established
+
+
+class TcpFileClient:
+    """Plain-TCP download client with timing."""
+
+    def __init__(self, stack: TcpStack, server_addr: str, port: int = 80):
+        self.sim = stack.sim
+        self.received = bytearray()
+        self.start_time = self.sim.now
+        self.first_byte_time: Optional[float] = None
+        self.complete_time: Optional[float] = None
+        self.reset = False
+        self.conn = stack.connect(server_addr, port)
+        self.conn.on_data = self._on_data
+        self.conn.on_close = self._on_close
+        self.conn.on_reset = lambda: setattr(self, "reset", True)
+
+    def _on_data(self, data: bytes) -> None:
+        if self.first_byte_time is None:
+            self.first_byte_time = self.sim.now
+        self.received.extend(data)
+
+    def _on_close(self) -> None:
+        self.complete_time = self.sim.now
+        if self.conn.state == "CLOSE_WAIT":
+            self.conn.close()
+
+    def ttfb(self) -> Optional[float]:
+        if self.first_byte_time is None:
+            return None
+        return self.first_byte_time - self.start_time
+
+
+class TlsFileServer:
+    """Layered TLS-over-TCP file server (no cross-layer integration)."""
+
+    def __init__(
+        self,
+        stack: TcpStack,
+        identity: Identity,
+        port: int = 443,
+        file_size: int = 1_000_000,
+        ticket_key: bytes = b"\x01" * 32,
+    ):
+        self.identity = identity
+        self.file_size = file_size
+        self.ticket_key = ticket_key
+        self.connections_served = 0
+        self.sessions = []
+        self._seed = 0
+        stack.listen(port, self._on_connection)
+
+    def _on_connection(self, conn) -> None:
+        self.connections_served += 1
+        self._seed += 1
+        tls = TlsSession(
+            TlsConfig(
+                identity=self.identity,
+                ticket_key=self.ticket_key,
+                rng=random.Random(9000 + self._seed),
+            ),
+            is_server=True,
+            transport_write=conn.send,
+        )
+        self.sessions.append(tls)
+
+        def on_tcp_data(data: bytes) -> None:
+            try:
+                tls.receive(data)
+            except Exception:
+                # Record authentication failure: a TLS server tears the
+                # connection down rather than accept tampered data.
+                conn.abort()
+
+        conn.on_data = on_tcp_data
+
+        def on_complete():
+            tls.send(file_pattern(self.file_size))
+            tls.send_close_notify()
+            conn.close()
+
+        tls.on_handshake_complete = on_complete
+
+
+class TlsFileClient:
+    """Layered TLS-over-TCP download client with timing."""
+
+    def __init__(
+        self,
+        stack: TcpStack,
+        server_addr: str,
+        trust_store: TrustStore,
+        server_name: str = "server.example",
+        port: int = 443,
+        ticket_store: Optional[SessionTicketStore] = None,
+        seed: int = 77,
+    ):
+        self.sim = stack.sim
+        self.received = bytearray()
+        self.start_time = self.sim.now
+        self.first_byte_time: Optional[float] = None
+        self.handshake_time: Optional[float] = None
+        self.complete_time: Optional[float] = None
+        self.reset = False
+        self.error: Optional[str] = None
+
+        self.conn = stack.connect(server_addr, port)
+        self.tls = TlsSession(
+            TlsConfig(
+                trust_store=trust_store,
+                server_name=server_name,
+                ticket_store=ticket_store,
+                rng=random.Random(seed),
+            ),
+            is_server=False,
+            transport_write=self.conn.send,
+        )
+        self.tls.on_application_data = self._on_data
+        self.tls.on_handshake_complete = self._on_handshake
+        self.tls.on_close = self._on_tls_close
+        self.conn.on_reset = lambda: setattr(self, "reset", True)
+
+        def on_established():
+            self.tls.start_handshake()
+
+        self.conn.on_established = on_established
+
+        def on_tcp_data(data: bytes) -> None:
+            try:
+                self.tls.receive(data)
+            except Exception as exc:  # record auth failures etc.
+                self.error = str(exc)
+                self.conn.abort()
+
+        self.conn.on_data = on_tcp_data
+
+    def _on_handshake(self) -> None:
+        self.handshake_time = self.sim.now - self.start_time
+
+    def _on_data(self, data: bytes) -> None:
+        if self.first_byte_time is None:
+            self.first_byte_time = self.sim.now
+        self.received.extend(data)
+
+    def _on_tls_close(self) -> None:
+        self.complete_time = self.sim.now
+        if self.conn.state in ("ESTABLISHED", "CLOSE_WAIT"):
+            self.conn.close()
+
+    def ttfb(self) -> Optional[float]:
+        if self.first_byte_time is None:
+            return None
+        return self.first_byte_time - self.start_time

@@ -1,0 +1,19 @@
+"""Protocol feature comparison — the machinery behind Table 1."""
+
+from repro.compare.features import (
+    FEATURES,
+    PAPER_TABLE,
+    PROTOCOLS,
+    evaluate_feature,
+    evaluate_matrix,
+    render_table,
+)
+
+__all__ = [
+    "FEATURES",
+    "PAPER_TABLE",
+    "PROTOCOLS",
+    "evaluate_feature",
+    "evaluate_matrix",
+    "render_table",
+]

@@ -1,0 +1,64 @@
+"""TCPLS — the paper's contribution: TCP and TLS closely integrated.
+
+The package implements the design of sections 2 and 3 of the paper on
+top of this repository's own substrates (``repro.netsim``, ``repro.tcp``,
+``repro.tls``):
+
+- a secure control channel carrying TCP options, acknowledgments, and
+  session control as encrypted TLS records with a trailing true-type
+  byte (``framing``, Figure 1);
+- datastreams with per-stream cryptographic contexts found by trial
+  AEAD decryption (``contexts``, ``streams``, section 2.3);
+- session-level sequence numbers, TCPLS ACKs, and failover replay
+  (``reliability``, section 2.1);
+- connection identifiers + one-time cookies and the JOIN handshake for
+  attaching extra TCP connections (``cookies``, ``join``, Figure 2);
+- explicit multipath with pluggable schedulers, application-level
+  connection migration, and happy-eyeballs connects (``scheduler``,
+  ``session``, sections 2.4–2.5 and 3.2);
+- TCP options over the secure channel, including a working end-to-end
+  User Timeout (section 3.1);
+- congestion-control plugins shipped as verified bytecode over the
+  control channel (``plugins``, section 3 item iii / 4.3);
+- 0-RTT session resumption combined with TCP Fast Open (``session``,
+  section 4.2) and SYN-echo middlebox detection (section 4.5).
+
+Public entry points: ``TcplsContext``/``TcplsSession``/``TcplsServer``
+plus the Figure 3 style ``tcpls_*`` functions in ``repro.core.api``.
+"""
+
+from repro.core.session import TcplsContext, TcplsSession, TcplsServer
+from repro.core.events import Event
+from repro.core.api import (
+    tcpls_new,
+    tcpls_add_v4,
+    tcpls_add_v6,
+    tcpls_connect,
+    tcpls_handshake,
+    tcpls_accept,
+    tcpls_send,
+    tcpls_receive,
+    tcpls_stream_new,
+    tcpls_streams_attach,
+    tcpls_stream_close,
+    tcpls_send_tcpoption,
+)
+
+__all__ = [
+    "TcplsContext",
+    "TcplsSession",
+    "TcplsServer",
+    "Event",
+    "tcpls_new",
+    "tcpls_add_v4",
+    "tcpls_add_v6",
+    "tcpls_connect",
+    "tcpls_handshake",
+    "tcpls_accept",
+    "tcpls_send",
+    "tcpls_receive",
+    "tcpls_stream_new",
+    "tcpls_streams_attach",
+    "tcpls_stream_close",
+    "tcpls_send_tcpoption",
+]

@@ -1,0 +1,119 @@
+"""The Figure 3 API: thin ``tcpls_*`` functions over ``TcplsSession``.
+
+The paper exposes a C-style API (``tcpls_new``, ``tcpls_connect``,
+``tcpls_handshake``, ``tcpls_stream_new``, ``tcpls_streams_attach``,
+``tcpls_send``, ``tcpls_receive``, ``tcpls_send_tcpoption``, ...).  These
+wrappers reproduce that workflow verbatim — the benchmark for Figure 3
+drives exactly this surface — while the object API underneath remains
+the idiomatic-Python entry point.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.session import TcplsContext, TcplsSession, TcplsServer
+from repro.tcp.stack import TcpStack
+
+
+def tcpls_new(context: TcplsContext, stack: TcpStack, is_server: bool = False) -> TcplsSession:
+    """Create a TCPLS session object (``tcpls_new`` in Figure 3)."""
+    return TcplsSession(context, stack, is_server=is_server)
+
+
+def tcpls_add_v4(session: TcplsSession, address: str, primary: bool = False) -> None:
+    """Register a local IPv4 address for explicit path selection."""
+    session.local_v4_addresses = getattr(session, "local_v4_addresses", [])
+    if primary:
+        session.local_v4_addresses.insert(0, address)
+    else:
+        session.local_v4_addresses.append(address)
+
+
+def tcpls_add_v6(session: TcplsSession, address: str, primary: bool = False) -> None:
+    """Register a local IPv6 address for explicit path selection."""
+    session.local_v6_addresses = getattr(session, "local_v6_addresses", [])
+    if primary:
+        session.local_v6_addresses.insert(0, address)
+    else:
+        session.local_v6_addresses.append(address)
+
+
+def tcpls_connect(
+    session: TcplsSession,
+    dest: str,
+    port: int = 443,
+    src: Optional[str] = None,
+    timeout: Optional[float] = None,
+) -> int:
+    """Open one TCP connection of the session's multipath mesh.
+
+    ``timeout`` reproduces the happy-eyeballs chaining of Figure 3: when
+    given, the connect is considered "pending" and the caller may issue
+    another ``tcpls_connect`` for the other address family; the session
+    races them (see ``TcplsSession.happy_eyeballs_connect`` for the
+    packaged version).
+    """
+    return session.connect(dest, port, src=src)
+
+
+def tcpls_handshake(
+    session: TcplsSession,
+    conn_id: Optional[int] = None,
+    early_data: bytes = b"",
+) -> None:
+    """Run the TLS/TCPLS handshake, or a JOIN on a secondary connection."""
+    session.handshake(conn_id=conn_id, early_data=early_data)
+
+
+def tcpls_accept(
+    context: TcplsContext, stack: TcpStack, port: int = 443, on_session=None
+) -> TcplsServer:
+    """Server side: listen and accept TCPLS sessions."""
+    return TcplsServer(context, stack, port=port, on_session=on_session)
+
+
+def tcpls_stream_new(session: TcplsSession, conn_id: Optional[int] = None) -> int:
+    """Create a stream pinned to a connection."""
+    return session.stream_new(conn_id=conn_id)
+
+
+def tcpls_streams_attach(session: TcplsSession) -> None:
+    """Announce newly created streams to the peer."""
+    session.streams_attach()
+
+
+def tcpls_send(session: TcplsSession, stream_id: int, data: bytes) -> int:
+    """Send application data on a stream."""
+    return session.send(stream_id, data)
+
+
+def tcpls_receive(session: TcplsSession, stream_id: int) -> bytes:
+    """Drain received data for one stream (poll-style alternative to the
+    ``on_stream_data`` callback)."""
+    buffer = getattr(session, "_receive_buffers", None)
+    if buffer is None:
+        buffer = {}
+        session._receive_buffers = buffer
+
+        original = session.on_stream_data
+
+        def collector(sid: int, data: bytes) -> None:
+            buffer.setdefault(sid, bytearray()).extend(data)
+            if original:
+                original(sid, data)
+
+        session.on_stream_data = collector
+    data = bytes(buffer.get(stream_id, b""))
+    buffer[stream_id] = bytearray()
+    return data
+
+
+def tcpls_stream_close(session: TcplsSession, stream_id: int) -> None:
+    """Close one stream (stream-level termination, section 2.1)."""
+    session.stream_close(stream_id)
+
+
+def tcpls_send_tcpoption(session: TcplsSession, option, conn_id: int = 0) -> None:
+    """Ship a TCP option through the encrypted control channel."""
+    session.send_tcp_option(option, apply_to_conn=conn_id)

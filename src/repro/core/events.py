@@ -1,0 +1,62 @@
+"""TCPLS event callbacks.
+
+The paper's API (section 2.4, Figure 3): "The application may configure
+callbacks to connection events that would occur within TCPLS, such as a
+connection establishment, a stream attachment, a multipath join, the
+reception of a TCP option to tune TCP, and more."
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+
+class Event:
+    """Event names deliverable to application callbacks."""
+
+    CONN_ESTABLISHED = "conn_established"
+    CONN_FAILED = "conn_failed"
+    CONN_CLOSED = "conn_closed"
+    HANDSHAKE_DONE = "handshake_done"
+    JOIN = "join"
+    STREAM_OPENED = "stream_opened"
+    STREAM_ATTACHED = "stream_attached"
+    STREAM_CLOSED = "stream_closed"
+    TCP_OPTION_RECEIVED = "tcp_option_received"
+    ADDRESS_ADVERTISED = "address_advertised"
+    ADDRESS_REMOVED = "address_removed"
+    PLUGIN_INSTALLED = "plugin_installed"
+    PROBE_REPORT = "probe_report"
+    SESSION_CLOSED = "session_closed"
+    FAILOVER = "failover"
+    MIGRATION_DONE = "migration_done"
+    TICKET = "ticket"
+
+    ALL = (
+        CONN_ESTABLISHED, CONN_FAILED, CONN_CLOSED, HANDSHAKE_DONE, JOIN,
+        STREAM_OPENED, STREAM_ATTACHED, STREAM_CLOSED, TCP_OPTION_RECEIVED,
+        ADDRESS_ADVERTISED, ADDRESS_REMOVED, PLUGIN_INSTALLED, PROBE_REPORT,
+        SESSION_CLOSED,
+        FAILOVER, MIGRATION_DONE, TICKET,
+    )
+
+
+class EventDispatcher:
+    """Per-session registry of application callbacks."""
+
+    def __init__(self) -> None:
+        self._handlers: Dict[str, List[Callable]] = {}
+        self.log: List[tuple] = []  # (event, kwargs) history for inspection
+
+    def on(self, event: str, handler: Callable) -> None:
+        if event not in Event.ALL:
+            raise ValueError(f"unknown event {event!r}")
+        self._handlers.setdefault(event, []).append(handler)
+
+    def emit(self, event: str, **kwargs) -> None:
+        self.log.append((event, kwargs))
+        for handler in self._handlers.get(event, []):
+            handler(**kwargs)
+
+    def events_named(self, event: str) -> List[dict]:
+        return [kw for name, kw in self.log if name == event]

@@ -1,0 +1,116 @@
+"""The TCPLS handshake extensions and the JOIN flow (paper section 2.4).
+
+Initial handshake: the client puts a minimal TCPLS marker in the
+(unencrypted) ClientHello — "a reasonable approach [...] is avoiding
+trivial censorship opportunities by avoiding unencrypted data in the
+ClientHello" — and the server answers with the rich parameters inside
+the *encrypted* ServerHello flight: the connection identifier (CONNID),
+a batch of one-time cookies, and its other addresses (e.g. a dual-stack
+server advertising its IPv6 address when contacted over IPv4).
+
+JOIN (Figure 2): to attach an extra TCP connection, the client opens it
+and sends a ClientHello carrying ``JOIN(CONNID, COOKIE)``.  The server
+accepts if the cookie is valid and unused, and answers with a JOIN_ACK
+frame encrypted under keys derived from the session secrets and the
+cookie — proving to the client that it reached the same server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.tls import messages as m
+from repro.utils.bytesio import ByteReader, ByteWriter
+
+# Private-use extension codepoints.
+EXT_TCPLS = m.EXT_TCPLS
+EXT_TCPLS_JOIN = 0xFF5D
+
+TCPLS_VERSION = 1
+
+
+def build_tcpls_marker() -> bytes:
+    """The bare-minimum ClientHello signal: just a version byte."""
+    writer = ByteWriter()
+    writer.put_u8(TCPLS_VERSION)
+    return writer.getvalue()
+
+
+def parse_tcpls_marker(body: bytes) -> int:
+    return ByteReader(body).get_u8()
+
+
+@dataclass
+class TcplsServerParams:
+    """The encrypted parameters the server sends in EncryptedExtensions."""
+
+    connection_id: bytes
+    cookies: List[bytes] = field(default_factory=list)
+    v4_addresses: List[str] = field(default_factory=list)
+    v6_addresses: List[str] = field(default_factory=list)
+
+    def to_bytes(self) -> bytes:
+        writer = ByteWriter()
+        writer.put_vec8(self.connection_id)
+        writer.put_u8(len(self.cookies))
+        for cookie in self.cookies:
+            writer.put_vec8(cookie)
+        writer.put_u8(len(self.v4_addresses))
+        for address in self.v4_addresses:
+            writer.put_vec8(address.encode("ascii"))
+        writer.put_u8(len(self.v6_addresses))
+        for address in self.v6_addresses:
+            writer.put_vec8(address.encode("ascii"))
+        return writer.getvalue()
+
+    @classmethod
+    def from_bytes(cls, body: bytes) -> "TcplsServerParams":
+        reader = ByteReader(body)
+        connection_id = reader.get_vec8()
+        cookies = [reader.get_vec8() for _ in range(reader.get_u8())]
+        v4 = [reader.get_vec8().decode("ascii") for _ in range(reader.get_u8())]
+        v6 = [reader.get_vec8().decode("ascii") for _ in range(reader.get_u8())]
+        return cls(
+            connection_id=connection_id,
+            cookies=cookies,
+            v4_addresses=v4,
+            v6_addresses=v6,
+        )
+
+
+def build_join_body(connection_id: bytes, cookie: bytes) -> bytes:
+    writer = ByteWriter()
+    writer.put_vec8(connection_id)
+    writer.put_vec8(cookie)
+    return writer.getvalue()
+
+
+def parse_join_body(body: bytes) -> Tuple[bytes, bytes]:
+    reader = ByteReader(body)
+    return reader.get_vec8(), reader.get_vec8()
+
+
+def build_join_client_hello(
+    connection_id: bytes, cookie: bytes, rng
+) -> bytes:
+    """A ClientHello whose only meaningful content is the JOIN extension.
+
+    No key shares: the connection derives its keys from the existing
+    session (unlike Multipath TCP, no key material travels in clear).
+    """
+    hello = m.ClientHello(
+        random=bytes(rng.randrange(256) for _ in range(32)),
+        extensions=[
+            (m.EXT_SUPPORTED_VERSIONS, m.build_supported_versions_client()),
+            (EXT_TCPLS_JOIN, build_join_body(connection_id, cookie)),
+        ],
+    )
+    return hello.to_bytes()
+
+
+def extract_join(client_hello: m.ClientHello) -> Optional[Tuple[bytes, bytes]]:
+    body = m.get_extension(client_hello.extensions, EXT_TCPLS_JOIN)
+    if body is None:
+        return None
+    return parse_join_body(body)

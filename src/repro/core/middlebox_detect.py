@@ -1,0 +1,66 @@
+"""SYN-echo middlebox detection (paper section 4.5).
+
+"Consider a TCPLS client that copies its SYN header within a TCPLS
+message [...].  By comparing the received TCP header with the original
+one, the server would immediately and reliably detect the presence of
+NAT, transparent proxies or other types of middleboxes."
+
+The client sends the SYN bytes *as transmitted*; the server still holds
+the SYN bytes *as received* (the TCP listener records them).  Any
+difference is middlebox interference, classified below.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.tcp.options import find_option, MaximumSegmentSize
+from repro.tcp.segment import TcpSegment
+
+
+def compare_syns(sent: bytes, received: bytes) -> List[str]:
+    """Diff two raw SYN segments; returns human-readable findings."""
+    if not sent or not received:
+        return ["missing SYN capture"]
+    if sent == received:
+        return []
+    differences: List[str] = []
+    try:
+        sent_seg = TcpSegment.from_bytes(sent, verify_checksum=False)
+        recv_seg = TcpSegment.from_bytes(received, verify_checksum=False)
+    except Exception:
+        return ["SYN bytes unparseable after transit"]
+
+    if sent_seg.src_port != recv_seg.src_port:
+        differences.append(
+            f"source port rewritten {sent_seg.src_port} -> {recv_seg.src_port} (NAT)"
+        )
+    if sent_seg.dst_port != recv_seg.dst_port:
+        differences.append(
+            f"destination port rewritten {sent_seg.dst_port} -> {recv_seg.dst_port}"
+        )
+    if sent_seg.seq != recv_seg.seq:
+        differences.append("initial sequence number rewritten (proxy)")
+    if sent_seg.window != recv_seg.window:
+        differences.append(
+            f"window rewritten {sent_seg.window} -> {recv_seg.window} (proxy)"
+        )
+
+    sent_kinds = [option.kind for option in sent_seg.options]
+    recv_kinds = [option.kind for option in recv_seg.options]
+    for kind in sent_kinds:
+        if kind not in recv_kinds:
+            differences.append(f"TCP option kind {kind} stripped")
+    for kind in recv_kinds:
+        if kind not in sent_kinds:
+            differences.append(f"TCP option kind {kind} injected")
+
+    sent_mss = find_option(sent_seg.options, MaximumSegmentSize)
+    recv_mss = find_option(recv_seg.options, MaximumSegmentSize)
+    if sent_mss and recv_mss and sent_mss.mss != recv_mss.mss:
+        differences.append(
+            f"MSS clamped {sent_mss.mss} -> {recv_mss.mss} (proxy)"
+        )
+    if not differences:
+        differences.append("SYN bytes differ (unclassified rewrite)")
+    return differences

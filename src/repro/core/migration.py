@@ -1,0 +1,77 @@
+"""Application-level connection migration (paper section 3.2).
+
+"Triggering the connection migration involves chaining 5 API calls:
+first, tcpls_handshake() configured with handshake properties announcing
+a JOIN over the v6 connection id.  Then, the creation of a new stream
+tcpls_stream_new() for the v6 connection id, finally followed by the
+attachment of this new stream tcpls_streams_attach() and the secure
+closing of the v4 TCP connection using tcpls_stream_close()."
+
+``migrate`` packages exactly that chain.  The decision *when* to migrate
+stays with the application — TCPLS's semantic is "let the applications
+make the decision" (section 2.5).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.api import (
+    tcpls_handshake,
+    tcpls_stream_close,
+    tcpls_stream_new,
+    tcpls_streams_attach,
+)
+from repro.core.events import Event
+from repro.core.session import TcplsSession
+
+
+def migrate(
+    session: TcplsSession,
+    to_conn_id: int,
+    close_stream_id: Optional[int] = None,
+    retire_conn_id: Optional[int] = None,
+    on_done: Optional[Callable[[int], None]] = None,
+) -> None:
+    """Move the session's traffic onto ``to_conn_id``.
+
+    The chain completes asynchronously: the JOIN must round-trip before
+    the new stream attaches.  ``on_done(new_stream_id)`` fires once the
+    new stream is attached and the old one (``close_stream_id``) closed.
+    """
+    state = {"new_stream": None}
+
+    def after_join(conn_id: int) -> None:
+        if conn_id != to_conn_id or state["new_stream"] is not None:
+            return
+        # 2) new stream pinned to the new connection,
+        state["new_stream"] = tcpls_stream_new(session, conn_id=to_conn_id)
+        # 3) attach it,
+        tcpls_streams_attach(session)
+        # 4) close the old stream,
+        if close_stream_id is not None:
+            tcpls_stream_close(session, close_stream_id)
+        # 5) securely close the old TCP connection; the peer re-pins its
+        # streams onto the surviving connection ("the server seamlessly
+        # switches the path while looping over tcpls_send").
+        if retire_conn_id is not None:
+            retire_connection(session, retire_conn_id)
+        session.events.emit(Event.MIGRATION_DONE, stream_id=state["new_stream"])
+        if on_done:
+            on_done(state["new_stream"])
+
+    session.on(Event.JOIN, after_join)
+    # 1) JOIN handshake over the target connection.
+    tcpls_handshake(session, conn_id=to_conn_id)
+
+
+def retire_connection(session: TcplsSession, conn_id: int) -> None:
+    """Gracefully close one TCP connection of the session (FIN)."""
+    conn = session.connections.get(conn_id)
+    if conn is None:
+        return
+    if conn.tcp.state in ("ESTABLISHED", "CLOSE_WAIT"):
+        conn.tcp.close()
+    conn.state = conn.CLOSED
+    # Contexts stay installed so in-flight records on this connection
+    # keep decrypting while the FIN handshake drains the pipe.

@@ -1,0 +1,30 @@
+"""Pluginized TCPLS (paper section 3 item iii and section 4.3).
+
+PQUIC demonstrated shipping protocol extensions as eBPF bytecode over
+the connection; the paper proposes the same for TCPLS: "TCPLS can
+transport eBPF bytecode using TLS records as a second non-data stream"
+to, e.g., "upgrade the client's TCP congestion control scheme".
+
+This package is that capability, with our own eBPF-like ISA:
+
+- ``vm``: a register-machine interpreter with an eBPF-style static
+  verifier (bounds-checked memory, forward-only jumps, instruction
+  budget) so a malicious or buggy plugin cannot harm the host;
+- ``assembler``: a tiny assembler so plugins are written readably;
+- ``runtime``: adapters installing verified bytecode as a live
+  congestion controller on the session's TCP connections;
+- ``library``: ready-made plugins used by examples and benchmarks.
+"""
+
+from repro.core.plugins.vm import BytecodeProgram, VerificationError, Vm
+from repro.core.plugins.assembler import assemble
+from repro.core.plugins.runtime import BytecodeCongestionControl, install_plugin
+
+__all__ = [
+    "BytecodeProgram",
+    "VerificationError",
+    "Vm",
+    "assemble",
+    "BytecodeCongestionControl",
+    "install_plugin",
+]

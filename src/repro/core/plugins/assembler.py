@@ -1,0 +1,105 @@
+"""A tiny assembler for the plugin VM.
+
+Syntax, one instruction per line (``;`` starts a comment)::
+
+    ; r1=event r2=bytes r3=cwnd r4=mss r5=ssthresh
+    start:
+        movi r0, 0
+        jeq  r1, r6, on_ack      ; r6 == 0 initially
+    on_ack:
+        mov  r0, r3
+        ret
+
+Labels resolve to *forward* jump offsets (the verifier rejects backward
+jumps).  Registers are ``r0``..``r7``; immediates are decimal or hex.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from repro.core.plugins import vm
+from repro.core.plugins.vm import BytecodeProgram, Instruction, VerificationError
+
+_OPCODES = {
+    "mov": (vm.OP_MOV, "rr"),
+    "movi": (vm.OP_MOVI, "ri"),
+    "add": (vm.OP_ADD, "rr"),
+    "addi": (vm.OP_ADDI, "ri"),
+    "sub": (vm.OP_SUB, "rr"),
+    "mul": (vm.OP_MUL, "rr"),
+    "muli": (vm.OP_MULI, "ri"),
+    "div": (vm.OP_DIV, "rr"),
+    "divi": (vm.OP_DIVI, "ri"),
+    "min": (vm.OP_MIN, "rr"),
+    "max": (vm.OP_MAX, "rr"),
+    "ld": (vm.OP_LD, "ri"),
+    "st": (vm.OP_ST, "ir"),   # st slot, rX
+    "jmp": (vm.OP_JMP, "l"),
+    "jeq": (vm.OP_JEQ, "rrl"),
+    "jne": (vm.OP_JNE, "rrl"),
+    "jlt": (vm.OP_JLT, "rrl"),
+    "jge": (vm.OP_JGE, "rrl"),
+    "ret": (vm.OP_RET, ""),
+}
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*):$")
+
+
+def _parse_register(token: str) -> int:
+    if not token.startswith("r"):
+        raise VerificationError(f"expected register, got {token!r}")
+    return int(token[1:])
+
+
+def _parse_immediate(token: str) -> int:
+    return int(token, 0)
+
+
+def assemble(source: str) -> BytecodeProgram:
+    """Assemble source text into a verified program."""
+    lines: List[Tuple[str, List[str]]] = []
+    labels: Dict[str, int] = {}
+    for raw_line in source.splitlines():
+        line = raw_line.split(";", 1)[0].strip()
+        if not line:
+            continue
+        label_match = _LABEL_RE.match(line)
+        if label_match:
+            labels[label_match.group(1)] = len(lines)
+            continue
+        parts = line.replace(",", " ").split()
+        lines.append((parts[0].lower(), parts[1:]))
+
+    instructions: List[Instruction] = []
+    for index, (mnemonic, operands) in enumerate(lines):
+        if mnemonic not in _OPCODES:
+            raise VerificationError(f"unknown mnemonic {mnemonic!r}")
+        opcode, shape = _OPCODES[mnemonic]
+        dst = src = imm = 0
+        if shape == "rr":
+            dst, src = _parse_register(operands[0]), _parse_register(operands[1])
+        elif shape == "ri":
+            dst, imm = _parse_register(operands[0]), _parse_immediate(operands[1])
+        elif shape == "ir":
+            imm, src = _parse_immediate(operands[0]), _parse_register(operands[1])
+        elif shape == "l":
+            imm = _resolve_label(labels, operands[0], index)
+        elif shape == "rrl":
+            dst = _parse_register(operands[0])
+            src = _parse_register(operands[1])
+            imm = _resolve_label(labels, operands[2], index)
+        elif shape == "":
+            pass
+        instructions.append(Instruction(opcode=opcode, dst=dst, src=src, imm=imm))
+    return BytecodeProgram(instructions)
+
+
+def _resolve_label(labels: Dict[str, int], token: str, current: int) -> int:
+    if token in labels:
+        offset = labels[token] - (current + 1)
+        if offset <= 0:
+            raise VerificationError(f"backward jump to {token!r}")
+        return offset
+    return _parse_immediate(token)

@@ -1,0 +1,70 @@
+"""Ready-made congestion-control plugins.
+
+Each constant is assembler source; ``assemble(...)`` turns it into
+verified bytecode to ship with ``TcplsSession.send_plugin("cc", ...)``.
+"""
+
+from __future__ import annotations
+
+from repro.core.plugins.assembler import assemble
+from repro.core.plugins.vm import BytecodeProgram
+
+# Inputs: r1=event(0 ack,1 loss,2 timeout) r2=bytes r3=cwnd r4=mss r5=ssthresh.
+
+FIXED_WINDOW_ASM = """
+; Pin cwnd to 4 * MSS regardless of events (a rate limiter).
+    mov  r0, r4
+    muli r0, 4
+    ret
+"""
+
+AIMD_CONSERVATIVE_ASM = """
+; AIMD with quarter-MSS additive increase and 3/4 multiplicative decrease.
+    mov  r0, r3            ; default: keep cwnd
+    movi r6, 0
+    jne  r1, r6, not_ack
+    ; ack: cwnd += (mss/4) * acked/cwnd  ~= mss/4 per RTT
+    mov  r7, r4
+    divi r7, 4
+    mul  r7, r2
+    div  r7, r3
+    add  r0, r7
+    ret
+not_ack:
+    movi r6, 2
+    jeq  r1, r6, timeout
+    ; loss: cwnd = 3/4 * cwnd, floor 2*mss; ssthresh likewise
+    mov  r0, r3
+    muli r0, 3
+    divi r0, 4
+    mov  r7, r4
+    muli r7, 2
+    max  r0, r7
+    st   15, r0            ; ssthresh = new cwnd
+    ret
+timeout:
+    mov  r0, r4            ; collapse to one segment
+    mov  r7, r2
+    divi r7, 2
+    st   15, r7
+    ret
+"""
+
+SLOW_START_ONLY_ASM = """
+; Pure slow start: always cwnd += acked (never leaves exponential growth).
+    mov  r0, r3
+    add  r0, r2
+    ret
+"""
+
+
+def fixed_window_program() -> BytecodeProgram:
+    return assemble(FIXED_WINDOW_ASM)
+
+
+def aimd_conservative_program() -> BytecodeProgram:
+    return assemble(AIMD_CONSERVATIVE_ASM)
+
+
+def slow_start_only_program() -> BytecodeProgram:
+    return assemble(SLOW_START_ONLY_ASM)

@@ -1,0 +1,77 @@
+"""Installing received plugin bytecode into the live stack.
+
+The only plugin target implemented end-to-end (matching the paper's
+prototype) is ``cc``: a congestion-control scheme.  The program is
+invoked on each congestion event with:
+
+    r1 = event   (0 = ack, 1 = loss, 2 = timeout)
+    r2 = acked bytes (ack) or flight size (loss/timeout)
+    r3 = current cwnd (bytes)
+    r4 = mss
+    r5 = current ssthresh (or 2^53 when infinite)
+
+and must return the new cwnd in r0.  Memory slot 15, when non-zero, is
+read back as the new ssthresh.  The verifier ran before installation, so
+the host only executes provably-terminating, memory-safe code.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.tcp.congestion.base import CongestionControl
+from repro.core.plugins.vm import BytecodeProgram, VerificationError, Vm
+
+EVENT_ACK = 0
+EVENT_LOSS = 1
+EVENT_TIMEOUT = 2
+
+_SSTHRESH_SLOT = 15
+_INFINITE = 1 << 53
+
+
+class BytecodeCongestionControl(CongestionControl):
+    """A congestion controller whose policy is plugin bytecode."""
+
+    name = "plugin"
+
+    def __init__(self, mss: int, program: BytecodeProgram) -> None:
+        super().__init__(mss)
+        self.vm = Vm(program)
+
+    def _invoke(self, event: int, arg: int) -> None:
+        ssthresh = int(self.ssthresh) if self.ssthresh != float("inf") else _INFINITE
+        new_cwnd = self.vm.run(event, arg, int(self.cwnd), self.mss, ssthresh)
+        self.cwnd = float(max(new_cwnd, self.mss))
+        stored = self.vm.memory[_SSTHRESH_SLOT]
+        if stored > 0:
+            self.ssthresh = float(stored)
+
+    def on_ack(self, acked_bytes: int, rtt: float, now: float) -> None:
+        self._invoke(EVENT_ACK, acked_bytes)
+
+    def on_loss(self, flight_size: int, now: float) -> None:
+        self._invoke(EVENT_LOSS, flight_size)
+
+    def on_timeout(self, flight_size: int, now: float) -> None:
+        self._invoke(EVENT_TIMEOUT, flight_size)
+
+
+def install_plugin(session, target: str, bytecode: bytes) -> bool:
+    """Verify and activate plugin bytecode received over the channel.
+
+    Returns True when installed; False when verification failed or the
+    target is unknown (the session reports the outcome via the
+    PLUGIN_INSTALLED event either way).
+    """
+    if target != "cc":
+        return False
+    try:
+        program = BytecodeProgram.from_bytes(bytecode)
+    except VerificationError:
+        return False
+    for conn in session.connections.values():
+        if conn.state == conn.ACTIVE:
+            controller = BytecodeCongestionControl(conn.tcp.effective_mss(), program)
+            conn.tcp.set_congestion_control(controller)
+    return True

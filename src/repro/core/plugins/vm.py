@@ -1,0 +1,206 @@
+"""The plugin virtual machine and its static verifier.
+
+ISA: 8 signed 64-bit registers (r0..r7), 16 persistent memory slots that
+survive across invocations (plugin state), fixed 8-byte instructions:
+
+    [ opcode u8 | dst u8 | src u8 | unused u8 | imm i32 ]
+
+The verifier enforces eBPF-like safety *statically*:
+
+- every opcode, register index, and memory slot index is valid;
+- jumps land inside the program and only go **forward**, so every
+  execution terminates in at most ``len(program)`` steps;
+- the program ends with RET.
+
+Division is checked at runtime (x/0 == 0, like eBPF).  Arithmetic wraps
+to signed 64-bit.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.utils.errors import ReproError
+
+# Opcodes.
+OP_MOV = 0x01    # dst = src
+OP_MOVI = 0x02   # dst = imm
+OP_ADD = 0x03    # dst += src
+OP_ADDI = 0x04   # dst += imm
+OP_SUB = 0x05    # dst -= src
+OP_MUL = 0x06    # dst *= src
+OP_MULI = 0x07   # dst *= imm
+OP_DIV = 0x08    # dst = dst / src (0 if src == 0)
+OP_DIVI = 0x09   # dst = dst / imm (0 if imm == 0)
+OP_MIN = 0x0A    # dst = min(dst, src)
+OP_MAX = 0x0B    # dst = max(dst, src)
+OP_LD = 0x0C     # dst = memory[imm]
+OP_ST = 0x0D     # memory[imm] = src
+OP_JMP = 0x10    # pc += imm (forward only)
+OP_JEQ = 0x11    # if dst == src: pc += imm
+OP_JNE = 0x12
+OP_JLT = 0x13    # signed <
+OP_JGE = 0x14
+OP_RET = 0x20    # return r0
+
+N_REGISTERS = 8
+N_MEMORY_SLOTS = 16
+MAX_INSTRUCTIONS = 4096
+INSTRUCTION_SIZE = 8
+
+_JUMPS = {OP_JMP, OP_JEQ, OP_JNE, OP_JLT, OP_JGE}
+_VALID_OPS = {
+    OP_MOV, OP_MOVI, OP_ADD, OP_ADDI, OP_SUB, OP_MUL, OP_MULI,
+    OP_DIV, OP_DIVI, OP_MIN, OP_MAX, OP_LD, OP_ST,
+    OP_JMP, OP_JEQ, OP_JNE, OP_JLT, OP_JGE, OP_RET,
+}
+
+_I64_MASK = (1 << 64) - 1
+
+
+def _wrap_i64(value: int) -> int:
+    value &= _I64_MASK
+    return value - (1 << 64) if value >= 1 << 63 else value
+
+
+class VerificationError(ReproError):
+    """The bytecode failed static verification and will not run."""
+
+
+@dataclass(frozen=True)
+class Instruction:
+    opcode: int
+    dst: int
+    src: int
+    imm: int
+
+    def to_bytes(self) -> bytes:
+        return struct.pack("!BBBBi", self.opcode, self.dst, self.src, 0, self.imm)
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "Instruction":
+        opcode, dst, src, _pad, imm = struct.unpack("!BBBBi", raw)
+        return cls(opcode=opcode, dst=dst, src=src, imm=imm)
+
+
+class BytecodeProgram:
+    """Verified bytecode, ready to run."""
+
+    def __init__(self, instructions: List[Instruction]) -> None:
+        self.instructions = instructions
+        self.verify()
+
+    # -- serialization -----------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        return b"".join(ins.to_bytes() for ins in self.instructions)
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "BytecodeProgram":
+        if len(raw) % INSTRUCTION_SIZE:
+            raise VerificationError("bytecode length not a multiple of 8")
+        instructions = [
+            Instruction.from_bytes(raw[i : i + INSTRUCTION_SIZE])
+            for i in range(0, len(raw), INSTRUCTION_SIZE)
+        ]
+        return cls(instructions)
+
+    # -- verifier ------------------------------------------------------------
+
+    def verify(self) -> None:
+        program = self.instructions
+        if not program:
+            raise VerificationError("empty program")
+        if len(program) > MAX_INSTRUCTIONS:
+            raise VerificationError("program too long")
+        if program[-1].opcode != OP_RET:
+            raise VerificationError("program must end with RET")
+        for index, ins in enumerate(program):
+            if ins.opcode not in _VALID_OPS:
+                raise VerificationError(f"invalid opcode {ins.opcode:#04x} at {index}")
+            if not 0 <= ins.dst < N_REGISTERS or not 0 <= ins.src < N_REGISTERS:
+                raise VerificationError(f"register out of range at {index}")
+            if ins.opcode in (OP_LD, OP_ST):
+                if not 0 <= ins.imm < N_MEMORY_SLOTS:
+                    raise VerificationError(f"memory slot out of range at {index}")
+            if ins.opcode in _JUMPS:
+                if ins.imm <= 0:
+                    raise VerificationError(
+                        f"non-forward jump at {index} (termination unprovable)"
+                    )
+                if index + 1 + ins.imm > len(program):
+                    raise VerificationError(f"jump past end of program at {index}")
+
+
+class Vm:
+    """Executes a verified program; memory persists across runs."""
+
+    def __init__(self, program: BytecodeProgram) -> None:
+        self.program = program
+        self.memory = [0] * N_MEMORY_SLOTS
+        self.invocations = 0
+
+    def run(self, *inputs: int) -> int:
+        """Execute with r1..rN preloaded from ``inputs``; returns r0."""
+        if len(inputs) > N_REGISTERS - 1:
+            raise ValueError("too many VM inputs")
+        registers = [0] * N_REGISTERS
+        for index, value in enumerate(inputs, start=1):
+            registers[index] = _wrap_i64(value)
+        self.invocations += 1
+
+        pc = 0
+        program = self.program.instructions
+        while pc < len(program):
+            ins = program[pc]
+            op = ins.opcode
+            if op == OP_RET:
+                return registers[0]
+            if op == OP_MOV:
+                registers[ins.dst] = registers[ins.src]
+            elif op == OP_MOVI:
+                registers[ins.dst] = ins.imm
+            elif op == OP_ADD:
+                registers[ins.dst] = _wrap_i64(registers[ins.dst] + registers[ins.src])
+            elif op == OP_ADDI:
+                registers[ins.dst] = _wrap_i64(registers[ins.dst] + ins.imm)
+            elif op == OP_SUB:
+                registers[ins.dst] = _wrap_i64(registers[ins.dst] - registers[ins.src])
+            elif op == OP_MUL:
+                registers[ins.dst] = _wrap_i64(registers[ins.dst] * registers[ins.src])
+            elif op == OP_MULI:
+                registers[ins.dst] = _wrap_i64(registers[ins.dst] * ins.imm)
+            elif op == OP_DIV:
+                divisor = registers[ins.src]
+                registers[ins.dst] = (
+                    0 if divisor == 0 else _wrap_i64(int(registers[ins.dst] / divisor))
+                )
+            elif op == OP_DIVI:
+                registers[ins.dst] = (
+                    0 if ins.imm == 0 else _wrap_i64(int(registers[ins.dst] / ins.imm))
+                )
+            elif op == OP_MIN:
+                registers[ins.dst] = min(registers[ins.dst], registers[ins.src])
+            elif op == OP_MAX:
+                registers[ins.dst] = max(registers[ins.dst], registers[ins.src])
+            elif op == OP_LD:
+                registers[ins.dst] = self.memory[ins.imm]
+            elif op == OP_ST:
+                self.memory[ins.imm] = registers[ins.src]
+            elif op == OP_JMP:
+                pc += ins.imm
+            elif op in (OP_JEQ, OP_JNE, OP_JLT, OP_JGE):
+                left = registers[ins.dst]
+                right = registers[ins.src]
+                taken = (
+                    (op == OP_JEQ and left == right)
+                    or (op == OP_JNE and left != right)
+                    or (op == OP_JLT and left < right)
+                    or (op == OP_JGE and left >= right)
+                )
+                if taken:
+                    pc += ins.imm
+            pc += 1
+        return registers[0]

@@ -1,0 +1,86 @@
+"""Session-level sequencing, TCPLS ACKs, and failover replay buffers.
+
+Paper section 2.1: "To support data from a given datastream to be
+exchanged over several TCP connections, TCPLS includes its sequence
+numbers.  [...] Thanks to these TCPLS acknowledgments, a TCPLS session
+can react to the failure of the underlying TCP connection by
+reestablishing a new TCP connection and replay the records that have
+been lost."
+
+``ReplayBuffer`` keeps every reliable frame until the peer's cumulative
+TCPLS ACK covers it.  ``ReceiveTracker`` deduplicates (replay after
+failover can resend frames that had actually arrived) and produces the
+cumulative ACK value.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator, List, Optional, Tuple
+
+
+class ReplayBuffer:
+    """Sender side: sequenced frames retained for possible replay."""
+
+    def __init__(self) -> None:
+        self._next_seq = 1  # seq 0 means "unsequenced"
+        self._frames: "OrderedDict[int, Tuple[int, int, bytes]]" = OrderedDict()
+        self.highest_acked = 0
+
+    def next_seq(self) -> int:
+        seq = self._next_seq
+        self._next_seq += 1
+        return seq
+
+    def store(self, seq: int, ttype: int, stream_id: int, body: bytes) -> None:
+        self._frames[seq] = (ttype, stream_id, body)
+
+    def on_ack(self, cumulative_seq: int) -> int:
+        """Drop frames covered by a cumulative ACK; returns frames freed."""
+        freed = 0
+        for seq in [s for s in self._frames if s <= cumulative_seq]:
+            del self._frames[seq]
+            freed += 1
+        self.highest_acked = max(self.highest_acked, cumulative_seq)
+        return freed
+
+    def unacked_frames(self) -> Iterator[Tuple[int, int, int, bytes]]:
+        """Frames to replay after a connection failure, in seq order."""
+        for seq, (ttype, stream_id, body) in self._frames.items():
+            yield seq, ttype, stream_id, body
+
+    def pending_count(self) -> int:
+        return len(self._frames)
+
+    def pending_bytes(self) -> int:
+        return sum(len(body) for (_, _, body) in self._frames.values())
+
+
+class ReceiveTracker:
+    """Receiver side: dedup + cumulative ACK computation."""
+
+    def __init__(self) -> None:
+        self.cumulative = 0  # every seq <= cumulative has been received
+        self._out_of_order: set = set()
+        self.duplicates = 0
+        self.received = 0
+
+    def accept(self, seq: int) -> bool:
+        """Record a sequenced frame; False if it is a duplicate."""
+        if seq == 0:
+            return True  # unsequenced frames are never deduplicated
+        if seq <= self.cumulative or seq in self._out_of_order:
+            self.duplicates += 1
+            return False
+        self.received += 1
+        if seq == self.cumulative + 1:
+            self.cumulative = seq
+            while self.cumulative + 1 in self._out_of_order:
+                self.cumulative += 1
+                self._out_of_order.discard(self.cumulative)
+        else:
+            self._out_of_order.add(seq)
+        return True
+
+    def reordering_depth(self) -> int:
+        return len(self._out_of_order)

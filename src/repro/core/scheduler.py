@@ -1,0 +1,107 @@
+"""Multipath schedulers (paper sections 2.4-2.5).
+
+Two application-selectable behaviours, mutually exclusive by design
+("HOL-blocking avoidance is incompatible with the aggregation of
+bandwidth"):
+
+- **aggregation**: one stream's data is striped over every active TCP
+  connection to sum their bandwidths; the receiver reorders by stream
+  offset (accepting cross-connection HOL blocking);
+- **hol_avoidance**: each stream stays pinned to its own connection, so
+  a loss on one connection never delays another stream.
+
+The scheduler only picks *which connection gets the next chunk*; chunk
+sizing is the record-sizing policy's job (section 4.6).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class Scheduler:
+    """Base: pick a connection for the next chunk of a stream."""
+
+    name = "base"
+
+    def pick(self, stream, connections: List) -> Optional[object]:
+        raise NotImplementedError
+
+
+class PinnedScheduler(Scheduler):
+    """HOL-avoidance mode: a stream only ever uses its own connection."""
+
+    name = "pinned"
+
+    def pick(self, stream, connections: List) -> Optional[object]:
+        for conn in connections:
+            if conn.conn_id == stream.conn_id and conn.usable():
+                return conn
+        return None
+
+
+class RoundRobinScheduler(Scheduler):
+    """Aggregation mode: cycle through usable connections."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._last_index = -1
+
+    def pick(self, stream, connections: List) -> Optional[object]:
+        usable = [conn for conn in connections if conn.usable()]
+        if not usable:
+            return None
+        self._last_index = (self._last_index + 1) % len(usable)
+        return usable[self._last_index]
+
+
+class CwndAwareScheduler(Scheduler):
+    """Aggregation mode: prefer the connection with the most free window.
+
+    This approximates the coupled schedulers of Multipath TCP: a faster
+    path drains its queue quicker and therefore shows more free cwnd, so
+    it receives proportionally more chunks.
+    """
+
+    name = "cwnd_aware"
+
+    def pick(self, stream, connections: List) -> Optional[object]:
+        best = None
+        best_room = -1
+        for conn in connections:
+            if not conn.usable():
+                continue
+            room = conn.send_room()
+            if room > best_room:
+                best = conn
+                best_room = room
+        if best is None or best_room <= 0:
+            return None
+        return best
+
+
+class LowestRttScheduler(Scheduler):
+    """Aggregation mode favouring latency: fill the lowest-RTT path first."""
+
+    name = "lowest_rtt"
+
+    def pick(self, stream, connections: List) -> Optional[object]:
+        usable = sorted(
+            (conn for conn in connections if conn.usable() and conn.send_room() > 0),
+            key=lambda conn: conn.tcp.rto.srtt or 1e9,
+        )
+        return usable[0] if usable else None
+
+
+def make_scheduler(name: str) -> Scheduler:
+    name = name.lower()
+    if name in ("pinned", "hol_avoidance"):
+        return PinnedScheduler()
+    if name in ("round_robin", "rr"):
+        return RoundRobinScheduler()
+    if name in ("cwnd_aware", "aggregate", "aggregation"):
+        return CwndAwareScheduler()
+    if name in ("lowest_rtt", "rtt"):
+        return LowestRttScheduler()
+    raise ValueError(f"unknown scheduler {name!r}")

@@ -1,0 +1,1234 @@
+"""The TCPLS session: the object behind every ``tcpls_*`` API call.
+
+A ``TcplsSession`` gathers one TLS 1.3 session and one or more TCP
+connections (like a Multipath TCP connection gathers subflows — paper
+section 2.1) and runs the machinery of sections 2-3 on top of them:
+
+- per-(stream, connection) cryptographic contexts with receiver-side
+  trial decryption;
+- session sequence numbers, TCPLS ACKs, replay-on-failover;
+- JOIN of additional connections using CONNID + one-time cookies;
+- application-driven connection migration and automatic failover on
+  spurious RST or outage;
+- the secure TCP-option channel (User Timeout working end-to-end);
+- congestion-control plugins delivered as bytecode;
+- 0-RTT resumption over TCP Fast Open;
+- SYN-echo middlebox detection.
+
+``TcplsServer`` demultiplexes incoming TCP connections on a listening
+port into new sessions (ClientHello) or JOINs to existing ones.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core import framing, join as joinmod
+from repro.core.contexts import CONTROL_STREAM_ID, ContextManager
+from repro.core.cookies import CookieJar, CookiePurse, mint_connection_id
+from repro.core.events import Event, EventDispatcher
+from repro.core.framing import TType
+from repro.core.record_sizing import RecordSizer, TOTAL_OVERHEAD
+from repro.core.reliability import ReceiveTracker, ReplayBuffer
+from repro.core.scheduler import make_scheduler
+from repro.core.streams import TcplsStream
+from repro.tcp.connection import TcpConnection
+from repro.tcp.options import UserTimeout, decode_single_option
+from repro.tcp.stack import TcpStack
+from repro.tls import messages as m
+from repro.tls.certificates import Identity, TrustStore
+from repro.tls.record import ContentType, RecordDecoder, record_header
+from repro.tls.session import SessionTicketStore, TlsConfig, TlsSession
+from repro.utils.bytesio import ByteWriter
+from repro.utils.errors import ProtocolViolation
+
+# Per-process session counter mixed into each session's RNG: one server
+# context accepts many sessions, and each must mint a distinct CONNID and
+# cookie set (deterministic given creation order, which the simulator
+# fixes).
+_session_counter = [0]
+
+
+@dataclass
+class TcplsContext:
+    """Configuration for TCPLS sessions (client or server side)."""
+
+    # TLS material.
+    identity: Optional[Identity] = None            # server
+    trust_store: Optional[TrustStore] = None       # client
+    server_name: str = ""                          # client
+    ticket_store: Optional[SessionTicketStore] = None
+    ticket_key: bytes = b"\x00" * 32
+    send_tickets: int = 2
+
+    # TCPLS behaviour.
+    congestion: str = "reno"
+    multipath_mode: str = "pinned"   # pinned | aggregate | round_robin | rtt
+    ack_every: int = 16
+    ack_flush_delay: float = 0.025
+    max_record_payload: int = 16000
+    cwnd_match_records: bool = False
+    auto_failover: bool = True
+    # Applied to every underlying TCP connection so path outages surface
+    # as connection failures quickly enough for failover to act (the
+    # local analogue of the RFC 5482 option TCPLS ships to the peer).
+    connection_user_timeout: Optional[float] = 5.0
+    cookie_batch: int = 4
+    advertise_addresses: bool = True
+    seed: int = 0
+
+    def rng(self) -> random.Random:
+        return random.Random(self.seed)
+
+
+class TcplsConnection:
+    """One TCP connection inside a TCPLS session."""
+
+    CONNECTING = "CONNECTING"
+    TLS_HANDSHAKE = "TLS_HANDSHAKE"
+    JOIN_SENT = "JOIN_SENT"
+    ACTIVE = "ACTIVE"
+    FAILED = "FAILED"
+    CLOSED = "CLOSED"
+
+    def __init__(self, session: "TcplsSession", conn_id: int, tcp: TcpConnection) -> None:
+        self.session = session
+        self.conn_id = conn_id
+        self.tcp = tcp
+        self.state = self.CONNECTING
+        self.is_primary = False
+        self.token = b""  # key-derivation token: CONNID or the JOIN cookie
+        self.decoder = RecordDecoder()  # raw record splitting only
+        self.bytes_delivered = 0
+        self.records_received = 0
+        tcp.on_data = self._on_data
+        tcp.on_established = lambda: session._on_tcp_established(self)
+        tcp.on_reset = lambda: session._on_tcp_failed(self, "reset")
+        tcp.on_error = lambda reason: session._on_tcp_failed(self, reason)
+        tcp.on_close = lambda: session._on_tcp_peer_close(self)
+        tcp.on_send_progress = session._pump
+
+    def _on_data(self, data: bytes) -> None:
+        self.session._on_tcp_data(self, data)
+
+    def usable(self) -> bool:
+        return self.state == self.ACTIVE and self.tcp.state in (
+            "ESTABLISHED", "CLOSE_WAIT",
+        )
+
+    def send_room(self) -> int:
+        """Free sending capacity: window minus flight minus queued bytes."""
+        info_window = min(self.tcp.cc.window(), self.tcp.snd_wnd)
+        return info_window - self.tcp.bytes_in_flight() - self.tcp.send_queue_length()
+
+    def describe(self) -> dict:
+        return {
+            "conn_id": self.conn_id,
+            "state": self.state,
+            "primary": self.is_primary,
+            "local": f"{self.tcp.local_addr}:{self.tcp.local_port}",
+            "remote": f"{self.tcp.remote_addr}:{self.tcp.remote_port}",
+            "tcp": self.tcp.info(),
+        }
+
+
+class TcplsSession:
+    """One endpoint (client or server) of a TCPLS session."""
+
+    def __init__(
+        self,
+        context: TcplsContext,
+        stack: TcpStack,
+        is_server: bool = False,
+    ) -> None:
+        self.context = context
+        self.stack = stack
+        self.sim = stack.sim
+        self.is_server = is_server
+        _session_counter[0] += 1
+        self.rng = random.Random(
+            (context.seed, _session_counter[0], is_server).__hash__() & 0x7FFFFFFF
+        )
+
+        self.connections: Dict[int, TcplsConnection] = {}
+        self._next_conn_id = 0
+        self.primary: Optional[TcplsConnection] = None
+
+        self.streams: Dict[int, TcplsStream] = {}
+        self._next_stream_id = 2 if is_server else 1
+
+        self.tls: Optional[TlsSession] = None
+        self.handshake_complete = False
+        self.contexts: Optional[ContextManager] = None
+        self.replay = ReplayBuffer()
+        self.tracker = ReceiveTracker()
+        self.sizer = RecordSizer(
+            max_payload=context.max_record_payload,
+            match_cwnd=context.cwnd_match_records,
+        )
+        self.scheduler = make_scheduler(
+            context.multipath_mode if context.multipath_mode != "pinned" else "pinned"
+        )
+        self.multipath_enabled = context.multipath_mode != "pinned"
+        self.events = EventDispatcher()
+
+        # Identity / join state.
+        self.connection_id = b""
+        self.cookie_jar = CookieJar(self.rng, batch_size=context.cookie_batch)
+        self.cookie_purse = CookiePurse()
+        self.peer_v4_addresses: List[str] = []
+        self.peer_v6_addresses: List[str] = []
+
+        # Application callbacks.
+        self.on_stream_data: Optional[Callable[[int, bytes], None]] = None
+        self.on_stream_fin: Optional[Callable[[int], None]] = None
+        self.on_early_data: Optional[Callable[[bytes], None]] = None
+
+        # Accounting for the experiments.
+        self.delivery_log: List[Tuple[float, int, int]] = []  # (time, conn, bytes)
+        self.stats = {
+            "records_sent": 0,
+            "records_received": 0,
+            "frames_replayed": 0,
+            "acks_sent": 0,
+            "acks_received": 0,
+        }
+        self._unacked_since_flush = 0
+        self._ack_flush_event = None
+        self._closing = False
+        self.session_closed = False
+        self._probe_reports: Dict[int, List[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Event registration
+    # ------------------------------------------------------------------
+
+    def on(self, event: str, handler: Callable) -> None:
+        self.events.on(event, handler)
+
+    # ------------------------------------------------------------------
+    # Connection management (client)
+    # ------------------------------------------------------------------
+
+    def connect(
+        self,
+        dest: str,
+        port: int = 443,
+        src: Optional[str] = None,
+        fast_open: bool = False,
+        fast_open_data: bytes = b"",
+    ) -> int:
+        """Open a TCP connection toward the server; returns a conn id.
+
+        ``src`` pins the connection to a local address (explicit
+        multipath: ``tcpls_connect(src, dest)``).
+        """
+        tcp = self.stack.connect(
+            dest,
+            port,
+            local_addr=src,
+            congestion=self.context.congestion,
+            fast_open=fast_open,
+            fast_open_data=fast_open_data,
+        )
+        return self._register_tcp(tcp).conn_id
+
+    def _register_tcp(self, tcp: TcpConnection) -> TcplsConnection:
+        if self.context.connection_user_timeout is not None:
+            tcp.set_user_timeout(self.context.connection_user_timeout)
+        conn = TcplsConnection(self, self._next_conn_id, tcp)
+        self.connections[self._next_conn_id] = conn
+        self._next_conn_id += 1
+        return conn
+
+    def happy_eyeballs_connect(
+        self,
+        dest_v4: str,
+        dest_v6: str,
+        port: int = 443,
+        timeout: float = 0.050,
+    ) -> dict:
+        """Race v4 and v6 connects, preferring whichever establishes first.
+
+        Mirrors the Figure 3 pattern: try the first family; if it has not
+        established within ``timeout`` (50 ms in the paper), also start
+        the second; the first to establish wins and the loser is aborted.
+        Returns a dict whose ``winner``/``v4``/``v6`` fields fill in as
+        the simulation progresses.
+        """
+        result = {"winner": None, "v4": None, "v6": None}
+        result["v4"] = self.connect(dest_v4, port)
+
+        def on_established(conn_id: int) -> None:
+            if result["winner"] is not None:
+                return
+            if conn_id not in (result["v4"], result["v6"]):
+                return
+            result["winner"] = conn_id
+            for loser_id in (result["v4"], result["v6"]):
+                if loser_id is not None and loser_id != conn_id:
+                    loser = self.connections[loser_id]
+                    if loser.state == TcplsConnection.CONNECTING:
+                        loser.state = TcplsConnection.CLOSED
+                        loser.tcp.abort()
+
+        self.events.on(Event.CONN_ESTABLISHED, on_established)
+
+        def start_v6_if_needed() -> None:
+            if result["winner"] is None:
+                result["v6"] = self.connect(dest_v6, port)
+
+        self.sim.schedule(timeout, start_v6_if_needed)
+        return result
+
+    # ------------------------------------------------------------------
+    # Handshake
+    # ------------------------------------------------------------------
+
+    def handshake(self, conn_id: Optional[int] = None, early_data: bytes = b"") -> None:
+        """Start the TLS/TCPLS handshake (client).
+
+        With ``conn_id`` naming a non-primary connection after the
+        session is established, this performs a JOIN on that connection
+        instead (the Figure 4 migration chain's first call).
+        """
+        if self.is_server:
+            raise RuntimeError("handshake() is client-side; use TcplsServer")
+        conn = self._resolve_conn(conn_id)
+        if self.handshake_complete:
+            self._start_join(conn)
+            return
+        self._start_tls_client(conn, early_data)
+
+    def _resolve_conn(self, conn_id: Optional[int]) -> TcplsConnection:
+        if conn_id is not None:
+            return self.connections[conn_id]
+        if self.primary is not None:
+            return self.primary
+        if not self.connections:
+            raise RuntimeError("no connection; call connect() first")
+        return next(iter(self.connections.values()))
+
+    def _start_tls_client(self, conn: TcplsConnection, early_data: bytes) -> None:
+        conn.is_primary = True
+        self.primary = conn
+        tls_config = TlsConfig(
+            trust_store=self.context.trust_store,
+            server_name=self.context.server_name,
+            ticket_store=self.context.ticket_store,
+            extra_client_extensions=[
+                (joinmod.EXT_TCPLS, joinmod.build_tcpls_marker())
+            ],
+            rng=random.Random(self.rng.randrange(1 << 30)),
+        )
+        self.tls = TlsSession(
+            tls_config, is_server=False, transport_write=conn.tcp.send
+        )
+        self.tls.on_handshake_complete = lambda: self._on_tls_complete(conn)
+
+        def start():
+            conn.state = TcplsConnection.TLS_HANDSHAKE
+            self.tls.start_handshake(early_data=early_data)
+
+        if conn.tcp.state == "ESTABLISHED":
+            start()
+        else:
+            previous = conn.tcp.on_established
+
+            def on_established():
+                if previous:
+                    previous()
+                start()
+
+            conn.tcp.on_established = on_established
+
+    def connect_0rtt(
+        self, dest: str, port: int = 443, early_data: bytes = b""
+    ) -> int:
+        """0-RTT TCPLS (section 4.2): TLS 0-RTT inside a TFO SYN.
+
+        The ClientHello plus early-data records ride in the SYN payload;
+        on a path with a cached TFO cookie and a resumption ticket the
+        server application sees the request with zero extra round trips.
+        """
+        if self.is_server:
+            raise RuntimeError("connect_0rtt is client-side")
+        first_flight = bytearray()
+        hold = [first_flight.extend]
+
+        def write(data: bytes) -> None:
+            hold[0](data)
+
+        tls_config = TlsConfig(
+            trust_store=self.context.trust_store,
+            server_name=self.context.server_name,
+            ticket_store=self.context.ticket_store,
+            extra_client_extensions=[
+                (joinmod.EXT_TCPLS, joinmod.build_tcpls_marker())
+            ],
+            rng=random.Random(self.rng.randrange(1 << 30)),
+        )
+        self.tls = TlsSession(tls_config, is_server=False, transport_write=write)
+        self.tls.start_handshake(early_data=early_data)
+        syn_payload = bytes(first_flight)
+
+        conn_id = self.connect(
+            dest, port, fast_open=True, fast_open_data=syn_payload
+        )
+        conn = self.connections[conn_id]
+        conn.is_primary = True
+        conn.state = TcplsConnection.TLS_HANDSHAKE
+        self.primary = conn
+        hold[0] = conn.tcp.send  # later flights go straight to TCP
+        self.tls.on_handshake_complete = lambda: self._on_tls_complete(conn)
+        return conn_id
+
+    # -- server side (driven by TcplsServer) ------------------------------
+
+    def accept_primary(self, tcp: TcpConnection, initial_bytes: bytes) -> None:
+        conn = self._register_tcp(tcp)
+        conn.is_primary = True
+        conn.state = TcplsConnection.TLS_HANDSHAKE
+        self.primary = conn
+
+        self.connection_id = mint_connection_id(self.rng)
+        cookies = self.cookie_jar.mint()
+        params = joinmod.TcplsServerParams(
+            connection_id=self.connection_id,
+            cookies=cookies,
+            v4_addresses=[
+                str(a) for a in self.stack.host.addresses(version=4)
+            ] if self.context.advertise_addresses else [],
+            v6_addresses=[
+                str(a) for a in self.stack.host.addresses(version=6)
+            ] if self.context.advertise_addresses else [],
+        )
+        tls_config = TlsConfig(
+            identity=self.context.identity,
+            ticket_key=self.context.ticket_key,
+            send_tickets=self.context.send_tickets,
+            extra_encrypted_extensions=[(joinmod.EXT_TCPLS, params.to_bytes())],
+            rng=random.Random(self.rng.randrange(1 << 30)),
+        )
+        self.tls = TlsSession(tls_config, is_server=True, transport_write=tcp.send)
+        self.tls.on_handshake_complete = lambda: self._on_tls_complete(conn)
+        self.tls.on_early_data = self._on_tls_early_data
+        if initial_bytes:
+            self._on_tcp_data(conn, initial_bytes)
+
+    def _on_tls_early_data(self, data: bytes) -> None:
+        if self.on_early_data:
+            self.on_early_data(data)
+
+    # -- handshake completion ------------------------------------------------
+
+    def _on_tls_complete(self, conn: TcplsConnection) -> None:
+        self.handshake_complete = True
+        conn.state = TcplsConnection.ACTIVE
+        self.contexts = ContextManager(self.tls.export, is_client=not self.is_server)
+
+        if not self.is_server:
+            body = m.get_extension(
+                self.tls.peer_encrypted_extensions, joinmod.EXT_TCPLS
+            )
+            if body is None:
+                raise ProtocolViolation("server did not negotiate TCPLS")
+            params = joinmod.TcplsServerParams.from_bytes(body)
+            self.connection_id = params.connection_id
+            self.cookie_purse.deposit(params.cookies)
+            self.peer_v4_addresses = params.v4_addresses
+            self.peer_v6_addresses = params.v6_addresses
+            if params.v4_addresses or params.v6_addresses:
+                self.events.emit(
+                    Event.ADDRESS_ADVERTISED,
+                    v4=params.v4_addresses,
+                    v6=params.v6_addresses,
+                )
+        conn.token = self.connection_id
+
+        # The TLS application cipher states become the primary control
+        # context, keeping one nonce sequence with post-handshake TLS.
+        self.contexts.install_external(
+            CONTROL_STREAM_ID,
+            conn.conn_id,
+            send=self.tls.encoder.cipher,
+            recv=self.tls.decoder.cipher,
+        )
+        self.events.emit(Event.HANDSHAKE_DONE, conn_id=conn.conn_id)
+        self._pump()
+
+    # ------------------------------------------------------------------
+    # JOIN (client side)
+    # ------------------------------------------------------------------
+
+    def _start_join(self, conn: TcplsConnection) -> None:
+        cookie = self.cookie_purse.withdraw()
+        if cookie is None:
+            self._on_tcp_failed(conn, "no JOIN cookie available")
+            return
+        conn.token = cookie
+
+        def send_join():
+            conn.state = TcplsConnection.JOIN_SENT
+            hello = joinmod.build_join_client_hello(
+                self.connection_id, cookie, self.rng
+            )
+            conn.tcp.send(record_header(ContentType.HANDSHAKE, len(hello)) + hello)
+            # Derive this connection's contexts from the session + cookie.
+            self.contexts.install(CONTROL_STREAM_ID, conn.conn_id, cookie)
+
+        if conn.tcp.state == "ESTABLISHED":
+            send_join()
+        else:
+            previous = conn.tcp.on_established
+
+            def on_established():
+                if previous:
+                    previous()
+                send_join()
+
+            conn.tcp.on_established = on_established
+
+    # -- server side JOIN (driven by TcplsServer) -----------------------------
+
+    def adopt_joined_connection(
+        self, tcp: TcpConnection, cookie: bytes, leftover: bytes
+    ) -> bool:
+        if not self.cookie_jar.consume(cookie):
+            tcp.abort("invalid TCPLS cookie")
+            return False
+        conn = self._register_tcp(tcp)
+        conn.token = cookie
+        self.contexts.install(CONTROL_STREAM_ID, conn.conn_id, cookie)
+        self._activate_joined(conn)
+        self._send_frame(
+            conn, TType.JOIN_ACK, framing.encode_join_ack(conn.conn_id), seq=0
+        )
+        self.events.emit(Event.JOIN, conn_id=conn.conn_id)
+        if leftover:
+            self._on_tcp_data(conn, leftover)
+        return True
+
+    def _activate_joined(self, conn: TcplsConnection) -> None:
+        conn.state = TcplsConnection.ACTIVE
+        # Every attached stream gains contexts on the new connection so
+        # multipath striping and migration can use it immediately.
+        for stream in self.streams.values():
+            if stream.attached:
+                self.contexts.install(stream.stream_id, conn.conn_id, conn.token)
+
+    # ------------------------------------------------------------------
+    # Streams
+    # ------------------------------------------------------------------
+
+    def stream_new(self, conn_id: Optional[int] = None) -> int:
+        conn = self._resolve_conn(conn_id)
+        stream_id = self._next_stream_id
+        self._next_stream_id += 2
+        stream = TcplsStream(stream_id, conn.conn_id)
+        self._wire_stream(stream)
+        self.streams[stream_id] = stream
+        return stream_id
+
+    def _wire_stream(self, stream: TcplsStream) -> None:
+        stream.on_data = lambda data: self._deliver_stream_data(stream, data)
+        stream.on_fin = lambda: self._on_stream_fin(stream)
+
+    def streams_attach(self) -> None:
+        """Announce every unattached stream to the peer (STREAM_OPEN)."""
+        if not self.handshake_complete:
+            raise RuntimeError("streams_attach before handshake completion")
+        for stream in self.streams.values():
+            if stream.attached:
+                continue
+            stream.attached = True
+            for conn in self._active_conns():
+                self.contexts.install(stream.stream_id, conn.conn_id, conn.token)
+            seq = self.replay.next_seq()
+            body = framing.encode_stream_open(stream.stream_id, stream.conn_id)
+            self.replay.store(seq, TType.STREAM_OPEN, stream.stream_id, body)
+            # Announce on EVERY active connection (same seq; the receiver
+            # deduplicates): each TCP's in-order delivery then guarantees
+            # the peer knows the stream before any of its data arrives on
+            # that connection — otherwise data racing ahead of the
+            # STREAM_OPEN on another connection would fail trial
+            # decryption and be lost.
+            for conn in self._active_conns():
+                self._send_frame(
+                    conn, TType.STREAM_OPEN, body, seq,
+                    stream_id=CONTROL_STREAM_ID,
+                )
+            self.events.emit(
+                Event.STREAM_ATTACHED,
+                stream_id=stream.stream_id,
+                conn_id=stream.conn_id,
+            )
+
+    def send(self, stream_id: int, data: bytes) -> int:
+        stream = self.streams[stream_id]
+        stream.queue(data)
+        self._pump()
+        return len(data)
+
+    def stream_close(self, stream_id: int) -> None:
+        stream = self.streams.get(stream_id)
+        if stream is None or stream.fin_pending:
+            return
+        stream.close()
+        self._pump()
+
+    def close(self) -> None:
+        """Securely terminate: close all streams, then the session."""
+        self._closing = True
+        for stream_id in list(self.streams):
+            self.stream_close(stream_id)
+        self._pump()
+
+    # ------------------------------------------------------------------
+    # The send pump
+    # ------------------------------------------------------------------
+
+    def _active_conns(self) -> List[TcplsConnection]:
+        return [c for c in self.connections.values() if c.usable()]
+
+    def _pump(self) -> None:
+        if not self.handshake_complete or self.contexts is None:
+            return
+        conns = self._active_conns()
+        if not conns:
+            return
+        progress = True
+        while progress:
+            progress = False
+            for stream in list(self.streams.values()):
+                if not stream.attached or not stream.has_pending_data():
+                    continue
+                conn = self.scheduler.pick(stream, conns)
+                if conn is None or conn.send_room() <= TOTAL_OVERHEAD:
+                    continue
+                chunk_size = self.sizer.chunk_size(conn)
+                taken = stream.take_chunk(chunk_size)
+                if taken is None:
+                    continue
+                offset, data, fin = taken
+                self._send_stream_chunk(stream, conn, offset, data, fin)
+                progress = True
+        self._maybe_session_close()
+
+    def _send_stream_chunk(
+        self,
+        stream: TcplsStream,
+        conn: TcplsConnection,
+        offset: int,
+        data: bytes,
+        fin: bool,
+    ) -> None:
+        if data:
+            seq = self.replay.next_seq()
+            body = framing.encode_stream_data(
+                stream.stream_id, offset, data, fin=False
+            )
+            self.replay.store(seq, TType.STREAM_DATA, stream.stream_id, body)
+            self.sizer.account(len(data), conn)
+            self._send_frame(conn, TType.STREAM_DATA, body, seq)
+        if fin:
+            close_seq = self.replay.next_seq()
+            close_body = framing.encode_stream_close(
+                stream.stream_id, offset + len(data)
+            )
+            self.replay.store(
+                close_seq, TType.STREAM_CLOSE, stream.stream_id, close_body
+            )
+            self._send_frame(conn, TType.STREAM_CLOSE, close_body, close_seq)
+            self.events.emit(Event.STREAM_CLOSED, stream_id=stream.stream_id)
+            self._maybe_retire_connection(stream)
+
+    def _maybe_retire_connection(self, closed_stream: TcplsStream) -> None:
+        """Section 2.1/3.2: closing the last stream attached to a TCP
+        connection retires that connection (graceful FIN) — the "secure
+        closing of the v4 TCP connection" step of the migration chain.
+        Only applies while other active connections remain and the
+        session itself is not closing (session close handles the rest)."""
+        conn = self.connections.get(closed_stream.conn_id)
+        if conn is None or not conn.usable():
+            return
+        if self._closing or self.session_closed:
+            return
+        local_parity = 0 if self.is_server else 1
+        still_pinned = [
+            s
+            for s in self.streams.values()
+            if s.attached
+            and s.conn_id == conn.conn_id
+            and s is not closed_stream
+            and not s.fin_sent
+            # Only streams we originated hold the connection open; the
+            # peer reacts to our close by re-pinning its own streams
+            # (the paper's server "seamlessly switches the path").
+            and s.stream_id % 2 == local_parity
+        ]
+        if still_pinned:
+            return
+        others = [c for c in self._active_conns() if c is not conn]
+        if not others:
+            return  # never retire the only connection
+        conn.state = TcplsConnection.CLOSED
+        conn.tcp.close()
+        # Keep the receive contexts: in-flight peer data on this
+        # connection must still decrypt until the peer's FIN arrives.
+        self.events.emit(Event.CONN_CLOSED, conn_id=conn.conn_id)
+
+    def _send_frame(
+        self, conn: TcplsConnection, ttype: int, body: bytes, seq: int,
+        stream_id: Optional[int] = None,
+    ) -> None:
+        """Encrypt one frame under the right context and hand it to TCP."""
+        context_stream = (
+            stream_id
+            if stream_id is not None
+            else (framing.decode_stream_data(body)[0] if ttype == TType.STREAM_DATA else CONTROL_STREAM_ID)
+        )
+        cipher = self.contexts.send_context(context_stream, conn.conn_id)
+        if cipher is None:
+            cipher = self.contexts.send_context(CONTROL_STREAM_ID, conn.conn_id)
+            if cipher is None:
+                return
+        plaintext = framing.encode_frame(ttype, seq, body)
+        inner = plaintext + bytes([ttype])
+        header = record_header(ContentType.APPLICATION_DATA, len(inner) + 16)
+        sealed = cipher.aead.encrypt(cipher.next_nonce(), inner, header)
+        cipher.advance()
+        conn.tcp.send(header + sealed)
+        self.stats["records_sent"] += 1
+
+    def _send_control(self, ttype: int, body: bytes, seq: int) -> None:
+        conns = self._active_conns()
+        if not conns:
+            return
+        primary_like = next((c for c in conns if c.is_primary), conns[0])
+        self._send_frame(primary_like, ttype, body, seq, stream_id=CONTROL_STREAM_ID)
+
+    # ------------------------------------------------------------------
+    # Receive path
+    # ------------------------------------------------------------------
+
+    def _on_tcp_data(self, conn: TcplsConnection, data: bytes) -> None:
+        conn.decoder.feed(data)
+        try:
+            for outer_type, body in conn.decoder.raw_records():
+                self._on_raw_record(conn, outer_type, body)
+        except ProtocolViolation:
+            # Malformed record stream (garbage or a broken middlebox):
+            # kill this connection; the session survives on the others.
+            conn.tcp.abort("malformed record stream")
+            self._on_tcp_failed(conn, "malformed record stream")
+
+    def _on_raw_record(self, conn: TcplsConnection, outer_type: int, body: bytes) -> None:
+        if conn.state == TcplsConnection.TLS_HANDSHAKE:
+            # Hand exactly one record to the TLS driver; completion flips
+            # the connection to ACTIVE between records.
+            self.tls.receive(record_header(outer_type, len(body)) + body)
+            return
+        if conn.state == TcplsConnection.JOIN_SENT:
+            self._client_join_record(conn, outer_type, body)
+            return
+        if outer_type != ContentType.APPLICATION_DATA:
+            return  # plaintext records after establishment: middlebox junk
+        opened = self.contexts.open_record(conn.conn_id, body)
+        if opened is None:
+            return  # forgery attempt — counted in the context manager
+        stream_id, ttype, plaintext = opened
+        conn.records_received += 1
+        self.stats["records_received"] += 1
+        if ttype == TType.HANDSHAKE:
+            self.tls.process_handshake_bytes(plaintext)
+            self._maybe_collect_ticket()
+            return
+        if ttype == TType.ALERT:
+            self.session_closed = True
+            self.events.emit(Event.SESSION_CLOSED)
+            return
+        if ttype == TType.APPDATA:
+            if self.on_early_data:
+                self.on_early_data(plaintext)
+            return
+        frame = framing.decode_frame(ttype, plaintext)
+        if not self.tracker.accept(frame.seq):
+            return  # duplicate after a failover replay
+        self._dispatch_frame(conn, frame)
+        if frame.seq:
+            self._unacked_since_flush += 1
+            if self._unacked_since_flush >= self.context.ack_every:
+                self._flush_ack()
+            else:
+                self._arm_ack_flush()
+
+    def _client_join_record(self, conn: TcplsConnection, outer_type: int, body: bytes) -> None:
+        if outer_type != ContentType.APPLICATION_DATA:
+            return
+        opened = self.contexts.open_record(conn.conn_id, body)
+        if opened is None:
+            return
+        stream_id, ttype, plaintext = opened
+        if ttype != TType.JOIN_ACK:
+            return
+        self._activate_joined(conn)
+        self.events.emit(Event.JOIN, conn_id=conn.conn_id)
+        self._pump()
+
+    def _maybe_collect_ticket(self) -> None:
+        self.events.emit(Event.TICKET)
+
+    # ------------------------------------------------------------------
+    # Frame dispatch
+    # ------------------------------------------------------------------
+
+    def _dispatch_frame(self, conn: TcplsConnection, frame: framing.Frame) -> None:
+        handler = {
+            TType.STREAM_DATA: self._on_stream_data_frame,
+            TType.STREAM_OPEN: self._on_stream_open_frame,
+            TType.STREAM_CLOSE: self._on_stream_close_frame,
+            TType.ACK: self._on_ack_frame,
+            TType.TCP_OPTION: self._on_tcp_option_frame,
+            TType.NEW_COOKIES: self._on_new_cookies_frame,
+            TType.PLUGIN: self._on_plugin_frame,
+            TType.PROBE: self._on_probe_frame,
+            TType.PROBE_REPORT: self._on_probe_report_frame,
+            TType.SESSION_CLOSE: self._on_session_close_frame,
+            TType.ADDRESS_ADVERT: self._on_address_advert_frame,
+            TType.ADDRESS_REMOVE: self._on_address_remove_frame,
+            TType.PING: lambda c, f: self._flush_ack(),
+        }.get(frame.ttype)
+        if handler is None:
+            raise ProtocolViolation(f"unknown TCPLS frame type {frame.ttype:#04x}")
+        handler(conn, frame)
+
+    def _on_stream_data_frame(self, conn: TcplsConnection, frame: framing.Frame) -> None:
+        stream_id, offset, fin, data = framing.decode_stream_data(frame.body)
+        stream = self._ensure_stream(stream_id, conn)
+        self.delivery_log.append((self.sim.now, conn.conn_id, len(data)))
+        conn.bytes_delivered += len(data)
+        stream.on_segment(offset, data, fin)
+
+    def _on_stream_open_frame(self, conn: TcplsConnection, frame: framing.Frame) -> None:
+        stream_id, pinned_conn = framing.decode_stream_open(frame.body)
+        self._ensure_stream(stream_id, conn)
+        self.events.emit(Event.STREAM_OPENED, stream_id=stream_id, conn_id=conn.conn_id)
+
+    def _ensure_stream(self, stream_id: int, conn: TcplsConnection) -> TcplsStream:
+        stream = self.streams.get(stream_id)
+        if stream is None:
+            stream = TcplsStream(stream_id, conn.conn_id)
+            stream.attached = True
+            self._wire_stream(stream)
+            self.streams[stream_id] = stream
+            for active in self._active_conns():
+                self.contexts.install(stream_id, active.conn_id, active.token)
+        return stream
+
+    def _on_stream_close_frame(self, conn: TcplsConnection, frame: framing.Frame) -> None:
+        stream_id, final_offset = framing.decode_stream_close(frame.body)
+        stream = self.streams.get(stream_id)
+        if stream is None:
+            return
+        stream.on_segment(final_offset, b"", True)
+        self._flush_ack()
+
+    def _on_ack_frame(self, conn: TcplsConnection, frame: framing.Frame) -> None:
+        cumulative, _conn_id = framing.decode_ack(frame.body)
+        self.stats["acks_received"] += 1
+        self.replay.on_ack(cumulative)
+
+    def _on_tcp_option_frame(self, conn: TcplsConnection, frame: framing.Frame) -> None:
+        kind, target_conn, option_body = framing.decode_tcp_option(frame.body)
+        option = decode_single_option(kind, option_body)
+        # Apply the option to the requested connection — the simulated
+        # equivalent of "the server extracts it and performs the required
+        # setsockopt" (paper section 3.1).
+        targets = (
+            [self.connections[target_conn]]
+            if target_conn in self.connections
+            else self._active_conns()
+        )
+        if isinstance(option, UserTimeout):
+            for target in targets:
+                target.tcp.set_user_timeout(option.timeout_seconds())
+        self.events.emit(
+            Event.TCP_OPTION_RECEIVED,
+            kind=kind,
+            option=option,
+            conn_id=conn.conn_id,
+        )
+
+    def _on_new_cookies_frame(self, conn: TcplsConnection, frame: framing.Frame) -> None:
+        self.cookie_purse.deposit(framing.decode_new_cookies(frame.body))
+
+    def _on_plugin_frame(self, conn: TcplsConnection, frame: framing.Frame) -> None:
+        target, bytecode = framing.decode_plugin(frame.body)
+        from repro.core.plugins.runtime import install_plugin
+
+        result = install_plugin(self, target, bytecode)
+        self.events.emit(
+            Event.PLUGIN_INSTALLED, target=target, ok=result, conn_id=conn.conn_id
+        )
+
+    def _on_probe_frame(self, conn: TcplsConnection, frame: framing.Frame) -> None:
+        from repro.core.middlebox_detect import compare_syns
+
+        probe_conn_id, syn_as_sent = framing.decode_probe(frame.body)
+        differences = compare_syns(syn_as_sent, conn.tcp.received_syn_bytes)
+        reply = framing.encode_probe_report(probe_conn_id, differences)
+        seq = self.replay.next_seq()
+        self.replay.store(seq, TType.PROBE_REPORT, CONTROL_STREAM_ID, reply)
+        self._send_frame(conn, TType.PROBE_REPORT, reply, seq, stream_id=CONTROL_STREAM_ID)
+
+    def _on_probe_report_frame(self, conn: TcplsConnection, frame: framing.Frame) -> None:
+        probe_conn_id, differences = framing.decode_probe_report(frame.body)
+        self._probe_reports[probe_conn_id] = differences
+        self.events.emit(
+            Event.PROBE_REPORT, conn_id=probe_conn_id, differences=differences
+        )
+
+    def _on_session_close_frame(self, conn: TcplsConnection, frame: framing.Frame) -> None:
+        self.session_closed = True
+        self._flush_ack()
+        self.events.emit(Event.SESSION_CLOSED)
+        for c in self._active_conns():
+            if c.tcp.state in ("ESTABLISHED", "CLOSE_WAIT"):
+                c.tcp.close()
+            c.state = TcplsConnection.CLOSED
+
+    def _on_address_advert_frame(self, conn: TcplsConnection, frame: framing.Frame) -> None:
+        v4, v6 = framing.decode_address_advert(frame.body)
+        self.peer_v4_addresses.extend(a for a in v4 if a not in self.peer_v4_addresses)
+        self.peer_v6_addresses.extend(a for a in v6 if a not in self.peer_v6_addresses)
+        self.events.emit(Event.ADDRESS_ADVERTISED, v4=v4, v6=v6)
+
+    def _on_address_remove_frame(self, conn: TcplsConnection, frame: framing.Frame) -> None:
+        v4, v6 = framing.decode_address_advert(frame.body)
+        self.peer_v4_addresses = [a for a in self.peer_v4_addresses if a not in v4]
+        self.peer_v6_addresses = [a for a in self.peer_v6_addresses if a not in v6]
+        self.events.emit(Event.ADDRESS_REMOVED, v4=v4, v6=v6)
+
+    # ------------------------------------------------------------------
+    # Delivery to the application
+    # ------------------------------------------------------------------
+
+    def _deliver_stream_data(self, stream: TcplsStream, data: bytes) -> None:
+        if self.on_stream_data:
+            self.on_stream_data(stream.stream_id, data)
+
+    def _on_stream_fin(self, stream: TcplsStream) -> None:
+        if self.on_stream_fin:
+            self.on_stream_fin(stream.stream_id)
+        self._maybe_session_close()
+
+    def _maybe_session_close(self) -> None:
+        """Closing the last stream closes the session (section 2.1)."""
+        if not self._closing or self.session_closed:
+            return
+        if any(s.has_pending_data() for s in self.streams.values()):
+            return
+        if not all(s.fin_sent for s in self.streams.values()):
+            return
+        self.session_closed = True
+        seq = self.replay.next_seq()
+        body = framing.encode_session_close(max(self.streams, default=0))
+        self.replay.store(seq, TType.SESSION_CLOSE, CONTROL_STREAM_ID, body)
+        self._send_control(TType.SESSION_CLOSE, body, seq)
+        self.events.emit(Event.SESSION_CLOSED)
+        for conn in self._active_conns():
+            conn.tcp.close()
+            conn.state = TcplsConnection.CLOSED
+
+    # ------------------------------------------------------------------
+    # ACKs
+    # ------------------------------------------------------------------
+
+    def _arm_ack_flush(self) -> None:
+        if self._ack_flush_event is not None:
+            return
+        self._ack_flush_event = self.sim.schedule(
+            self.context.ack_flush_delay, self._flush_ack
+        )
+
+    def _flush_ack(self) -> None:
+        if self._ack_flush_event is not None:
+            self._ack_flush_event.cancel()
+            self._ack_flush_event = None
+        if self._unacked_since_flush == 0 or not self.handshake_complete:
+            return
+        self._unacked_since_flush = 0
+        conns = self._active_conns()
+        if not conns:
+            return
+        body = framing.encode_ack(self.tracker.cumulative, conns[0].conn_id)
+        self._send_frame(conns[0], TType.ACK, body, seq=0, stream_id=CONTROL_STREAM_ID)
+        self.stats["acks_sent"] += 1
+
+    # ------------------------------------------------------------------
+    # TCP option channel / plugins / probes (sender side)
+    # ------------------------------------------------------------------
+
+    def send_tcp_option(self, option, apply_to_conn: int = 0) -> None:
+        """Ship a TCP option over the secure channel (section 3.1)."""
+        body = framing.encode_tcp_option(option.kind, option.body(), apply_to_conn)
+        seq = self.replay.next_seq()
+        self.replay.store(seq, TType.TCP_OPTION, CONTROL_STREAM_ID, body)
+        self._send_control(TType.TCP_OPTION, body, seq)
+
+    def send_plugin(self, target: str, bytecode: bytes) -> None:
+        """Ship bytecode to upgrade the peer (section 3 item iii)."""
+        body = framing.encode_plugin(target, bytecode)
+        seq = self.replay.next_seq()
+        self.replay.store(seq, TType.PLUGIN, CONTROL_STREAM_ID, body)
+        self._send_control(TType.PLUGIN, body, seq)
+
+    def send_middlebox_probe(self, conn_id: Optional[int] = None) -> None:
+        """SYN-echo probe (section 4.5): send our SYN as we sent it."""
+        if not self.handshake_complete:
+            raise RuntimeError("middlebox probe requires a completed handshake")
+        conn = self._resolve_conn(conn_id)
+        body = framing.encode_probe(conn.conn_id, conn.tcp.sent_syn_bytes)
+        seq = self.replay.next_seq()
+        self.replay.store(seq, TType.PROBE, CONTROL_STREAM_ID, body)
+        self._send_frame(conn, TType.PROBE, body, seq, stream_id=CONTROL_STREAM_ID)
+
+    def probe_report(self, conn_id: int) -> Optional[List[str]]:
+        return self._probe_reports.get(conn_id)
+
+    def advertise_addresses(self, v4=(), v6=()) -> None:
+        """Reliable ADD_ADDR over the encrypted channel (section 4.1):
+        unlike Multipath TCP's option, delivery is guaranteed (the TLS
+        records are part of the bytestream) and middleboxes cannot read
+        or forge it."""
+        body = framing.encode_address_advert(list(v4), list(v6))
+        seq = self.replay.next_seq()
+        self.replay.store(seq, TType.ADDRESS_ADVERT, CONTROL_STREAM_ID, body)
+        self._send_control(TType.ADDRESS_ADVERT, body, seq)
+
+    def withdraw_addresses(self, v4=(), v6=()) -> None:
+        """Reliable RM_ADDR (section 4.1)."""
+        body = framing.encode_address_advert(list(v4), list(v6))
+        seq = self.replay.next_seq()
+        self.replay.store(seq, TType.ADDRESS_REMOVE, CONTROL_STREAM_ID, body)
+        self._send_control(TType.ADDRESS_REMOVE, body, seq)
+
+    def update_keys(self) -> None:
+        """Roll the primary control channel's sending keys (RFC 8446
+        7.2) — per-stream contexts are unaffected (independent keys)."""
+        if not self.handshake_complete:
+            raise RuntimeError("key update before handshake completion")
+        self.tls.send_key_update(request_peer=False)
+
+    def ping(self) -> None:
+        """Unsequenced PING: solicits an immediate TCPLS ACK."""
+        self._send_control(TType.PING, b"", 0)
+
+    def send_new_cookies(self, count: int = 4) -> None:
+        """Server: replenish the client's JOIN cookies."""
+        cookies = self.cookie_jar.mint(count)
+        body = framing.encode_new_cookies(cookies)
+        seq = self.replay.next_seq()
+        self.replay.store(seq, TType.NEW_COOKIES, CONTROL_STREAM_ID, body)
+        self._send_control(TType.NEW_COOKIES, body, seq)
+
+    # ------------------------------------------------------------------
+    # Failure handling: failover & migration support
+    # ------------------------------------------------------------------
+
+    def _on_tcp_established(self, conn: TcplsConnection) -> None:
+        self.events.emit(Event.CONN_ESTABLISHED, conn_id=conn.conn_id)
+
+    def _on_tcp_peer_close(self, conn: TcplsConnection) -> None:
+        if self.session_closed:
+            conn.state = TcplsConnection.CLOSED
+            if conn.tcp.state == "CLOSE_WAIT":
+                conn.tcp.close()
+            self.events.emit(Event.CONN_CLOSED, conn_id=conn.conn_id)
+            return
+        # A FIN outside session close: treat as the peer retiring this
+        # connection (e.g. migration's tcpls_stream_close of the old path).
+        # Contexts stay installed: data still in flight on this
+        # connection must keep decrypting until the stream drains.
+        conn.state = TcplsConnection.CLOSED
+        if conn.tcp.state == "CLOSE_WAIT":
+            conn.tcp.close()
+        self.events.emit(Event.CONN_CLOSED, conn_id=conn.conn_id)
+        self._repin_streams_away_from(conn)
+        survivors = self._active_conns()
+        if survivors:
+            # Anything the peer has not TCPLS-acked may have died with
+            # the connection; replay it (the receiver deduplicates).
+            self._replay_unacked(survivors[0])
+        self._pump()
+
+    def _on_tcp_failed(self, conn: TcplsConnection, reason: str) -> None:
+        if conn.state in (TcplsConnection.FAILED, TcplsConnection.CLOSED):
+            return
+        was_active = conn.state == TcplsConnection.ACTIVE
+        conn.state = TcplsConnection.FAILED
+        if self.contexts is not None:
+            self.contexts.remove_connection(conn.conn_id)
+        self.events.emit(Event.CONN_FAILED, conn_id=conn.conn_id, reason=reason)
+        if not self.handshake_complete or self.session_closed:
+            return
+        if not was_active or not self.context.auto_failover:
+            return
+        self._failover_from(conn)
+
+    def _failover_from(self, failed: TcplsConnection) -> None:
+        """Re-establish connectivity and replay unacked frames (2.1)."""
+        survivors = self._active_conns()
+        if survivors:
+            self._repin_streams_away_from(failed)
+            self._replay_unacked(survivors[0])
+            self.events.emit(
+                Event.FAILOVER, from_conn=failed.conn_id, to_conn=survivors[0].conn_id
+            )
+            self._pump()
+            return
+        if self.is_server:
+            return  # the client drives reconnection
+        # Reconnect: same destination (spurious RST recovery) via JOIN.
+        if len(self.cookie_purse) == 0:
+            return
+        dest = str(failed.tcp.remote_addr)
+        port = failed.tcp.remote_port
+        new_id = self.connect(dest, port, src=str(failed.tcp.local_addr))
+        new_conn = self.connections[new_id]
+        self._start_join(new_conn)
+
+        def on_join(conn_id: int, _new=new_conn, _failed=failed) -> None:
+            if conn_id != _new.conn_id:
+                return
+            self._repin_streams_away_from(_failed)
+            self._replay_unacked(_new)
+            self.events.emit(
+                Event.FAILOVER, from_conn=_failed.conn_id, to_conn=_new.conn_id
+            )
+            self._pump()
+
+        self.events.on(Event.JOIN, on_join)
+
+    def _repin_streams_away_from(self, gone: TcplsConnection) -> None:
+        survivors = self._active_conns()
+        if not survivors:
+            return
+        target = survivors[0]
+        for stream in self.streams.values():
+            if stream.conn_id == gone.conn_id:
+                stream.conn_id = target.conn_id
+                if stream.attached:
+                    self.contexts.install(
+                        stream.stream_id, target.conn_id, target.token
+                    )
+
+    def _replay_unacked(self, conn: TcplsConnection) -> None:
+        for seq, ttype, stream_id, body in list(self.replay.unacked_frames()):
+            self.stats["frames_replayed"] += 1
+            context_stream = (
+                framing.decode_stream_data(body)[0]
+                if ttype == TType.STREAM_DATA
+                else CONTROL_STREAM_ID
+            )
+            self._send_frame(conn, ttype, body, seq, stream_id=context_stream)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def describe(self) -> dict:
+        return {
+            "role": "server" if self.is_server else "client",
+            "handshake_complete": self.handshake_complete,
+            "connections": [c.describe() for c in self.connections.values()],
+            "streams": sorted(self.streams),
+            "cookies_left": len(self.cookie_purse),
+            "stats": dict(self.stats),
+            "forgery_suspects": self.contexts.forgery_suspects if self.contexts else 0,
+            "record_sizing": self.sizer.stats(),
+        }
+
+
+class TcplsServer:
+    """Accepts TCP connections and routes them to TCPLS sessions."""
+
+    def __init__(
+        self,
+        context: TcplsContext,
+        stack: TcpStack,
+        port: int = 443,
+        on_session: Optional[Callable[[TcplsSession], None]] = None,
+        fast_open: bool = True,
+    ) -> None:
+        self.context = context
+        self.stack = stack
+        self.port = port
+        self.on_session = on_session
+        self.sessions: List[TcplsSession] = []
+        self._session_seed = context.seed
+        stack.listen(
+            port,
+            self._on_tcp_connection,
+            fast_open=fast_open,
+            congestion=context.congestion,
+        )
+
+    def _on_tcp_connection(self, tcp: TcpConnection) -> None:
+        # Buffer until the first record (a ClientHello) is complete, then
+        # decide: new session, or JOIN onto an existing one.
+        decoder = RecordDecoder()
+        sniffed = bytearray()
+        done = {"routed": False}
+
+        def on_first_data(data: bytes) -> None:
+            if done["routed"]:
+                return
+            sniffed.extend(data)
+            decoder.feed(data)
+            try:
+                for outer_type, body in decoder.raw_records():
+                    done["routed"] = True
+                    self._route(tcp, outer_type, body, bytes(sniffed))
+                    return
+            except ProtocolViolation:
+                done["routed"] = True
+                tcp.abort("not a TLS record stream")
+
+        tcp.on_data = on_first_data
+
+    def _route(self, tcp, outer_type: int, body: bytes, all_bytes: bytes) -> None:
+        join_info = None
+        if outer_type == ContentType.HANDSHAKE:
+            try:
+                frames = m.parse_handshake_frames(body)
+                if frames and frames[0][0] == m.CLIENT_HELLO:
+                    hello = m.ClientHello.from_body(frames[0][1])
+                    join_info = joinmod.extract_join(hello)
+            except Exception:
+                tcp.abort("malformed first record")
+                return
+        if join_info is not None:
+            connection_id, cookie = join_info
+            session = self._find_session(connection_id)
+            if session is None:
+                tcp.abort("JOIN for unknown session")
+                return
+            session.adopt_joined_connection(tcp, cookie, b"")
+            return
+        # New session: hand over all buffered bytes (the ClientHello).
+        session_context = self.context
+        session = TcplsSession(session_context, self.stack, is_server=True)
+        self.sessions.append(session)
+        if self.on_session:
+            self.on_session(session)
+        session.accept_primary(tcp, all_bytes)
+
+    def _find_session(self, connection_id: bytes) -> Optional[TcplsSession]:
+        for session in self.sessions:
+            if session.connection_id == connection_id:
+                return session
+        return None

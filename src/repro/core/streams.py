@@ -1,0 +1,118 @@
+"""TCPLS datastreams (paper section 2.3).
+
+A stream is an ordered, reliable byte channel inside the TCPLS session.
+The sender side keeps an outgoing buffer with a running offset; the
+receiver side reassembles by offset (data for one stream may arrive over
+several TCP connections, in multipath mode, hence out of order).  FIN is
+an offset-carrying close marker, mirroring the stream-level connection
+termination semantics of section 2.1.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+CONTROL_STREAM_ID = 0
+
+
+class TcplsStream:
+    """One datastream's endpoint state."""
+
+    def __init__(self, stream_id: int, conn_id: int) -> None:
+        self.stream_id = stream_id
+        self.conn_id = conn_id  # the connection the stream is pinned to
+        self.attached = False
+
+        # Sender state.
+        self.send_buffer = bytearray()
+        self.send_offset = 0  # next offset to assign to outgoing data
+        self.fin_pending = False
+        self.fin_sent = False
+        self.bytes_sent = 0
+
+        # Receiver state.
+        self.recv_next = 0  # next in-order offset expected
+        self._segments: Dict[int, bytes] = {}
+        self.fin_offset: Optional[int] = None
+        self.remote_closed = False
+        self.bytes_received = 0
+
+        # Delivery callback: set by the session/application.
+        self.on_data: Optional[Callable[[bytes], None]] = None
+        self.on_fin: Optional[Callable[[], None]] = None
+
+    # -- sender ------------------------------------------------------------
+
+    def queue(self, data: bytes) -> None:
+        if self.fin_pending or self.fin_sent:
+            raise RuntimeError(f"write to closed stream {self.stream_id}")
+        self.send_buffer.extend(data)
+
+    def take_chunk(self, max_bytes: int) -> Optional[tuple]:
+        """Pop up to ``max_bytes`` for transmission; returns (offset, data, fin)."""
+        if not self.send_buffer:
+            if self.fin_pending and not self.fin_sent:
+                self.fin_sent = True
+                return (self.send_offset, b"", True)
+            return None
+        chunk = bytes(self.send_buffer[:max_bytes])
+        del self.send_buffer[:max_bytes]
+        offset = self.send_offset
+        self.send_offset += len(chunk)
+        self.bytes_sent += len(chunk)
+        fin = self.fin_pending and not self.send_buffer
+        if fin:
+            self.fin_sent = True
+        return (offset, chunk, fin)
+
+    def close(self) -> None:
+        self.fin_pending = True
+
+    def has_pending_data(self) -> bool:
+        return bool(self.send_buffer) or (self.fin_pending and not self.fin_sent)
+
+    # -- receiver ------------------------------------------------------------------
+
+    def on_segment(self, offset: int, data: bytes, fin: bool) -> None:
+        """Accept possibly out-of-order stream data; deliver what's ready."""
+        if fin:
+            self.fin_offset = offset + len(data)
+        if data:
+            if offset < self.recv_next:
+                skip = self.recv_next - offset
+                if skip >= len(data):
+                    data = b""
+                else:
+                    data = data[skip:]
+                    offset = self.recv_next
+            if data and offset not in self._segments:
+                self._segments[offset] = data
+        self._drain()
+
+    def _drain(self) -> None:
+        delivered = bytearray()
+        while self._segments:
+            earliest = min(self._segments)
+            if earliest > self.recv_next:
+                break
+            data = self._segments.pop(earliest)
+            skip = self.recv_next - earliest
+            if skip < len(data):
+                chunk = data[skip:]
+                delivered.extend(chunk)
+                self.recv_next += len(chunk)
+        if delivered:
+            self.bytes_received += len(delivered)
+            if self.on_data:
+                self.on_data(bytes(delivered))
+        if (
+            self.fin_offset is not None
+            and self.recv_next >= self.fin_offset
+            and not self.remote_closed
+        ):
+            self.remote_closed = True
+            if self.on_fin:
+                self.on_fin()
+
+    def fully_closed(self) -> bool:
+        return self.fin_sent and self.remote_closed

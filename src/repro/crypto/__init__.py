@@ -1,0 +1,36 @@
+"""Pure-Python cryptographic primitives used by the TLS 1.3 stack.
+
+Every primitive here is implemented from its RFC and validated against the
+RFC's published test vectors (see ``tests/crypto``):
+
+- ChaCha20 stream cipher and Poly1305 MAC (RFC 8439)
+- ChaCha20-Poly1305 AEAD (RFC 8439 section 2.8)
+- HKDF extract/expand (RFC 5869) and TLS 1.3 HKDF-Expand-Label (RFC 8446)
+- X25519 Diffie-Hellman (RFC 7748)
+- Ed25519 signatures (RFC 8032)
+- The TLS 1.3 key schedule (RFC 8446 section 7.1)
+
+Performance note: these are protocol-correct reference implementations;
+the simulator exchanges megabytes, not gigabytes, so pure Python is fine.
+"""
+
+from repro.crypto.aead import ChaCha20Poly1305
+from repro.crypto.hkdf import hkdf_expand, hkdf_expand_label, hkdf_extract
+from repro.crypto.x25519 import x25519, x25519_base, X25519PrivateKey
+from repro.crypto.ed25519 import ed25519_sign, ed25519_verify, Ed25519PrivateKey
+from repro.crypto.keyschedule import KeySchedule, TrafficKeys
+
+__all__ = [
+    "ChaCha20Poly1305",
+    "hkdf_extract",
+    "hkdf_expand",
+    "hkdf_expand_label",
+    "x25519",
+    "x25519_base",
+    "X25519PrivateKey",
+    "ed25519_sign",
+    "ed25519_verify",
+    "Ed25519PrivateKey",
+    "KeySchedule",
+    "TrafficKeys",
+]

@@ -1,0 +1,72 @@
+"""ChaCha20-Poly1305 AEAD construction (RFC 8439 section 2.8).
+
+This is the single cipher suite the TLS stack uses
+(``TLS_CHACHA20_POLY1305_SHA256``).  Decryption failures raise
+``CryptoError`` — TCPLS counts those as forgery attempts when doing
+trial decryption across per-stream contexts (paper section 2.3).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.crypto.chacha20 import chacha20_encrypt
+from repro.crypto.poly1305 import constant_time_equal, poly1305_key_gen, poly1305_mac
+from repro.utils.errors import CryptoError
+
+TAG_LENGTH = 16
+KEY_LENGTH = 32
+NONCE_LENGTH = 12
+
+
+def _pad16(data: bytes) -> bytes:
+    if len(data) % 16 == 0:
+        return b""
+    return b"\x00" * (16 - len(data) % 16)
+
+
+def _auth_input(aad: bytes, ciphertext: bytes) -> bytes:
+    return b"".join(
+        (
+            aad,
+            _pad16(aad),
+            ciphertext,
+            _pad16(ciphertext),
+            struct.pack("<QQ", len(aad), len(ciphertext)),
+        )
+    )
+
+
+class ChaCha20Poly1305:
+    """AEAD cipher object bound to one 32-byte key."""
+
+    key_length = KEY_LENGTH
+    nonce_length = NONCE_LENGTH
+    tag_length = TAG_LENGTH
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) != KEY_LENGTH:
+            raise ValueError("ChaCha20-Poly1305 key must be 32 bytes")
+        self._key = bytes(key)
+
+    def encrypt(self, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
+        """Return ciphertext || 16-byte tag."""
+        if len(nonce) != NONCE_LENGTH:
+            raise ValueError("nonce must be 12 bytes")
+        otk = poly1305_key_gen(self._key, nonce)
+        ciphertext = chacha20_encrypt(self._key, 1, nonce, plaintext)
+        tag = poly1305_mac(otk, _auth_input(aad, ciphertext))
+        return ciphertext + tag
+
+    def decrypt(self, nonce: bytes, data: bytes, aad: bytes = b"") -> bytes:
+        """Verify the tag and return the plaintext, or raise ``CryptoError``."""
+        if len(nonce) != NONCE_LENGTH:
+            raise ValueError("nonce must be 12 bytes")
+        if len(data) < TAG_LENGTH:
+            raise CryptoError("ciphertext shorter than the AEAD tag")
+        ciphertext, tag = data[:-TAG_LENGTH], data[-TAG_LENGTH:]
+        otk = poly1305_key_gen(self._key, nonce)
+        expected = poly1305_mac(otk, _auth_input(aad, ciphertext))
+        if not constant_time_equal(tag, expected):
+            raise CryptoError("AEAD tag verification failed")
+        return chacha20_encrypt(self._key, 1, nonce, ciphertext)

@@ -1,0 +1,95 @@
+"""ChaCha20 stream cipher (RFC 8439 section 2).
+
+Implements the 20-round ChaCha block function and the counter-mode stream
+cipher built on it.  Used both directly (record encryption) and as the key
+derivation step of Poly1305 (``poly1305_key_gen``).
+"""
+
+from __future__ import annotations
+
+import struct
+
+_MASK32 = 0xFFFFFFFF
+
+# "expand 32-byte k" as four little-endian words (RFC 8439 section 2.3).
+_CONSTANTS = (0x61707865, 0x3320646E, 0x79622D32, 0x6B206574)
+
+
+def _rotl32(value: int, count: int) -> int:
+    value &= _MASK32
+    return ((value << count) | (value >> (32 - count))) & _MASK32
+
+
+def _quarter_round(state: list, a: int, b: int, c: int, d: int) -> None:
+    state[a] = (state[a] + state[b]) & _MASK32
+    state[d] = _rotl32(state[d] ^ state[a], 16)
+    state[c] = (state[c] + state[d]) & _MASK32
+    state[b] = _rotl32(state[b] ^ state[c], 12)
+    state[a] = (state[a] + state[b]) & _MASK32
+    state[d] = _rotl32(state[d] ^ state[a], 8)
+    state[c] = (state[c] + state[d]) & _MASK32
+    state[b] = _rotl32(state[b] ^ state[c], 7)
+
+
+def chacha20_block(key: bytes, counter: int, nonce: bytes) -> bytes:
+    """Produce one 64-byte keystream block (RFC 8439 section 2.3)."""
+    if len(key) != 32:
+        raise ValueError("ChaCha20 key must be 32 bytes")
+    if len(nonce) != 12:
+        raise ValueError("ChaCha20 nonce must be 12 bytes")
+    initial = list(_CONSTANTS)
+    initial.extend(struct.unpack("<8I", key))
+    initial.append(counter & _MASK32)
+    initial.extend(struct.unpack("<3I", nonce))
+
+    state = list(initial)
+    for _ in range(10):
+        _quarter_round(state, 0, 4, 8, 12)
+        _quarter_round(state, 1, 5, 9, 13)
+        _quarter_round(state, 2, 6, 10, 14)
+        _quarter_round(state, 3, 7, 11, 15)
+        _quarter_round(state, 0, 5, 10, 15)
+        _quarter_round(state, 1, 6, 11, 12)
+        _quarter_round(state, 2, 7, 8, 13)
+        _quarter_round(state, 3, 4, 9, 14)
+
+    out = [(s + i) & _MASK32 for s, i in zip(state, initial)]
+    return struct.pack("<16I", *out)
+
+
+def chacha20_encrypt(key: bytes, counter: int, nonce: bytes, plaintext: bytes) -> bytes:
+    """Encrypt (or decrypt) ``plaintext`` in counter mode (RFC 8439 2.4).
+
+    Inputs beyond a few blocks take a numpy-vectorized keystream path
+    (``repro.crypto.chacha20_fast``); the scalar loop below is the
+    reference implementation and the fallback.  Both are exercised against
+    the RFC vectors in the test suite.
+    """
+    if len(key) != 32:
+        raise ValueError("ChaCha20 key must be 32 bytes")
+    if len(nonce) != 12:
+        raise ValueError("ChaCha20 nonce must be 12 bytes")
+    if len(plaintext) >= 256:
+        try:
+            return _encrypt_vectorized(key, counter, nonce, plaintext)
+        except ImportError:  # pragma: no cover - numpy is a hard dependency
+            pass
+    output = bytearray(len(plaintext))
+    for block_index in range(0, len(plaintext), 64):
+        keystream = chacha20_block(key, counter + block_index // 64, nonce)
+        chunk = plaintext[block_index : block_index + 64]
+        for i, byte in enumerate(chunk):
+            output[block_index + i] = byte ^ keystream[i]
+    return bytes(output)
+
+
+def _encrypt_vectorized(key: bytes, counter: int, nonce: bytes, plaintext: bytes) -> bytes:
+    import numpy as np
+
+    from repro.crypto.chacha20_fast import chacha20_keystream
+
+    n_blocks = (len(plaintext) + 63) // 64
+    keystream = chacha20_keystream(key, counter, nonce, n_blocks)
+    data = np.frombuffer(plaintext, dtype=np.uint8)
+    ks = np.frombuffer(keystream, dtype=np.uint8)[: len(plaintext)]
+    return (data ^ ks).tobytes()

@@ -1,0 +1,69 @@
+"""Vectorized ChaCha20 keystream generation using numpy.
+
+Generates many 64-byte keystream blocks in one pass by holding the 16-word
+ChaCha state as a ``(16, n_blocks)`` uint32 matrix and running the 20
+rounds across all blocks simultaneously.  Output is bit-identical to the
+scalar implementation in ``repro.crypto.chacha20`` (asserted by tests);
+the scalar path remains the reference and the fallback.
+
+Throughput matters here because the network simulator pushes megabytes of
+application data through the TLS record layer.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+_CONSTANTS = (0x61707865, 0x3320646E, 0x79622D32, 0x6B206574)
+
+
+def _rotl(x: "np.ndarray", count: int) -> "np.ndarray":
+    return (x << np.uint32(count)) | (x >> np.uint32(32 - count))
+
+
+def _quarter_round(state: "np.ndarray", a: int, b: int, c: int, d: int) -> None:
+    state[a] += state[b]
+    state[d] = _rotl(state[d] ^ state[a], 16)
+    state[c] += state[d]
+    state[b] = _rotl(state[b] ^ state[c], 12)
+    state[a] += state[b]
+    state[d] = _rotl(state[d] ^ state[a], 8)
+    state[c] += state[d]
+    state[b] = _rotl(state[b] ^ state[c], 7)
+
+
+def chacha20_keystream(key: bytes, counter: int, nonce: bytes, n_blocks: int) -> bytes:
+    """Return ``n_blocks`` 64-byte keystream blocks starting at ``counter``."""
+    if n_blocks <= 0:
+        return b""
+    key_words = struct.unpack("<8I", key)
+    nonce_words = struct.unpack("<3I", nonce)
+
+    initial = np.empty((16, n_blocks), dtype=np.uint32)
+    for i, word in enumerate(_CONSTANTS):
+        initial[i] = word
+    for i, word in enumerate(key_words):
+        initial[4 + i] = word
+    # Per-block counters; ChaCha20's counter wraps at 2^32 by construction.
+    initial[12] = (np.arange(counter, counter + n_blocks, dtype=np.uint64)
+                   & np.uint64(0xFFFFFFFF)).astype(np.uint32)
+    for i, word in enumerate(nonce_words):
+        initial[13 + i] = word
+
+    state = initial.copy()
+    with np.errstate(over="ignore"):
+        for _ in range(10):
+            _quarter_round(state, 0, 4, 8, 12)
+            _quarter_round(state, 1, 5, 9, 13)
+            _quarter_round(state, 2, 6, 10, 14)
+            _quarter_round(state, 3, 7, 11, 15)
+            _quarter_round(state, 0, 5, 10, 15)
+            _quarter_round(state, 1, 6, 11, 12)
+            _quarter_round(state, 2, 7, 8, 13)
+            _quarter_round(state, 3, 4, 9, 14)
+        state += initial
+
+    # Column-major per block: transpose so each row is one block's 16 words.
+    return state.T.astype("<u4").tobytes()

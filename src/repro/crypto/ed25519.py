@@ -1,0 +1,144 @@
+"""Ed25519 signatures (RFC 8032), used for certificate signing.
+
+Reference (slow, non-constant-time) implementation following RFC 8032
+section 5.1; sufficient for a simulator where the adversary is a
+middlebox model, not a timing attacker.  Validated against the RFC 8032
+section 7.1 test vectors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+_P = 2**255 - 19
+_L = 2**252 + 27742317777372353535851937790883648493
+_D = (-121665 * pow(121666, _P - 2, _P)) % _P
+
+# Base point (from RFC 8032 section 5.1).
+_BY = (4 * pow(5, _P - 2, _P)) % _P
+
+
+def _recover_x(y: int, sign: int) -> int:
+    if y >= _P:
+        raise ValueError("invalid point encoding")
+    x2 = (y * y - 1) * pow(_D * y * y + 1, _P - 2, _P)
+    if x2 == 0:
+        if sign:
+            raise ValueError("invalid point encoding")
+        return 0
+    x = pow(x2, (_P + 3) // 8, _P)
+    if (x * x - x2) % _P != 0:
+        x = (x * pow(2, (_P - 1) // 4, _P)) % _P
+    if (x * x - x2) % _P != 0:
+        raise ValueError("invalid point encoding")
+    if (x & 1) != sign:
+        x = _P - x
+    return x
+
+
+_BX = _recover_x(_BY, 0)
+_BASE = (_BX, _BY, 1, (_BX * _BY) % _P)
+_IDENTITY = (0, 1, 1, 0)
+
+
+def _point_add(p, q):
+    # Extended twisted-Edwards coordinates addition (RFC 8032 section 5.1.4).
+    x1, y1, z1, t1 = p
+    x2, y2, z2, t2 = q
+    a = ((y1 - x1) * (y2 - x2)) % _P
+    b = ((y1 + x1) * (y2 + x2)) % _P
+    c = (2 * t1 * t2 * _D) % _P
+    d = (2 * z1 * z2) % _P
+    e, f, g, h = b - a, d - c, d + c, b + a
+    return ((e * f) % _P, (g * h) % _P, (f * g) % _P, (e * h) % _P)
+
+
+def _point_mul(scalar: int, point):
+    result = _IDENTITY
+    addend = point
+    while scalar:
+        if scalar & 1:
+            result = _point_add(result, addend)
+        addend = _point_add(addend, addend)
+        scalar >>= 1
+    return result
+
+
+def _point_equal(p, q) -> bool:
+    x1, y1, z1, _ = p
+    x2, y2, z2, _ = q
+    return (x1 * z2 - x2 * z1) % _P == 0 and (y1 * z2 - y2 * z1) % _P == 0
+
+
+def _point_compress(point) -> bytes:
+    x, y, z, _ = point
+    zinv = pow(z, _P - 2, _P)
+    x, y = (x * zinv) % _P, (y * zinv) % _P
+    return (y | ((x & 1) << 255)).to_bytes(32, "little")
+
+
+def _point_decompress(data: bytes):
+    if len(data) != 32:
+        raise ValueError("point encoding must be 32 bytes")
+    encoded = int.from_bytes(data, "little")
+    y = encoded & ((1 << 255) - 1)
+    sign = encoded >> 255
+    x = _recover_x(y, sign)
+    return (x, y, 1, (x * y) % _P)
+
+
+def _sha512_int(*parts: bytes) -> int:
+    return int.from_bytes(hashlib.sha512(b"".join(parts)).digest(), "little")
+
+
+def _secret_expand(secret: bytes):
+    if len(secret) != 32:
+        raise ValueError("Ed25519 private key must be 32 bytes")
+    digest = hashlib.sha512(secret).digest()
+    a = int.from_bytes(digest[:32], "little")
+    a &= (1 << 254) - 8
+    a |= 1 << 254
+    return a, digest[32:]
+
+
+def ed25519_public_key(secret: bytes) -> bytes:
+    a, _ = _secret_expand(secret)
+    return _point_compress(_point_mul(a, _BASE))
+
+
+def ed25519_sign(secret: bytes, message: bytes) -> bytes:
+    a, prefix = _secret_expand(secret)
+    public = _point_compress(_point_mul(a, _BASE))
+    r = _sha512_int(prefix, message) % _L
+    r_point = _point_compress(_point_mul(r, _BASE))
+    h = _sha512_int(r_point, public, message) % _L
+    s = (r + h * a) % _L
+    return r_point + s.to_bytes(32, "little")
+
+
+def ed25519_verify(public: bytes, message: bytes, signature: bytes) -> bool:
+    if len(public) != 32 or len(signature) != 64:
+        return False
+    try:
+        a_point = _point_decompress(public)
+        r_point = _point_decompress(signature[:32])
+    except ValueError:
+        return False
+    s = int.from_bytes(signature[32:], "little")
+    if s >= _L:
+        return False
+    h = _sha512_int(signature[:32], public, message) % _L
+    left = _point_mul(s, _BASE)
+    right = _point_add(r_point, _point_mul(h, a_point))
+    return _point_equal(left, right)
+
+
+class Ed25519PrivateKey:
+    """Convenience wrapper pairing a seed with its public key."""
+
+    def __init__(self, seed: bytes) -> None:
+        self._seed = bytes(seed)
+        self.public_bytes = ed25519_public_key(self._seed)
+
+    def sign(self, message: bytes) -> bytes:
+        return ed25519_sign(self._seed, message)

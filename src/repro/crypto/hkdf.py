@@ -1,0 +1,61 @@
+"""HKDF (RFC 5869) and the TLS 1.3 HKDF-Expand-Label wrapper (RFC 8446 7.1).
+
+SHA-256 only — the one hash our single cipher suite needs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+HASH_LENGTH = 32  # SHA-256
+
+
+def _hmac_sha256(key: bytes, data: bytes) -> bytes:
+    return hmac.new(key, data, hashlib.sha256).digest()
+
+
+def hkdf_extract(salt: bytes, ikm: bytes) -> bytes:
+    """HKDF-Extract: PRK = HMAC-Hash(salt, IKM)."""
+    if not salt:
+        salt = b"\x00" * HASH_LENGTH
+    return _hmac_sha256(salt, ikm)
+
+
+def hkdf_expand(prk: bytes, info: bytes, length: int) -> bytes:
+    """HKDF-Expand: derive ``length`` bytes of output keying material."""
+    if length > 255 * HASH_LENGTH:
+        raise ValueError("HKDF-Expand output too long")
+    output = b""
+    previous = b""
+    counter = 1
+    while len(output) < length:
+        previous = _hmac_sha256(prk, previous + info + bytes([counter]))
+        output += previous
+        counter += 1
+    return output[:length]
+
+
+def hkdf_expand_label(secret: bytes, label: str, context: bytes, length: int) -> bytes:
+    """TLS 1.3 HKDF-Expand-Label (RFC 8446 section 7.1).
+
+    HkdfLabel = length(u16) || "tls13 " + label (vec8) || context (vec8)
+    """
+    full_label = b"tls13 " + label.encode("ascii")
+    hkdf_label = (
+        length.to_bytes(2, "big")
+        + bytes([len(full_label)])
+        + full_label
+        + bytes([len(context)])
+        + context
+    )
+    return hkdf_expand(secret, hkdf_label, length)
+
+
+def derive_secret(secret: bytes, label: str, transcript_hash: bytes) -> bytes:
+    """TLS 1.3 Derive-Secret: Expand-Label with a transcript hash context."""
+    return hkdf_expand_label(secret, label, transcript_hash, HASH_LENGTH)
+
+
+def sha256(data: bytes) -> bytes:
+    return hashlib.sha256(data).digest()

@@ -1,0 +1,93 @@
+"""X25519 Diffie-Hellman key agreement (RFC 7748).
+
+Montgomery-ladder scalar multiplication over Curve25519.  Validated
+against the RFC 7748 section 5.2 test vectors in ``tests/crypto``.
+"""
+
+from __future__ import annotations
+
+_P = 2**255 - 19
+_A24 = 121665
+_BASE_POINT = 9
+
+
+def _clamp_scalar(scalar_bytes: bytes) -> int:
+    if len(scalar_bytes) != 32:
+        raise ValueError("X25519 scalar must be 32 bytes")
+    scalar = bytearray(scalar_bytes)
+    scalar[0] &= 248
+    scalar[31] &= 127
+    scalar[31] |= 64
+    return int.from_bytes(scalar, "little")
+
+
+def _decode_u_coordinate(u_bytes: bytes) -> int:
+    if len(u_bytes) != 32:
+        raise ValueError("X25519 u-coordinate must be 32 bytes")
+    u = bytearray(u_bytes)
+    u[31] &= 127  # mask the unused high bit per RFC 7748 section 5
+    return int.from_bytes(u, "little")
+
+
+def _ladder(scalar: int, u: int) -> int:
+    """Constant-structure Montgomery ladder (RFC 7748 section 5)."""
+    x1 = u
+    x2, z2 = 1, 0
+    x3, z3 = u, 1
+    swap = 0
+    for bit_index in reversed(range(255)):
+        bit = (scalar >> bit_index) & 1
+        swap ^= bit
+        if swap:
+            x2, x3 = x3, x2
+            z2, z3 = z3, z2
+        swap = bit
+
+        a = (x2 + z2) % _P
+        aa = (a * a) % _P
+        b = (x2 - z2) % _P
+        bb = (b * b) % _P
+        e = (aa - bb) % _P
+        c = (x3 + z3) % _P
+        d = (x3 - z3) % _P
+        da = (d * a) % _P
+        cb = (c * b) % _P
+        x3 = pow(da + cb, 2, _P)
+        z3 = (x1 * pow(da - cb, 2, _P)) % _P
+        x2 = (aa * bb) % _P
+        z2 = (e * (aa + _A24 * e)) % _P
+
+    if swap:
+        x2, x3 = x3, x2
+        z2, z3 = z3, z2
+    return (x2 * pow(z2, _P - 2, _P)) % _P
+
+
+def x25519(scalar_bytes: bytes, u_bytes: bytes) -> bytes:
+    """Scalar-multiply a public u-coordinate; returns 32 bytes."""
+    scalar = _clamp_scalar(scalar_bytes)
+    u = _decode_u_coordinate(u_bytes)
+    return _ladder(scalar, u).to_bytes(32, "little")
+
+
+def x25519_base(scalar_bytes: bytes) -> bytes:
+    """Compute the public key for a private scalar (scalar * base point 9)."""
+    scalar = _clamp_scalar(scalar_bytes)
+    return _ladder(scalar, _BASE_POINT).to_bytes(32, "little")
+
+
+class X25519PrivateKey:
+    """Convenience wrapper pairing a private scalar with its public key."""
+
+    def __init__(self, private_bytes: bytes) -> None:
+        if len(private_bytes) != 32:
+            raise ValueError("X25519 private key must be 32 bytes")
+        self._private = bytes(private_bytes)
+        self.public_bytes = x25519_base(self._private)
+
+    def exchange(self, peer_public: bytes) -> bytes:
+        """Compute the shared secret with a peer's public key."""
+        shared = x25519(self._private, peer_public)
+        if shared == b"\x00" * 32:
+            raise ValueError("X25519 produced an all-zero shared secret")
+        return shared

@@ -1,0 +1,33 @@
+"""Deterministic discrete-event network simulator.
+
+This package replaces the paper's IPMininet testbed: hosts and routers are
+Python objects, links have configurable rate/delay/queueing/loss, packets
+carry byte-accurate transport payloads, and programmable middleboxes can
+sit bump-in-the-wire on any link (NAT, TCP option stripping, RST
+injection, transparent proxying, TCP Fast Open blocking).
+
+Everything runs inside one single-threaded event loop (``Simulator``);
+there are no real sockets, threads, or wall-clock timers, so every run is
+bit-reproducible given the same seeds.
+"""
+
+from repro.netsim.engine import Simulator
+from repro.netsim.packet import Datagram, PROTO_TCP, PROTO_UDP
+from repro.netsim.link import Link
+from repro.netsim.node import Host, Interface, Node, Router
+from repro.netsim.topology import Network
+from repro.netsim.pcap import PcapWriter
+
+__all__ = [
+    "Simulator",
+    "Datagram",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "Link",
+    "Host",
+    "Interface",
+    "Node",
+    "Router",
+    "Network",
+    "PcapWriter",
+]

@@ -1,0 +1,96 @@
+"""The discrete-event engine at the bottom of the whole reproduction.
+
+``Simulator`` keeps a priority queue of timestamped callbacks.  Protocol
+stacks never sleep or poll; they schedule continuations.  Determinism
+rules:
+
+- ties on the timestamp are broken by insertion order (a monotonically
+  increasing sequence number), so two events at the same instant always
+  run in the order they were scheduled;
+- all randomness used by links/middleboxes comes from ``Random`` instances
+  seeded at construction.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Optional
+
+
+class Event:
+    """A scheduled callback; keep the handle to be able to cancel it."""
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable, args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running; safe to call more than once."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Simulator:
+    """A single-threaded discrete-event loop with float-seconds time."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: list[Event] = []
+        self._seq = 0
+        self._events_processed = 0
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    def schedule(self, delay: float, callback: Callable, *args) -> Event:
+        """Run ``callback(*args)`` after ``delay`` seconds of simulated time."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        event = Event(self.now + delay, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, time: float, callback: Callable, *args) -> Event:
+        """Run ``callback`` at an absolute simulated time."""
+        return self.schedule(time - self.now, callback, *args)
+
+    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> None:
+        """Process events in order until the queue drains or ``until`` passes.
+
+        When ``until`` is given, the clock is left exactly at ``until`` even
+        if the queue drained earlier, so follow-up scheduling is intuitive.
+        """
+        processed = 0
+        while self._queue:
+            event = self._queue[0]
+            if until is not None and event.time > until:
+                break
+            heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if processed >= max_events:
+                raise RuntimeError(
+                    f"simulation exceeded {max_events} events; likely a loop"
+                )
+            self.now = event.time
+            event.callback(*event.args)
+            processed += 1
+            self._events_processed += 1
+        if until is not None and until > self.now:
+            self.now = until
+
+    def run_until_idle(self, max_events: int = 50_000_000) -> None:
+        """Drain the queue completely."""
+        self.run(until=None, max_events=max_events)
+
+    def pending_events(self) -> int:
+        return sum(1 for event in self._queue if not event.cancelled)

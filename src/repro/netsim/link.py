@@ -1,0 +1,171 @@
+"""Point-to-point links with rate, propagation delay, queueing, and loss.
+
+Each direction of a link is modelled independently: a FIFO drop-tail
+queue feeding a transmitter that serializes packets at ``rate_bps``.
+``set_down()``/``set_up()`` model outages (packets in flight are lost);
+an optional Bernoulli loss process and a reordering process are driven by
+a seeded RNG for reproducibility.
+
+Middlebox hooks: a list of transformers per direction, applied at the
+moment a packet is accepted for transmission.  A transformer receives the
+datagram and returns a (possibly rewritten) datagram, ``None`` to drop,
+or a list of datagrams (to inject extra packets, e.g. spurious RSTs).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Union
+
+from repro.netsim.packet import Datagram
+
+TransformResult = Union[Datagram, None, List[Datagram]]
+Transformer = Callable[[Datagram], TransformResult]
+
+
+class _Direction:
+    """State for one direction of a link."""
+
+    def __init__(self) -> None:
+        self.next_free_time = 0.0
+        self.queued_packets = 0
+        self.transformers: list = []
+
+
+class Link:
+    """A bidirectional point-to-point link between two interfaces."""
+
+    def __init__(
+        self,
+        sim,
+        rate_bps: float = 100e6,
+        delay: float = 0.001,
+        queue_packets: int = 100,
+        loss_rate: float = 0.0,
+        reorder_rate: float = 0.0,
+        reorder_extra_delay: float = 0.005,
+        seed: int = 0,
+        name: str = "",
+    ) -> None:
+        if rate_bps <= 0:
+            raise ValueError("link rate must be positive")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss rate must be in [0, 1)")
+        if not 0.0 <= reorder_rate < 1.0:
+            raise ValueError("reorder rate must be in [0, 1)")
+        self.sim = sim
+        self.rate_bps = rate_bps
+        self.delay = delay
+        self.queue_packets = queue_packets
+        self.loss_rate = loss_rate
+        self.reorder_rate = reorder_rate
+        self.reorder_extra_delay = reorder_extra_delay
+        self.name = name
+        self.up = True
+        self._rng = random.Random(seed)
+        self._endpoints: list = [None, None]  # two Interface objects
+        self._directions = {0: _Direction(), 1: _Direction()}
+        # Counters for experiments.
+        self.stats = {
+            "delivered": 0,
+            "dropped_queue": 0,
+            "dropped_loss": 0,
+            "dropped_down": 0,
+            "reordered": 0,
+            "bytes_delivered": 0,
+        }
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach(self, interface) -> int:
+        """Attach an interface; returns its endpoint index (0 or 1)."""
+        for index in (0, 1):
+            if self._endpoints[index] is None:
+                self._endpoints[index] = interface
+                return index
+        raise ValueError("link already has two endpoints")
+
+    def peer_of(self, interface):
+        a, b = self._endpoints
+        if interface is a:
+            return b
+        if interface is b:
+            return a
+        raise ValueError("interface not attached to this link")
+
+    def add_transformer(self, from_interface, transformer: Transformer) -> None:
+        """Install a middlebox transformer on the direction leaving ``from_interface``."""
+        self._directions[self._index_of(from_interface)].transformers.append(
+            transformer
+        )
+
+    def _index_of(self, interface) -> int:
+        for index in (0, 1):
+            if self._endpoints[index] is interface:
+                return index
+        raise ValueError("interface not attached to this link")
+
+    # -- outages -------------------------------------------------------------
+
+    def set_down(self) -> None:
+        self.up = False
+
+    def set_up(self) -> None:
+        self.up = True
+        for direction in self._directions.values():
+            direction.next_free_time = self.sim.now
+
+    # -- data path -----------------------------------------------------------
+
+    def transmit(self, from_interface, datagram: Datagram) -> None:
+        """Accept a datagram for transmission out of ``from_interface``."""
+        index = self._index_of(from_interface)
+        direction = self._directions[index]
+
+        for transformer in direction.transformers:
+            result = transformer(datagram)
+            if result is None:
+                return
+            if isinstance(result, list):
+                for extra in result:
+                    self._enqueue(index, extra)
+                return
+            datagram = result
+        self._enqueue(index, datagram)
+
+    def _enqueue(self, index: int, datagram: Datagram) -> None:
+        direction = self._directions[index]
+        if not self.up:
+            self.stats["dropped_down"] += 1
+            return
+        if direction.queued_packets >= self.queue_packets:
+            self.stats["dropped_queue"] += 1
+            return
+        if self.loss_rate and self._rng.random() < self.loss_rate:
+            self.stats["dropped_loss"] += 1
+            return
+
+        tx_time = datagram.size * 8 / self.rate_bps
+        start = max(self.sim.now, direction.next_free_time)
+        direction.next_free_time = start + tx_time
+        direction.queued_packets += 1
+        arrival_delay = (start + tx_time + self.delay) - self.sim.now
+        if self.reorder_rate and self._rng.random() < self.reorder_rate:
+            # Reordering model: a packet takes a slow lane and arrives
+            # behind packets transmitted after it.
+            arrival_delay += self.reorder_extra_delay
+            self.stats["reordered"] += 1
+        self.sim.schedule(arrival_delay, self._deliver, index, datagram)
+
+    def _deliver(self, index: int, datagram: Datagram) -> None:
+        direction = self._directions[index]
+        direction.queued_packets -= 1
+        if not self.up:
+            self.stats["dropped_down"] += 1
+            return
+        destination = self._endpoints[1 - index]
+        if destination is None or not destination.up:
+            return
+        self.stats["delivered"] += 1
+        self.stats["bytes_delivered"] += datagram.size
+        destination.deliver(datagram)

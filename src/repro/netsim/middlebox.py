@@ -1,0 +1,240 @@
+"""Programmable middleboxes, the antagonists of the paper.
+
+Middleboxes install as link transformers (``Link.add_transformer``) and
+operate on real TCP header bytes: they can strip options, rewrite
+addresses (NAT), forge RSTs, mangle SYNs like a transparent proxy, or
+block TCP Fast Open.  Because TLS record payloads are AEAD-protected,
+none of them can touch the TCPLS control channel — which is exactly the
+paper's argument for moving control data there.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from repro.netsim.packet import Datagram, PROTO_TCP
+from repro.tcp.options import (
+    KIND_FAST_OPEN,
+    MaximumSegmentSize,
+    TcpOption,
+)
+from repro.tcp.segment import Flags, TcpSegment
+
+
+def _parse_tcp(datagram: Datagram) -> Optional[TcpSegment]:
+    if datagram.protocol != PROTO_TCP:
+        return None
+    try:
+        return TcpSegment.from_bytes(
+            datagram.payload, datagram.src, datagram.dst, verify_checksum=False
+        )
+    except Exception:
+        return None
+
+
+def _reserialize(datagram: Datagram, segment: TcpSegment, **overrides) -> Datagram:
+    src = overrides.get("src", datagram.src)
+    dst = overrides.get("dst", datagram.dst)
+    return datagram.copy(payload=segment.to_bytes(src, dst), **overrides)
+
+
+class OptionStripper:
+    """Removes TCP options of the given kinds — the classic extension killer.
+
+    The paper cites measurements (Honda et al.) showing paths where
+    middleboxes add, remove, or change TCP options; this models "remove".
+    """
+
+    def __init__(self, kinds: Iterable[int]) -> None:
+        self.kinds = set(kinds)
+        self.stripped_count = 0
+
+    def __call__(self, datagram: Datagram):
+        segment = _parse_tcp(datagram)
+        if segment is None:
+            return datagram
+        kept = [option for option in segment.options if option.kind not in self.kinds]
+        if len(kept) == len(segment.options):
+            return datagram
+        self.stripped_count += len(segment.options) - len(kept)
+        segment.options = kept
+        return _reserialize(datagram, segment)
+
+
+class RstInjector:
+    """Forges a RST toward the receiver after a byte threshold on a flow.
+
+    Models middleboxes that "force the termination of TCP connections by
+    sending RST packets" (paper section 2.1, citing RFC 3360).  Installed
+    on one direction; once triggered, the original packet is replaced by
+    a forged RST carrying valid sequence numbers, and all later packets
+    of that flow are dropped (the box has "terminated" the connection).
+    """
+
+    def __init__(self, trigger_bytes: int, match: Optional[Callable] = None) -> None:
+        self.trigger_bytes = trigger_bytes
+        self.match = match
+        self.seen_bytes = 0
+        self.fired = False
+
+    def __call__(self, datagram: Datagram):
+        segment = _parse_tcp(datagram)
+        if segment is None:
+            return datagram
+        if self.match is not None and not self.match(datagram, segment):
+            return datagram
+        self.seen_bytes += len(segment.payload)
+        if self.fired or self.seen_bytes < self.trigger_bytes:
+            # After firing, traffic passes again: the victim's stack no
+            # longer has the connection and answers with genuine RSTs,
+            # which is how the other endpoint learns of the kill.
+            return datagram
+        self.fired = True
+        rst = TcpSegment(
+            src_port=segment.src_port,
+            dst_port=segment.dst_port,
+            seq=segment.seq,
+            ack=segment.ack,
+            flags=Flags.RST | Flags.ACK,
+            window=0,
+        )
+        return [_reserialize(datagram, rst)]
+
+
+class Nat44:
+    """Source NAT for IPv4: rewrites (addr, port) to a public endpoint.
+
+    Construct once, then install ``outbound`` on the private-to-public
+    direction and ``inbound`` on the reverse one.  Port allocation is
+    deterministic (sequential from ``base_port``).
+    """
+
+    def __init__(self, public_address, base_port: int = 40000) -> None:
+        import ipaddress
+
+        self.public_address = (
+            ipaddress.ip_address(public_address)
+            if isinstance(public_address, str)
+            else public_address
+        )
+        self._next_port = base_port
+        self._forward: dict = {}  # (private addr, private port) -> public port
+        self._reverse: dict = {}  # public port -> (private addr, private port)
+        self.translations = 0
+
+    def outbound(self, datagram: Datagram):
+        segment = _parse_tcp(datagram)
+        if segment is None or datagram.version != 4:
+            return datagram
+        key = (datagram.src, segment.src_port)
+        if key not in self._forward:
+            self._forward[key] = self._next_port
+            self._reverse[self._next_port] = key
+            self._next_port += 1
+        public_port = self._forward[key]
+        segment.src_port = public_port
+        self.translations += 1
+        return _reserialize(datagram, segment, src=self.public_address)
+
+    def inbound(self, datagram: Datagram):
+        segment = _parse_tcp(datagram)
+        if segment is None or datagram.version != 4:
+            return datagram
+        if datagram.dst != self.public_address:
+            return datagram
+        mapping = self._reverse.get(segment.dst_port)
+        if mapping is None:
+            return None  # unsolicited inbound: NATs drop these
+        private_addr, private_port = mapping
+        segment.dst_port = private_port
+        self.translations += 1
+        return _reserialize(datagram, segment, dst=private_addr)
+
+
+class TransparentProxyMangler:
+    """Approximates a transparent TCP proxy's header rewriting.
+
+    Real transparent proxies terminate and re-originate connections; the
+    observable symptoms on the SYN are rewritten MSS, stripped
+    unsupported options, and a different window.  Those symptoms are what
+    TCPLS's SYN-echo detection (section 4.5) keys on, so we model them
+    directly.
+    """
+
+    def __init__(self, clamp_mss: int = 1380, keep_kinds: Iterable[int] = (2,)) -> None:
+        self.clamp_mss = clamp_mss
+        self.keep_kinds = set(keep_kinds)
+        self.mangled_syns = 0
+
+    def __call__(self, datagram: Datagram):
+        segment = _parse_tcp(datagram)
+        if segment is None or not segment.is_syn:
+            return datagram
+        new_options: list[TcpOption] = []
+        for option in segment.options:
+            if option.kind not in self.keep_kinds:
+                continue
+            if isinstance(option, MaximumSegmentSize):
+                option = MaximumSegmentSize(mss=min(option.mss, self.clamp_mss))
+            new_options.append(option)
+        segment.options = new_options
+        segment.window = min(segment.window, 8192)
+        self.mangled_syns += 1
+        return _reserialize(datagram, segment)
+
+
+class TfoBlocker:
+    """Drops SYN segments that carry data or a Fast Open cookie option.
+
+    Models the enterprise/wireless middleboxes that block TCP Fast Open
+    (paper section 4.2, citing Paasch's NANOG measurements).
+    """
+
+    def __init__(self) -> None:
+        self.blocked = 0
+
+    def __call__(self, datagram: Datagram):
+        segment = _parse_tcp(datagram)
+        if segment is None:
+            return datagram
+        if segment.is_syn and not segment.is_ack:
+            has_tfo = any(option.kind == KIND_FAST_OPEN for option in segment.options)
+            if has_tfo or segment.payload:
+                self.blocked += 1
+                return None
+        return datagram
+
+
+class PayloadCorruptor:
+    """Flips a byte in every Nth TCP payload — tests AEAD protection.
+
+    Any tampering inside a TLS record must surface as an authentication
+    failure at the receiver, never as silently corrupted data.
+    """
+
+    def __init__(self, every: int = 1) -> None:
+        self.every = every
+        self._count = 0
+        self.corrupted = 0
+
+    def __call__(self, datagram: Datagram):
+        segment = _parse_tcp(datagram)
+        if segment is not None and segment.payload:
+            self._count += 1
+            if self._count % self.every:
+                return datagram
+            tampered = bytearray(segment.payload)
+            tampered[len(tampered) // 2] ^= 0xFF
+            segment.payload = bytes(tampered)
+            self.corrupted += 1
+            return _reserialize(datagram, segment)
+        if datagram.protocol == 17 and len(datagram.payload) > 9:
+            # UDP: flip a byte inside the payload past the 8-byte header.
+            self._count += 1
+            if self._count % self.every:
+                return datagram
+            tampered = bytearray(datagram.payload)
+            tampered[8 + (len(tampered) - 8) // 2] ^= 0xFF
+            self.corrupted += 1
+            return datagram.copy(payload=bytes(tampered))
+        return datagram

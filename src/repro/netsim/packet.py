@@ -1,0 +1,84 @@
+"""IP-layer datagrams.
+
+The IP layer is structured (a dataclass) while the transport payload is
+real serialized bytes: middleboxes parse and rewrite genuine TCP headers,
+which is what makes the paper's middlebox-interference experiments
+meaningful.  Addresses are ``ipaddress`` objects; a datagram is v4 or v6
+according to its source address family.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass, field
+from typing import Union
+
+IPAddress = Union[ipaddress.IPv4Address, ipaddress.IPv6Address]
+
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+IPV4_HEADER_LEN = 20
+IPV6_HEADER_LEN = 40
+
+_next_packet_id = 0
+
+
+def _allocate_packet_id() -> int:
+    global _next_packet_id
+    _next_packet_id += 1
+    return _next_packet_id
+
+
+@dataclass
+class Datagram:
+    """One IP datagram in flight."""
+
+    src: IPAddress
+    dst: IPAddress
+    protocol: int
+    payload: bytes
+    hop_limit: int = 64
+    packet_id: int = field(default_factory=_allocate_packet_id)
+
+    def __post_init__(self) -> None:
+        if self.src.version != self.dst.version:
+            raise ValueError(
+                f"address family mismatch: {self.src} -> {self.dst}"
+            )
+
+    @property
+    def version(self) -> int:
+        return self.src.version
+
+    @property
+    def header_length(self) -> int:
+        return IPV4_HEADER_LEN if self.version == 4 else IPV6_HEADER_LEN
+
+    @property
+    def size(self) -> int:
+        """Total on-wire size in bytes (IP header + payload)."""
+        return self.header_length + len(self.payload)
+
+    def copy(self, **overrides) -> "Datagram":
+        """Clone with modifications; used by middleboxes that rewrite."""
+        fields = {
+            "src": self.src,
+            "dst": self.dst,
+            "protocol": self.protocol,
+            "payload": self.payload,
+            "hop_limit": self.hop_limit,
+        }
+        fields.update(overrides)
+        return Datagram(**fields)
+
+    def summary(self) -> str:
+        proto = {PROTO_TCP: "TCP", PROTO_UDP: "UDP"}.get(
+            self.protocol, str(self.protocol)
+        )
+        return f"[{self.src} -> {self.dst} {proto} {len(self.payload)}B]"
+
+
+def parse_address(text: str) -> IPAddress:
+    """Parse a literal IPv4 or IPv6 address."""
+    return ipaddress.ip_address(text)

@@ -1,0 +1,157 @@
+"""Topology builder with OSPF-like static route computation.
+
+``Network`` wraps a ``Simulator`` plus a registry of nodes and links, and
+computes per-family shortest-path routes with networkx — the simulated
+analogue of the paper's IPMininet setup where one path runs OSPF (IPv4
+only) and another OSPF6 (IPv6 only): a link participates in a family's
+routing graph only if *both* of its endpoint interfaces carry an address
+of that family, so v4-only and v6-only paths arise naturally.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import networkx as nx
+
+from repro.netsim.engine import Simulator
+from repro.netsim.link import Link
+from repro.netsim.node import Host, Node, Router
+
+
+class Network:
+    """A simulation, its nodes, and its links."""
+
+    def __init__(self, sim: Optional[Simulator] = None) -> None:
+        self.sim = sim if sim is not None else Simulator()
+        self.nodes: dict[str, Node] = {}
+        self.links: list[Link] = []
+
+    # -- construction ------------------------------------------------------
+
+    def add_host(self, name: str) -> Host:
+        return self._add_node(Host(self.sim, name))
+
+    def add_router(self, name: str) -> Router:
+        return self._add_node(Router(self.sim, name))
+
+    def _add_node(self, node: Node) -> Node:
+        if node.name in self.nodes:
+            raise ValueError(f"duplicate node name {node.name!r}")
+        self.nodes[node.name] = node
+        return node
+
+    def connect(
+        self,
+        iface_a,
+        iface_b,
+        rate_bps: float = 100e6,
+        delay: float = 0.001,
+        queue_packets: int = 100,
+        loss_rate: float = 0.0,
+        reorder_rate: float = 0.0,
+        seed: int = 0,
+    ) -> Link:
+        """Create a link between two interfaces."""
+        link = Link(
+            self.sim,
+            rate_bps=rate_bps,
+            delay=delay,
+            queue_packets=queue_packets,
+            loss_rate=loss_rate,
+            reorder_rate=reorder_rate,
+            seed=seed,
+            name=f"{iface_a.node.name}:{iface_a.name}--{iface_b.node.name}:{iface_b.name}",
+        )
+        iface_a.attach_link(link)
+        iface_b.attach_link(link)
+        self.links.append(link)
+        return link
+
+    # -- routing ---------------------------------------------------------------
+
+    def compute_routes(self) -> None:
+        """(Re)build every node's routing table via shortest paths.
+
+        Run once after topology construction; rerun after structural
+        changes.  Directly-connected networks route out of the local
+        interface; remote networks route to the shortest path's first hop.
+        """
+        for node in self.nodes.values():
+            node.clear_routes()
+        for family in (4, 6):
+            graph = self._family_graph(family)
+            destinations = self._destination_networks(family)
+            for node in self.nodes.values():
+                self._install_routes(node, graph, destinations, family)
+
+    def _family_graph(self, family: int) -> "nx.Graph":
+        graph = nx.Graph()
+        for node in self.nodes.values():
+            graph.add_node(node.name)
+        for link in self.links:
+            iface_a, iface_b = link._endpoints
+            if iface_a is None or iface_b is None:
+                continue
+            if (
+                iface_a.address_for_family(family) is None
+                or iface_b.address_for_family(family) is None
+            ):
+                continue
+            graph.add_edge(
+                iface_a.node.name,
+                iface_b.node.name,
+                weight=link.delay,
+                interfaces={iface_a.node.name: iface_a, iface_b.node.name: iface_b},
+            )
+        return graph
+
+    def _destination_networks(self, family: int):
+        networks = {}
+        for node in self.nodes.values():
+            for interface in node.interfaces.values():
+                for network in interface.networks():
+                    if network.version == family:
+                        networks.setdefault(network, set()).add(node.name)
+        return networks
+
+    def _install_routes(self, node: Node, graph, destinations, family: int) -> None:
+        try:
+            paths = nx.single_source_dijkstra_path(graph, node.name, weight="weight")
+        except nx.NodeNotFound:
+            return
+        for network, owner_names in destinations.items():
+            # Directly connected?
+            local = next(
+                (
+                    interface
+                    for interface in node.interfaces.values()
+                    if network in interface.networks()
+                ),
+                None,
+            )
+            if local is not None:
+                node.add_route(network, local)
+                continue
+            # Pick the nearest owner of this network.
+            best_path = None
+            for owner in owner_names:
+                path = paths.get(owner)
+                if path is not None and (best_path is None or len(path) < len(best_path)):
+                    best_path = path
+            if best_path is None or len(best_path) < 2:
+                continue
+            next_hop = best_path[1]
+            edge = graph.get_edge_data(node.name, next_hop)
+            node.add_route(network, edge["interfaces"][node.name])
+
+    # -- convenience --------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> None:
+        self.sim.run(until=until)
+
+    def host(self, name: str) -> Host:
+        node = self.nodes[name]
+        if not isinstance(node, Host):
+            raise TypeError(f"{name!r} is not a host")
+        return node

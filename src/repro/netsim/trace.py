@@ -1,0 +1,83 @@
+"""Lightweight packet tracing for experiments and debugging.
+
+``PacketTrace`` hooks a link direction (as a pass-through transformer)
+and records (time, summary) tuples; ``ThroughputMeter`` bins delivered
+bytes into fixed intervals — this produces the goodput-vs-time series
+plotted in the paper's Figure 4.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.netsim.packet import Datagram, PROTO_TCP
+from repro.tcp.segment import TcpSegment
+
+
+class PacketTrace:
+    """Records every packet crossing a link direction."""
+
+    def __init__(self, sim, parse_tcp: bool = True) -> None:
+        self.sim = sim
+        self.parse_tcp = parse_tcp
+        self.records: List[Tuple[float, str]] = []
+
+    def __call__(self, datagram: Datagram):
+        text = datagram.summary()
+        if self.parse_tcp and datagram.protocol == PROTO_TCP:
+            try:
+                segment = TcpSegment.from_bytes(
+                    datagram.payload, verify_checksum=False
+                )
+                text = f"{datagram.src}->{datagram.dst} {segment.summary()}"
+            except Exception:
+                pass
+        self.records.append((self.sim.now, text))
+        return datagram
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def dump(self, limit: Optional[int] = None) -> str:
+        rows = self.records[:limit] if limit else self.records
+        return "\n".join(f"{time:10.6f}  {text}" for time, text in rows)
+
+
+class ThroughputMeter:
+    """Bins observed payload bytes into fixed time intervals."""
+
+    def __init__(self, sim, interval: float = 0.1) -> None:
+        self.sim = sim
+        self.interval = interval
+        self._bins: dict[int, int] = {}
+
+    def record(self, n_bytes: int, at: Optional[float] = None) -> None:
+        time = self.sim.now if at is None else at
+        self._bins[int(time / self.interval)] = (
+            self._bins.get(int(time / self.interval), 0) + n_bytes
+        )
+
+    def __call__(self, datagram: Datagram):
+        """Use as a link transformer counting TCP payload bytes."""
+        if datagram.protocol == PROTO_TCP:
+            try:
+                segment = TcpSegment.from_bytes(datagram.payload, verify_checksum=False)
+                if segment.payload:
+                    self.record(len(segment.payload))
+            except Exception:
+                pass
+        return datagram
+
+    def series(self, until: Optional[float] = None) -> List[Tuple[float, float]]:
+        """Return (interval start time, throughput in Mbps) pairs."""
+        if not self._bins:
+            return []
+        last_bin = int(until / self.interval) if until is not None else max(self._bins)
+        series = []
+        for index in range(0, last_bin + 1):
+            bits = self._bins.get(index, 0) * 8
+            series.append((index * self.interval, bits / self.interval / 1e6))
+        return series
+
+    def total_bytes(self) -> int:
+        return sum(self._bins.values())

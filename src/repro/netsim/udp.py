@@ -1,0 +1,88 @@
+"""Minimal UDP on the simulated network (the substrate under mini-QUIC).
+
+Real 8-byte UDP headers on the wire; per-host port demultiplexing.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.netsim.node import Host, Interface
+from repro.netsim.packet import Datagram, IPAddress, PROTO_UDP, parse_address
+
+UDP_HEADER_LEN = 8
+
+
+def encode_udp(src_port: int, dst_port: int, payload: bytes) -> bytes:
+    # Checksum omitted (optional in IPv4; our links don't corrupt silently).
+    return struct.pack("!HHHH", src_port, dst_port, 8 + len(payload), 0) + payload
+
+
+def decode_udp(data: bytes) -> Tuple[int, int, bytes]:
+    if len(data) < UDP_HEADER_LEN:
+        raise ValueError("UDP datagram shorter than header")
+    src_port, dst_port, length, _checksum = struct.unpack("!HHHH", data[:8])
+    return src_port, dst_port, data[8 : length]
+
+
+class UdpStack:
+    """Per-host UDP: bind ports, send datagrams."""
+
+    def __init__(self, host: Host) -> None:
+        self.host = host
+        self.sim = host.sim
+        self._handlers: Dict[int, Callable] = {}
+        self._next_ephemeral = 49152
+        host.register_protocol(PROTO_UDP, self._on_datagram)
+
+    def bind(
+        self, port: int, handler: Callable[[IPAddress, int, bytes], None]
+    ) -> int:
+        """Bind ``handler(src_addr, src_port, payload)``; 0 = ephemeral."""
+        if port == 0:
+            port = self._next_ephemeral
+            self._next_ephemeral += 1
+        if port in self._handlers:
+            raise ValueError(f"UDP port {port} already bound")
+        self._handlers[port] = handler
+        return port
+
+    def unbind(self, port: int) -> None:
+        self._handlers.pop(port, None)
+
+    def send(
+        self,
+        src_port: int,
+        dst,
+        dst_port: int,
+        payload: bytes,
+        src: Optional[str] = None,
+    ) -> bool:
+        dst_addr = parse_address(dst) if isinstance(dst, str) else dst
+        if src is not None:
+            src_addr = parse_address(src) if isinstance(src, str) else src
+        else:
+            out = self.host.lookup_route(dst_addr)
+            if out is None:
+                return False
+            src_addr = out.address_for_family(dst_addr.version)
+            if src_addr is None:
+                return False
+        return self.host.send_ip(
+            Datagram(
+                src=src_addr,
+                dst=dst_addr,
+                protocol=PROTO_UDP,
+                payload=encode_udp(src_port, dst_port, payload),
+            )
+        )
+
+    def _on_datagram(self, datagram: Datagram, interface: Interface) -> None:
+        try:
+            src_port, dst_port, payload = decode_udp(datagram.payload)
+        except ValueError:
+            return
+        handler = self._handlers.get(dst_port)
+        if handler is not None:
+            handler(datagram.src, src_port, payload)

@@ -1,0 +1,22 @@
+"""A miniature QUIC transport — the comparison point of the paper.
+
+Table 1 and sections 2.5/4.6 compare TCPLS against QUIC.  This package
+implements a QUIC-shaped transport over simulated UDP with the
+properties those comparisons exercise:
+
+- connection establishment carrying the TLS 1.3 handshake in CRYPTO
+  frames (1-RTT), with 0-RTT early data on resumption;
+- AEAD-protected packets with packet numbers per connection;
+- multiple streams with independent (HOL-blocking-free) delivery;
+- ACK-frame loss recovery with packet-threshold and PTO detection, and
+  NewReno congestion control;
+- connection migration: the client re-binds to a new address and the
+  server validates the new path with PATH_CHALLENGE.
+
+It is intentionally a miniature (single packet-number space, no key
+phases, no varint encoding), but every compared behaviour is real.
+"""
+
+from repro.quic.connection import QuicClient, QuicConfig, QuicServer
+
+__all__ = ["QuicClient", "QuicConfig", "QuicServer"]

@@ -1,0 +1,45 @@
+"""A byte-accurate TCP implementation running on the simulated network.
+
+This substitutes for the Linux kernel stack the paper runs on: segments
+are serialized to real wire format (so middleboxes can parse, strip, and
+rewrite them), connections run the full FSM with retransmission (RFC
+6298 RTO, fast retransmit, SACK-assisted recovery), flow control, and
+pluggable congestion control (NewReno and CUBIC).
+
+Entry points:
+
+- ``TcpStack`` — per-host TCP instance; register it on a ``Host``.
+- ``TcpConnection`` — one connection's state machine and socket-like API.
+- ``congestion`` — congestion-controller implementations.
+"""
+
+from repro.tcp.segment import TcpSegment, Flags
+from repro.tcp.options import (
+    MaximumSegmentSize,
+    NoOperation,
+    SackBlocks,
+    SackPermitted,
+    TcpOption,
+    FastOpenCookie,
+    Timestamps,
+    UserTimeout,
+    WindowScale,
+)
+from repro.tcp.stack import TcpStack
+from repro.tcp.connection import TcpConnection
+
+__all__ = [
+    "TcpSegment",
+    "Flags",
+    "TcpOption",
+    "MaximumSegmentSize",
+    "NoOperation",
+    "WindowScale",
+    "SackPermitted",
+    "SackBlocks",
+    "Timestamps",
+    "UserTimeout",
+    "FastOpenCookie",
+    "TcpStack",
+    "TcpConnection",
+]

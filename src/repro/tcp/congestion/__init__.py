@@ -1,0 +1,23 @@
+"""Pluggable congestion controllers.
+
+A controller can be swapped at runtime (``TcpConnection.set_congestion_
+control``) — that is the hook the TCPLS plugin system uses to install a
+congestion-control scheme shipped as bytecode over the secure channel
+(paper section 3, item iii).
+"""
+
+from repro.tcp.congestion.base import CongestionControl
+from repro.tcp.congestion.reno import NewReno
+from repro.tcp.congestion.cubic import Cubic
+
+__all__ = ["CongestionControl", "NewReno", "Cubic"]
+
+
+def make(name: str, mss: int) -> CongestionControl:
+    """Instantiate a controller by name ("reno" or "cubic")."""
+    name = name.lower()
+    if name in ("reno", "newreno"):
+        return NewReno(mss)
+    if name == "cubic":
+        return Cubic(mss)
+    raise ValueError(f"unknown congestion controller {name!r}")

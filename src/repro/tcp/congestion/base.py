@@ -1,0 +1,64 @@
+"""Congestion-controller interface."""
+
+from __future__ import annotations
+
+
+class CongestionControl:
+    """Base class: byte-based cwnd with slow-start threshold.
+
+    Subclasses override the event hooks; the connection calls them as ACKs
+    and losses are observed.  All quantities are in bytes.
+    """
+
+    name = "base"
+
+    def __init__(self, mss: int) -> None:
+        self.mss = mss
+        self.cwnd: float = 10 * mss  # RFC 6928 initial window
+        self.ssthresh: float = float("inf")
+        self._min_rtt: float = float("inf")
+
+    def observe_rtt(self, rtt: float) -> None:
+        """HyStart-like delay-based slow-start exit.
+
+        When queueing delay shows the pipe is full (RTT grew 25% above
+        the minimum), leave slow start *before* the overflow loss burst
+        that doubling into a drop-tail queue would otherwise cause.
+        """
+        if rtt <= 0:
+            return
+        self._min_rtt = min(self._min_rtt, rtt)
+        if (
+            self.in_slow_start()
+            and self.cwnd > 16 * self.mss
+            and rtt > self._min_rtt * 1.25
+        ):
+            self.ssthresh = self.cwnd
+
+    # -- event hooks -------------------------------------------------------
+
+    def on_ack(self, acked_bytes: int, rtt: float, now: float) -> None:
+        """New data was cumulatively acknowledged."""
+
+    def on_loss(self, flight_size: int, now: float) -> None:
+        """Loss detected via fast retransmit (3 duplicate ACKs / SACK)."""
+
+    def on_timeout(self, flight_size: int, now: float) -> None:
+        """Retransmission timer fired: collapse to one segment."""
+        self.ssthresh = max(flight_size / 2, 2 * self.mss)
+        self.cwnd = self.mss
+
+    # -- queries -------------------------------------------------------------
+
+    def window(self) -> int:
+        return int(self.cwnd)
+
+    def in_slow_start(self) -> bool:
+        return self.cwnd < self.ssthresh
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "cwnd": int(self.cwnd),
+            "ssthresh": self.ssthresh if self.ssthresh != float("inf") else None,
+        }

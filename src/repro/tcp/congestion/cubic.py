@@ -1,0 +1,67 @@
+"""CUBIC congestion control (RFC 8312, simplified).
+
+Implements the cubic window growth function with the TCP-friendly region
+and fast convergence.  Pacing and HyStart are out of scope (DESIGN.md
+section 5).
+"""
+
+from __future__ import annotations
+
+from repro.tcp.congestion.base import CongestionControl
+
+_C = 0.4  # cubic scaling constant (RFC 8312 section 5)
+_BETA = 0.7  # multiplicative decrease factor
+
+
+class Cubic(CongestionControl):
+    name = "cubic"
+
+    def __init__(self, mss: int) -> None:
+        super().__init__(mss)
+        self._w_max = 0.0  # window (bytes) at last congestion event
+        self._epoch_start: float = -1.0
+        self._k = 0.0
+        self._tcp_cwnd = 0.0  # Reno-equivalent window for the friendly region
+
+    def on_ack(self, acked_bytes: int, rtt: float, now: float) -> None:
+        if self.in_slow_start():
+            self.cwnd += min(acked_bytes, 2 * self.mss)
+            return
+        if self._epoch_start < 0:
+            self._epoch_start = now
+            if self.cwnd < self._w_max:
+                self._k = (
+                    (self._w_max - self.cwnd) / self.mss / _C
+                ) ** (1.0 / 3.0)
+            else:
+                self._k = 0.0
+            self._tcp_cwnd = self.cwnd
+        t = now - self._epoch_start
+        target_segments = _C * (t - self._k) ** 3 + self._w_max / self.mss
+        target = target_segments * self.mss
+        # TCP-friendly region (RFC 8312 section 4.2).
+        self._tcp_cwnd += (
+            3 * (1 - _BETA) / (1 + _BETA) * acked_bytes * self.mss / self.cwnd
+        )
+        target = max(target, self._tcp_cwnd)
+        if target > self.cwnd:
+            # Approach the target over one RTT's worth of ACKs.
+            self.cwnd += (target - self.cwnd) * acked_bytes / max(self.cwnd, 1.0)
+        else:
+            self.cwnd += self.mss * self.mss / (100 * self.cwnd)
+
+    def on_loss(self, flight_size: int, now: float) -> None:
+        window = max(self.cwnd, float(self.mss))
+        # Fast convergence (RFC 8312 section 4.6).
+        if window < self._w_max:
+            self._w_max = window * (1 + _BETA) / 2
+        else:
+            self._w_max = window
+        self.cwnd = max(window * _BETA, 2 * self.mss)
+        self.ssthresh = self.cwnd
+        self._epoch_start = -1.0
+
+    def on_timeout(self, flight_size: int, now: float) -> None:
+        super().on_timeout(flight_size, now)
+        self._w_max = max(flight_size, 2 * self.mss)
+        self._epoch_start = -1.0

@@ -1,0 +1,23 @@
+"""NewReno congestion control (RFC 5681 / RFC 6582, byte-counting)."""
+
+from __future__ import annotations
+
+from repro.tcp.congestion.base import CongestionControl
+
+
+class NewReno(CongestionControl):
+    """Slow start + AIMD congestion avoidance with fast recovery halving."""
+
+    name = "reno"
+
+    def on_ack(self, acked_bytes: int, rtt: float, now: float) -> None:
+        if self.in_slow_start():
+            # Byte-counting slow start (RFC 3465): grow by bytes acked,
+            # capped at 2*MSS per ACK.
+            self.cwnd += min(acked_bytes, 2 * self.mss)
+        else:
+            self.cwnd += self.mss * self.mss / self.cwnd
+
+    def on_loss(self, flight_size: int, now: float) -> None:
+        self.ssthresh = max(flight_size / 2, 2 * self.mss)
+        self.cwnd = self.ssthresh

@@ -1,0 +1,1057 @@
+"""The TCP connection state machine.
+
+Implements the RFC 793 FSM with the loss-recovery and performance
+machinery the TCPLS experiments depend on:
+
+- retransmission timeout per RFC 6298 with exponential backoff and Karn's
+  algorithm for RTT sampling;
+- fast retransmit on three duplicate ACKs with NewReno-style recovery;
+- SACK generation (receiver) and a SACK scoreboard (sender) so recovery
+  does not retransmit delivered data;
+- window scaling, timestamps, MSS negotiation;
+- TCP Fast Open (RFC 7413) data-in-SYN on both sides;
+- the RFC 5482 user timeout, settable locally (the paper's TCPLS carries
+  the peer's value over the secure channel and applies it here — the
+  simulated equivalent of the ``setsockopt`` in section 3.1);
+- RST handling that surfaces an ``on_reset`` event, which TCPLS failover
+  (section 2.1) uses to re-establish the session's underlying connection.
+
+The application-facing surface is callback-based: ``send``/``close`` plus
+``on_data``, ``on_established``, ``on_close``, ``on_reset``, ``on_error``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.netsim.packet import Datagram, PROTO_TCP, IPAddress
+from repro.tcp import seqnum
+from repro.tcp.congestion import CongestionControl, make as make_cc
+from repro.tcp.options import (
+    FastOpenCookie,
+    MaximumSegmentSize,
+    SackBlocks,
+    SackPermitted,
+    Timestamps,
+    UserTimeout,
+    WindowScale,
+    find_option,
+)
+from repro.tcp.rto import RtoEstimator
+from repro.tcp.segment import Flags, TcpSegment
+
+# Connection states.
+CLOSED = "CLOSED"
+SYN_SENT = "SYN_SENT"
+SYN_RCVD = "SYN_RCVD"
+ESTABLISHED = "ESTABLISHED"
+FIN_WAIT_1 = "FIN_WAIT_1"
+FIN_WAIT_2 = "FIN_WAIT_2"
+CLOSE_WAIT = "CLOSE_WAIT"
+CLOSING = "CLOSING"
+LAST_ACK = "LAST_ACK"
+TIME_WAIT = "TIME_WAIT"
+
+_MAX_RETRIES = 10
+_MAX_SYN_RETRIES = 6
+_MAX_BURST_SEGMENTS = 10
+_WINDOW_SCALE_SHIFT = 7
+_DEFAULT_RECEIVE_WINDOW = 1 << 20  # 1 MiB
+
+
+@dataclass
+class _Inflight:
+    """One unacknowledged segment retained for retransmission."""
+
+    seq: int
+    data: bytes
+    syn: bool = False
+    fin: bool = False
+    send_time: float = 0.0
+    retransmitted: bool = False
+    sacked: bool = False
+    lost: bool = False  # deemed lost (set for everything in flight at RTO)
+
+    def length(self) -> int:
+        return len(self.data) + (1 if self.syn else 0) + (1 if self.fin else 0)
+
+
+class TcpConnection:
+    """One TCP connection; created via ``TcpStack.connect`` or a listener."""
+
+    def __init__(
+        self,
+        stack,
+        local_addr: IPAddress,
+        local_port: int,
+        remote_addr: IPAddress,
+        remote_port: int,
+        mss: int = 1400,
+        congestion: str = "reno",
+        receive_window: int = _DEFAULT_RECEIVE_WINDOW,
+        delayed_ack: bool = False,
+    ) -> None:
+        self.stack = stack
+        self.sim = stack.sim
+        self.local_addr = local_addr
+        self.local_port = local_port
+        self.remote_addr = remote_addr
+        self.remote_port = remote_port
+        self.state = CLOSED
+
+        # Negotiated parameters.
+        self.mss = mss
+        self.peer_mss = mss
+        self.snd_ws_shift = 0  # how much the peer scales windows it sends us
+        self.rcv_ws_shift = _WINDOW_SCALE_SHIFT
+        self.sack_enabled = False
+        self._ts_recent = 0
+
+        # Send state.
+        self.iss = stack.allocate_iss()
+        self.snd_una = self.iss
+        self.snd_nxt = self.iss
+        self.snd_wnd = mss * 10
+        self._send_queue = bytearray()
+        self._inflight: Dict[int, _Inflight] = {}
+        self._fin_pending = False
+        self._fin_sent = False
+        self._fin_seq: Optional[int] = None
+
+        # Delayed ACKs (RFC 1122 4.2.3.2): ack every second segment or
+        # after at most 40 ms.  Off by default — immediate ACKs keep the
+        # ACK clock dense, which the multipath scheduler prefers.
+        self.delayed_ack = delayed_ack
+        self._ack_pending_segments = 0
+        self._delayed_ack_event = None
+
+        # Receive state.
+        self.irs = 0
+        self.rcv_nxt = 0
+        self.rcv_wnd_limit = receive_window
+        self._reassembly: Dict[int, bytes] = {}
+        self._paused = False
+        self._pending_delivery = bytearray()
+        self._peer_fin_seq: Optional[int] = None
+
+        # Control machinery.
+        self.cc: CongestionControl = make_cc(congestion, mss)
+        self.rto = RtoEstimator()
+        self._rto_event = None
+        self._persist_event = None
+        self._time_wait_event = None
+        self._retries = 0
+        self._dup_acks = 0
+        self._recovery_point: Optional[int] = None
+        self._rto_point: Optional[int] = None
+        self._highest_sacked: Optional[int] = None
+        self.user_timeout: Optional[float] = None
+        self._first_unacked_time: Optional[float] = None
+
+        # TCP Fast Open.
+        self._tfo_data: bytes = b""
+        self._syn_had_tfo = False
+        self.tfo_used = False
+
+        # Middlebox detection support (paper section 4.5).
+        self.sent_syn_bytes: bytes = b""
+        self.received_syn_bytes: bytes = b""
+
+        # Application callbacks.
+        self.on_data: Optional[Callable[[bytes], None]] = None
+        self.on_established: Optional[Callable[[], None]] = None
+        self.on_close: Optional[Callable[[], None]] = None
+        self.on_reset: Optional[Callable[[], None]] = None
+        self.on_error: Optional[Callable[[str], None]] = None
+        # Fired whenever an ACK frees send window — cross-layer hook used
+        # by the TCPLS scheduler to keep multiple connections' pipes full.
+        self.on_send_progress: Optional[Callable[[], None]] = None
+
+        # Statistics for experiments.
+        self.stats = {
+            "bytes_sent": 0,
+            "bytes_received": 0,
+            "segments_sent": 0,
+            "segments_received": 0,
+            "retransmissions": 0,
+            "fast_retransmits": 0,
+            "timeouts": 0,
+            "dup_acks_received": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    @property
+    def four_tuple(self) -> Tuple:
+        return (self.local_addr, self.local_port, self.remote_addr, self.remote_port)
+
+    def open_active(
+        self, fast_open_cookie: Optional[bytes] = None, fast_open_data: bytes = b""
+    ) -> None:
+        """Send the initial SYN (client side)."""
+        if self.state != CLOSED:
+            raise RuntimeError(f"open_active in state {self.state}")
+        self.state = SYN_SENT
+        options = [
+            MaximumSegmentSize(mss=self.mss),
+            WindowScale(shift=self.rcv_ws_shift),
+            SackPermitted(),
+            Timestamps(value=self._ts_now(), echo_reply=0),
+        ]
+        payload = b""
+        if fast_open_cookie is not None:
+            options.append(FastOpenCookie(cookie=fast_open_cookie))
+            self._syn_had_tfo = True
+            if fast_open_cookie and fast_open_data:
+                payload = fast_open_data[: self.mss]
+                self._tfo_data = payload
+                self.tfo_used = True
+                fast_open_data = fast_open_data[len(payload):]
+        if fast_open_data:
+            # No cookie yet (or overflow): deliver after the handshake.
+            self._send_queue.extend(fast_open_data)
+        syn = TcpSegment(
+            src_port=self.local_port,
+            dst_port=self.remote_port,
+            seq=self.iss,
+            flags=Flags.SYN,
+            window=min(self.rcv_wnd_limit, 0xFFFF),
+            options=options,
+            payload=payload,
+        )
+        self.snd_nxt = seqnum.seq_add(self.iss, 1 + len(payload))
+        entry = _Inflight(
+            seq=self.iss, data=payload, syn=True, send_time=self.sim.now
+        )
+        self._inflight[self.iss] = entry
+        self.sent_syn_bytes = syn.to_bytes(self.local_addr, self.remote_addr)
+        self._transmit_raw(self.sent_syn_bytes)
+        self.stats["segments_sent"] += 1
+        self._arm_rto()
+
+    def send(self, data: bytes) -> int:
+        """Queue application data for transmission; returns bytes accepted."""
+        if self.state not in (ESTABLISHED, CLOSE_WAIT, SYN_SENT, SYN_RCVD):
+            raise RuntimeError(f"send() in state {self.state}")
+        if self._fin_pending or self._fin_sent:
+            raise RuntimeError("send() after close()")
+        self._send_queue.extend(data)
+        self._try_send()
+        return len(data)
+
+    def close(self) -> None:
+        """Graceful close: FIN after all queued data is sent."""
+        if self.state in (CLOSED, TIME_WAIT, LAST_ACK, CLOSING, FIN_WAIT_1, FIN_WAIT_2):
+            return
+        self._fin_pending = True
+        self._try_send()
+
+    def abort(self, reason: str = "aborted") -> None:
+        """Hard close: send RST and drop all state."""
+        if self.state not in (CLOSED, TIME_WAIT):
+            rst = self._make_segment(flags=Flags.RST | Flags.ACK, seq=self.snd_nxt)
+            self._transmit(rst)
+        self._enter_closed(notify_error=reason)
+
+    def set_user_timeout(self, seconds: Optional[float]) -> None:
+        """RFC 5482 user timeout: abort if unacked data stalls this long."""
+        self.user_timeout = seconds
+
+    def set_congestion_control(self, cc: CongestionControl) -> None:
+        """Swap the congestion controller, preserving the current window."""
+        cc.cwnd = max(self.cc.cwnd, cc.mss)
+        cc.ssthresh = self.cc.ssthresh
+        self.cc = cc
+
+    def pause_reading(self) -> None:
+        """Stop delivering to the app; the advertised window shrinks."""
+        self._paused = True
+
+    def resume_reading(self) -> None:
+        self._paused = False
+        if self._pending_delivery:
+            data = bytes(self._pending_delivery)
+            self._pending_delivery.clear()
+            self._deliver(data)
+        self._send_ack()
+
+    def send_queue_length(self) -> int:
+        return len(self._send_queue)
+
+    def bytes_in_flight(self) -> int:
+        return sum(entry.length() for entry in self._inflight.values())
+
+    def info(self) -> dict:
+        """Introspection used by TCPLS for cross-layer decisions."""
+        return {
+            "state": self.state,
+            "cwnd": self.cc.window(),
+            "ssthresh": self.cc.ssthresh,
+            "srtt": self.rto.srtt,
+            "rto": self.rto.rto,
+            "mss": self.effective_mss(),
+            "flight": self.bytes_in_flight(),
+            "snd_wnd": self.snd_wnd,
+            "congestion": self.cc.name,
+            **self.stats,
+        }
+
+    def effective_mss(self) -> int:
+        return min(self.mss, self.peer_mss)
+
+    # ------------------------------------------------------------------
+    # Passive open (invoked by the listener)
+    # ------------------------------------------------------------------
+
+    def open_passive(self, syn: TcpSegment, raw_syn: bytes, tfo_cookie_ok: bool) -> None:
+        """Initialize from a received SYN and reply with SYN+ACK."""
+        if self.state not in (CLOSED, SYN_RCVD):
+            raise RuntimeError(f"open_passive in state {self.state}")
+        self.received_syn_bytes = raw_syn
+        self.irs = syn.seq
+        self.rcv_nxt = seqnum.seq_add(syn.seq, 1)
+        self._negotiate_from_options(syn)
+        self.state = SYN_RCVD
+
+        tfo_payload_accepted = b""
+        if syn.payload and tfo_cookie_ok:
+            tfo_payload_accepted = syn.payload
+            self.rcv_nxt = seqnum.seq_add(self.rcv_nxt, len(syn.payload))
+            self.tfo_used = True
+
+        options = [
+            MaximumSegmentSize(mss=self.mss),
+            Timestamps(value=self._ts_now(), echo_reply=self._ts_recent),
+        ]
+        if find_option(syn.options, WindowScale) is not None:
+            # Window scaling applies only when both sides offer it.
+            options.insert(1, WindowScale(shift=self.rcv_ws_shift))
+        if self.sack_enabled:
+            options.append(SackPermitted())
+        tfo_option = find_option(syn.options, FastOpenCookie)
+        if tfo_option is not None and not tfo_option.cookie:
+            # Cookie request: mint one for this client.
+            options.append(
+                FastOpenCookie(cookie=self.stack.fastopen.make_cookie(self.remote_addr))
+            )
+        syn_ack = TcpSegment(
+            src_port=self.local_port,
+            dst_port=self.remote_port,
+            seq=self.iss,
+            ack=self.rcv_nxt,
+            flags=Flags.SYN | Flags.ACK,
+            window=min(self.rcv_wnd_limit, 0xFFFF),
+            options=options,
+        )
+        self.snd_nxt = seqnum.seq_add(self.iss, 1)
+        self._inflight[self.iss] = _Inflight(
+            seq=self.iss, data=b"", syn=True, send_time=self.sim.now
+        )
+        self._transmit(syn_ack)
+        self._arm_rto()
+        if tfo_payload_accepted:
+            self._deliver(tfo_payload_accepted)
+
+    # ------------------------------------------------------------------
+    # Segment input
+    # ------------------------------------------------------------------
+
+    def on_segment(self, segment: TcpSegment) -> None:
+        self.stats["segments_received"] += 1
+        timestamps = find_option(segment.options, Timestamps)
+        if timestamps is not None:
+            self._ts_recent = timestamps.value
+
+        if self.state == SYN_SENT:
+            self._handle_syn_sent(segment)
+            return
+        if self.state == CLOSED:
+            return
+        if self.state == TIME_WAIT:
+            if segment.is_fin:
+                self._send_ack()
+            return
+
+        # RFC 793 sequence acceptability (simplified, no PAWS).
+        if segment.is_rst:
+            if self._rst_acceptable(segment):
+                self._handle_rst()
+            return
+        if segment.is_syn:
+            # SYN on an established connection: retransmitted SYN from the
+            # peer means our SYN+ACK was lost — retransmit it.
+            if self.state == SYN_RCVD and segment.seq == self.irs:
+                self._retransmit_earliest()
+            return
+
+        if segment.is_ack:
+            self._handle_ack(segment)
+            if self.state == CLOSED:
+                return
+
+        if segment.payload or segment.is_fin:
+            self._handle_data(segment)
+
+    # -- SYN_SENT ---------------------------------------------------------
+
+    def _handle_syn_sent(self, segment: TcpSegment) -> None:
+        if segment.is_rst:
+            if segment.is_ack and segment.ack == self.snd_nxt:
+                self._enter_closed(notify_error="connection refused")
+            return
+        if not (segment.is_syn and segment.is_ack):
+            return
+        acceptable = seqnum.seq_between(
+            seqnum.seq_add(self.iss, 1), segment.ack, seqnum.seq_add(self.snd_nxt, 1)
+        )
+        if not acceptable:
+            return
+        self.irs = segment.seq
+        self.rcv_nxt = seqnum.seq_add(segment.seq, 1)
+        self._negotiate_from_options(segment)
+        self.snd_wnd = segment.window  # SYN segments are never scaled
+
+        # Handle TFO: ack may cover SYN only, or SYN + early data.
+        acked = seqnum.seq_sub(segment.ack, self.iss) - 1  # payload bytes acked
+        entry = self._inflight.pop(self.iss, None)
+        if entry is not None and entry.data and acked < len(entry.data):
+            # Server ignored our TFO data (cookie rejected): requeue it.
+            self._send_queue[:0] = entry.data[max(acked, 0):]
+            self.snd_nxt = segment.ack
+            self.tfo_used = False
+        self.snd_una = segment.ack
+        if entry is not None and not entry.retransmitted:
+            self.rto.on_measurement(self.sim.now - entry.send_time)
+        cookie_option = find_option(segment.options, FastOpenCookie)
+        if cookie_option is not None and cookie_option.cookie:
+            self.stack.fastopen.remember_cookie(self.remote_addr, cookie_option.cookie)
+
+        self.state = ESTABLISHED
+        self._retries = 0
+        self._cancel_rto()
+        self._send_ack()
+        if segment.payload:
+            self._handle_data(segment)
+        if self.on_established:
+            self.on_established()
+        self._try_send()
+        self._arm_rto()
+
+    # -- RST --------------------------------------------------------------------
+
+    def _rst_acceptable(self, segment: TcpSegment) -> bool:
+        window = max(self._advertised_window(), 1)
+        return seqnum.seq_between(
+            self.rcv_nxt, segment.seq, seqnum.seq_add(self.rcv_nxt, window)
+        ) or segment.seq == self.rcv_nxt
+
+    def _handle_rst(self) -> None:
+        was_established = self.state in (
+            ESTABLISHED, FIN_WAIT_1, FIN_WAIT_2, CLOSE_WAIT, SYN_RCVD,
+        )
+        self._enter_closed(notify_error=None)
+        if was_established and self.on_reset:
+            self.on_reset()
+
+    # -- ACK processing -----------------------------------------------------------
+
+    def _handle_ack(self, segment: TcpSegment) -> None:
+        ack = segment.ack
+        # RFC 7323 timestamp-based RTT sampling, but only on ACKs that
+        # advance snd_una: echoes on duplicate/idle ACKs reflect stale
+        # timestamps and would inflate the RTO.  Unlike Karn sampling this
+        # works even when the acked segment was retransmitted, keeping the
+        # RTO from staying backed off across consecutive loss events.
+        if seqnum.seq_gt(ack, self.snd_una):
+            timestamps = find_option(segment.options, Timestamps)
+            if timestamps is not None and timestamps.echo_reply:
+                sample = self.sim.now - (timestamps.echo_reply / 1000.0)
+                if 0 <= sample < 60:
+                    self.rto.on_measurement(sample)
+                    self.cc.observe_rtt(sample)
+        if self.state == SYN_RCVD:
+            if seqnum.seq_ge(ack, seqnum.seq_add(self.iss, 1)):
+                self.state = ESTABLISHED
+                if self.on_established:
+                    self.on_established()
+            else:
+                return
+
+        if not segment.is_syn:
+            self.snd_wnd = segment.window << self.snd_ws_shift
+
+        sack = find_option(segment.options, SackBlocks)
+        if sack is not None:
+            self._apply_sack(sack.blocks)
+
+        if seqnum.seq_gt(ack, self.snd_nxt):
+            return  # acks data we never sent
+        if seqnum.seq_le(ack, self.snd_una):
+            self._handle_possible_dup_ack(segment)
+        else:
+            self._handle_new_ack(ack)
+
+        self._try_send()
+        self._maybe_finish_close(ack)
+
+    def _handle_new_ack(self, ack: int) -> None:
+        acked_bytes = 0
+        rtt_sample: Optional[float] = None
+        for seq in sorted(
+            self._inflight, key=lambda s: seqnum.seq_sub(s, self.snd_una)
+        ):
+            entry = self._inflight[seq]
+            end = seqnum.seq_add(seq, entry.length())
+            if seqnum.seq_le(end, ack):
+                acked_bytes += entry.length()
+                # Karn sample only from the segment whose arrival produced
+                # this ACK (end == ack): earlier segments may have been
+                # sitting in the receiver's reassembly buffer for many
+                # RTTs waiting for a hole to fill.
+                if not entry.retransmitted and not entry.sacked and end == ack:
+                    rtt_sample = self.sim.now - entry.send_time
+                del self._inflight[seq]
+        self.snd_una = ack
+        self._retries = 0
+        self._dup_acks = 0
+        self._first_unacked_time = (
+            None
+            if not self._inflight
+            else min(entry.send_time for entry in self._inflight.values())
+        )
+        if rtt_sample is not None:
+            self.rto.on_measurement(rtt_sample)
+        if self._recovery_point is not None:
+            if seqnum.seq_ge(ack, self._recovery_point):
+                self._recovery_point = None  # recovery complete
+                self._highest_sacked = None
+            else:
+                # Partial ACK: repair holes at ACK-clock rate.  With SACK,
+                # the scoreboard knows exactly which segments are missing
+                # and which were already retransmitted; without it, fall
+                # back to NewReno's one-retransmission-per-partial-ACK.
+                if self.sack_enabled:
+                    self._sack_recovery_send(cap=3)
+                else:
+                    self._retransmit_earliest()
+        elif self._rto_point is not None:
+            if seqnum.seq_ge(ack, self._rto_point):
+                self._rto_point = None
+            else:
+                # Post-RTO recovery: each ACK repairs the next hole while
+                # slow start regrows cwnd for new data.
+                if self.sack_enabled:
+                    self._sack_recovery_send(cap=2)
+                else:
+                    self._retransmit_earliest()
+        if acked_bytes and self._recovery_point is None:
+            self.cc.on_ack(acked_bytes, self.rto.srtt, self.sim.now)
+        self._arm_rto()
+        if acked_bytes and self.on_send_progress:
+            self.on_send_progress()
+
+    def _handle_possible_dup_ack(self, segment: TcpSegment) -> None:
+        if segment.payload or segment.is_fin:
+            return  # data segments aren't duplicate ACKs
+        if not self._inflight:
+            return
+        self._dup_acks += 1
+        self.stats["dup_acks_received"] += 1
+        if self._dup_acks == 3 and self._recovery_point is None:
+            self.stats["fast_retransmits"] += 1
+            self._recovery_point = self.snd_nxt
+            self.cc.on_loss(self.bytes_in_flight(), self.sim.now)
+            if self.sack_enabled:
+                self._sack_recovery_send(cap=2)
+            else:
+                self._retransmit_earliest()
+        elif self._recovery_point is not None:
+            self._sack_recovery_send(cap=1)
+
+    def _apply_sack(self, blocks) -> None:
+        if not self.sack_enabled:
+            return
+        for left, right in blocks:
+            for seq, entry in self._inflight.items():
+                end = seqnum.seq_add(seq, entry.length())
+                if seqnum.seq_ge(seq, left) and seqnum.seq_le(end, right):
+                    entry.sacked = True
+            if self._highest_sacked is None or seqnum.seq_gt(
+                right, self._highest_sacked
+            ):
+                self._highest_sacked = right
+
+    def _sack_recovery_send(self, cap: int = 2) -> None:
+        """SACK-based loss recovery (RFC 6675, simplified).
+
+        Resend up to ``cap`` not-yet-retransmitted holes below the highest
+        SACKed sequence.  Pacing at ACK-clock rate (small cap per event)
+        avoids retransmission bursts that would themselves overflow the
+        bottleneck queue — the difference between ~5 and ~25 Mbps after a
+        slow-start overshoot on a 30 Mbps path.
+        """
+        if not self.sack_enabled:
+            return
+        budget_bytes = self.cc.window() - self._pipe_estimate()
+        highest = self._highest_sacked
+        sent = 0
+        for entry in sorted(
+            self._inflight.values(),
+            key=lambda e: seqnum.seq_sub(e.seq, self.snd_una),
+        ):
+            if sent >= cap or budget_bytes <= 0:
+                break
+            if entry.sacked or entry.retransmitted:
+                continue
+            end = seqnum.seq_add(entry.seq, entry.length())
+            eligible = entry.lost or (
+                highest is not None and seqnum.seq_gt(highest, end)
+            )
+            if not eligible:
+                continue  # no loss evidence for this segment yet
+            budget_bytes -= entry.length()
+            entry.retransmitted = True
+            entry.send_time = self.sim.now
+            self.stats["retransmissions"] += 1
+            flags = Flags.ACK | (Flags.FIN if entry.fin else Flags.PSH)
+            self._transmit(
+                self._make_segment(flags=flags, seq=entry.seq, payload=entry.data)
+            )
+            sent += 1
+
+    # -- data receive ---------------------------------------------------------------
+
+    def _handle_data(self, segment: TcpSegment) -> None:
+        if self.state not in (
+            ESTABLISHED, FIN_WAIT_1, FIN_WAIT_2, SYN_RCVD, CLOSE_WAIT, CLOSING,
+        ):
+            return
+        seq = segment.seq
+        payload = segment.payload
+
+        if segment.is_fin:
+            fin_seq = seqnum.seq_add(seq, len(payload))
+            self._peer_fin_seq = fin_seq
+
+        if payload:
+            self.stats["bytes_received"] += len(payload)
+            if seqnum.seq_lt(seq, self.rcv_nxt):
+                # Partially or fully duplicated segment.
+                overlap = seqnum.seq_sub(self.rcv_nxt, seq)
+                if overlap < len(payload):
+                    payload = payload[overlap:]
+                    seq = self.rcv_nxt
+                else:
+                    payload = b""
+            if payload and seqnum.seq_sub(seq, self.rcv_nxt) <= self.rcv_wnd_limit:
+                self._reassembly.setdefault(seq, payload)
+                self._drain_reassembly()
+
+        self._process_peer_fin()
+        if not self.delayed_ack or segment.is_fin or self._reassembly:
+            # Immediate ACK (also for out-of-order data: fast retransmit
+            # at the sender depends on prompt duplicate ACKs).
+            self._send_ack_now()
+        else:
+            self._ack_pending_segments += 1
+            if self._ack_pending_segments >= 2:
+                self._send_ack_now()
+            elif self._delayed_ack_event is None:
+                self._delayed_ack_event = self.sim.schedule(
+                    0.040, self._send_ack_now
+                )
+
+    def _send_ack_now(self) -> None:
+        self._ack_pending_segments = 0
+        if self._delayed_ack_event is not None:
+            self._delayed_ack_event.cancel()
+            self._delayed_ack_event = None
+        self._send_ack()
+
+    def _drain_reassembly(self) -> None:
+        delivered = bytearray()
+        while self._reassembly:
+            # Earliest chunk relative to rcv_nxt.
+            seq = min(
+                self._reassembly, key=lambda s: seqnum.seq_sub(s, self.rcv_nxt)
+            )
+            offset = seqnum.seq_sub(self.rcv_nxt, seq)
+            if offset < 0:
+                break  # hole before the earliest buffered chunk
+            data = self._reassembly.pop(seq)
+            if offset < len(data):
+                chunk = data[offset:]
+                delivered.extend(chunk)
+                self.rcv_nxt = seqnum.seq_add(self.rcv_nxt, len(chunk))
+            # else: chunk entirely duplicates delivered data; discard.
+        if delivered:
+            self._deliver(bytes(delivered))
+
+    def _deliver(self, data: bytes) -> None:
+        if self._paused:
+            self._pending_delivery.extend(data)
+            return
+        if self.on_data:
+            self.on_data(data)
+
+    def _process_peer_fin(self) -> None:
+        if self._peer_fin_seq is None or self.rcv_nxt != self._peer_fin_seq:
+            return
+        self.rcv_nxt = seqnum.seq_add(self.rcv_nxt, 1)
+        self._peer_fin_seq = None
+        if self.state in (ESTABLISHED, SYN_RCVD):
+            self.state = CLOSE_WAIT
+        elif self.state == FIN_WAIT_1:
+            self.state = CLOSING
+        elif self.state == FIN_WAIT_2:
+            self._enter_time_wait()
+        if self.on_close:
+            self.on_close()
+
+    # -- closing ----------------------------------------------------------------------
+
+    def _maybe_finish_close(self, ack: int) -> None:
+        if self._fin_seq is None:
+            return
+        fin_acked = seqnum.seq_gt(ack, self._fin_seq)
+        if not fin_acked:
+            return
+        if self.state == FIN_WAIT_1:
+            self.state = FIN_WAIT_2
+        elif self.state == CLOSING:
+            self._enter_time_wait()
+        elif self.state == LAST_ACK:
+            self._enter_closed(notify_error=None)
+
+    def _enter_time_wait(self) -> None:
+        self.state = TIME_WAIT
+        self._cancel_rto()
+        self._time_wait_event = self.sim.schedule(
+            2 * self.stack.msl, self._enter_closed, None
+        )
+
+    def _enter_closed(self, notify_error: Optional[str]) -> None:
+        already_closed = self.state == CLOSED
+        self.state = CLOSED
+        self._cancel_rto()
+        if self._persist_event is not None:
+            self._persist_event.cancel()
+        if self._time_wait_event is not None:
+            self._time_wait_event.cancel()
+        self._inflight.clear()
+        self.stack.forget(self)
+        if already_closed:
+            return
+        if notify_error and self.on_error:
+            self.on_error(notify_error)
+
+    # ------------------------------------------------------------------
+    # Output path
+    # ------------------------------------------------------------------
+
+    def _try_send(self) -> None:
+        sendable = (ESTABLISHED, CLOSE_WAIT)
+        if self.tfo_used and self.state == SYN_RCVD:
+            # RFC 7413: a TFO server may send data before the handshake
+            # completes (its SYN is already acknowledged by the SYN data).
+            sendable = (ESTABLISHED, CLOSE_WAIT, SYN_RCVD)
+        if self.state not in sendable:
+            self._maybe_send_fin()
+            return
+        mss = self.effective_mss()
+        burst = 0
+        while self._send_queue:
+            if burst >= _MAX_BURST_SEGMENTS:
+                break  # ACK clocking resumes the send (burst avoidance)
+            window = min(self.cc.window(), self.snd_wnd)
+            available = window - self.bytes_in_flight()
+            if available <= 0:
+                self._arm_persist_if_needed()
+                break
+            chunk_len = min(mss, len(self._send_queue), max(available, 0))
+            if chunk_len <= 0:
+                break
+            if chunk_len < mss and chunk_len < len(self._send_queue):
+                # Sender-side silly-window-syndrome avoidance (RFC 1122
+                # 4.2.3.4): don't dribble sub-MSS segments while more data
+                # waits; let the window open to a full segment first.
+                break
+            chunk = bytes(self._send_queue[:chunk_len])
+            del self._send_queue[:chunk_len]
+            self._send_data_segment(chunk)
+            burst += 1
+        self._maybe_send_fin()
+
+    def _send_data_segment(self, chunk: bytes) -> None:
+        seq = self.snd_nxt
+        segment = self._make_segment(
+            flags=Flags.ACK | Flags.PSH, seq=seq, payload=chunk
+        )
+        self.snd_nxt = seqnum.seq_add(self.snd_nxt, len(chunk))
+        entry = _Inflight(seq=seq, data=chunk, send_time=self.sim.now)
+        self._inflight[seq] = entry
+        if self._first_unacked_time is None:
+            self._first_unacked_time = self.sim.now
+        self.stats["bytes_sent"] += len(chunk)
+        self._transmit(segment)
+        self._arm_rto()
+
+    def _maybe_send_fin(self) -> None:
+        if not self._fin_pending or self._fin_sent or self._send_queue:
+            return
+        if self.state not in (ESTABLISHED, CLOSE_WAIT, SYN_RCVD):
+            return
+        seq = self.snd_nxt
+        fin = self._make_segment(flags=Flags.FIN | Flags.ACK, seq=seq)
+        self.snd_nxt = seqnum.seq_add(self.snd_nxt, 1)
+        self._inflight[seq] = _Inflight(
+            seq=seq, data=b"", fin=True, send_time=self.sim.now
+        )
+        self._fin_sent = True
+        self._fin_seq = seq
+        self.state = FIN_WAIT_1 if self.state in (ESTABLISHED, SYN_RCVD) else LAST_ACK
+        self._transmit(fin)
+        self._arm_rto()
+
+    def _send_ack(self) -> None:
+        options = []
+        if self.sack_enabled and self._reassembly:
+            blocks = self._sack_blocks()
+            if blocks:
+                options.append(SackBlocks(blocks=tuple(blocks[:3])))
+        ack = self._make_segment(flags=Flags.ACK, seq=self.snd_nxt, options=options)
+        self._transmit(ack)
+
+    def _sack_blocks(self) -> List[Tuple[int, int]]:
+        """Coalesce the reassembly queue into SACK ranges."""
+        if not self._reassembly:
+            return []
+        spans = sorted(
+            ((seq, seqnum.seq_add(seq, len(data))) for seq, data in self._reassembly.items()),
+            key=lambda span: seqnum.seq_sub(span[0], self.rcv_nxt),
+        )
+        merged = [list(spans[0])]
+        for left, right in spans[1:]:
+            if seqnum.seq_le(left, merged[-1][1]):
+                if seqnum.seq_gt(right, merged[-1][1]):
+                    merged[-1][1] = right
+            else:
+                merged.append([left, right])
+        return [(left, right) for left, right in merged]
+
+    def _make_segment(
+        self,
+        flags: int,
+        seq: int,
+        payload: bytes = b"",
+        options: Optional[list] = None,
+    ) -> TcpSegment:
+        options = list(options or [])
+        options.append(Timestamps(value=self._ts_now(), echo_reply=self._ts_recent))
+        if flags == Flags.SYN:
+            window_field = min(self._advertised_window(), 0xFFFF)
+        else:
+            # The 16-bit field silently truncates; clamp so a stripped
+            # window-scale option degrades to a small window, not zero.
+            window_field = min(
+                self._advertised_window() >> self.rcv_ws_shift, 0xFFFF
+            )
+        return TcpSegment(
+            src_port=self.local_port,
+            dst_port=self.remote_port,
+            seq=seq,
+            ack=self.rcv_nxt,
+            flags=flags,
+            window=window_field,
+            options=options,
+            payload=payload,
+        )
+
+    def _advertised_window(self) -> int:
+        used = len(self._pending_delivery) + sum(
+            len(d) for d in self._reassembly.values()
+        )
+        return max(self.rcv_wnd_limit - used, 0)
+
+    def _transmit(self, segment: TcpSegment) -> None:
+        self.stats["segments_sent"] += 1
+        self._transmit_raw(segment.to_bytes(self.local_addr, self.remote_addr))
+
+    def _transmit_raw(self, raw: bytes) -> None:
+        self.stack.send_raw(self, raw)
+
+    # ------------------------------------------------------------------
+    # Timers
+    # ------------------------------------------------------------------
+
+    def _arm_rto(self) -> None:
+        self._cancel_rto()
+        if self._inflight:
+            self._rto_event = self.sim.schedule(self.rto.rto, self._on_rto)
+
+    def _cancel_rto(self) -> None:
+        if self._rto_event is not None:
+            self._rto_event.cancel()
+            self._rto_event = None
+
+    def _on_rto(self) -> None:
+        self._rto_event = None
+        if not self._inflight:
+            return
+        self._retries += 1
+        self.stats["timeouts"] += 1
+        max_retries = _MAX_SYN_RETRIES if self.state in (SYN_SENT, SYN_RCVD) else _MAX_RETRIES
+        stalled = (
+            self._first_unacked_time is not None
+            and self.user_timeout is not None
+            and self.sim.now - self._first_unacked_time >= self.user_timeout
+        )
+        if self._retries > max_retries or stalled:
+            reason = "user timeout" if stalled else "too many retransmissions"
+            self._enter_closed(notify_error=reason)
+            return
+        self.rto.on_timeout()
+        self.cc.on_timeout(self.bytes_in_flight(), self.sim.now)
+        self._dup_acks = 0
+        self._recovery_point = None
+        self._rto_point = self.snd_nxt
+        self._highest_sacked = None
+        for entry in self._inflight.values():
+            # RFC 6675 after RTO: everything outstanding is deemed lost
+            # and prior retransmission evidence is discarded; partial
+            # ACKs will re-drive go-back-N-style repair in slow start.
+            entry.retransmitted = False
+            entry.lost = True
+        self._retransmit_earliest()
+        self._arm_rto()
+
+    def _pipe_estimate(self) -> int:
+        """RFC 6675 pipe: bytes actually in flight.
+
+        Unsacked segments with SACK evidence *beyond* them are deemed
+        lost (IsLost) and excluded — unless they were retransmitted, in
+        which case the retransmission is in flight and counts.
+        """
+        pipe = 0
+        highest = self._highest_sacked
+        for entry in self._inflight.values():
+            if entry.sacked:
+                continue
+            end = seqnum.seq_add(entry.seq, entry.length())
+            deemed_lost = entry.lost or (
+                highest is not None and seqnum.seq_gt(highest, end)
+            )
+            if entry.retransmitted or not deemed_lost:
+                pipe += entry.length()
+        return pipe
+
+    def _retransmit_earliest(self) -> None:
+        candidates = sorted(
+            (
+                entry
+                for entry in self._inflight.values()
+                if not entry.sacked
+            ),
+            key=lambda entry: seqnum.seq_sub(entry.seq, self.snd_una),
+        )
+        if not candidates:
+            return
+        entry = candidates[0]
+        entry.retransmitted = True
+        entry.send_time = self.sim.now
+        self.stats["retransmissions"] += 1
+        if entry.syn:
+            if self.state == SYN_SENT:
+                if self._syn_had_tfo and self._retries >= 2:
+                    # TFO fallback (RFC 7413 section 4.1.3): a middlebox may
+                    # be dropping SYNs that carry data or the TFO option —
+                    # retry with a plain SYN.
+                    self._send_queue[:0] = entry.data
+                    entry.data = b""
+                    self.tfo_used = False
+                    self._syn_had_tfo = False
+                    self.snd_nxt = seqnum.seq_add(self.iss, 1)
+                    plain_syn = TcpSegment(
+                        src_port=self.local_port,
+                        dst_port=self.remote_port,
+                        seq=self.iss,
+                        flags=Flags.SYN,
+                        window=min(self.rcv_wnd_limit, 0xFFFF),
+                        options=[
+                            MaximumSegmentSize(mss=self.mss),
+                            WindowScale(shift=self.rcv_ws_shift),
+                            SackPermitted(),
+                            Timestamps(value=self._ts_now(), echo_reply=0),
+                        ],
+                    )
+                    self.sent_syn_bytes = plain_syn.to_bytes(
+                        self.local_addr, self.remote_addr
+                    )
+                # Retransmit the SYN exactly as (last) built.
+                self._transmit_raw(self.sent_syn_bytes)
+                self.stats["segments_sent"] += 1
+            else:
+                syn_ack = self._make_segment(
+                    flags=Flags.SYN | Flags.ACK, seq=entry.seq,
+                    options=[
+                        MaximumSegmentSize(mss=self.mss),
+                        WindowScale(shift=self.rcv_ws_shift),
+                    ],
+                )
+                self._transmit(syn_ack)
+            return
+        flags = Flags.ACK | (Flags.FIN if entry.fin else Flags.PSH)
+        segment = self._make_segment(flags=flags, seq=entry.seq, payload=entry.data)
+        self._transmit(segment)
+
+    def _arm_persist_if_needed(self) -> None:
+        if self.snd_wnd > 0 or self._persist_event is not None:
+            return
+        if not self._send_queue:
+            return
+        self._persist_event = self.sim.schedule(0.5, self._persist_probe)
+
+    def _persist_probe(self) -> None:
+        self._persist_event = None
+        if self.state not in (ESTABLISHED, CLOSE_WAIT) or not self._send_queue:
+            return
+        if self.snd_wnd == 0:
+            # One-byte window probe.
+            probe = self._make_segment(
+                flags=Flags.ACK | Flags.PSH,
+                seq=self.snd_nxt,
+                payload=bytes(self._send_queue[:1]),
+            )
+            self._transmit(probe)
+            self._persist_event = self.sim.schedule(1.0, self._persist_probe)
+        else:
+            self._try_send()
+
+    # ------------------------------------------------------------------
+    # Option negotiation
+    # ------------------------------------------------------------------
+
+    def _negotiate_from_options(self, syn: TcpSegment) -> None:
+        mss_option = find_option(syn.options, MaximumSegmentSize)
+        if mss_option is not None:
+            self.peer_mss = mss_option.mss
+        ws_option = find_option(syn.options, WindowScale)
+        self.snd_ws_shift = ws_option.shift if ws_option is not None else 0
+        if ws_option is None:
+            self.rcv_ws_shift = 0  # both sides must agree
+        self.sack_enabled = find_option(syn.options, SackPermitted) is not None
+        uto_option = find_option(syn.options, UserTimeout)
+        if uto_option is not None:
+            self.user_timeout = uto_option.timeout_seconds()
+
+    def _ts_now(self) -> int:
+        return int(self.sim.now * 1000) & 0xFFFFFFFF
+
+    def __repr__(self) -> str:
+        return (
+            f"<TcpConnection {self.local_addr}:{self.local_port} -> "
+            f"{self.remote_addr}:{self.remote_port} {self.state}>"
+        )

@@ -1,0 +1,44 @@
+"""TCP Fast Open cookies (RFC 7413).
+
+The server mints a cookie bound to the client's IP address with a keyed
+hash; the client caches cookies per server.  The paper's section 4.2
+observes that the TCP header limits TFO cookies to 16 bytes — TCPLS lifts
+that limit by carrying a longer cookie inside the TLS ClientHello in the
+SYN payload (see ``repro.core.zero_rtt``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from typing import Dict, Optional
+
+from repro.netsim.packet import IPAddress
+
+COOKIE_LENGTH = 8  # RFC 7413 recommends 8..16 bytes
+
+
+class FastOpenManager:
+    """Per-stack TFO state: server cookie secret + client cookie cache."""
+
+    def __init__(self, secret: bytes = b"") -> None:
+        self._secret = secret or b"repro-tfo-secret"
+        self._client_cache: Dict[IPAddress, bytes] = {}
+
+    # -- server side ---------------------------------------------------------
+
+    def make_cookie(self, client_addr: IPAddress) -> bytes:
+        return hmac.new(
+            self._secret, client_addr.packed, hashlib.sha256
+        ).digest()[:COOKIE_LENGTH]
+
+    def validate_cookie(self, client_addr: IPAddress, cookie: bytes) -> bool:
+        return hmac.compare_digest(self.make_cookie(client_addr), cookie)
+
+    # -- client side -------------------------------------------------------------
+
+    def remember_cookie(self, server_addr: IPAddress, cookie: bytes) -> None:
+        self._client_cache[server_addr] = cookie
+
+    def cookie_for(self, server_addr: IPAddress) -> Optional[bytes]:
+        return self._client_cache.get(server_addr)

@@ -1,0 +1,53 @@
+"""Retransmission timeout estimation (RFC 6298)."""
+
+from __future__ import annotations
+
+
+class RtoEstimator:
+    """Maintains SRTT/RTTVAR and the retransmission timeout.
+
+    ``min_rto`` defaults to 200 ms, the Linux floor rather than RFC
+    6298's conservative 1 s, because the simulated topologies have
+    LAN-to-WAN scale RTTs.
+    """
+
+    def __init__(
+        self,
+        initial_rto: float = 1.0,
+        min_rto: float = 0.2,
+        max_rto: float = 60.0,
+        alpha: float = 1 / 8,
+        beta: float = 1 / 4,
+    ) -> None:
+        self.srtt: float = 0.0
+        self.rttvar: float = 0.0
+        self.rto: float = initial_rto
+        self.min_rto = min_rto
+        self.max_rto = max_rto
+        self._alpha = alpha
+        self._beta = beta
+        self._has_sample = False
+        self.samples = 0
+
+    def on_measurement(self, rtt: float) -> None:
+        """Feed one RTT sample (never from a retransmitted segment — Karn)."""
+        if rtt < 0:
+            raise ValueError("negative RTT sample")
+        self.samples += 1
+        if not self._has_sample:
+            self.srtt = rtt
+            self.rttvar = rtt / 2
+            self._has_sample = True
+        else:
+            self.rttvar = (1 - self._beta) * self.rttvar + self._beta * abs(
+                self.srtt - rtt
+            )
+            self.srtt = (1 - self._alpha) * self.srtt + self._alpha * rtt
+        self.rto = self._clamp(self.srtt + max(4 * self.rttvar, 0.001))
+
+    def on_timeout(self) -> None:
+        """Exponential backoff after a retransmission timeout."""
+        self.rto = self._clamp(self.rto * 2)
+
+    def _clamp(self, value: float) -> float:
+        return min(max(value, self.min_rto), self.max_rto)

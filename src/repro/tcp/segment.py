@@ -1,0 +1,164 @@
+"""TCP segment wire format (RFC 793) with a real Internet checksum.
+
+Segments serialize to genuine header bytes so that middleboxes in
+``repro.netsim.middlebox`` can observe and rewrite exactly what a
+hardware middlebox would — the mechanism behind the paper's middlebox
+interference and SYN-echo detection experiments (sections 2.1 and 4.5).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.netsim.packet import IPAddress, PROTO_TCP
+from repro.tcp.options import TcpOption, decode_options, encode_options
+from repro.utils.errors import ProtocolViolation
+
+
+class Flags:
+    """TCP flag bits."""
+
+    FIN = 0x01
+    SYN = 0x02
+    RST = 0x04
+    PSH = 0x08
+    ACK = 0x10
+    URG = 0x20
+    ECE = 0x40
+    CWR = 0x80
+
+    @staticmethod
+    def names(flags: int) -> str:
+        parts = []
+        for name in ("FIN", "SYN", "RST", "PSH", "ACK", "URG", "ECE", "CWR"):
+            if flags & getattr(Flags, name):
+                parts.append(name)
+        return "|".join(parts) or "none"
+
+
+def internet_checksum(data: bytes) -> int:
+    """RFC 1071 ones-complement checksum over 16-bit big-endian words."""
+    if len(data) % 2:
+        data += b"\x00"
+    total = sum(struct.unpack(f"!{len(data) // 2}H", data))
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return ~total & 0xFFFF
+
+
+def _pseudo_header(src: IPAddress, dst: IPAddress, tcp_length: int) -> bytes:
+    if src.version == 4:
+        return src.packed + dst.packed + struct.pack("!BBH", 0, PROTO_TCP, tcp_length)
+    return src.packed + dst.packed + struct.pack("!IBBBB", tcp_length, 0, 0, 0, PROTO_TCP)
+
+
+@dataclass
+class TcpSegment:
+    """One TCP segment (header fields + payload)."""
+
+    src_port: int
+    dst_port: int
+    seq: int = 0
+    ack: int = 0
+    flags: int = 0
+    window: int = 65535
+    options: List[TcpOption] = field(default_factory=list)
+    payload: bytes = b""
+    urgent: int = 0
+
+    def has(self, flag: int) -> bool:
+        return bool(self.flags & flag)
+
+    @property
+    def is_syn(self) -> bool:
+        return self.has(Flags.SYN)
+
+    @property
+    def is_ack(self) -> bool:
+        return self.has(Flags.ACK)
+
+    @property
+    def is_fin(self) -> bool:
+        return self.has(Flags.FIN)
+
+    @property
+    def is_rst(self) -> bool:
+        return self.has(Flags.RST)
+
+    def sequence_space(self) -> int:
+        """Bytes of sequence space the segment occupies (SYN/FIN count 1)."""
+        length = len(self.payload)
+        if self.is_syn:
+            length += 1
+        if self.is_fin:
+            length += 1
+        return length
+
+    # -- wire format -----------------------------------------------------
+
+    def to_bytes(self, src: IPAddress, dst: IPAddress) -> bytes:
+        options_block = encode_options(self.options)
+        data_offset_words = 5 + len(options_block) // 4
+        header = struct.pack(
+            "!HHIIBBHHH",
+            self.src_port,
+            self.dst_port,
+            self.seq & 0xFFFFFFFF,
+            self.ack & 0xFFFFFFFF,
+            data_offset_words << 4,
+            self.flags,
+            self.window & 0xFFFF,
+            0,  # checksum placeholder
+            self.urgent,
+        )
+        segment = header + options_block + self.payload
+        checksum = internet_checksum(_pseudo_header(src, dst, len(segment)) + segment)
+        return segment[:16] + struct.pack("!H", checksum) + segment[18:]
+
+    @classmethod
+    def from_bytes(
+        cls,
+        data: bytes,
+        src: IPAddress = None,
+        dst: IPAddress = None,
+        verify_checksum: bool = True,
+    ) -> "TcpSegment":
+        if len(data) < 20:
+            raise ProtocolViolation("TCP segment shorter than minimum header")
+        (
+            src_port,
+            dst_port,
+            seq,
+            ack,
+            offset_flags_hi,
+            flags,
+            window,
+            checksum,
+            urgent,
+        ) = struct.unpack("!HHIIBBHHH", data[:20])
+        data_offset = (offset_flags_hi >> 4) * 4
+        if data_offset < 20 or data_offset > len(data):
+            raise ProtocolViolation(f"bad TCP data offset {data_offset}")
+        if verify_checksum and src is not None and dst is not None:
+            if internet_checksum(_pseudo_header(src, dst, len(data)) + data) != 0:
+                raise ProtocolViolation("TCP checksum verification failed")
+        options = decode_options(data[20:data_offset])
+        return cls(
+            src_port=src_port,
+            dst_port=dst_port,
+            seq=seq,
+            ack=ack,
+            flags=flags,
+            window=window,
+            options=options,
+            payload=data[data_offset:],
+            urgent=urgent,
+        )
+
+    def summary(self) -> str:
+        return (
+            f"TCP {self.src_port}->{self.dst_port} [{Flags.names(self.flags)}] "
+            f"seq={self.seq} ack={self.ack} len={len(self.payload)}"
+        )

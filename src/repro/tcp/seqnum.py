@@ -1,0 +1,37 @@
+"""Modular 32-bit sequence-number arithmetic (RFC 793 section 3.3)."""
+
+from __future__ import annotations
+
+MOD = 1 << 32
+_HALF = 1 << 31
+
+
+def seq_add(a: int, b: int) -> int:
+    return (a + b) % MOD
+
+
+def seq_sub(a: int, b: int) -> int:
+    """a - b in sequence space, interpreted as a signed distance."""
+    diff = (a - b) % MOD
+    return diff - MOD if diff >= _HALF else diff
+
+
+def seq_lt(a: int, b: int) -> bool:
+    return seq_sub(a, b) < 0
+
+
+def seq_le(a: int, b: int) -> bool:
+    return seq_sub(a, b) <= 0
+
+
+def seq_gt(a: int, b: int) -> bool:
+    return seq_sub(a, b) > 0
+
+
+def seq_ge(a: int, b: int) -> bool:
+    return seq_sub(a, b) >= 0
+
+
+def seq_between(low: int, value: int, high: int) -> bool:
+    """low <= value < high in sequence space."""
+    return seq_le(low, value) and seq_lt(value, high)

@@ -1,0 +1,33 @@
+"""A TLS 1.3 implementation (the picotls substitute).
+
+Scope: the TLS_CHACHA20_POLY1305_SHA256 suite with X25519 key exchange
+and Ed25519 certificates — one fully-working path through RFC 8446
+rather than a broad matrix.  Implemented:
+
+- full 1-RTT handshake with certificate verification and Finished MACs;
+- the record layer with encrypted content types (the inner-type byte the
+  paper's Figure 1 extends into the TCPLS ``TType``);
+- EncryptedExtensions — the carrier for TCPLS's secure control data;
+- session tickets, PSK resumption, and 0-RTT early data;
+- exporter secrets (RFC 8446 7.5), from which TCPLS derives per-stream
+  and per-connection keys.
+
+The handshake driver is sans-io: bytes in via ``receive``, bytes out via
+a callback, so it runs over simulated TCP connections.
+"""
+
+from repro.tls.certificates import Certificate, CertificateAuthority, TrustStore
+from repro.tls.record import ContentType, RecordDecoder, RecordEncoder
+from repro.tls.session import SessionTicketStore, TlsConfig, TlsSession
+
+__all__ = [
+    "Certificate",
+    "CertificateAuthority",
+    "TrustStore",
+    "ContentType",
+    "RecordEncoder",
+    "RecordDecoder",
+    "TlsConfig",
+    "TlsSession",
+    "SessionTicketStore",
+]

@@ -1,0 +1,54 @@
+"""TLS alerts (RFC 8446 section 6)."""
+
+from __future__ import annotations
+
+from repro.utils.errors import ProtocolViolation
+
+LEVEL_WARNING = 1
+LEVEL_FATAL = 2
+
+CLOSE_NOTIFY = 0
+UNEXPECTED_MESSAGE = 10
+BAD_RECORD_MAC = 20
+HANDSHAKE_FAILURE = 40
+BAD_CERTIFICATE = 42
+ILLEGAL_PARAMETER = 47
+DECRYPT_ERROR = 51
+PROTOCOL_VERSION = 70
+MISSING_EXTENSION = 109
+UNSUPPORTED_EXTENSION = 110
+
+_NAMES = {
+    CLOSE_NOTIFY: "close_notify",
+    UNEXPECTED_MESSAGE: "unexpected_message",
+    BAD_RECORD_MAC: "bad_record_mac",
+    HANDSHAKE_FAILURE: "handshake_failure",
+    BAD_CERTIFICATE: "bad_certificate",
+    ILLEGAL_PARAMETER: "illegal_parameter",
+    DECRYPT_ERROR: "decrypt_error",
+    PROTOCOL_VERSION: "protocol_version",
+    MISSING_EXTENSION: "missing_extension",
+    UNSUPPORTED_EXTENSION: "unsupported_extension",
+}
+
+
+def alert_name(description: int) -> str:
+    return _NAMES.get(description, f"alert_{description}")
+
+
+def encode_alert(level: int, description: int) -> bytes:
+    return bytes([level, description])
+
+
+def decode_alert(payload: bytes):
+    if len(payload) != 2:
+        raise ProtocolViolation("malformed alert record")
+    return payload[0], payload[1]
+
+
+class TlsAlertError(ProtocolViolation):
+    """Raised when the handshake fails; carries the alert description."""
+
+    def __init__(self, description: int, message: str = "") -> None:
+        super().__init__(message or alert_name(description))
+        self.description = description

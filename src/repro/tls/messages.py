@@ -1,0 +1,427 @@
+"""TLS 1.3 handshake messages and extensions (RFC 8446 section 4).
+
+Each message serializes to the standard ``type(u8) || length(u24) ||
+body`` handshake framing.  Extensions are kept as ``(type, bytes)`` pairs
+with typed helpers for the ones the stack interprets; unknown extensions
+round-trip untouched — which is exactly how TCPLS smuggles its transport
+parameters, cookies, and address advertisements through the handshake.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.utils.bytesio import ByteReader, ByteWriter
+from repro.utils.errors import ProtocolViolation
+
+# Handshake message types.
+CLIENT_HELLO = 1
+SERVER_HELLO = 2
+NEW_SESSION_TICKET = 4
+END_OF_EARLY_DATA = 5
+ENCRYPTED_EXTENSIONS = 8
+CERTIFICATE = 11
+CERTIFICATE_VERIFY = 15
+FINISHED = 20
+KEY_UPDATE = 24
+
+# Extension types.
+EXT_SERVER_NAME = 0
+EXT_SUPPORTED_GROUPS = 10
+EXT_SIGNATURE_ALGORITHMS = 13
+EXT_ALPN = 16
+EXT_PRE_SHARED_KEY = 41
+EXT_EARLY_DATA = 42
+EXT_SUPPORTED_VERSIONS = 43
+EXT_PSK_KEY_EXCHANGE_MODES = 45
+EXT_KEY_SHARE = 51
+# Private-use extension number for TCPLS transport parameters (the paper:
+# "the client indicates its willingness to use TCPLS with a transport
+# parameter in the ClientHello").
+EXT_TCPLS = 0xFF5C
+
+TLS13 = 0x0304
+LEGACY_VERSION = 0x0303
+CIPHER_CHACHA20_POLY1305_SHA256 = 0x1303
+GROUP_X25519 = 0x001D
+SIG_ED25519 = 0x0807
+
+Extensions = List[Tuple[int, bytes]]
+
+
+def _encode_extensions(extensions: Extensions) -> bytes:
+    inner = ByteWriter()
+    for ext_type, body in extensions:
+        inner.put_u16(ext_type).put_vec16(body)
+    writer = ByteWriter()
+    writer.put_vec16(inner.getvalue())
+    return writer.getvalue()
+
+
+def _decode_extensions(reader: ByteReader) -> Extensions:
+    extensions: Extensions = []
+    block = ByteReader(reader.get_vec16())
+    while not block.is_empty():
+        ext_type = block.get_u16()
+        extensions.append((ext_type, block.get_vec16()))
+    return extensions
+
+
+def get_extension(extensions: Extensions, ext_type: int) -> Optional[bytes]:
+    for found_type, body in extensions:
+        if found_type == ext_type:
+            return body
+    return None
+
+
+def frame_handshake(msg_type: int, body: bytes) -> bytes:
+    writer = ByteWriter()
+    writer.put_u8(msg_type).put_vec24(body)
+    return writer.getvalue()
+
+
+def parse_handshake_frames(data: bytes) -> List[Tuple[int, bytes, bytes]]:
+    """Split concatenated handshake messages; returns (type, body, raw)."""
+    reader = ByteReader(data)
+    frames = []
+    while not reader.is_empty():
+        start = reader.offset
+        msg_type = reader.get_u8()
+        body = reader.get_vec24()
+        raw = data[start : reader.offset]
+        frames.append((msg_type, body, raw))
+    return frames
+
+
+# ---------------------------------------------------------------------------
+# ClientHello / ServerHello
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ClientHello:
+    random: bytes
+    session_id: bytes = b""
+    cipher_suites: List[int] = field(
+        default_factory=lambda: [CIPHER_CHACHA20_POLY1305_SHA256]
+    )
+    extensions: Extensions = field(default_factory=list)
+
+    msg_type = CLIENT_HELLO
+
+    def to_bytes(self) -> bytes:
+        writer = ByteWriter()
+        writer.put_u16(LEGACY_VERSION)
+        writer.put_bytes(self.random.ljust(32, b"\x00")[:32])
+        writer.put_vec8(self.session_id)
+        suites = ByteWriter()
+        for suite in self.cipher_suites:
+            suites.put_u16(suite)
+        writer.put_vec16(suites.getvalue())
+        writer.put_vec8(b"\x00")  # legacy compression: null only
+        writer.put_bytes(_encode_extensions(self.extensions))
+        return frame_handshake(CLIENT_HELLO, writer.getvalue())
+
+    @classmethod
+    def from_body(cls, body: bytes) -> "ClientHello":
+        reader = ByteReader(body)
+        if reader.get_u16() != LEGACY_VERSION:
+            raise ProtocolViolation("bad legacy_version in ClientHello")
+        random = reader.get_bytes(32)
+        session_id = reader.get_vec8()
+        suites_raw = ByteReader(reader.get_vec16())
+        suites = []
+        while not suites_raw.is_empty():
+            suites.append(suites_raw.get_u16())
+        reader.get_vec8()  # compression methods
+        extensions = _decode_extensions(reader)
+        return cls(
+            random=random,
+            session_id=session_id,
+            cipher_suites=suites,
+            extensions=extensions,
+        )
+
+
+@dataclass
+class ServerHello:
+    random: bytes
+    session_id: bytes = b""
+    cipher_suite: int = CIPHER_CHACHA20_POLY1305_SHA256
+    extensions: Extensions = field(default_factory=list)
+
+    msg_type = SERVER_HELLO
+
+    def to_bytes(self) -> bytes:
+        writer = ByteWriter()
+        writer.put_u16(LEGACY_VERSION)
+        writer.put_bytes(self.random.ljust(32, b"\x00")[:32])
+        writer.put_vec8(self.session_id)
+        writer.put_u16(self.cipher_suite)
+        writer.put_u8(0)  # legacy compression
+        writer.put_bytes(_encode_extensions(self.extensions))
+        return frame_handshake(SERVER_HELLO, writer.getvalue())
+
+    @classmethod
+    def from_body(cls, body: bytes) -> "ServerHello":
+        reader = ByteReader(body)
+        reader.get_u16()
+        random = reader.get_bytes(32)
+        session_id = reader.get_vec8()
+        cipher_suite = reader.get_u16()
+        reader.get_u8()
+        extensions = _decode_extensions(reader)
+        return cls(
+            random=random,
+            session_id=session_id,
+            cipher_suite=cipher_suite,
+            extensions=extensions,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Encrypted handshake flight
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class EncryptedExtensionsMsg:
+    extensions: Extensions = field(default_factory=list)
+
+    msg_type = ENCRYPTED_EXTENSIONS
+
+    def to_bytes(self) -> bytes:
+        return frame_handshake(ENCRYPTED_EXTENSIONS, _encode_extensions(self.extensions))
+
+    @classmethod
+    def from_body(cls, body: bytes) -> "EncryptedExtensionsMsg":
+        return cls(extensions=_decode_extensions(ByteReader(body)))
+
+
+@dataclass
+class CertificateMsg:
+    certificate_bytes: bytes  # one repro certificate (no chains of depth > 1)
+
+    msg_type = CERTIFICATE
+
+    def to_bytes(self) -> bytes:
+        writer = ByteWriter()
+        writer.put_vec8(b"")  # certificate_request_context
+        entry = ByteWriter()
+        entry.put_vec24(self.certificate_bytes)
+        entry.put_vec16(b"")  # per-entry extensions
+        writer.put_vec24(entry.getvalue())
+        return frame_handshake(CERTIFICATE, writer.getvalue())
+
+    @classmethod
+    def from_body(cls, body: bytes) -> "CertificateMsg":
+        reader = ByteReader(body)
+        reader.get_vec8()
+        entries = ByteReader(reader.get_vec24())
+        certificate_bytes = entries.get_vec24()
+        entries.get_vec16()
+        return cls(certificate_bytes=certificate_bytes)
+
+
+@dataclass
+class CertificateVerifyMsg:
+    algorithm: int
+    signature: bytes
+
+    msg_type = CERTIFICATE_VERIFY
+
+    def to_bytes(self) -> bytes:
+        writer = ByteWriter()
+        writer.put_u16(self.algorithm)
+        writer.put_vec16(self.signature)
+        return frame_handshake(CERTIFICATE_VERIFY, writer.getvalue())
+
+    @classmethod
+    def from_body(cls, body: bytes) -> "CertificateVerifyMsg":
+        reader = ByteReader(body)
+        return cls(algorithm=reader.get_u16(), signature=reader.get_vec16())
+
+
+@dataclass
+class FinishedMsg:
+    verify_data: bytes
+
+    msg_type = FINISHED
+
+    def to_bytes(self) -> bytes:
+        return frame_handshake(FINISHED, self.verify_data)
+
+    @classmethod
+    def from_body(cls, body: bytes) -> "FinishedMsg":
+        return cls(verify_data=body)
+
+
+@dataclass
+class EndOfEarlyDataMsg:
+    msg_type = END_OF_EARLY_DATA
+
+    def to_bytes(self) -> bytes:
+        return frame_handshake(END_OF_EARLY_DATA, b"")
+
+
+@dataclass
+class KeyUpdateMsg:
+    """Post-handshake key update (RFC 8446 section 4.6.3)."""
+
+    request_update: bool = False
+
+    msg_type = KEY_UPDATE
+
+    def to_bytes(self) -> bytes:
+        return frame_handshake(KEY_UPDATE, bytes([1 if self.request_update else 0]))
+
+    @classmethod
+    def from_body(cls, body: bytes) -> "KeyUpdateMsg":
+        if len(body) != 1 or body[0] > 1:
+            raise ProtocolViolation("malformed KeyUpdate")
+        return cls(request_update=bool(body[0]))
+
+
+@dataclass
+class NewSessionTicketMsg:
+    lifetime: int
+    age_add: int
+    nonce: bytes
+    ticket: bytes
+    max_early_data: int = 0
+
+    msg_type = NEW_SESSION_TICKET
+
+    def to_bytes(self) -> bytes:
+        writer = ByteWriter()
+        writer.put_u32(self.lifetime)
+        writer.put_u32(self.age_add)
+        writer.put_vec8(self.nonce)
+        writer.put_vec16(self.ticket)
+        extensions: Extensions = []
+        if self.max_early_data:
+            body = ByteWriter()
+            body.put_u32(self.max_early_data)
+            extensions.append((EXT_EARLY_DATA, body.getvalue()))
+        writer.put_bytes(_encode_extensions(extensions))
+        return frame_handshake(NEW_SESSION_TICKET, writer.getvalue())
+
+    @classmethod
+    def from_body(cls, body: bytes) -> "NewSessionTicketMsg":
+        reader = ByteReader(body)
+        lifetime = reader.get_u32()
+        age_add = reader.get_u32()
+        nonce = reader.get_vec8()
+        ticket = reader.get_vec16()
+        extensions = _decode_extensions(reader)
+        max_early = 0
+        early = get_extension(extensions, EXT_EARLY_DATA)
+        if early is not None:
+            max_early = ByteReader(early).get_u32()
+        return cls(
+            lifetime=lifetime,
+            age_add=age_add,
+            nonce=nonce,
+            ticket=ticket,
+            max_early_data=max_early,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Extension body builders/parsers
+# ---------------------------------------------------------------------------
+
+
+def build_key_share_client(public_key: bytes) -> bytes:
+    shares = ByteWriter()
+    shares.put_u16(GROUP_X25519).put_vec16(public_key)
+    writer = ByteWriter()
+    writer.put_vec16(shares.getvalue())
+    return writer.getvalue()
+
+
+def parse_key_share_client(body: bytes) -> Optional[bytes]:
+    shares = ByteReader(ByteReader(body).get_vec16())
+    while not shares.is_empty():
+        group = shares.get_u16()
+        key = shares.get_vec16()
+        if group == GROUP_X25519:
+            return key
+    return None
+
+
+def build_key_share_server(public_key: bytes) -> bytes:
+    writer = ByteWriter()
+    writer.put_u16(GROUP_X25519).put_vec16(public_key)
+    return writer.getvalue()
+
+
+def parse_key_share_server(body: bytes) -> bytes:
+    reader = ByteReader(body)
+    group = reader.get_u16()
+    if group != GROUP_X25519:
+        raise ProtocolViolation(f"unsupported key share group {group:#06x}")
+    return reader.get_vec16()
+
+
+def build_supported_versions_client() -> bytes:
+    writer = ByteWriter()
+    versions = ByteWriter()
+    versions.put_u16(TLS13)
+    writer.put_vec8(versions.getvalue())
+    return writer.getvalue()
+
+
+def build_supported_versions_server() -> bytes:
+    writer = ByteWriter()
+    writer.put_u16(TLS13)
+    return writer.getvalue()
+
+
+def build_server_name(name: str) -> bytes:
+    encoded = name.encode("utf-8")
+    entry = ByteWriter()
+    entry.put_u8(0).put_vec16(encoded)
+    writer = ByteWriter()
+    writer.put_vec16(entry.getvalue())
+    return writer.getvalue()
+
+
+def parse_server_name(body: bytes) -> str:
+    entries = ByteReader(ByteReader(body).get_vec16())
+    entries.get_u8()
+    return entries.get_vec16().decode("utf-8")
+
+
+def build_psk_offer(identity: bytes, obfuscated_age: int, binder_length: int) -> bytes:
+    """Build pre_shared_key with a zero binder placeholder (filled later)."""
+    identities = ByteWriter()
+    identities.put_vec16(identity).put_u32(obfuscated_age)
+    binders = ByteWriter()
+    binders.put_vec8(b"\x00" * binder_length)
+    writer = ByteWriter()
+    writer.put_vec16(identities.getvalue())
+    writer.put_vec16(binders.getvalue())
+    return writer.getvalue()
+
+
+def parse_psk_offer(body: bytes) -> Tuple[bytes, int, bytes]:
+    reader = ByteReader(body)
+    identities = ByteReader(reader.get_vec16())
+    identity = identities.get_vec16()
+    age = identities.get_u32()
+    binders = ByteReader(reader.get_vec16())
+    binder = binders.get_vec8()
+    return identity, age, binder
+
+
+def psk_binders_length(binder_length: int) -> int:
+    """On-wire length of the binders list: u16 len + (u8 + binder)."""
+    return 2 + 1 + binder_length
+
+
+def build_psk_selected(index: int = 0) -> bytes:
+    writer = ByteWriter()
+    writer.put_u16(index)
+    return writer.getvalue()

@@ -1,0 +1,212 @@
+"""The TLS 1.3 record layer (RFC 8446 section 5).
+
+Encrypted records hide their true content type: the outer header always
+says ``application_data`` (23) and the real type rides as the last
+plaintext byte (``TLSInnerPlaintext.type``).  The paper's Figure 1 is
+precisely this mechanism — TCPLS extends the inner-type space with its
+own control types (``repro.core.framing``), so a middlebox sees only
+opaque APPDATA records.
+
+``RecordDecoder.decrypt_with`` exposes the per-record AEAD open so TCPLS
+can do trial decryption across per-stream cryptographic contexts
+(paper section 2.3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from repro.crypto.aead import ChaCha20Poly1305, TAG_LENGTH
+from repro.crypto.keyschedule import TrafficKeys
+from repro.utils.bytesio import ByteReader, ByteWriter
+from repro.utils.errors import CryptoError, ProtocolViolation
+
+
+class ContentType:
+    CHANGE_CIPHER_SPEC = 20
+    ALERT = 21
+    HANDSHAKE = 22
+    APPLICATION_DATA = 23
+
+MAX_PLAINTEXT = 1 << 14  # RFC 8446: 2^14 bytes of plaintext per record
+RECORD_HEADER_LEN = 5
+LEGACY_RECORD_VERSION = 0x0303
+
+# Per-record overhead once encrypted: header + inner type byte + AEAD tag.
+ENCRYPTED_OVERHEAD = RECORD_HEADER_LEN + 1 + TAG_LENGTH
+
+
+def record_header(content_type: int, length: int) -> bytes:
+    writer = ByteWriter()
+    writer.put_u8(content_type).put_u16(LEGACY_RECORD_VERSION).put_u16(length)
+    return writer.getvalue()
+
+
+class CipherState:
+    """One direction's AEAD key material plus its record sequence number."""
+
+    def __init__(self, keys: TrafficKeys) -> None:
+        self.keys = keys
+        self.aead = ChaCha20Poly1305(keys.key)
+        self.sequence = 0
+
+    def next_nonce(self) -> bytes:
+        return self.keys.nonce_for(self.sequence)
+
+    def advance(self) -> None:
+        self.sequence += 1
+
+    def rekey(self) -> None:
+        """RFC 8446 7.2 key update."""
+        self.keys = self.keys.next_generation()
+        self.aead = ChaCha20Poly1305(self.keys.key)
+        self.sequence = 0
+
+
+class RecordEncoder:
+    """Serializes plaintext or encrypted records for one direction."""
+
+    def __init__(self) -> None:
+        self._cipher: Optional[CipherState] = None
+        self.records_encrypted = 0
+
+    @property
+    def is_encrypting(self) -> bool:
+        return self._cipher is not None
+
+    @property
+    def cipher(self) -> Optional[CipherState]:
+        return self._cipher
+
+    def set_key(self, keys: TrafficKeys) -> None:
+        self._cipher = CipherState(keys)
+
+    def clear_key(self) -> None:
+        self._cipher = None
+
+    def encode(self, content_type: int, payload: bytes) -> bytes:
+        """Produce one or more records carrying ``payload``."""
+        if not payload and content_type != ContentType.APPLICATION_DATA:
+            payload = b""
+        out = []
+        offset = 0
+        while True:
+            chunk = payload[offset : offset + MAX_PLAINTEXT - 1]
+            out.append(self._encode_one(content_type, chunk))
+            offset += len(chunk)
+            if offset >= len(payload):
+                break
+        return b"".join(out)
+
+    def _encode_one(self, content_type: int, chunk: bytes) -> bytes:
+        if self._cipher is None:
+            return record_header(content_type, len(chunk)) + chunk
+        inner = chunk + bytes([content_type])
+        sealed_length = len(inner) + TAG_LENGTH
+        header = record_header(ContentType.APPLICATION_DATA, sealed_length)
+        sealed = self._cipher.aead.encrypt(self._cipher.next_nonce(), inner, header)
+        self._cipher.advance()
+        self.records_encrypted += 1
+        return header + sealed
+
+
+def strip_padding(inner: bytes) -> Tuple[int, bytes]:
+    """Split TLSInnerPlaintext into (content_type, content)."""
+    end = len(inner)
+    while end > 0 and inner[end - 1] == 0:
+        end -= 1
+    if end == 0:
+        raise ProtocolViolation("record with all-zero inner plaintext")
+    return inner[end - 1], inner[: end - 1]
+
+
+class RecordDecoder:
+    """Reassembles a byte stream into records and decrypts them."""
+
+    def __init__(self) -> None:
+        self._cipher: Optional[CipherState] = None
+        self._buffer = bytearray()
+        self.records_decrypted = 0
+        self.decrypt_failures = 0
+
+    @property
+    def is_decrypting(self) -> bool:
+        return self._cipher is not None
+
+    @property
+    def cipher(self) -> Optional[CipherState]:
+        return self._cipher
+
+    def set_key(self, keys: TrafficKeys) -> None:
+        self._cipher = CipherState(keys)
+
+    def clear_key(self) -> None:
+        self._cipher = None
+
+    def feed(self, data: bytes) -> None:
+        self._buffer.extend(data)
+
+    def pending_bytes(self) -> int:
+        return len(self._buffer)
+
+    def records(self) -> Iterator[Tuple[int, bytes]]:
+        """Yield complete (content_type, plaintext) records."""
+        while True:
+            record = self._next_raw_record()
+            if record is None:
+                return
+            outer_type, ciphertext = record
+            if self._cipher is None or outer_type != ContentType.APPLICATION_DATA:
+                yield outer_type, ciphertext
+                continue
+            yield self._decrypt(ciphertext)
+
+    def raw_records(self) -> Iterator[Tuple[int, bytes]]:
+        """Yield records without decrypting (TCPLS trial decryption path)."""
+        while True:
+            record = self._next_raw_record()
+            if record is None:
+                return
+            yield record
+
+    def _next_raw_record(self) -> Optional[Tuple[int, bytes]]:
+        if len(self._buffer) < RECORD_HEADER_LEN:
+            return None
+        reader = ByteReader(bytes(self._buffer[:RECORD_HEADER_LEN]))
+        outer_type = reader.get_u8()
+        reader.get_u16()
+        length = reader.get_u16()
+        if length > MAX_PLAINTEXT + 256 + TAG_LENGTH:
+            raise ProtocolViolation(f"record length {length} exceeds the limit")
+        if len(self._buffer) < RECORD_HEADER_LEN + length:
+            return None
+        body = bytes(self._buffer[RECORD_HEADER_LEN : RECORD_HEADER_LEN + length])
+        del self._buffer[: RECORD_HEADER_LEN + length]
+        return outer_type, body
+
+    def _decrypt(self, ciphertext: bytes) -> Tuple[int, bytes]:
+        assert self._cipher is not None
+        header = record_header(ContentType.APPLICATION_DATA, len(ciphertext))
+        try:
+            inner = self._cipher.aead.decrypt(
+                self._cipher.next_nonce(), ciphertext, header
+            )
+        except CryptoError:
+            self.decrypt_failures += 1
+            raise
+        self._cipher.advance()
+        self.records_decrypted += 1
+        return strip_padding(inner)
+
+    @staticmethod
+    def decrypt_with(cipher: CipherState, ciphertext: bytes) -> Tuple[int, bytes]:
+        """Open one record under an explicit cipher state.
+
+        Raises ``CryptoError`` without touching the sequence number if the
+        tag does not verify — the lightweight "check the authentication
+        tag until we find the stream" probe from paper section 2.3.
+        """
+        header = record_header(ContentType.APPLICATION_DATA, len(ciphertext))
+        inner = cipher.aead.decrypt(cipher.next_nonce(), ciphertext, header)
+        cipher.advance()
+        return strip_padding(inner)

@@ -1,0 +1,653 @@
+"""The TLS 1.3 connection driver (sans-io).
+
+``TlsSession`` consumes transport bytes via ``receive`` and emits
+transport bytes through the ``transport_write`` callback, so it runs
+unchanged over simulated TCP.  It implements:
+
+- the full 1-RTT handshake (certificates + Finished);
+- PSK resumption via self-encrypted session tickets (stateless server);
+- 0-RTT early data with binder verification and the EndOfEarlyData
+  transition;
+- post-handshake application data with key-updates available;
+- the RFC 8446 exporter interface (TCPLS's source of stream keys).
+
+TCPLS hooks in through ``extra_client_extensions`` (ClientHello) and
+``extra_encrypted_extensions`` (EncryptedExtensions), plus the
+``peer_*_extensions`` results after the handshake.
+"""
+
+from __future__ import annotations
+
+import hmac as _hmac
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.crypto.aead import ChaCha20Poly1305
+from repro.crypto.hkdf import hkdf_expand_label, sha256
+from repro.crypto.keyschedule import KeySchedule, TrafficKeys
+from repro.crypto.x25519 import X25519PrivateKey
+from repro.tls import alerts
+from repro.tls.alerts import TlsAlertError
+from repro.tls.certificates import Certificate, Identity, TrustStore
+from repro.tls import messages as m
+from repro.tls.record import ContentType, RecordDecoder, RecordEncoder
+from repro.utils.bytesio import ByteReader, ByteWriter
+from repro.utils.errors import CryptoError, ProtocolViolation
+
+_CERT_VERIFY_CONTEXT_SERVER = b" " * 64 + b"TLS 1.3, server CertificateVerify" + b"\x00"
+
+
+@dataclass
+class ClientTicket:
+    """A resumption ticket as cached by the client."""
+
+    server_name: str
+    identity: bytes
+    psk: bytes
+    max_early_data: int
+    age_add: int
+
+
+class SessionTicketStore:
+    """Client-side cache of resumption tickets, keyed by server name."""
+
+    def __init__(self) -> None:
+        self._tickets: Dict[str, List[ClientTicket]] = {}
+
+    def add(self, ticket: ClientTicket) -> None:
+        self._tickets.setdefault(ticket.server_name, []).append(ticket)
+
+    def take(self, server_name: str) -> Optional[ClientTicket]:
+        """Pop one ticket (tickets are single-use against replay)."""
+        queue = self._tickets.get(server_name)
+        if not queue:
+            return None
+        return queue.pop(0)
+
+    def count(self, server_name: str) -> int:
+        return len(self._tickets.get(server_name, []))
+
+
+@dataclass
+class TlsConfig:
+    """Configuration shared by client and server sessions."""
+
+    # Server side.
+    identity: Optional[Identity] = None
+    ticket_key: bytes = b"\x00" * 32
+    send_tickets: int = 1
+    max_early_data: int = 1 << 16
+    extra_encrypted_extensions: List[Tuple[int, bytes]] = field(default_factory=list)
+
+    # Client side.
+    trust_store: Optional[TrustStore] = None
+    server_name: str = ""
+    ticket_store: Optional[SessionTicketStore] = None
+    extra_client_extensions: List[Tuple[int, bytes]] = field(default_factory=list)
+
+    # Shared.
+    rng: random.Random = field(default_factory=lambda: random.Random(0))
+
+
+class TlsSession:
+    """One endpoint of a TLS 1.3 connection."""
+
+    def __init__(
+        self,
+        config: TlsConfig,
+        is_server: bool,
+        transport_write: Callable[[bytes], None],
+    ) -> None:
+        self.config = config
+        self.is_server = is_server
+        self._write = transport_write
+        self.encoder = RecordEncoder()
+        self.decoder = RecordDecoder()
+        self.keys = KeySchedule()
+        self._handshake_buffer = bytearray()
+        self._ecdh: Optional[X25519PrivateKey] = None
+
+        self.state = "START"
+        self.is_established = False
+        self.can_send_application_data = False
+        self.used_psk = False
+        self.early_data_sent = False
+        self.early_data_accepted = False
+        self._pending_early_data = b""
+        self._skipping_early_data = False
+        self._psk_ticket: Optional[ClientTicket] = None
+        self.peer_certificate: Optional[Certificate] = None
+        self.peer_client_hello_extensions: List[Tuple[int, bytes]] = []
+        self.peer_encrypted_extensions: List[Tuple[int, bytes]] = []
+        self.peer_closed = False
+        self.key_updates_sent = 0
+        self.key_updates_received = 0
+
+        # Events.
+        self.on_handshake_complete: Optional[Callable[[], None]] = None
+        self.on_application_data: Optional[Callable[[bytes], None]] = None
+        self.on_early_data: Optional[Callable[[bytes], None]] = None
+        self.on_ticket: Optional[Callable[[ClientTicket], None]] = None
+        self.on_close: Optional[Callable[[], None]] = None
+
+    # ------------------------------------------------------------------
+    # Client start
+    # ------------------------------------------------------------------
+
+    def start_handshake(self, early_data: bytes = b"") -> None:
+        if self.is_server:
+            raise RuntimeError("start_handshake is client-only")
+        if self.state != "START":
+            raise RuntimeError(f"handshake already started ({self.state})")
+        self._ecdh = X25519PrivateKey(self._random_bytes(32))
+        extensions: List[Tuple[int, bytes]] = [
+            (m.EXT_SUPPORTED_VERSIONS, m.build_supported_versions_client()),
+            (m.EXT_KEY_SHARE, m.build_key_share_client(self._ecdh.public_bytes)),
+        ]
+        if self.config.server_name:
+            extensions.append(
+                (m.EXT_SERVER_NAME, m.build_server_name(self.config.server_name))
+            )
+        extensions.extend(self.config.extra_client_extensions)
+
+        ticket = None
+        if self.config.ticket_store is not None and self.config.server_name:
+            ticket = self.config.ticket_store.take(self.config.server_name)
+        if early_data and ticket is None:
+            raise ProtocolViolation("0-RTT requires a resumption ticket")
+        if ticket is not None:
+            self._psk_ticket = ticket
+            if early_data:
+                extensions.append((m.EXT_EARLY_DATA, b""))
+            # pre_shared_key must be the last extension (RFC 8446 4.2.11).
+            extensions.append(
+                (
+                    m.EXT_PRE_SHARED_KEY,
+                    m.build_psk_offer(ticket.identity, ticket.age_add, 32),
+                )
+            )
+
+        hello = m.ClientHello(
+            random=self._random_bytes(32),
+            session_id=self._random_bytes(32),
+            extensions=extensions,
+        )
+        raw = hello.to_bytes()
+        if ticket is not None:
+            self.keys = KeySchedule(psk=ticket.psk)
+            raw = self._patch_binder(raw, ticket.psk)
+        self.keys.update_transcript(raw)
+        self._send_record(ContentType.HANDSHAKE, raw)
+        self.state = "WAIT_SH"
+
+        if early_data and ticket is not None:
+            early = self.keys.derive_early()
+            self.encoder.set_key(TrafficKeys.from_secret(early["client_early_traffic"]))
+            self._send_record(ContentType.APPLICATION_DATA, early_data)
+            self.early_data_sent = True
+            self._pending_early_data = early_data
+
+    def _patch_binder(self, raw_client_hello: bytes, psk: bytes) -> bytes:
+        """Fill in the PSK binder over the truncated ClientHello."""
+        binders_len = m.psk_binders_length(32)
+        truncated = raw_client_hello[:-binders_len]
+        binder = _compute_binder(psk, truncated)
+        return raw_client_hello[:-32] + binder
+
+    # ------------------------------------------------------------------
+    # Transport input
+    # ------------------------------------------------------------------
+
+    def receive(self, data: bytes) -> None:
+        self.decoder.feed(data)
+        while True:
+            try:
+                for content_type, payload in self.decoder.records():
+                    if self._skipping_early_data:
+                        self._skipping_early_data = False
+                    self._on_record(content_type, payload)
+                return
+            except CryptoError:
+                if self._skipping_early_data:
+                    # RFC 8446 4.2.10: a server that rejected 0-RTT skips
+                    # records that fail to decrypt (the client's early
+                    # data under keys we refused to derive).
+                    continue
+                self._fatal(alerts.BAD_RECORD_MAC, "record authentication failed")
+
+    def _on_record(self, content_type: int, payload: bytes) -> None:
+        if content_type == ContentType.HANDSHAKE:
+            self._handshake_buffer.extend(payload)
+            self._drain_handshake_messages()
+        elif content_type == ContentType.APPLICATION_DATA:
+            if self.is_server and self.state == "WAIT_EOED":
+                if self.on_early_data:
+                    self.on_early_data(payload)
+                return
+            if not self.is_established:
+                raise TlsAlertError(
+                    alerts.UNEXPECTED_MESSAGE, "application data before handshake"
+                )
+            if payload and self.on_application_data:
+                self.on_application_data(payload)
+        elif content_type == ContentType.ALERT:
+            level, description = alerts.decode_alert(payload)
+            if description == alerts.CLOSE_NOTIFY:
+                self.peer_closed = True
+                if self.on_close:
+                    self.on_close()
+            else:
+                raise TlsAlertError(description, f"peer alert: {alerts.alert_name(description)}")
+        elif content_type == ContentType.CHANGE_CIPHER_SPEC:
+            pass  # compatibility records are ignored
+        else:
+            raise TlsAlertError(alerts.UNEXPECTED_MESSAGE, f"record type {content_type}")
+
+    def _drain_handshake_messages(self) -> None:
+        while True:
+            if len(self._handshake_buffer) < 4:
+                return
+            length = int.from_bytes(self._handshake_buffer[1:4], "big")
+            total = 4 + length
+            if len(self._handshake_buffer) < total:
+                return
+            raw = bytes(self._handshake_buffer[:total])
+            del self._handshake_buffer[:total]
+            self._on_handshake_message(raw[0], raw[4:], raw)
+
+    # ------------------------------------------------------------------
+    # Handshake state machine
+    # ------------------------------------------------------------------
+
+    def _on_handshake_message(self, msg_type: int, body: bytes, raw: bytes) -> None:
+        if self.is_server:
+            self._server_message(msg_type, body, raw)
+        else:
+            self._client_message(msg_type, body, raw)
+
+    # -- client ------------------------------------------------------------
+
+    def _client_message(self, msg_type: int, body: bytes, raw: bytes) -> None:
+        if self.state == "WAIT_SH" and msg_type == m.SERVER_HELLO:
+            self._client_handle_server_hello(m.ServerHello.from_body(body), raw)
+        elif self.state == "WAIT_EE" and msg_type == m.ENCRYPTED_EXTENSIONS:
+            msg = m.EncryptedExtensionsMsg.from_body(body)
+            self.peer_encrypted_extensions = msg.extensions
+            self.early_data_accepted = (
+                self.early_data_sent
+                and m.get_extension(msg.extensions, m.EXT_EARLY_DATA) is not None
+            )
+            self.keys.update_transcript(raw)
+            self.state = "WAIT_FINISHED" if self.used_psk else "WAIT_CERT"
+        elif self.state == "WAIT_CERT" and msg_type == m.CERTIFICATE:
+            msg = m.CertificateMsg.from_body(body)
+            self.peer_certificate = Certificate.from_bytes(msg.certificate_bytes)
+            self.keys.update_transcript(raw)
+            self.state = "WAIT_CV"
+        elif self.state == "WAIT_CV" and msg_type == m.CERTIFICATE_VERIFY:
+            self._client_handle_certificate_verify(
+                m.CertificateVerifyMsg.from_body(body), raw
+            )
+        elif self.state == "WAIT_FINISHED" and msg_type == m.FINISHED:
+            self._client_handle_finished(m.FinishedMsg.from_body(body), raw)
+        elif msg_type == m.NEW_SESSION_TICKET and self.is_established:
+            self._client_handle_ticket(m.NewSessionTicketMsg.from_body(body))
+        elif msg_type == m.KEY_UPDATE and self.is_established:
+            self._handle_key_update(m.KeyUpdateMsg.from_body(body))
+        else:
+            raise TlsAlertError(
+                alerts.UNEXPECTED_MESSAGE,
+                f"client got message {msg_type} in state {self.state}",
+            )
+
+    def _client_handle_server_hello(self, hello: m.ServerHello, raw: bytes) -> None:
+        if hello.cipher_suite != m.CIPHER_CHACHA20_POLY1305_SHA256:
+            raise TlsAlertError(alerts.ILLEGAL_PARAMETER, "unexpected cipher suite")
+        selected_psk = m.get_extension(hello.extensions, m.EXT_PRE_SHARED_KEY)
+        if selected_psk is not None and self._psk_ticket is not None:
+            self.used_psk = True
+        elif self._psk_ticket is not None:
+            # The server declined our PSK.  A full fallback would need the
+            # key schedule restarted mid-flight; our server instead rejects
+            # invalid PSKs with a fatal alert, so a declining ServerHello
+            # is a protocol violation in this stack (DESIGN.md section 5).
+            raise TlsAlertError(alerts.HANDSHAKE_FAILURE, "server declined PSK")
+        key_share = m.get_extension(hello.extensions, m.EXT_KEY_SHARE)
+        if key_share is None:
+            raise TlsAlertError(alerts.MISSING_EXTENSION, "no key_share in ServerHello")
+        server_public = m.parse_key_share_server(key_share)
+        self.keys.update_transcript(raw)
+        self.keys.input_ecdhe(self._ecdh.exchange(server_public))
+        self.decoder.set_key(
+            TrafficKeys.from_secret(self.keys.server_handshake_traffic)
+        )
+        self.state = "WAIT_EE"
+
+    def _client_handle_certificate_verify(
+        self, msg: m.CertificateVerifyMsg, raw: bytes
+    ) -> None:
+        if msg.algorithm != m.SIG_ED25519:
+            raise TlsAlertError(alerts.ILLEGAL_PARAMETER, "unexpected sig algorithm")
+        if self.config.trust_store is None:
+            raise TlsAlertError(alerts.BAD_CERTIFICATE, "client has no trust store")
+        expected = self.config.server_name or None
+        if not self.config.trust_store.verify(self.peer_certificate, expected):
+            raise TlsAlertError(alerts.BAD_CERTIFICATE, "certificate not trusted")
+        signed = _CERT_VERIFY_CONTEXT_SERVER + self.keys.transcript_hash()
+        from repro.crypto.ed25519 import ed25519_verify
+
+        if not ed25519_verify(self.peer_certificate.public_key, signed, msg.signature):
+            raise TlsAlertError(alerts.DECRYPT_ERROR, "CertificateVerify failed")
+        self.keys.update_transcript(raw)
+        self.state = "WAIT_FINISHED"
+
+    def _client_handle_finished(self, msg: m.FinishedMsg, raw: bytes) -> None:
+        expected = self.keys.finished_verify_data(self.keys.server_handshake_traffic)
+        if not _hmac.compare_digest(expected, msg.verify_data):
+            raise TlsAlertError(alerts.DECRYPT_ERROR, "server Finished mismatch")
+        self.keys.update_transcript(raw)
+        self.keys.derive_master()
+
+        if self.early_data_sent and self.early_data_accepted:
+            eoed = m.EndOfEarlyDataMsg().to_bytes()
+            self._send_record(ContentType.HANDSHAKE, eoed)  # still early key
+            self.keys.update_transcript(eoed)
+        self.encoder.set_key(
+            TrafficKeys.from_secret(self.keys.client_handshake_traffic)
+        )
+        finished = m.FinishedMsg(
+            verify_data=self.keys.finished_verify_data(
+                self.keys.client_handshake_traffic
+            )
+        ).to_bytes()
+        self._send_record(ContentType.HANDSHAKE, finished)
+        self.keys.update_transcript(finished)
+        self.keys.derive_resumption()
+
+        self.encoder.set_key(
+            TrafficKeys.from_secret(self.keys.client_application_traffic)
+        )
+        self.decoder.set_key(
+            TrafficKeys.from_secret(self.keys.server_application_traffic)
+        )
+        self.is_established = True
+        self.can_send_application_data = True
+        self.state = "CONNECTED"
+        if self.early_data_sent and not self.early_data_accepted:
+            # Rejected 0-RTT: replay the early data under 1-RTT keys.
+            self.send(self._pending_early_data)
+        if self.on_handshake_complete:
+            self.on_handshake_complete()
+
+    def _client_handle_ticket(self, msg: m.NewSessionTicketMsg) -> None:
+        psk = KeySchedule.resumption_psk(self.keys.resumption_master_secret, msg.nonce)
+        ticket = ClientTicket(
+            server_name=self.config.server_name,
+            identity=msg.ticket,
+            psk=psk,
+            max_early_data=msg.max_early_data,
+            age_add=msg.age_add,
+        )
+        if self.config.ticket_store is not None:
+            self.config.ticket_store.add(ticket)
+        if self.on_ticket:
+            self.on_ticket(ticket)
+
+    # -- server -----------------------------------------------------------------
+
+    def _server_message(self, msg_type: int, body: bytes, raw: bytes) -> None:
+        if self.state == "START" and msg_type == m.CLIENT_HELLO:
+            self._server_handle_client_hello(m.ClientHello.from_body(body), raw)
+        elif self.state == "WAIT_EOED" and msg_type == m.END_OF_EARLY_DATA:
+            self.keys.update_transcript(raw)
+            self.decoder.set_key(
+                TrafficKeys.from_secret(self.keys.client_handshake_traffic)
+            )
+            self.state = "WAIT_FINISHED"
+        elif self.state == "WAIT_FINISHED" and msg_type == m.FINISHED:
+            self._server_handle_finished(m.FinishedMsg.from_body(body), raw)
+        elif msg_type == m.KEY_UPDATE and self.is_established:
+            self._handle_key_update(m.KeyUpdateMsg.from_body(body))
+        else:
+            raise TlsAlertError(
+                alerts.UNEXPECTED_MESSAGE,
+                f"server got message {msg_type} in state {self.state}",
+            )
+
+    def _server_handle_client_hello(self, hello: m.ClientHello, raw: bytes) -> None:
+        if m.CIPHER_CHACHA20_POLY1305_SHA256 not in hello.cipher_suites:
+            raise TlsAlertError(alerts.HANDSHAKE_FAILURE, "no common cipher suite")
+        key_share = m.get_extension(hello.extensions, m.EXT_KEY_SHARE)
+        if key_share is None:
+            raise TlsAlertError(alerts.MISSING_EXTENSION, "ClientHello without key_share")
+        client_public = m.parse_key_share_client(key_share)
+        if client_public is None:
+            raise TlsAlertError(alerts.HANDSHAKE_FAILURE, "no X25519 key share")
+        self.peer_client_hello_extensions = hello.extensions
+
+        # PSK / 0-RTT processing.
+        psk: bytes = b""
+        psk_body = m.get_extension(hello.extensions, m.EXT_PRE_SHARED_KEY)
+        early_requested = (
+            m.get_extension(hello.extensions, m.EXT_EARLY_DATA) is not None
+        )
+        if psk_body is not None:
+            identity, _age, binder = m.parse_psk_offer(psk_body)
+            psk = self._unseal_ticket(identity)
+            truncated = raw[: -m.psk_binders_length(len(binder))]
+            if not _hmac.compare_digest(_compute_binder(psk, truncated), binder):
+                raise TlsAlertError(alerts.DECRYPT_ERROR, "PSK binder mismatch")
+            self.used_psk = True
+
+        self.keys = KeySchedule(psk=psk)
+        self.keys.update_transcript(raw)
+        early_keys = self.keys.derive_early() if self.used_psk else None
+        accept_early = (
+            early_requested and self.used_psk and self.config.max_early_data > 0
+        )
+
+        self._ecdh = X25519PrivateKey(self._random_bytes(32))
+        extensions: List[Tuple[int, bytes]] = [
+            (m.EXT_SUPPORTED_VERSIONS, m.build_supported_versions_server()),
+            (m.EXT_KEY_SHARE, m.build_key_share_server(self._ecdh.public_bytes)),
+        ]
+        if self.used_psk:
+            extensions.append((m.EXT_PRE_SHARED_KEY, m.build_psk_selected(0)))
+        server_hello = m.ServerHello(
+            random=self._random_bytes(32),
+            session_id=hello.session_id,
+            extensions=extensions,
+        )
+        sh_raw = server_hello.to_bytes()
+        self.keys.update_transcript(sh_raw)
+        self.keys.input_ecdhe(self._ecdh.exchange(client_public))
+        self._send_record(ContentType.HANDSHAKE, sh_raw)
+        self.encoder.set_key(
+            TrafficKeys.from_secret(self.keys.server_handshake_traffic)
+        )
+
+        # EncryptedExtensions — TCPLS's secure control data rides here.
+        ee_extensions = list(self.config.extra_encrypted_extensions)
+        if accept_early:
+            ee_extensions.append((m.EXT_EARLY_DATA, b""))
+        ee = m.EncryptedExtensionsMsg(extensions=ee_extensions).to_bytes()
+        self.keys.update_transcript(ee)
+        self._send_record(ContentType.HANDSHAKE, ee)
+
+        if not self.used_psk:
+            if self.config.identity is None:
+                raise TlsAlertError(alerts.HANDSHAKE_FAILURE, "server has no identity")
+            cert = m.CertificateMsg(
+                certificate_bytes=self.config.identity.certificate.to_bytes()
+            ).to_bytes()
+            self.keys.update_transcript(cert)
+            self._send_record(ContentType.HANDSHAKE, cert)
+            signed = _CERT_VERIFY_CONTEXT_SERVER + self.keys.transcript_hash()
+            cert_verify = m.CertificateVerifyMsg(
+                algorithm=m.SIG_ED25519,
+                signature=self.config.identity.key.sign(signed),
+            ).to_bytes()
+            self.keys.update_transcript(cert_verify)
+            self._send_record(ContentType.HANDSHAKE, cert_verify)
+
+        finished = m.FinishedMsg(
+            verify_data=self.keys.finished_verify_data(
+                self.keys.server_handshake_traffic
+            )
+        ).to_bytes()
+        self.keys.update_transcript(finished)
+        self._send_record(ContentType.HANDSHAKE, finished)
+        self.keys.derive_master()
+        # 0.5-RTT: the server may send application data from here on.
+        self.encoder.set_key(
+            TrafficKeys.from_secret(self.keys.server_application_traffic)
+        )
+        self.can_send_application_data = True
+
+        if accept_early:
+            self.early_data_accepted = True
+            self.decoder.set_key(
+                TrafficKeys.from_secret(early_keys["client_early_traffic"])
+            )
+            self.state = "WAIT_EOED"
+        else:
+            if early_requested:
+                self._skipping_early_data = True
+            self.decoder.set_key(
+                TrafficKeys.from_secret(self.keys.client_handshake_traffic)
+            )
+            self.state = "WAIT_FINISHED"
+
+    def _server_handle_finished(self, msg: m.FinishedMsg, raw: bytes) -> None:
+        expected = self.keys.finished_verify_data(self.keys.client_handshake_traffic)
+        if not _hmac.compare_digest(expected, msg.verify_data):
+            raise TlsAlertError(alerts.DECRYPT_ERROR, "client Finished mismatch")
+        self.keys.update_transcript(raw)
+        self.keys.derive_resumption()
+        self.decoder.set_key(
+            TrafficKeys.from_secret(self.keys.client_application_traffic)
+        )
+        self.is_established = True
+        self.can_send_application_data = True
+        self.state = "CONNECTED"
+        # Tickets go out before the completion callback: the application
+        # may close the transport from inside the callback.
+        for _ in range(self.config.send_tickets):
+            self._send_new_session_ticket()
+        if self.on_handshake_complete:
+            self.on_handshake_complete()
+
+    # -- tickets ----------------------------------------------------------------------
+
+    def _send_new_session_ticket(self) -> None:
+        nonce = self._random_bytes(8)
+        psk = KeySchedule.resumption_psk(self.keys.resumption_master_secret, nonce)
+        ticket_blob = self._seal_ticket(psk)
+        msg = m.NewSessionTicketMsg(
+            lifetime=7200,
+            age_add=int.from_bytes(self._random_bytes(4), "big"),
+            nonce=nonce,
+            ticket=ticket_blob,
+            max_early_data=self.config.max_early_data,
+        )
+        raw = msg.to_bytes()
+        self._send_record(ContentType.HANDSHAKE, raw)
+
+    def _seal_ticket(self, psk: bytes) -> bytes:
+        """Stateless ticket: AEAD-seal the PSK under the server ticket key."""
+        nonce = self._random_bytes(12)
+        aead = ChaCha20Poly1305(self.config.ticket_key)
+        return nonce + aead.encrypt(nonce, psk, b"repro-ticket")
+
+    def _unseal_ticket(self, blob: bytes) -> bytes:
+        if len(blob) < 12 + 16:
+            raise TlsAlertError(alerts.DECRYPT_ERROR, "ticket too short")
+        aead = ChaCha20Poly1305(self.config.ticket_key)
+        try:
+            return aead.decrypt(blob[:12], blob[12:], b"repro-ticket")
+        except CryptoError:
+            raise TlsAlertError(alerts.DECRYPT_ERROR, "ticket unsealing failed")
+
+    # ------------------------------------------------------------------
+    # Application phase
+    # ------------------------------------------------------------------
+
+    def send(self, data: bytes) -> None:
+        if not self.can_send_application_data:
+            raise RuntimeError("send() before handshake completion")
+        self._send_record(ContentType.APPLICATION_DATA, data)
+
+    def send_key_update(self, request_peer: bool = False) -> None:
+        """RFC 8446 7.2: roll our sending keys (and optionally ask the
+        peer to roll theirs).  The AEAD usage limits the paper cites
+        (section 2.3) make periodic updates part of long-lived sessions.
+        """
+        if not self.is_established:
+            raise RuntimeError("key update before handshake completion")
+        self._send_record(
+            ContentType.HANDSHAKE,
+            m.KeyUpdateMsg(request_update=request_peer).to_bytes(),
+        )
+        self.encoder.cipher.rekey()
+        self.key_updates_sent += 1
+
+    def _handle_key_update(self, msg: "m.KeyUpdateMsg") -> None:
+        # Everything the peer sends after its KeyUpdate uses the next
+        # generation; our decoder must roll now (record order preserved).
+        self.decoder.cipher.rekey()
+        self.key_updates_received += 1
+        if msg.request_update:
+            self.send_key_update(request_peer=False)
+
+    def send_close_notify(self) -> None:
+        self._send_record(
+            ContentType.ALERT,
+            alerts.encode_alert(alerts.LEVEL_WARNING, alerts.CLOSE_NOTIFY),
+        )
+
+    def export(self, label: str, context: bytes, length: int) -> bytes:
+        """RFC 8446 exporter — TCPLS derives stream/connection keys here."""
+        return self.keys.export(label, context, length)
+
+    def process_handshake_bytes(self, payload: bytes) -> None:
+        """Feed already-decrypted post-handshake message bytes.
+
+        TCPLS takes over record decryption after the handshake (it owns
+        the per-stream cryptographic contexts); when a record's inner
+        type turns out to be HANDSHAKE (e.g. NewSessionTicket), it hands
+        the plaintext back to the TLS layer through this entry point.
+        """
+        self._handshake_buffer.extend(payload)
+        self._drain_handshake_messages()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _send_record(self, content_type: int, payload: bytes) -> None:
+        self._write(self.encoder.encode(content_type, payload))
+
+    def _fatal(self, description: int, message: str) -> None:
+        try:
+            self._send_record(
+                ContentType.ALERT,
+                alerts.encode_alert(alerts.LEVEL_FATAL, description),
+            )
+        except Exception:
+            pass
+        raise TlsAlertError(description, message)
+
+    def _random_bytes(self, count: int) -> bytes:
+        return bytes(self.config.rng.randrange(256) for _ in range(count))
+
+
+def _compute_binder(psk: bytes, truncated_client_hello: bytes) -> bytes:
+    """PSK binder (RFC 8446 4.2.11.2)."""
+    schedule = KeySchedule(psk=psk)
+    binder_key = schedule.derive_early()["binder_key"]
+    finished_key = hkdf_expand_label(binder_key, "finished", b"", 32)
+    return _hmac.new(
+        finished_key, sha256(truncated_client_hello), hashlib.sha256
+    ).digest()

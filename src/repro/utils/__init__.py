@@ -1,0 +1,6 @@
+"""Shared low-level utilities: byte codecs, deterministic RNG, errors."""
+
+from repro.utils.bytesio import ByteReader, ByteWriter, NeedMoreData
+from repro.utils.errors import ReproError
+
+__all__ = ["ByteReader", "ByteWriter", "NeedMoreData", "ReproError"]

@@ -1,0 +1,158 @@
+"""Binary encoding helpers used by every wire format in the project.
+
+All protocol encodings in this repository (TCP segments, TLS records and
+handshake messages, TCPLS control frames, QUIC packets) are big-endian,
+mirroring their on-the-wire network byte order.  ``ByteWriter`` builds a
+message incrementally; ``ByteReader`` consumes one with strict bounds
+checking so that a truncated or malicious buffer raises ``NeedMoreData``
+instead of silently mis-parsing.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.utils.errors import ReproError
+
+
+class NeedMoreData(ReproError):
+    """Raised when a reader runs past the end of its buffer.
+
+    Stream parsers use this to distinguish "wait for more bytes" from a
+    genuine protocol violation.
+    """
+
+
+class ByteWriter:
+    """Incrementally builds a big-endian binary message."""
+
+    def __init__(self) -> None:
+        self._parts: list[bytes] = []
+        self._length = 0
+
+    def __len__(self) -> int:
+        return self._length
+
+    def put_u8(self, value: int) -> "ByteWriter":
+        return self.put_bytes(struct.pack("!B", value))
+
+    def put_u16(self, value: int) -> "ByteWriter":
+        return self.put_bytes(struct.pack("!H", value))
+
+    def put_u24(self, value: int) -> "ByteWriter":
+        if not 0 <= value < 1 << 24:
+            raise ValueError(f"u24 out of range: {value}")
+        return self.put_bytes(value.to_bytes(3, "big"))
+
+    def put_u32(self, value: int) -> "ByteWriter":
+        return self.put_bytes(struct.pack("!I", value))
+
+    def put_u64(self, value: int) -> "ByteWriter":
+        return self.put_bytes(struct.pack("!Q", value))
+
+    def put_bytes(self, data: bytes) -> "ByteWriter":
+        self._parts.append(bytes(data))
+        self._length += len(data)
+        return self
+
+    def put_vec8(self, data: bytes) -> "ByteWriter":
+        """Write a TLS-style <0..255> opaque vector (1-byte length prefix)."""
+        if len(data) > 0xFF:
+            raise ValueError("vec8 payload too long")
+        return self.put_u8(len(data)).put_bytes(data)
+
+    def put_vec16(self, data: bytes) -> "ByteWriter":
+        """Write a TLS-style <0..2^16-1> opaque vector."""
+        if len(data) > 0xFFFF:
+            raise ValueError("vec16 payload too long")
+        return self.put_u16(len(data)).put_bytes(data)
+
+    def put_vec24(self, data: bytes) -> "ByteWriter":
+        """Write a TLS-style <0..2^24-1> opaque vector."""
+        if len(data) >= 1 << 24:
+            raise ValueError("vec24 payload too long")
+        return self.put_u24(len(data)).put_bytes(data)
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._parts)
+
+
+class ByteReader:
+    """Consumes a big-endian binary message with strict bounds checks."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = bytes(data)
+        self._offset = 0
+
+    @property
+    def offset(self) -> int:
+        return self._offset
+
+    def remaining(self) -> int:
+        return len(self._data) - self._offset
+
+    def is_empty(self) -> bool:
+        return self.remaining() == 0
+
+    def peek_u8(self) -> int:
+        if self.remaining() < 1:
+            raise NeedMoreData("peek_u8 past end of buffer")
+        return self._data[self._offset]
+
+    def get_bytes(self, count: int) -> bytes:
+        if count < 0:
+            raise ValueError("negative read")
+        if self.remaining() < count:
+            raise NeedMoreData(
+                f"wanted {count} bytes, only {self.remaining()} available"
+            )
+        chunk = self._data[self._offset : self._offset + count]
+        self._offset += count
+        return chunk
+
+    def get_u8(self) -> int:
+        return self.get_bytes(1)[0]
+
+    def get_u16(self) -> int:
+        return struct.unpack("!H", self.get_bytes(2))[0]
+
+    def get_u24(self) -> int:
+        return int.from_bytes(self.get_bytes(3), "big")
+
+    def get_u32(self) -> int:
+        return struct.unpack("!I", self.get_bytes(4))[0]
+
+    def get_u64(self) -> int:
+        return struct.unpack("!Q", self.get_bytes(8))[0]
+
+    def get_vec8(self) -> bytes:
+        return self.get_bytes(self.get_u8())
+
+    def get_vec16(self) -> bytes:
+        return self.get_bytes(self.get_u16())
+
+    def get_vec24(self) -> bytes:
+        return self.get_bytes(self.get_u24())
+
+    def get_rest(self) -> bytes:
+        return self.get_bytes(self.remaining())
+
+
+def xor_bytes(a: bytes, b: bytes) -> bytes:
+    """XOR two equal-length byte strings."""
+    if len(a) != len(b):
+        raise ValueError("xor_bytes arguments must have equal length")
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def hexdump(data: bytes, width: int = 16) -> str:
+    """Render bytes as a classic offset/hex/ascii dump (for debugging)."""
+    lines = []
+    for start in range(0, len(data), width):
+        chunk = data[start : start + width]
+        hexpart = " ".join(f"{byte:02x}" for byte in chunk)
+        asciipart = "".join(
+            chr(byte) if 0x20 <= byte < 0x7F else "." for byte in chunk
+        )
+        lines.append(f"{start:08x}  {hexpart:<{width * 3}} {asciipart}")
+    return "\n".join(lines)

@@ -1,0 +1,17 @@
+"""Exception hierarchy shared across the reproduction."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ProtocolViolation(ReproError):
+    """A peer (or a middlebox) sent something the protocol forbids."""
+
+
+class CryptoError(ReproError):
+    """Authentication failure or malformed cryptographic input."""
+
+
+class ConfigurationError(ReproError):
+    """The caller configured an object inconsistently."""

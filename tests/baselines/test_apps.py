@@ -1,0 +1,84 @@
+"""Baseline file-transfer applications."""
+
+import pytest
+
+from repro.baselines.apps import (
+    TcpFileClient,
+    TcpFileServer,
+    TlsFileClient,
+    TlsFileServer,
+    file_pattern,
+)
+from repro.netsim.scenarios import simple_duplex_network
+from repro.tcp.stack import TcpStack
+from repro.tls.certificates import CertificateAuthority, TrustStore
+from repro.tls.session import SessionTicketStore
+
+
+def _pki():
+    ca = CertificateAuthority("Apps Root", seed=b"apps")
+    identity = ca.issue_identity("server.example", seed=b"appssrv")
+    trust = TrustStore()
+    trust.add_authority(ca)
+    return identity, trust
+
+
+def test_file_pattern_deterministic_and_sized():
+    assert file_pattern(1000) == file_pattern(1000)
+    assert len(file_pattern(777)) == 777
+    assert file_pattern(512)[:256] == bytes(range(256))
+
+
+def test_tcp_file_transfer_with_timing():
+    net, client_host, server_host, _ = simple_duplex_network(delay=0.02)
+    server = TcpFileServer(TcpStack(server_host), port=80, file_size=300_000)
+    client = TcpFileClient(TcpStack(client_host), "10.0.0.2", port=80)
+    net.sim.run(until=10.0)
+    assert bytes(client.received) == file_pattern(300_000)
+    assert server.connections_served == 1
+    # First byte needs: SYN, SYN+ACK, then data => ~1.5 RTT = 120 ms... the
+    # server sends on establishment (after its SYN+ACK), so ~2 one-way
+    # delays + transmission.
+    assert 0.03 < client.ttfb() < 0.1
+    assert client.complete_time is not None
+
+
+def test_tls_file_transfer_with_handshake_timing():
+    net, client_host, server_host, _ = simple_duplex_network(delay=0.02)
+    identity, trust = _pki()
+    TlsFileServer(TcpStack(server_host), identity, file_size=300_000)
+    client = TlsFileClient(TcpStack(client_host), "10.0.0.2", trust)
+    net.sim.run(until=10.0)
+    assert bytes(client.received) == file_pattern(300_000)
+    assert client.handshake_time is not None
+    assert client.ttfb() > client.handshake_time - 0.001
+    assert client.complete_time is not None
+
+
+def test_tls_client_rejects_wrong_identity():
+    net, client_host, server_host, _ = simple_duplex_network()
+    ca = CertificateAuthority("Apps Root", seed=b"apps")
+    other = ca.issue_identity("wrong.example")
+    _identity, trust = _pki()
+    TlsFileServer(TcpStack(server_host), other, file_size=1000)
+    client = TlsFileClient(TcpStack(client_host), "10.0.0.2", trust)
+    net.sim.run(until=5.0)
+    assert client.error is not None
+    assert bytes(client.received) == b""
+
+
+def test_tls_resumption_across_clients():
+    net, client_host, server_host, _ = simple_duplex_network()
+    identity, trust = _pki()
+    client_stack = TcpStack(client_host)
+    TlsFileServer(TcpStack(server_host), identity, file_size=1000)
+    store = SessionTicketStore()
+    first = TlsFileClient(client_stack, "10.0.0.2", trust, ticket_store=store)
+    net.sim.run(until=3.0)
+    assert not first.tls.used_psk
+    second = TlsFileClient(
+        client_stack, "10.0.0.2", trust, ticket_store=store, seed=99
+    )
+    net.sim.run(until=6.0)
+    assert second.tls.used_psk
+    assert bytes(second.received) == file_pattern(1000)

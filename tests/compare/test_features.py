@@ -1,0 +1,83 @@
+"""Every cell of Table 1 must match the paper when demonstrated live.
+
+The full matrix runs in the benchmark (T1); here we spot-check the
+structurally interesting cells so regressions surface in the unit suite.
+"""
+
+import pytest
+
+from repro.compare.features import (
+    FEATURES,
+    PAPER_TABLE,
+    PROTOCOLS,
+    evaluate_feature,
+    expected_bool,
+    render_table,
+)
+
+
+def test_paper_table_is_complete():
+    assert set(PAPER_TABLE) == set(FEATURES)
+    for feature in FEATURES:
+        assert set(PAPER_TABLE[feature]) == set(PROTOCOLS)
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_transport_reliability_all_protocols(protocol):
+    assert evaluate_feature("transport_reliability", protocol) == expected_bool(
+        PAPER_TABLE["transport_reliability"][protocol]
+    )
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_confidentiality_and_auth(protocol):
+    assert evaluate_feature("message_conf_auth", protocol) == expected_bool(
+        PAPER_TABLE["message_conf_auth"][protocol]
+    )
+
+
+@pytest.mark.parametrize("protocol", ["tcp", "tls_tcp", "tcpls"])
+def test_connection_reliability(protocol):
+    assert evaluate_feature("connection_reliability", protocol) == expected_bool(
+        PAPER_TABLE["connection_reliability"][protocol]
+    )
+
+
+@pytest.mark.parametrize("protocol", ["tcp", "quic", "tcpls"])
+def test_zero_rtt(protocol):
+    assert evaluate_feature("zero_rtt", protocol) == expected_bool(
+        PAPER_TABLE["zero_rtt"][protocol]
+    )
+
+
+@pytest.mark.parametrize("protocol", ["tls_tcp", "quic", "tcpls"])
+def test_session_resumption(protocol):
+    assert evaluate_feature("session_resumption", protocol) == expected_bool(
+        PAPER_TABLE["session_resumption"][protocol]
+    )
+
+
+@pytest.mark.parametrize("protocol", ["quic", "tcpls"])
+def test_connection_migration(protocol):
+    assert evaluate_feature("connection_migration", protocol)
+
+
+def test_happy_eyeballs_only_tcpls():
+    assert evaluate_feature("happy_eyeballs", "tcpls")
+    assert not evaluate_feature("happy_eyeballs", "quic")
+
+
+def test_explicit_multipath_only_tcpls():
+    assert evaluate_feature("explicit_multipath", "tcpls")
+
+
+def test_pluginization_only_tcpls():
+    assert evaluate_feature("pluginization", "tcpls")
+    assert not evaluate_feature("pluginization", "quic")
+
+
+def test_render_table_shape():
+    table = render_table()
+    lines = table.splitlines()
+    assert len(lines) == 2 + len(FEATURES)
+    assert "tcpls" in lines[0]

@@ -1,0 +1,92 @@
+"""Fixtures for end-to-end TCPLS tests over the simulated network."""
+
+import pytest
+
+from repro.core.session import TcplsContext, TcplsServer, TcplsSession
+from repro.netsim.scenarios import dual_path_network, simple_duplex_network
+from repro.tcp.stack import TcpStack
+from repro.tls.certificates import CertificateAuthority, TrustStore
+from repro.tls.session import SessionTicketStore
+
+
+def make_contexts(seed=1, **overrides):
+    """Client and server TcplsContext sharing one CA."""
+    ca = CertificateAuthority("Repro Root", seed=b"root")
+    identity = ca.issue_identity("server.example", seed=b"srv")
+    trust = TrustStore()
+    trust.add_authority(ca)
+    client_kwargs = dict(
+        trust_store=trust,
+        server_name="server.example",
+        ticket_store=SessionTicketStore(),
+        seed=seed,
+    )
+    server_kwargs = dict(identity=identity, seed=seed + 500)
+    for key, value in overrides.items():
+        client_kwargs[key] = value
+        server_kwargs[key] = value
+    return TcplsContext(**client_kwargs), TcplsContext(**server_kwargs)
+
+
+class World:
+    """One client + one server TCPLS deployment over a topology."""
+
+    def __init__(self, net, client_host, server_host, seed=1, **overrides):
+        self.net = net
+        self.sim = net.sim
+        self.client_ctx, self.server_ctx = make_contexts(seed=seed, **overrides)
+        self.client_stack = TcpStack(client_host, seed=seed)
+        self.server_stack = TcpStack(server_host, seed=seed + 1000)
+        self.server_sessions = []
+        self.server = TcplsServer(
+            self.server_ctx,
+            self.server_stack,
+            port=443,
+            on_session=self.server_sessions.append,
+        )
+        self.client = TcplsSession(self.client_ctx, self.client_stack)
+
+    @property
+    def server_session(self):
+        return self.server_sessions[0] if self.server_sessions else None
+
+    def run(self, until):
+        self.sim.run(until=until)
+
+
+@pytest.fixture
+def duplex_world():
+    net, client_host, server_host, link = simple_duplex_network(delay=0.01)
+    world = World(net, client_host, server_host)
+    world.link = link
+    return world
+
+
+@pytest.fixture
+def dual_world():
+    topo = dual_path_network(rate_bps=30e6)
+    world = World(topo.net, topo.client, topo.server)
+    world.topo = topo
+    return world
+
+
+def collect_stream_data(session):
+    """Attach a per-stream byte collector; returns the dict."""
+    received = {}
+    fins = []
+
+    def on_data(stream_id, data):
+        received.setdefault(stream_id, bytearray()).extend(data)
+
+    session.on_stream_data = on_data
+    session.on_stream_fin = fins.append
+    return received, fins
+
+
+def establish(world, until=1.0):
+    """Connect + handshake the client; run until complete."""
+    conn_id = world.client.connect(str(world.server_stack.host.addresses(version=4).__next__()))
+    world.client.handshake()
+    world.run(until=until)
+    assert world.client.handshake_complete
+    return conn_id

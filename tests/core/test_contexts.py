@@ -1,0 +1,138 @@
+"""Per-stream cryptographic contexts and trial decryption (section 2.3)."""
+
+import pytest
+
+from repro.core.contexts import CONTROL_STREAM_ID, ContextManager
+from repro.crypto.hkdf import hkdf_expand_label
+from repro.tls.record import ContentType, record_header
+
+
+def _exporter_pair():
+    """Two context managers sharing one exporter (client and server)."""
+    secret = b"\x42" * 32
+
+    def exporter(label, context, length):
+        return hkdf_expand_label(secret, label[:12], context, length)
+
+    return (
+        ContextManager(exporter, is_client=True),
+        ContextManager(exporter, is_client=False),
+    )
+
+
+def _seal(manager, stream_id, conn_id, ttype, plaintext):
+    cipher = manager.send_context(stream_id, conn_id)
+    inner = plaintext + bytes([ttype])
+    header = record_header(ContentType.APPLICATION_DATA, len(inner) + 16)
+    sealed = cipher.aead.encrypt(cipher.next_nonce(), inner, header)
+    cipher.advance()
+    return header[:0] + sealed  # body only (no header on the wire here)
+
+
+def test_peers_derive_matching_contexts():
+    client, server = _exporter_pair()
+    client.install(1, 0, b"token")
+    server.install(1, 0, b"token")
+    sealed = _seal(client, 1, 0, 0x30, b"hello")
+    opened = server.open_record(0, sealed)
+    assert opened is not None
+    stream_id, ttype, plaintext = opened
+    assert (stream_id, ttype, plaintext) == (1, 0x30, b"hello")
+
+
+def test_trial_decryption_finds_correct_stream():
+    client, server = _exporter_pair()
+    for stream_id in (CONTROL_STREAM_ID, 1, 3, 5):
+        client.install(stream_id, 0, b"tok")
+        server.install(stream_id, 0, b"tok")
+    sealed = _seal(client, 5, 0, 0x30, b"for stream five")
+    stream_id, ttype, plaintext = server.open_record(0, sealed)
+    assert stream_id == 5
+    assert plaintext == b"for stream five"
+    assert server.trial_decryptions >= 1
+
+
+def test_streams_have_distinct_keys():
+    client, _ = _exporter_pair()
+    client.install(1, 0, b"tok")
+    client.install(3, 0, b"tok")
+    key1 = client.send_context(1, 0).keys.key
+    key3 = client.send_context(3, 0).keys.key
+    assert key1 != key3
+
+
+def test_directions_have_distinct_keys():
+    client, server = _exporter_pair()
+    client.install(1, 0, b"tok")
+    server.install(1, 0, b"tok")
+    assert client.send_context(1, 0).keys.key == server.recv_context(1, 0).keys.key
+    assert client.send_context(1, 0).keys.key != client.recv_context(1, 0).keys.key
+
+
+def test_same_stream_different_connection_distinct_keys():
+    client, _ = _exporter_pair()
+    client.install(1, 0, b"primary-token")
+    client.install(1, 1, b"join-cookie")
+    assert (
+        client.send_context(1, 0).keys.key != client.send_context(1, 1).keys.key
+    )
+
+
+def test_forged_record_rejected_and_counted():
+    client, server = _exporter_pair()
+    client.install(1, 0, b"tok")
+    server.install(1, 0, b"tok")
+    sealed = bytearray(_seal(client, 1, 0, 0x30, b"x"))
+    sealed[0] ^= 0xFF
+    assert server.open_record(0, bytes(sealed)) is None
+    assert server.forgery_suspects == 1
+
+
+def test_failed_trial_does_not_desync_other_streams():
+    """A forgery attempt must not advance any context's nonce."""
+    client, server = _exporter_pair()
+    for stream_id in (1, 3):
+        client.install(stream_id, 0, b"tok")
+        server.install(stream_id, 0, b"tok")
+    garbage = b"\x00" * 40
+    assert server.open_record(0, garbage) is None
+    # Genuine records still decrypt afterwards.
+    sealed = _seal(client, 3, 0, 0x30, b"still fine")
+    assert server.open_record(0, sealed)[2] == b"still fine"
+
+
+def test_remove_connection_drops_contexts():
+    client, _ = _exporter_pair()
+    client.install(1, 0, b"a")
+    client.install(1, 1, b"b")
+    client.remove_connection(0)
+    assert client.send_context(1, 0) is None
+    assert client.send_context(1, 1) is not None
+
+
+def test_remove_stream_drops_all_its_contexts():
+    client, _ = _exporter_pair()
+    client.install(1, 0, b"a")
+    client.install(1, 1, b"b")
+    client.install(3, 0, b"a")
+    client.remove_stream(1)
+    assert client.streams_on(0) == [3]
+
+
+def test_candidates_sorted_control_first():
+    client, _ = _exporter_pair()
+    client.install(5, 0, b"t")
+    client.install(CONTROL_STREAM_ID, 0, b"t")
+    client.install(1, 0, b"t")
+    candidates = client.recv_candidates(0)
+    assert [stream_id for stream_id, _ in candidates] == [CONTROL_STREAM_ID, 1, 5]
+
+
+def test_ordered_records_per_context_decrypt_in_sequence():
+    client, server = _exporter_pair()
+    client.install(1, 0, b"tok")
+    server.install(1, 0, b"tok")
+    records = [_seal(client, 1, 0, 0x30, f"msg{i}".encode()) for i in range(5)]
+    for i, sealed in enumerate(records):
+        _, _, plaintext = server.open_record(0, sealed)
+        assert plaintext == f"msg{i}".encode()

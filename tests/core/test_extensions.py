@@ -1,0 +1,112 @@
+"""Research-agenda extensions: ADD/RM_ADDR over records, key updates, ping."""
+
+import pytest
+
+from repro.core.events import Event
+from tests.core.conftest import collect_stream_data, establish
+
+
+def test_add_addr_over_records_is_reliable(duplex_world):
+    """Section 4.1: ADD_ADDR as an encrypted, reliably-delivered record
+    (unlike Multipath TCP's unreliable clear-text option)."""
+    world = duplex_world
+    establish(world)
+    adverts = []
+    world.client.on(Event.ADDRESS_ADVERTISED, lambda **kw: adverts.append(kw))
+    world.server_session.advertise_addresses(v4=["192.0.2.7"], v6=["2001:db8::7"])
+    world.run(until=2.0)
+    assert adverts[-1]["v4"] == ["192.0.2.7"]
+    assert "192.0.2.7" in world.client.peer_v4_addresses
+    assert "2001:db8::7" in world.client.peer_v6_addresses
+
+
+def test_rm_addr_withdraws(duplex_world):
+    world = duplex_world
+    establish(world)
+    world.server_session.advertise_addresses(v4=["192.0.2.7", "192.0.2.8"])
+    world.run(until=2.0)
+    removed = []
+    world.client.on(Event.ADDRESS_REMOVED, lambda **kw: removed.append(kw))
+    world.server_session.withdraw_addresses(v4=["192.0.2.7"])
+    world.run(until=3.0)
+    assert removed and removed[0]["v4"] == ["192.0.2.7"]
+    assert "192.0.2.7" not in world.client.peer_v4_addresses
+    assert "192.0.2.8" in world.client.peer_v4_addresses
+
+
+def test_addresses_advertised_in_initial_handshake(duplex_world):
+    """The dual-stack server advertises its addresses inside the
+    encrypted ServerHello flight (section 2.2)."""
+    world = duplex_world
+    establish(world)
+    assert "10.0.0.2" in world.client.peer_v4_addresses
+
+
+def test_key_update_control_channel_keeps_working(duplex_world):
+    world = duplex_world
+    establish(world)
+    received, _ = collect_stream_data(world.server_session)
+    stream = world.client.stream_new()
+    world.client.streams_attach()
+    world.client.send(stream, b"before")
+    world.run(until=2.0)
+
+    world.client.update_keys()  # rolls the client->server control keys
+    world.run(until=2.5)
+    assert world.server_session.tls.key_updates_received == 1
+
+    # Control frames still flow under the new generation.
+    from repro.tcp.options import UserTimeout
+
+    world.client.send_tcp_option(UserTimeout(timeout=55))
+    world.client.send(stream, b" after")
+    world.run(until=3.5)
+    assert world.server_session.connections[0].tcp.user_timeout == 55.0
+    assert bytes(received[stream]) == b"before after"
+
+
+def test_tls_key_update_request_is_mirrored(pair_tls_worlds=None):
+    from tests.tls.tls_pipe import make_pair
+    from repro.tls.certificates import CertificateAuthority, TrustStore
+
+    ca = CertificateAuthority("KU Root", seed=b"ku")
+    identity = ca.issue_identity("server.example", seed=b"kusrv")
+    trust = TrustStore()
+    trust.add_authority(ca)
+    pipe = make_pair(identity, trust)
+    got = bytearray()
+    pipe.server.on_application_data = got.extend
+    pipe.client.start_handshake()
+    pipe.pump()
+    pipe.client.send_key_update(request_peer=True)
+    pipe.pump()
+    assert pipe.server.key_updates_received == 1
+    assert pipe.server.key_updates_sent == 1  # mirrored on request
+    assert pipe.client.key_updates_received == 1
+    # Data flows in both directions under generation 1 keys.
+    pipe.client.send(b"post-update data")
+    pipe.pump()
+    assert bytes(got) == b"post-update data"
+
+
+def test_ping_solicits_ack(duplex_world):
+    world = duplex_world
+    establish(world)
+    received, _ = collect_stream_data(world.server_session)
+    stream = world.client.stream_new()
+    world.client.streams_attach()
+    world.client.send(stream, b"data needing ack")
+    world.run(until=1.2)
+    acks_before = world.client.stats["acks_received"]
+    pending_before = world.client.replay.pending_count()
+    world.client.ping()
+    world.run(until=2.2)
+    assert world.client.stats["acks_received"] >= acks_before
+    # Everything got acked (ping forces a flush on the server).
+    assert world.client.replay.pending_count() <= pending_before
+
+
+def test_key_update_before_handshake_rejected(duplex_world):
+    world = duplex_world
+    with pytest.raises(RuntimeError):
+        world.client.update_keys()

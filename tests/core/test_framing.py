@@ -1,0 +1,103 @@
+"""Frame codecs and the TType mechanism (Figure 1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import framing
+from repro.core.framing import TType
+
+
+def test_frame_roundtrip():
+    plaintext = framing.encode_frame(TType.STREAM_DATA, 42, b"body")
+    frame = framing.decode_frame(TType.STREAM_DATA, plaintext)
+    assert frame.ttype == TType.STREAM_DATA
+    assert frame.seq == 42
+    assert frame.body == b"body"
+
+
+def test_stream_data_roundtrip():
+    body = framing.encode_stream_data(7, 1 << 40, b"payload", fin=True)
+    stream_id, offset, fin, data = framing.decode_stream_data(body)
+    assert (stream_id, offset, fin, data) == (7, 1 << 40, True, b"payload")
+
+
+def test_tcp_option_roundtrip():
+    body = framing.encode_tcp_option(28, b"\x80\x05", apply_to_conn=3)
+    kind, conn, option_body = framing.decode_tcp_option(body)
+    assert (kind, conn, option_body) == (28, 3, b"\x80\x05")
+
+
+def test_ack_roundtrip():
+    body = framing.encode_ack(123456789, 2)
+    assert framing.decode_ack(body) == (123456789, 2)
+
+
+def test_stream_open_close_roundtrip():
+    assert framing.decode_stream_open(framing.encode_stream_open(5, 1)) == (5, 1)
+    assert framing.decode_stream_close(framing.encode_stream_close(5, 999)) == (5, 999)
+
+
+def test_cookies_roundtrip():
+    cookies = [bytes([i] * 16) for i in range(3)]
+    assert framing.decode_new_cookies(framing.encode_new_cookies(cookies)) == cookies
+
+
+def test_plugin_roundtrip():
+    target, code = framing.decode_plugin(framing.encode_plugin("cc", b"\x01\x02"))
+    assert (target, code) == ("cc", b"\x01\x02")
+
+
+def test_probe_and_report_roundtrip():
+    conn, syn = framing.decode_probe(framing.encode_probe(1, b"SYNBYTES"))
+    assert (conn, syn) == (1, b"SYNBYTES")
+    conn2, diffs = framing.decode_probe_report(
+        framing.encode_probe_report(1, ["a", "b c"])
+    )
+    assert conn2 == 1 and diffs == ["a", "b c"]
+
+
+def test_address_advert_roundtrip():
+    v4, v6 = framing.decode_address_advert(
+        framing.encode_address_advert(["10.0.0.1"], ["fc00::1", "fc00::2"])
+    )
+    assert v4 == ["10.0.0.1"]
+    assert v6 == ["fc00::1", "fc00::2"]
+
+
+def test_reliable_set_excludes_acks_and_pings():
+    assert TType.ACK not in TType.RELIABLE
+    assert TType.PING not in TType.RELIABLE
+    assert TType.STREAM_DATA in TType.RELIABLE
+    assert TType.TCP_OPTION in TType.RELIABLE
+
+
+def test_ttype_values_avoid_tls_standard_range():
+    tls_types = {20, 21, 22, 23, 24}
+    tcpls_types = {
+        TType.STREAM_DATA, TType.TCP_OPTION, TType.ACK, TType.STREAM_OPEN,
+        TType.STREAM_CLOSE, TType.JOIN_ACK, TType.NEW_COOKIES, TType.PLUGIN,
+        TType.PROBE, TType.PROBE_REPORT, TType.SESSION_CLOSE, TType.PING,
+        TType.ADDRESS_ADVERT,
+    }
+    assert not tls_types & tcpls_types
+    assert len(tcpls_types) == 13  # all distinct
+
+
+@given(
+    st.integers(0, 2**32 - 1),
+    st.integers(0, 2**64 - 1),
+    st.booleans(),
+    st.binary(max_size=2000),
+)
+def test_property_stream_data_roundtrip(stream_id, offset, fin, data):
+    body = framing.encode_stream_data(stream_id, offset, data, fin)
+    assert framing.decode_stream_data(body) == (stream_id, offset, fin, data)
+
+
+@given(st.integers(0, 2**64 - 1), st.binary(max_size=500))
+def test_property_frame_roundtrip(seq, body):
+    frame = framing.decode_frame(
+        TType.STREAM_DATA, framing.encode_frame(TType.STREAM_DATA, seq, body)
+    )
+    assert frame.seq == seq and frame.body == body

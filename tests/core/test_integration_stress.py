@@ -1,0 +1,170 @@
+"""Integration stress: many sessions, lossy paths, asymmetric multipath."""
+
+import pytest
+
+from repro.core.session import TcplsContext, TcplsServer, TcplsSession
+from repro.netsim.scenarios import dual_path_network, simple_duplex_network
+from repro.tcp.stack import TcpStack
+from repro.tls.certificates import CertificateAuthority, TrustStore
+from tests.core.conftest import World, collect_stream_data
+
+
+def test_many_concurrent_sessions_one_server():
+    """One server host serving several independent TCPLS clients."""
+    from repro.netsim.topology import Network
+
+    # Star topology: each client gets its own point-to-point link to a
+    # dedicated server interface (and therefore its own subnet).
+    net = Network()
+    server_host = net.add_host("server")
+    client_hosts = []
+    for index in range(4):
+        host = net.add_host(f"client{index}")
+        ci = host.add_interface("eth0").configure_ipv4(f"10.{index + 1}.0.1/24")
+        server_if = server_host.add_interface(f"s{index}").configure_ipv4(
+            f"10.{index + 1}.0.254/24"
+        )
+        net.connect(ci, server_if, delay=0.005)
+        client_hosts.append((host, ci))
+    net.compute_routes()
+
+    ca = CertificateAuthority("Stress Root", seed=b"st")
+    identity = ca.issue_identity("server.example", seed=b"stsrv")
+    trust = TrustStore()
+    trust.add_authority(ca)
+    sessions = []
+    TcplsServer(
+        TcplsContext(identity=identity, seed=1),
+        TcpStack(server_host, seed=2),
+        on_session=sessions.append,
+    )
+
+    clients = []
+    received_total = {}
+    for index, (host, _ci) in enumerate(client_hosts):
+        client = TcplsSession(
+            TcplsContext(
+                trust_store=trust, server_name="server.example", seed=10 + index
+            ),
+            TcpStack(host, seed=20 + index),
+        )
+        client.connect(f"10.{index + 1}.0.254")
+        client.handshake()
+        clients.append(client)
+    net.sim.run(until=1.0)
+    assert len(sessions) == 4
+    assert all(c.handshake_complete for c in clients)
+    # Distinct sessions have distinct CONNIDs and keys.
+    assert len({s.connection_id for s in sessions}) == 4
+
+    for index, session in enumerate(sessions):
+        session.on_stream_data = (
+            lambda sid, d, i=index: received_total.setdefault(i, bytearray()).extend(d)
+        )
+    for index, client in enumerate(clients):
+        stream = client.stream_new()
+        client.streams_attach()
+        client.send(stream, bytes([index]) * 200_000)
+    net.sim.run(until=20.0)
+    for index in range(4):
+        assert bytes(received_total[index]) == bytes([index]) * 200_000
+
+
+def test_tcpls_bulk_over_lossy_path():
+    net, client_host, server_host, link = simple_duplex_network(
+        rate_bps=20e6, delay=0.02, loss_rate=0.03, seed=77
+    )
+    world = World(net, client_host, server_host)
+    world.client.connect("10.0.0.2")
+    world.client.handshake()
+    world.run(until=2.0)
+    assert world.client.handshake_complete
+    received, _ = collect_stream_data(world.server_session)
+    payload = bytes(i % 251 for i in range(2_000_000))
+    stream = world.client.stream_new()
+    world.client.streams_attach()
+    world.client.send(stream, payload)
+    world.run(until=120.0)
+    assert bytes(received[stream]) == payload
+    # TCP hid all the loss from TCPLS: zero forgeries, zero duplicates.
+    assert world.server_session.contexts.forgery_suspects == 0
+
+
+def test_aggregation_with_asymmetric_paths():
+    """30 + 10 Mbps paths: aggregate ≈ sum, cwnd-aware split ∝ capacity."""
+    topo = dual_path_network(rate_bps=30e6, v6_rate_bps=10e6)
+    world = World(topo.net, topo.client, topo.server, multipath_mode="aggregate")
+    world.topo = topo
+    world.client.connect(topo.server_v4)
+    world.client.handshake()
+    world.run(until=1.0)
+    v6 = world.client.connect(topo.server_v6, src=topo.client_v6)
+    world.client.handshake(conn_id=v6)
+    world.run(until=1.5)
+    received, _ = collect_stream_data(world.server_session)
+    payload = b"\x5a" * 6_000_000
+    stream = world.client.stream_new()
+    world.client.streams_attach()
+    start = world.sim.now
+    world.client.send(stream, payload)
+    done = []
+
+    def poll():
+        if len(received.get(stream, b"")) >= len(payload):
+            done.append(world.sim.now - start)
+        else:
+            world.sim.schedule(0.05, poll)
+
+    world.sim.schedule(0.05, poll)
+    world.run(until=start + 60.0)
+    assert bytes(received[stream]) == payload
+    goodput = len(payload) * 8 / done[0] / 1e6
+    assert goodput > 30.0  # clearly above the single 30 Mbps path alone
+    shares = {}
+    for _t, conn_id, n in world.server_session.delivery_log:
+        shares[conn_id] = shares.get(conn_id, 0) + n
+    # The faster path carries the larger share.
+    assert shares[0] > shares[v6]
+
+
+def test_interleaved_streams_with_close_midway(duplex_world):
+    """Open/close streams while others keep flowing."""
+    world = duplex_world
+    world.client.connect("10.0.0.2")
+    world.client.handshake()
+    world.run(until=1.0)
+    received, fins = collect_stream_data(world.server_session)
+    long_stream = world.client.stream_new()
+    world.client.streams_attach()
+    world.client.send(long_stream, b"L" * 500_000)
+    # Short-lived streams come and go during the long transfer.
+    for index in range(3):
+        short = world.client.stream_new()
+        world.client.streams_attach()
+        world.client.send(short, f"short-{index}".encode())
+        world.client.stream_close(short)
+        world.run(until=world.sim.now + 0.2)
+    world.run(until=world.sim.now + 10.0)
+    assert bytes(received[long_stream]) == b"L" * 500_000
+    assert len(fins) == 3
+    short_ids = [sid for sid in received if sid != long_stream]
+    assert sorted(bytes(received[sid]) for sid in short_ids) == [
+        b"short-0", b"short-1", b"short-2",
+    ]
+
+
+def test_session_survives_many_key_updates(duplex_world):
+    world = duplex_world
+    world.client.connect("10.0.0.2")
+    world.client.handshake()
+    world.run(until=1.0)
+    received, _ = collect_stream_data(world.server_session)
+    stream = world.client.stream_new()
+    world.client.streams_attach()
+    for generation in range(5):
+        world.client.send(stream, f"gen{generation};".encode())
+        world.run(until=world.sim.now + 0.3)
+        world.client.update_keys()
+        world.run(until=world.sim.now + 0.3)
+    assert bytes(received[stream]) == b"gen0;gen1;gen2;gen3;gen4;"
+    assert world.server_session.tls.key_updates_received == 5

@@ -1,0 +1,133 @@
+"""Unit tests: JOIN codecs, server params, and SYN comparison."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import join as joinmod
+from repro.core.middlebox_detect import compare_syns
+from repro.netsim.packet import parse_address
+from repro.tcp.options import (
+    MaximumSegmentSize,
+    SackPermitted,
+    Timestamps,
+    WindowScale,
+)
+from repro.tcp.segment import Flags, TcpSegment
+from repro.tls import messages as m
+
+SRC = parse_address("10.0.0.1")
+DST = parse_address("10.0.0.2")
+
+
+def test_server_params_roundtrip():
+    params = joinmod.TcplsServerParams(
+        connection_id=b"\x01" * 16,
+        cookies=[b"\x02" * 16, b"\x03" * 16],
+        v4_addresses=["10.0.0.2", "192.0.2.1"],
+        v6_addresses=["fc00::2"],
+    )
+    parsed = joinmod.TcplsServerParams.from_bytes(params.to_bytes())
+    assert parsed == params
+
+
+def test_marker_roundtrip():
+    assert joinmod.parse_tcpls_marker(joinmod.build_tcpls_marker()) == 1
+
+
+def test_join_hello_contains_no_key_share():
+    """Security property (section 2.4/4.1): no key material travels in
+    clear during a JOIN — keys derive from the session."""
+    hello_bytes = joinmod.build_join_client_hello(
+        b"\x09" * 16, b"\x0a" * 16, random.Random(1)
+    )
+    _, body, _ = m.parse_handshake_frames(hello_bytes)[0]
+    hello = m.ClientHello.from_body(body)
+    assert m.get_extension(hello.extensions, m.EXT_KEY_SHARE) is None
+    connid, cookie = joinmod.extract_join(hello)
+    assert connid == b"\x09" * 16
+    assert cookie == b"\x0a" * 16
+
+
+def test_extract_join_absent_returns_none():
+    hello = m.ClientHello(random=b"\x00" * 32)
+    assert joinmod.extract_join(hello) is None
+
+
+# ---------------------------------------------------------------------------
+# compare_syns
+# ---------------------------------------------------------------------------
+
+
+def _syn(**overrides) -> bytes:
+    fields = dict(
+        src_port=49152, dst_port=443, seq=1000, flags=Flags.SYN, window=65535,
+        options=[
+            MaximumSegmentSize(mss=1400), WindowScale(shift=7),
+            SackPermitted(), Timestamps(value=1, echo_reply=0),
+        ],
+    )
+    fields.update(overrides)
+    return TcpSegment(**fields).to_bytes(SRC, DST)
+
+
+def test_identical_syns_no_findings():
+    syn = _syn()
+    assert compare_syns(syn, syn) == []
+
+
+def test_port_rewrite_detected_as_nat():
+    findings = compare_syns(_syn(), _syn(src_port=40000))
+    assert any("NAT" in f for f in findings)
+
+
+def test_stripped_option_named():
+    findings = compare_syns(
+        _syn(),
+        _syn(options=[MaximumSegmentSize(mss=1400), WindowScale(shift=7)]),
+    )
+    assert any("kind 4 stripped" in f for f in findings)
+    assert any("kind 8 stripped" in f for f in findings)
+
+
+def test_injected_option_named():
+    findings = compare_syns(
+        _syn(options=[MaximumSegmentSize(mss=1400)]),
+        _syn(options=[MaximumSegmentSize(mss=1400), SackPermitted()]),
+    )
+    assert any("injected" in f for f in findings)
+
+
+def test_mss_clamp_detected():
+    findings = compare_syns(
+        _syn(), _syn(options=[MaximumSegmentSize(mss=536), WindowScale(shift=7),
+                              SackPermitted(), Timestamps(value=1, echo_reply=0)])
+    )
+    assert any("MSS clamped 1400 -> 536" in f for f in findings)
+
+
+def test_seq_rewrite_detected():
+    findings = compare_syns(_syn(), _syn(seq=777))
+    assert any("sequence number rewritten" in f for f in findings)
+
+
+def test_missing_capture_reported():
+    assert compare_syns(b"", _syn()) == ["missing SYN capture"]
+    assert compare_syns(_syn(), b"") == ["missing SYN capture"]
+
+
+def test_unparseable_reported():
+    assert compare_syns(_syn(), b"\x01\x02") == [
+        "SYN bytes unparseable after transit"
+    ]
+
+
+@given(st.integers(1, 65535))
+def test_property_any_port_rewrite_detected(new_port):
+    findings = compare_syns(_syn(src_port=1), _syn(src_port=new_port))
+    if new_port == 1:
+        assert findings == []
+    else:
+        assert any("rewritten" in f for f in findings)

@@ -1,0 +1,244 @@
+"""The plugin VM, verifier, and assembler."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.plugins.assembler import assemble
+from repro.core.plugins.library import (
+    aimd_conservative_program,
+    fixed_window_program,
+    slow_start_only_program,
+)
+from repro.core.plugins.runtime import (
+    BytecodeCongestionControl,
+    EVENT_ACK,
+    EVENT_LOSS,
+    EVENT_TIMEOUT,
+    install_plugin,
+)
+from repro.core.plugins.vm import (
+    BytecodeProgram,
+    Instruction,
+    OP_ADD,
+    OP_JMP,
+    OP_MOVI,
+    OP_RET,
+    VerificationError,
+    Vm,
+)
+
+
+def test_simple_arithmetic():
+    program = assemble("""
+        movi r0, 10
+        movi r1, 32
+        add  r0, r1
+        ret
+    """)
+    assert Vm(program).run() == 42
+
+
+def test_inputs_preloaded_into_registers():
+    program = assemble("""
+        mov r0, r1
+        add r0, r2
+        ret
+    """)
+    assert Vm(program).run(100, 23) == 123
+
+
+def test_conditional_jump_forward():
+    program = assemble("""
+        movi r0, 1
+        movi r7, 5
+        jlt  r1, r7, small
+        movi r0, 100
+        ret
+    small:
+        movi r0, 7
+        ret
+    """)
+    vm = Vm(program)
+    assert vm.run(3) == 7
+    assert vm.run(9) == 100
+
+
+def test_memory_persists_across_invocations():
+    program = assemble("""
+        ld   r0, 0
+        addi r0, 1
+        st   0, r0
+        ret
+    """)
+    vm = Vm(program)
+    assert [vm.run(), vm.run(), vm.run()] == [1, 2, 3]
+
+
+def test_division_by_zero_yields_zero():
+    program = assemble("""
+        movi r0, 10
+        movi r1, 0
+        div  r0, r1
+        ret
+    """)
+    assert Vm(program).run() == 0
+    program2 = assemble("""
+        movi r0, 10
+        divi r0, 0
+        ret
+    """)
+    assert Vm(program2).run() == 0
+
+
+def test_min_max():
+    program = assemble("""
+        mov r0, r1
+        min r0, r2
+        max r0, r3
+        ret
+    """)
+    assert Vm(program).run(10, 5, 7) == 7  # min(10,5)=5, max(5,7)=7
+
+
+def test_verifier_rejects_backward_jump():
+    with pytest.raises(VerificationError):
+        BytecodeProgram([
+            Instruction(OP_MOVI, 0, 0, 0),
+            Instruction(OP_JMP, 0, 0, -1),
+            Instruction(OP_RET, 0, 0, 0),
+        ])
+
+
+def test_verifier_rejects_jump_past_end():
+    with pytest.raises(VerificationError):
+        BytecodeProgram([
+            Instruction(OP_JMP, 0, 0, 5),
+            Instruction(OP_RET, 0, 0, 0),
+        ])
+
+
+def test_verifier_rejects_missing_ret():
+    with pytest.raises(VerificationError):
+        BytecodeProgram([Instruction(OP_MOVI, 0, 0, 1)])
+
+
+def test_verifier_rejects_bad_register():
+    with pytest.raises(VerificationError):
+        BytecodeProgram([
+            Instruction(OP_ADD, 9, 0, 0),
+            Instruction(OP_RET, 0, 0, 0),
+        ])
+
+
+def test_verifier_rejects_bad_memory_slot():
+    with pytest.raises(VerificationError):
+        assemble("""
+            ld r0, 99
+            ret
+        """)
+
+
+def test_verifier_rejects_empty_and_invalid_opcode():
+    with pytest.raises(VerificationError):
+        BytecodeProgram([])
+    with pytest.raises(VerificationError):
+        BytecodeProgram.from_bytes(b"\xff" * 8)
+
+
+def test_bytecode_serialization_roundtrip():
+    program = aimd_conservative_program()
+    rebuilt = BytecodeProgram.from_bytes(program.to_bytes())
+    assert rebuilt.to_bytes() == program.to_bytes()
+
+
+def test_assembler_rejects_backward_label():
+    with pytest.raises(VerificationError):
+        assemble("""
+        loop:
+            movi r0, 1
+            jmp loop
+            ret
+        """)
+
+
+def test_assembler_rejects_unknown_mnemonic():
+    with pytest.raises(VerificationError):
+        assemble("frobnicate r0, r1\nret")
+
+
+def test_fixed_window_plugin_as_congestion_control():
+    cc = BytecodeCongestionControl(1400, fixed_window_program())
+    cc.on_ack(1400, 0.01, 0.0)
+    assert cc.window() == 4 * 1400
+    cc.on_loss(100_000, 1.0)
+    assert cc.window() == 4 * 1400  # immune to loss
+
+
+def test_aimd_plugin_decreases_on_loss():
+    cc = BytecodeCongestionControl(1400, aimd_conservative_program())
+    cc.cwnd = 100 * 1400
+    cc.on_loss(100 * 1400, 1.0)
+    assert cc.window() == pytest.approx(75 * 1400, rel=0.02)
+    assert cc.ssthresh == pytest.approx(75 * 1400, rel=0.02)
+
+
+def test_aimd_plugin_timeout_collapses():
+    cc = BytecodeCongestionControl(1400, aimd_conservative_program())
+    cc.cwnd = 50 * 1400
+    cc.on_timeout(50 * 1400, 2.0)
+    assert cc.window() == 1400
+
+
+def test_slow_start_only_plugin_grows_additively_per_ack():
+    cc = BytecodeCongestionControl(1400, slow_start_only_program())
+    start = cc.window()
+    cc.on_ack(1400, 0.01, 0.0)
+    assert cc.window() == start + 1400
+
+
+def test_cwnd_floor_at_one_mss():
+    program = assemble("""
+        movi r0, 0
+        ret
+    """)
+    cc = BytecodeCongestionControl(1400, program)
+    cc.on_ack(1400, 0.01, 0.0)
+    assert cc.window() == 1400  # floored
+
+
+def test_install_plugin_rejects_garbage():
+    class FakeSession:
+        connections = {}
+
+    assert install_plugin(FakeSession(), "cc", b"not bytecode") is False
+    assert install_plugin(FakeSession(), "nope", b"") is False
+
+
+@given(st.integers(-2**40, 2**40), st.integers(-2**40, 2**40))
+def test_property_add_matches_python(a, b):
+    program = assemble("""
+        mov r0, r1
+        add r0, r2
+        ret
+    """)
+    assert Vm(program).run(a, b) == a + b
+
+
+@given(st.lists(st.integers(0, 1000), min_size=1, max_size=30))
+def test_property_vm_always_terminates(values):
+    # Any verified program terminates; run a hole-y conditional program
+    # with arbitrary inputs and just check it returns.
+    program = assemble("""
+        movi r0, 0
+        movi r7, 500
+        jge  r1, r7, big
+        addi r0, 1
+        ret
+    big:
+        addi r0, 2
+        ret
+    """)
+    vm = Vm(program)
+    for value in values:
+        assert vm.run(value) in (1, 2)

@@ -1,0 +1,138 @@
+"""Scheduler and record-sizing policy units."""
+
+import pytest
+
+from repro.core.record_sizing import RecordSizer, TOTAL_OVERHEAD
+from repro.core.scheduler import (
+    CwndAwareScheduler,
+    LowestRttScheduler,
+    PinnedScheduler,
+    RoundRobinScheduler,
+    make_scheduler,
+)
+
+
+class FakeTcp:
+    def __init__(self, srtt):
+        class Rto:
+            pass
+
+        self.rto = Rto()
+        self.rto.srtt = srtt
+
+    def effective_mss(self):
+        return 1400
+
+
+class FakeConn:
+    def __init__(self, conn_id, usable=True, room=10000, srtt=0.01):
+        self.conn_id = conn_id
+        self._usable = usable
+        self._room = room
+        self.tcp = FakeTcp(srtt)
+
+    def usable(self):
+        return self._usable
+
+    def send_room(self):
+        return self._room
+
+
+class FakeStream:
+    def __init__(self, conn_id):
+        self.conn_id = conn_id
+
+
+def test_factory():
+    assert isinstance(make_scheduler("pinned"), PinnedScheduler)
+    assert isinstance(make_scheduler("hol_avoidance"), PinnedScheduler)
+    assert isinstance(make_scheduler("rr"), RoundRobinScheduler)
+    assert isinstance(make_scheduler("aggregate"), CwndAwareScheduler)
+    assert isinstance(make_scheduler("rtt"), LowestRttScheduler)
+    with pytest.raises(ValueError):
+        make_scheduler("magic")
+
+
+def test_pinned_only_uses_own_connection():
+    conns = [FakeConn(0), FakeConn(1)]
+    scheduler = PinnedScheduler()
+    assert scheduler.pick(FakeStream(conn_id=1), conns).conn_id == 1
+    assert scheduler.pick(FakeStream(conn_id=9), conns) is None
+
+
+def test_pinned_skips_unusable():
+    conns = [FakeConn(0, usable=False)]
+    assert PinnedScheduler().pick(FakeStream(conn_id=0), conns) is None
+
+
+def test_round_robin_cycles():
+    conns = [FakeConn(0), FakeConn(1), FakeConn(2)]
+    scheduler = RoundRobinScheduler()
+    picks = [scheduler.pick(FakeStream(0), conns).conn_id for _ in range(6)]
+    assert picks == [0, 1, 2, 0, 1, 2]
+
+
+def test_round_robin_skips_dead_connections():
+    conns = [FakeConn(0), FakeConn(1, usable=False), FakeConn(2)]
+    scheduler = RoundRobinScheduler()
+    picks = {scheduler.pick(FakeStream(0), conns).conn_id for _ in range(4)}
+    assert picks == {0, 2}
+
+
+def test_cwnd_aware_prefers_most_room():
+    conns = [FakeConn(0, room=100), FakeConn(1, room=9000)]
+    assert CwndAwareScheduler().pick(FakeStream(0), conns).conn_id == 1
+
+
+def test_cwnd_aware_returns_none_when_all_full():
+    conns = [FakeConn(0, room=0), FakeConn(1, room=-5)]
+    assert CwndAwareScheduler().pick(FakeStream(0), conns) is None
+
+
+def test_lowest_rtt_prefers_fast_path():
+    conns = [FakeConn(0, srtt=0.050), FakeConn(1, srtt=0.005)]
+    assert LowestRttScheduler().pick(FakeStream(0), conns).conn_id == 1
+
+
+def test_lowest_rtt_needs_room():
+    conns = [FakeConn(0, srtt=0.005, room=0), FakeConn(1, srtt=0.050)]
+    assert LowestRttScheduler().pick(FakeStream(0), conns).conn_id == 1
+
+
+# ---------------------------------------------------------------------------
+# RecordSizer
+# ---------------------------------------------------------------------------
+
+
+def test_fixed_sizer_always_max():
+    sizer = RecordSizer(max_payload=8000, match_cwnd=False)
+    assert sizer.chunk_size(FakeConn(0, room=100)) == 8000
+
+
+def test_matched_sizer_fits_window():
+    sizer = RecordSizer(max_payload=16000, match_cwnd=True)
+    conn = FakeConn(0, room=5000)
+    assert sizer.chunk_size(conn) == 5000 - TOTAL_OVERHEAD
+
+
+def test_matched_sizer_caps_at_max():
+    sizer = RecordSizer(max_payload=16000, match_cwnd=True)
+    assert sizer.chunk_size(FakeConn(0, room=10**6)) == 16000
+
+
+def test_matched_sizer_minimal_record_when_window_closed():
+    sizer = RecordSizer(max_payload=16000, match_cwnd=True)
+    assert sizer.chunk_size(FakeConn(0, room=0)) == 1400  # one MSS
+
+
+def test_fragmentation_accounting():
+    sizer = RecordSizer(max_payload=16000)
+    sizer.account(16000, FakeConn(0, room=100))   # fragmented
+    sizer.account(1000, FakeConn(0, room=99999))  # fits
+    stats = sizer.stats()
+    assert stats == {"records": 2, "fragmented": 1, "fragmented_ratio": 0.5}
+
+
+def test_invalid_max_payload():
+    with pytest.raises(ValueError):
+        RecordSizer(max_payload=0)

@@ -1,0 +1,77 @@
+"""RFC 8439 section 2.8.2 AEAD test vector plus behavioural tests."""
+
+import pytest
+
+from repro.crypto.aead import ChaCha20Poly1305
+from repro.utils.errors import CryptoError
+
+KEY = bytes(range(0x80, 0xA0))
+NONCE = bytes.fromhex("070000004041424344454647")
+AAD = bytes.fromhex("50515253c0c1c2c3c4c5c6c7")
+PLAINTEXT = (
+    b"Ladies and Gentlemen of the class of '99: If I could offer you "
+    b"only one tip for the future, sunscreen would be it."
+)
+EXPECTED_CIPHERTEXT = bytes.fromhex(
+    "d31a8d34648e60db7b86afbc53ef7ec2"
+    "a4aded51296e08fea9e2b5a736ee62d6"
+    "3dbea45e8ca9671282fafb69da92728b"
+    "1a71de0a9e060b2905d6a5b67ecd3b36"
+    "92ddbd7f2d778b8c9803aee328091b58"
+    "fab324e4fad675945585808b4831d7bc"
+    "3ff4def08e4b7a9de576d26586cec64b"
+    "6116"
+)
+EXPECTED_TAG = bytes.fromhex("1ae10b594f09e26a7e902ecbd0600691")
+
+
+def test_rfc8439_vector():
+    aead = ChaCha20Poly1305(KEY)
+    sealed = aead.encrypt(NONCE, PLAINTEXT, AAD)
+    assert sealed == EXPECTED_CIPHERTEXT + EXPECTED_TAG
+
+
+def test_decrypt_roundtrip():
+    aead = ChaCha20Poly1305(KEY)
+    assert aead.decrypt(NONCE, aead.encrypt(NONCE, PLAINTEXT, AAD), AAD) == PLAINTEXT
+
+
+def test_decrypt_rejects_tampered_ciphertext():
+    aead = ChaCha20Poly1305(KEY)
+    sealed = bytearray(aead.encrypt(NONCE, PLAINTEXT, AAD))
+    sealed[3] ^= 0x01
+    with pytest.raises(CryptoError):
+        aead.decrypt(NONCE, bytes(sealed), AAD)
+
+
+def test_decrypt_rejects_tampered_tag():
+    aead = ChaCha20Poly1305(KEY)
+    sealed = bytearray(aead.encrypt(NONCE, PLAINTEXT, AAD))
+    sealed[-1] ^= 0x80
+    with pytest.raises(CryptoError):
+        aead.decrypt(NONCE, bytes(sealed), AAD)
+
+
+def test_decrypt_rejects_wrong_aad():
+    aead = ChaCha20Poly1305(KEY)
+    sealed = aead.encrypt(NONCE, PLAINTEXT, AAD)
+    with pytest.raises(CryptoError):
+        aead.decrypt(NONCE, sealed, b"different aad")
+
+
+def test_decrypt_rejects_wrong_key():
+    sealed = ChaCha20Poly1305(KEY).encrypt(NONCE, PLAINTEXT, AAD)
+    with pytest.raises(CryptoError):
+        ChaCha20Poly1305(b"\x00" * 32).decrypt(NONCE, sealed, AAD)
+
+
+def test_decrypt_rejects_short_input():
+    with pytest.raises(CryptoError):
+        ChaCha20Poly1305(KEY).decrypt(NONCE, b"\x00" * 8)
+
+
+def test_empty_plaintext_roundtrip():
+    aead = ChaCha20Poly1305(KEY)
+    sealed = aead.encrypt(NONCE, b"", b"aad")
+    assert len(sealed) == 16
+    assert aead.decrypt(NONCE, sealed, b"aad") == b""

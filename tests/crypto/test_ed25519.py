@@ -1,0 +1,64 @@
+"""RFC 8032 section 7.1 test vectors for Ed25519."""
+
+from repro.crypto.ed25519 import (
+    Ed25519PrivateKey,
+    ed25519_public_key,
+    ed25519_sign,
+    ed25519_verify,
+)
+
+
+def test_rfc8032_test_1_empty_message():
+    secret = bytes.fromhex(
+        "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60"
+    )
+    public = bytes.fromhex(
+        "d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a"
+    )
+    assert ed25519_public_key(secret) == public
+    signature = ed25519_sign(secret, b"")
+    assert signature == bytes.fromhex(
+        "e5564300c360ac729086e2cc806e828a"
+        "84877f1eb8e5d974d873e06522490155"
+        "5fb8821590a33bacc61e39701cf9b46b"
+        "d25bf5f0595bbe24655141438e7a100b"
+    )
+    assert ed25519_verify(public, b"", signature)
+
+
+def test_rfc8032_test_2_one_byte():
+    secret = bytes.fromhex(
+        "4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb"
+    )
+    public = bytes.fromhex(
+        "3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c"
+    )
+    message = bytes.fromhex("72")
+    assert ed25519_public_key(secret) == public
+    signature = ed25519_sign(secret, message)
+    assert signature == bytes.fromhex(
+        "92a009a9f0d4cab8720e820b5f642540"
+        "a2b27b5416503f8fb3762223ebdb69da"
+        "085ac1e43e15996e458f3613d0f11d8c"
+        "387b2eaeb4302aeeb00d291612bb0c00"
+    )
+    assert ed25519_verify(public, message, signature)
+
+
+def test_verify_rejects_wrong_message():
+    key = Ed25519PrivateKey(b"\x05" * 32)
+    signature = key.sign(b"hello")
+    assert ed25519_verify(key.public_bytes, b"hello", signature)
+    assert not ed25519_verify(key.public_bytes, b"hellx", signature)
+
+
+def test_verify_rejects_corrupt_signature():
+    key = Ed25519PrivateKey(b"\x06" * 32)
+    signature = bytearray(key.sign(b"msg"))
+    signature[0] ^= 1
+    assert not ed25519_verify(key.public_bytes, b"msg", bytes(signature))
+
+
+def test_verify_rejects_garbage_inputs():
+    assert not ed25519_verify(b"short", b"msg", b"\x00" * 64)
+    assert not ed25519_verify(b"\x00" * 32, b"msg", b"\x00" * 10)

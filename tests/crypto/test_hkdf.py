@@ -1,0 +1,74 @@
+"""RFC 5869 test vectors (SHA-256 cases) plus Expand-Label shape checks."""
+
+import pytest
+
+from repro.crypto.hkdf import (
+    derive_secret,
+    hkdf_expand,
+    hkdf_expand_label,
+    hkdf_extract,
+)
+
+
+def test_rfc5869_case_1():
+    ikm = b"\x0b" * 22
+    salt = bytes(range(13))
+    info = bytes(range(0xF0, 0xFA))
+    prk = hkdf_extract(salt, ikm)
+    assert prk == bytes.fromhex(
+        "077709362c2e32df0ddc3f0dc47bba63"
+        "90b6c73bb50f9c3122ec844ad7c2b3e5"
+    )
+    okm = hkdf_expand(prk, info, 42)
+    assert okm == bytes.fromhex(
+        "3cb25f25faacd57a90434f64d0362f2a"
+        "2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+        "34007208d5b887185865"
+    )
+
+
+def test_rfc5869_case_2_long_inputs():
+    ikm = bytes(range(0x00, 0x50))
+    salt = bytes(range(0x60, 0xB0))
+    info = bytes(range(0xB0, 0x100))
+    prk = hkdf_extract(salt, ikm)
+    okm = hkdf_expand(prk, info, 82)
+    assert okm == bytes.fromhex(
+        "b11e398dc80327a1c8e7f78c596a4934"
+        "4f012eda2d4efad8a050cc4c19afa97c"
+        "59045a99cac7827271cb41c65e590e09"
+        "da3275600c2f09b8367793a9aca3db71"
+        "cc30c58179ec3e87c14c01d5c1f3434f"
+        "1d87"
+    )
+
+
+def test_rfc5869_case_3_empty_salt_info():
+    ikm = b"\x0b" * 22
+    prk = hkdf_extract(b"", ikm)
+    okm = hkdf_expand(prk, b"", 42)
+    assert okm == bytes.fromhex(
+        "8da4e775a563c18f715f802a063c5a31"
+        "b8a11f5c5ee1879ec3454e5f3c738d2d"
+        "9d201395faa4b61a96c8"
+    )
+
+
+def test_expand_label_structure():
+    secret = b"\x42" * 32
+    out1 = hkdf_expand_label(secret, "key", b"", 32)
+    out2 = hkdf_expand_label(secret, "iv", b"", 32)
+    assert out1 != out2
+    assert len(hkdf_expand_label(secret, "key", b"", 12)) == 12
+
+
+def test_derive_secret_differs_by_transcript():
+    secret = b"\x01" * 32
+    a = derive_secret(secret, "c hs traffic", b"\x00" * 32)
+    b = derive_secret(secret, "c hs traffic", b"\x01" * 32)
+    assert a != b
+
+
+def test_expand_rejects_overlong_output():
+    with pytest.raises(ValueError):
+        hkdf_expand(b"\x00" * 32, b"", 255 * 32 + 1)

@@ -1,0 +1,108 @@
+"""TLS 1.3 key schedule behaviour (RFC 8446 section 7)."""
+
+from repro.crypto.keyschedule import KeySchedule, TrafficKeys
+
+
+def _run_schedule(psk: bytes = b"") -> KeySchedule:
+    ks = KeySchedule(psk)
+    ks.update_transcript(b"ClientHello bytes")
+    ks.update_transcript(b"ServerHello bytes")
+    ks.input_ecdhe(b"\xab" * 32)
+    ks.update_transcript(b"EncryptedExtensions..Finished")
+    ks.derive_master()
+    ks.update_transcript(b"client Finished")
+    ks.derive_resumption()
+    return ks
+
+
+def test_client_and_server_derive_identical_secrets():
+    a = _run_schedule()
+    b = _run_schedule()
+    assert a.client_handshake_traffic == b.client_handshake_traffic
+    assert a.server_application_traffic == b.server_application_traffic
+    assert a.exporter_secret == b.exporter_secret
+    assert a.resumption_master_secret == b.resumption_master_secret
+
+
+def test_secrets_are_distinct():
+    ks = _run_schedule()
+    secrets = {
+        ks.client_handshake_traffic,
+        ks.server_handshake_traffic,
+        ks.client_application_traffic,
+        ks.server_application_traffic,
+        ks.exporter_secret,
+        ks.resumption_master_secret,
+    }
+    assert len(secrets) == 6
+
+
+def test_psk_changes_every_secret():
+    without = _run_schedule()
+    with_psk = _run_schedule(psk=b"\x99" * 32)
+    assert without.client_application_traffic != with_psk.client_application_traffic
+    assert without.early_secret != with_psk.early_secret
+
+
+def test_transcript_divergence_changes_traffic_secrets():
+    a = KeySchedule()
+    b = KeySchedule()
+    a.update_transcript(b"hello A")
+    b.update_transcript(b"hello B")
+    a.input_ecdhe(b"\x01" * 32)
+    b.input_ecdhe(b"\x01" * 32)
+    assert a.client_handshake_traffic != b.client_handshake_traffic
+
+
+def test_traffic_keys_nonce_xor():
+    keys = TrafficKeys.from_secret(b"\x11" * 32)
+    n0 = keys.nonce_for(0)
+    n1 = keys.nonce_for(1)
+    assert n0 == keys.iv
+    assert n0[:-1] == n1[:-1]
+    assert n0[-1] ^ n1[-1] == 1
+
+
+def test_key_update_generation():
+    keys = TrafficKeys.from_secret(b"\x22" * 32)
+    updated = keys.next_generation()
+    assert updated.secret != keys.secret
+    assert updated.key != keys.key
+    # Deterministic: same input gives same next generation.
+    assert keys.next_generation().secret == updated.secret
+
+
+def test_exporter_requires_master():
+    ks = KeySchedule()
+    import pytest
+
+    with pytest.raises(ValueError):
+        ks.export("tcpls stream", b"", 32)
+
+
+def test_exporter_contextual():
+    ks = _run_schedule()
+    a = ks.export("tcpls stream", b"\x00", 32)
+    b = ks.export("tcpls stream", b"\x01", 32)
+    c = ks.export("other label", b"\x00", 32)
+    assert len({bytes(a), bytes(b), bytes(c)}) == 3
+
+
+def test_finished_verify_data_matches_between_peers():
+    a = _run_schedule()
+    b = _run_schedule()
+    assert a.finished_verify_data(a.server_handshake_traffic) == b.finished_verify_data(
+        b.server_handshake_traffic
+    )
+
+
+def test_early_secrets_bound_to_client_hello():
+    ks = KeySchedule(psk=b"\x10" * 32)
+    ks.update_transcript(b"ClientHello")
+    early = ks.derive_early()
+    assert len(early["client_early_traffic"]) == 32
+    ks2 = KeySchedule(psk=b"\x10" * 32)
+    ks2.update_transcript(b"ClientHello'")
+    assert ks2.derive_early()["client_early_traffic"] != early["client_early_traffic"]
+    # The binder key does not depend on the transcript.
+    assert ks2.derive_early()["binder_key"] == early["binder_key"]

@@ -1,0 +1,97 @@
+"""Behaviour of the discrete-event engine."""
+
+import pytest
+
+from repro.netsim.engine import Simulator
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(0.3, order.append, "c")
+    sim.schedule(0.1, order.append, "a")
+    sim.schedule(0.2, order.append, "b")
+    sim.run_until_idle()
+    assert order == ["a", "b", "c"]
+    assert sim.now == pytest.approx(0.3)
+
+
+def test_ties_broken_by_insertion_order():
+    sim = Simulator()
+    order = []
+    for label in "abcde":
+        sim.schedule(1.0, order.append, label)
+    sim.run_until_idle()
+    assert order == list("abcde")
+
+
+def test_run_until_stops_and_advances_clock():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, 1)
+    sim.schedule(5.0, fired.append, 5)
+    sim.run(until=2.0)
+    assert fired == [1]
+    assert sim.now == pytest.approx(2.0)
+    sim.run(until=10.0)
+    assert fired == [1, 5]
+
+
+def test_cancelled_events_do_not_fire():
+    sim = Simulator()
+    fired = []
+    keep = sim.schedule(1.0, fired.append, "keep")
+    cancel = sim.schedule(1.0, fired.append, "cancel")
+    cancel.cancel()
+    sim.run_until_idle()
+    assert fired == ["keep"]
+    assert keep.time == pytest.approx(1.0)
+
+
+def test_nested_scheduling_from_callbacks():
+    sim = Simulator()
+    times = []
+
+    def tick(remaining):
+        times.append(sim.now)
+        if remaining:
+            sim.schedule(0.5, tick, remaining - 1)
+
+    sim.schedule(0.0, tick, 3)
+    sim.run_until_idle()
+    assert times == pytest.approx([0.0, 0.5, 1.0, 1.5])
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_max_events_guard():
+    sim = Simulator()
+
+    def forever():
+        sim.schedule(0.001, forever)
+
+    sim.schedule(0.0, forever)
+    with pytest.raises(RuntimeError):
+        sim.run(until=1000.0, max_events=100)
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: sim.schedule_at(3.0, fired.append, "x"))
+    sim.run_until_idle()
+    assert fired == ["x"]
+    assert sim.now == pytest.approx(3.0)
+
+
+def test_pending_events_counts_uncancelled():
+    sim = Simulator()
+    a = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending_events() == 2
+    a.cancel()
+    assert sim.pending_events() == 1

@@ -1,0 +1,141 @@
+"""Link queueing, delay, loss, and outage behaviour."""
+
+import pytest
+
+from repro.netsim.engine import Simulator
+from repro.netsim.link import Link
+from repro.netsim.node import Host
+from repro.netsim.packet import Datagram, parse_address
+
+
+def _two_hosts(rate_bps=8e6, delay=0.01, **kwargs):
+    sim = Simulator()
+    a = Host(sim, "a")
+    b = Host(sim, "b")
+    ia = a.add_interface("eth0").configure_ipv4("10.0.0.1/24")
+    ib = b.add_interface("eth0").configure_ipv4("10.0.0.2/24")
+    link = Link(sim, rate_bps=rate_bps, delay=delay, **kwargs)
+    ia.attach_link(link)
+    ib.attach_link(link)
+    a.add_route("10.0.0.0/24", ia)
+    b.add_route("10.0.0.0/24", ib)
+    return sim, a, b, ia, ib, link
+
+
+def _capture(host):
+    received = []
+    host.register_protocol(253, lambda d, i: received.append((host.sim.now, d)))
+    return received
+
+
+def test_delivery_latency_is_txtime_plus_propagation():
+    sim, a, b, ia, ib, link = _two_hosts(rate_bps=8e6, delay=0.01)
+    received = _capture(b)
+    # 980-byte payload + 20B header = 1000B = 8000 bits -> 1ms at 8 Mbps.
+    d = Datagram(parse_address("10.0.0.1"), parse_address("10.0.0.2"), 253, b"x" * 980)
+    a.send_ip(d)
+    sim.run_until_idle()
+    assert len(received) == 1
+    assert received[0][0] == pytest.approx(0.011)
+
+
+def test_back_to_back_packets_serialize():
+    sim, a, b, ia, ib, link = _two_hosts(rate_bps=8e6, delay=0.0)
+    received = _capture(b)
+    for _ in range(3):
+        a.send_ip(
+            Datagram(parse_address("10.0.0.1"), parse_address("10.0.0.2"), 253, b"x" * 980)
+        )
+    sim.run_until_idle()
+    times = [t for t, _ in received]
+    assert times == pytest.approx([0.001, 0.002, 0.003])
+
+
+def test_queue_overflow_drops_tail():
+    sim, a, b, ia, ib, link = _two_hosts(rate_bps=8e6, delay=0.0, queue_packets=5)
+    received = _capture(b)
+    for _ in range(10):
+        a.send_ip(
+            Datagram(parse_address("10.0.0.1"), parse_address("10.0.0.2"), 253, b"x" * 980)
+        )
+    sim.run_until_idle()
+    assert len(received) == 5
+    assert link.stats["dropped_queue"] == 5
+
+
+def test_loss_rate_is_seeded_and_reproducible():
+    def run(seed):
+        sim, a, b, ia, ib, link = _two_hosts(loss_rate=0.5, seed=seed)
+        received = _capture(b)
+
+        def send_next(remaining):
+            if remaining == 0:
+                return
+            a.send_ip(
+                Datagram(
+                    parse_address("10.0.0.1"), parse_address("10.0.0.2"), 253, b"x"
+                )
+            )
+            sim.schedule(0.05, send_next, remaining - 1)
+
+        sim.schedule(0.0, send_next, 100)
+        sim.run_until_idle()
+        return len(received)
+
+    first = run(seed=7)
+    assert first == run(seed=7)
+    assert 20 < first < 80
+
+
+def test_link_down_drops_everything_and_up_restores():
+    sim, a, b, ia, ib, link = _two_hosts()
+    received = _capture(b)
+    link.set_down()
+    a.send_ip(Datagram(parse_address("10.0.0.1"), parse_address("10.0.0.2"), 253, b"x"))
+    sim.run_until_idle()
+    assert received == []
+    assert link.stats["dropped_down"] == 1
+    link.set_up()
+    a.send_ip(Datagram(parse_address("10.0.0.1"), parse_address("10.0.0.2"), 253, b"y"))
+    sim.run_until_idle()
+    assert len(received) == 1
+
+
+def test_packets_in_flight_lost_when_link_goes_down():
+    sim, a, b, ia, ib, link = _two_hosts(delay=1.0)
+    received = _capture(b)
+    a.send_ip(Datagram(parse_address("10.0.0.1"), parse_address("10.0.0.2"), 253, b"x"))
+    sim.schedule(0.5, link.set_down)
+    sim.run_until_idle()
+    assert received == []
+
+
+def test_interface_down_blocks_delivery():
+    sim, a, b, ia, ib, link = _two_hosts()
+    received = _capture(b)
+    ib.set_down()
+    a.send_ip(Datagram(parse_address("10.0.0.1"), parse_address("10.0.0.2"), 253, b"x"))
+    sim.run_until_idle()
+    assert received == []
+
+
+def test_transformer_can_drop_and_inject():
+    sim, a, b, ia, ib, link = _two_hosts()
+    received = _capture(b)
+
+    def dropper(datagram):
+        return None if datagram.payload == b"drop" else datagram
+
+    link.add_transformer(ia, dropper)
+    a.send_ip(Datagram(parse_address("10.0.0.1"), parse_address("10.0.0.2"), 253, b"drop"))
+    a.send_ip(Datagram(parse_address("10.0.0.1"), parse_address("10.0.0.2"), 253, b"keep"))
+    sim.run_until_idle()
+    assert [d.payload for _, d in received] == [b"keep"]
+
+
+def test_third_endpoint_rejected():
+    sim, a, b, ia, ib, link = _two_hosts()
+    c = Host(sim, "c")
+    ic = c.add_interface("eth0")
+    with pytest.raises(ValueError):
+        ic.attach_link(link)

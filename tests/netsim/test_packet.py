@@ -1,0 +1,54 @@
+"""Datagram semantics."""
+
+import ipaddress
+
+import pytest
+
+from repro.netsim.packet import Datagram, PROTO_TCP, parse_address
+
+
+def test_v4_datagram_size_includes_header():
+    d = Datagram(
+        parse_address("10.0.0.1"), parse_address("10.0.0.2"), PROTO_TCP, b"x" * 100
+    )
+    assert d.version == 4
+    assert d.size == 120
+
+
+def test_v6_datagram_size_includes_header():
+    d = Datagram(
+        parse_address("fc00::1"), parse_address("fc00::2"), PROTO_TCP, b"x" * 100
+    )
+    assert d.version == 6
+    assert d.size == 140
+
+
+def test_family_mismatch_rejected():
+    with pytest.raises(ValueError):
+        Datagram(parse_address("10.0.0.1"), parse_address("fc00::2"), PROTO_TCP, b"")
+
+
+def test_copy_overrides_fields_and_keeps_others():
+    d = Datagram(
+        parse_address("10.0.0.1"), parse_address("10.0.0.2"), PROTO_TCP, b"abc"
+    )
+    clone = d.copy(payload=b"xyz")
+    assert clone.payload == b"xyz"
+    assert clone.src == d.src
+    assert clone.packet_id != d.packet_id
+
+
+def test_packet_ids_unique():
+    a = Datagram(parse_address("1.1.1.1"), parse_address("2.2.2.2"), 6, b"")
+    b = Datagram(parse_address("1.1.1.1"), parse_address("2.2.2.2"), 6, b"")
+    assert a.packet_id != b.packet_id
+
+
+def test_summary_mentions_protocol():
+    d = Datagram(parse_address("10.0.0.1"), parse_address("10.0.0.2"), PROTO_TCP, b"abc")
+    assert "TCP" in d.summary()
+
+
+def test_parse_address_both_families():
+    assert isinstance(parse_address("192.168.1.1"), ipaddress.IPv4Address)
+    assert isinstance(parse_address("2001:db8::1"), ipaddress.IPv6Address)

@@ -1,0 +1,102 @@
+"""Pcap export: header structure, IP serialization, round trip."""
+
+import struct
+
+import pytest
+
+from repro.netsim.pcap import PcapWriter, read_pcap, serialize_ip
+from repro.netsim.packet import Datagram, PROTO_TCP, parse_address
+from repro.netsim.scenarios import simple_duplex_network
+from repro.tcp.segment import Flags, TcpSegment, internet_checksum
+from repro.tcp.stack import TcpStack
+
+
+def _datagram_v4(payload=b"payload"):
+    return Datagram(
+        parse_address("10.0.0.1"), parse_address("10.0.0.2"), PROTO_TCP, payload
+    )
+
+
+def _datagram_v6(payload=b"payload"):
+    return Datagram(
+        parse_address("fc00::1"), parse_address("fc00::2"), PROTO_TCP, payload
+    )
+
+
+def test_ipv4_serialization_is_valid():
+    wire = serialize_ip(_datagram_v4(b"x" * 10))
+    assert wire[0] == 0x45  # version 4, IHL 5
+    total_length = struct.unpack("!H", wire[2:4])[0]
+    assert total_length == len(wire) == 30
+    assert wire[9] == PROTO_TCP
+    # The IPv4 header checksum validates (folds to zero).
+    assert internet_checksum(wire[:20]) == 0
+    assert wire[12:16] == parse_address("10.0.0.1").packed
+    assert wire[16:20] == parse_address("10.0.0.2").packed
+
+
+def test_ipv6_serialization_is_valid():
+    wire = serialize_ip(_datagram_v6(b"y" * 8))
+    assert wire[0] >> 4 == 6
+    payload_length = struct.unpack("!H", wire[4:6])[0]
+    assert payload_length == 8
+    assert wire[6] == PROTO_TCP
+    assert wire[8:24] == parse_address("fc00::1").packed
+    assert len(wire) == 40 + 8
+
+
+def test_pcap_roundtrip(tmp_path):
+    from repro.netsim.engine import Simulator
+
+    sim = Simulator()
+    path = str(tmp_path / "trace.pcap")
+    with PcapWriter(path, sim) as writer:
+        writer.write(_datagram_v4(b"first"), at=1.5)
+        writer.write(_datagram_v6(b"second"), at=2.25)
+    packets = read_pcap(path)
+    assert len(packets) == 2
+    assert packets[0][0] == pytest.approx(1.5)
+    assert packets[1][0] == pytest.approx(2.25)
+    assert packets[0][1].endswith(b"first")
+    assert packets[1][1].endswith(b"second")
+
+
+def test_pcap_global_header(tmp_path):
+    from repro.netsim.engine import Simulator
+
+    path = str(tmp_path / "hdr.pcap")
+    PcapWriter(path, Simulator()).close()
+    raw = open(path, "rb").read()
+    magic, major, minor = struct.unpack("!IHH", raw[:8])
+    assert magic == 0xA1B2C3D4
+    assert (major, minor) == (2, 4)
+    linktype = struct.unpack("!I", raw[20:24])[0]
+    assert linktype == 101  # LINKTYPE_RAW
+
+
+def test_capture_live_tcp_connection(tmp_path):
+    """Attach the writer as a middlebox and capture a real handshake."""
+    net, client_host, server_host, link = simple_duplex_network()
+    path = str(tmp_path / "live.pcap")
+    writer = PcapWriter(path, net.sim)
+    link.add_transformer(list(client_host.interfaces.values())[0], writer)
+    client_tcp = TcpStack(client_host)
+    server_tcp = TcpStack(server_host)
+    server_tcp.listen(443, lambda c: None)
+    conn = client_tcp.connect("10.0.0.2", 443)
+    net.sim.run(until=1.0)
+    writer.close()
+    packets = read_pcap(path)
+    assert writer.packets_written >= 2  # SYN + ACK at least
+    # The first captured packet parses as a SYN to port 443.
+    first = packets[0][1]
+    segment = TcpSegment.from_bytes(first[20:], verify_checksum=False)
+    assert segment.is_syn
+    assert segment.dst_port == 443
+
+
+def test_reader_rejects_garbage(tmp_path):
+    path = tmp_path / "bad.pcap"
+    path.write_bytes(b"not a pcap")
+    with pytest.raises(Exception):
+        read_pcap(str(path))

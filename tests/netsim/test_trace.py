@@ -1,0 +1,73 @@
+"""Packet tracing and throughput metering."""
+
+import pytest
+
+from repro.netsim.engine import Simulator
+from repro.netsim.packet import Datagram, PROTO_TCP, parse_address
+from repro.netsim.trace import PacketTrace, ThroughputMeter
+from repro.tcp.segment import Flags, TcpSegment
+
+SRC = parse_address("10.0.0.1")
+DST = parse_address("10.0.0.2")
+
+
+def _tcp_datagram(payload=b"data", flags=Flags.ACK | Flags.PSH):
+    seg = TcpSegment(src_port=1, dst_port=2, flags=flags, payload=payload)
+    return Datagram(SRC, DST, PROTO_TCP, seg.to_bytes(SRC, DST))
+
+
+def test_trace_records_parsed_tcp_summary():
+    sim = Simulator()
+    trace = PacketTrace(sim)
+    trace(_tcp_datagram())
+    assert len(trace) == 1
+    assert "TCP 1->2" in trace.records[0][1]
+    assert "len=4" in trace.records[0][1]
+
+
+def test_trace_passes_datagram_through():
+    sim = Simulator()
+    trace = PacketTrace(sim)
+    d = _tcp_datagram()
+    assert trace(d) is d
+
+
+def test_trace_dump_format_and_limit():
+    sim = Simulator()
+    trace = PacketTrace(sim)
+    for _ in range(5):
+        trace(_tcp_datagram())
+    dump = trace.dump(limit=2)
+    assert len(dump.splitlines()) == 2
+
+
+def test_trace_handles_non_tcp():
+    sim = Simulator()
+    trace = PacketTrace(sim)
+    trace(Datagram(SRC, DST, 253, b"opaque"))
+    assert "253" in trace.records[0][1]
+
+
+def test_throughput_meter_bins_by_interval():
+    sim = Simulator()
+    meter = ThroughputMeter(sim, interval=1.0)
+    meter.record(125_000, at=0.5)   # 1 Mbit in bin 0
+    meter.record(250_000, at=1.2)   # 2 Mbit in bin 1
+    series = meter.series(until=2.0)
+    assert series[0] == (0.0, pytest.approx(1.0))
+    assert series[1] == (1.0, pytest.approx(2.0))
+    assert series[2] == (2.0, 0.0)
+    assert meter.total_bytes() == 375_000
+
+
+def test_throughput_meter_as_transformer_counts_tcp_payload():
+    sim = Simulator()
+    meter = ThroughputMeter(sim, interval=1.0)
+    meter(_tcp_datagram(payload=b"x" * 1000))
+    meter(_tcp_datagram(payload=b""))  # pure ACK: not counted
+    assert meter.total_bytes() == 1000
+
+
+def test_empty_meter_series():
+    sim = Simulator()
+    assert ThroughputMeter(sim).series() == []

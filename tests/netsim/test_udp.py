@@ -1,0 +1,76 @@
+"""UDP layer unit tests."""
+
+import pytest
+
+from repro.netsim.scenarios import simple_duplex_network
+from repro.netsim.udp import UdpStack, decode_udp, encode_udp
+
+
+def test_header_roundtrip():
+    raw = encode_udp(1234, 5678, b"payload")
+    assert decode_udp(raw) == (1234, 5678, b"payload")
+
+
+def test_short_datagram_rejected():
+    with pytest.raises(ValueError):
+        decode_udp(b"\x00" * 4)
+
+
+def test_end_to_end_datagram():
+    net, client_host, server_host, _ = simple_duplex_network()
+    client = UdpStack(client_host)
+    server = UdpStack(server_host)
+    got = []
+    server.bind(9000, lambda src, sport, data: got.append((str(src), sport, data)))
+    port = client.bind(0, lambda *a: None)
+    assert client.send(port, "10.0.0.2", 9000, b"ping")
+    net.sim.run(until=1.0)
+    assert got == [("10.0.0.1", port, b"ping")]
+
+
+def test_reply_path():
+    net, client_host, server_host, _ = simple_duplex_network()
+    client = UdpStack(client_host)
+    server = UdpStack(server_host)
+    replies = []
+
+    def echo(src, sport, data):
+        server.send(9000, src, sport, data.upper())
+
+    server.bind(9000, echo)
+    port = client.bind(0, lambda src, sport, data: replies.append(data))
+    client.send(port, "10.0.0.2", 9000, b"hello")
+    net.sim.run(until=1.0)
+    assert replies == [b"HELLO"]
+
+
+def test_unbound_port_drops_silently():
+    net, client_host, server_host, _ = simple_duplex_network()
+    client = UdpStack(client_host)
+    UdpStack(server_host)
+    port = client.bind(0, lambda *a: None)
+    client.send(port, "10.0.0.2", 4321, b"nobody home")
+    net.sim.run(until=1.0)  # no exception, nothing delivered
+
+
+def test_double_bind_rejected():
+    net, client_host, _s, _ = simple_duplex_network()
+    udp = UdpStack(client_host)
+    udp.bind(5000, lambda *a: None)
+    with pytest.raises(ValueError):
+        udp.bind(5000, lambda *a: None)
+
+
+def test_unbind_releases_port():
+    net, client_host, _s, _ = simple_duplex_network()
+    udp = UdpStack(client_host)
+    udp.bind(5000, lambda *a: None)
+    udp.unbind(5000)
+    udp.bind(5000, lambda *a: None)
+
+
+def test_send_without_route_returns_false():
+    net, client_host, _s, _ = simple_duplex_network()
+    udp = UdpStack(client_host)
+    port = udp.bind(0, lambda *a: None)
+    assert udp.send(port, "203.0.113.1", 9, b"x") is False

@@ -1,0 +1,197 @@
+"""Mini-QUIC end-to-end over the simulated network."""
+
+import pytest
+
+from repro.netsim.scenarios import dual_path_network, simple_duplex_network
+from repro.netsim.udp import UdpStack
+from repro.quic import QuicClient, QuicConfig, QuicServer
+from repro.tls.certificates import CertificateAuthority, TrustStore
+from repro.tls.session import SessionTicketStore
+
+
+def _configs(seed=3):
+    ca = CertificateAuthority("QUIC Root", seed=b"qroot")
+    identity = ca.issue_identity("server.example", seed=b"qsrv")
+    trust = TrustStore()
+    trust.add_authority(ca)
+    client_config = QuicConfig(
+        trust_store=trust,
+        server_name="server.example",
+        ticket_store=SessionTicketStore(),
+        seed=seed,
+    )
+    server_config = QuicConfig(identity=identity, seed=seed + 100)
+    return client_config, server_config
+
+
+def _world(loss_rate=0.0, delay=0.01):
+    net, client_host, server_host, link = simple_duplex_network(
+        delay=delay, loss_rate=loss_rate, seed=5
+    )
+    client_udp = UdpStack(client_host)
+    server_udp = UdpStack(server_host)
+    client_config, server_config = _configs()
+    accepted = []
+    server = QuicServer(server_udp, 443, server_config, on_connection=accepted.append)
+    return net, client_udp, server_udp, client_config, server, accepted
+
+
+def test_handshake_completes():
+    net, client_udp, _, client_config, server, accepted = _world()
+    client = QuicClient(client_udp, "10.0.0.2", 443, client_config)
+    net.sim.run(until=1.0)
+    assert client.handshake_complete
+    assert accepted and accepted[0].handshake_complete
+
+
+def test_stream_data_both_directions():
+    net, client_udp, _, client_config, server, accepted = _world()
+    client = QuicClient(client_udp, "10.0.0.2", 443, client_config)
+    net.sim.run(until=1.0)
+    server_conn = accepted[0]
+    got_server = {}
+    got_client = {}
+    server_conn.on_stream_data = lambda sid, d: got_server.setdefault(
+        sid, bytearray()
+    ).extend(d)
+    client.on_stream_data = lambda sid, d: got_client.setdefault(
+        sid, bytearray()
+    ).extend(d)
+    up = client.create_stream()
+    client.send(up, b"client speaks")
+    down = server_conn.create_stream()
+    server_conn.send(down, b"server replies")
+    net.sim.run(until=2.0)
+    assert bytes(got_server[up]) == b"client speaks"
+    assert bytes(got_client[down]) == b"server replies"
+
+
+def test_bulk_transfer_with_loss():
+    net, client_udp, _, client_config, server, accepted = _world(loss_rate=0.02)
+    client = QuicClient(client_udp, "10.0.0.2", 443, client_config)
+    net.sim.run(until=2.0)
+    server_conn = accepted[0]
+    got = bytearray()
+    server_conn.on_stream_data = lambda sid, d: got.extend(d)
+    stream = client.create_stream()
+    payload = bytes(i % 251 for i in range(300_000))
+    client.send(stream, payload)
+    net.sim.run(until=60.0)
+    assert bytes(got) == payload
+    assert client.stats["packets_lost"] > 0
+
+
+def test_streams_do_not_hol_block_each_other():
+    """A lost packet of stream A must not delay delivery on stream B."""
+    net, client_udp, _, client_config, server, accepted = _world()
+    client = QuicClient(client_udp, "10.0.0.2", 443, client_config)
+    net.sim.run(until=1.0)
+    server_conn = accepted[0]
+    deliveries = []
+    server_conn.on_stream_data = lambda sid, d: deliveries.append(
+        (net.sim.now, sid, len(d))
+    )
+    stream_a = client.create_stream()
+    stream_b = client.create_stream()
+    # Drop exactly one upcoming client datagram (carrying stream A data).
+    state = {"armed": False, "dropped": False}
+    link = net.links[0]
+
+    def dropper(datagram):
+        if state["armed"] and not state["dropped"] and datagram.size > 500:
+            state["dropped"] = True
+            return None
+        return datagram
+
+    client_iface = list(client_udp.host.interfaces.values())[0]
+    link.add_transformer(client_iface, dropper)
+    state["armed"] = True
+    client.send(stream_a, b"A" * 1000)
+    client.send(stream_b, b"B" * 1000)
+    net.sim.run(until=5.0)
+    by_stream = {}
+    for t, sid, n in deliveries:
+        by_stream.setdefault(sid, []).append(t)
+    assert state["dropped"]
+    # Stream B delivered earlier than the retransmitted stream A data.
+    assert min(by_stream[stream_b]) < max(by_stream[stream_a])
+    total = {sid: sum(1 for d in deliveries if d[1] == sid) for sid in by_stream}
+    assert len(by_stream) == 2
+
+
+def test_0rtt_early_data():
+    net, client_udp, _, client_config, server, accepted = _world(delay=0.03)
+    # First connection earns a ticket.
+    client = QuicClient(client_udp, "10.0.0.2", 443, client_config)
+    net.sim.run(until=1.0)
+    assert client_config.ticket_store.count("server.example") >= 1
+    client.close()
+    net.sim.run(until=1.2)
+
+    early = []
+    server.on_connection = lambda conn: setattr(
+        conn, "on_early_data", lambda d: early.append((net.sim.now, d))
+    )
+    start = net.sim.now
+    client2 = QuicClient(
+        client_udp, "10.0.0.2", 443, client_config, early_data=b"0rtt request"
+    )
+    net.sim.run(until=start + 0.045)
+    assert early, "0-RTT data not delivered in the first flight"
+    assert early[0][1] == b"0rtt request"
+    assert early[0][0] - start < 0.04
+    net.sim.run(until=start + 1.0)
+    assert client2.handshake_complete
+
+
+def test_connection_migration():
+    topo = dual_path_network(rate_bps=30e6)
+    # Dual-stack client host; QUIC runs v4 then migrates to... another v4
+    # address is not available, so use the same family: add an extra v4
+    # interface to the client via the v6 path? Instead: migrate between
+    # the client's two addresses on the v4 subnet is not modelled, so we
+    # exercise migration on the simple network with a second interface.
+    from repro.netsim.topology import Network
+
+    net = Network()
+    client_host = net.add_host("client")
+    server_host = net.add_host("server")
+    c1 = client_host.add_interface("eth0").configure_ipv4("10.0.0.1/24")
+    c2 = client_host.add_interface("eth1").configure_ipv4("10.0.1.1/24")
+    s1 = server_host.add_interface("eth0").configure_ipv4("10.0.0.2/24")
+    s2 = server_host.add_interface("eth1").configure_ipv4("10.0.1.2/24")
+    net.connect(c1, s1, delay=0.01)
+    net.connect(c2, s2, delay=0.02)
+    net.compute_routes()
+
+    client_udp = UdpStack(client_host)
+    server_udp = UdpStack(server_host)
+    client_config, server_config = _configs()
+    accepted = []
+    QuicServer(server_udp, 443, server_config, on_connection=accepted.append)
+    client = QuicClient(client_udp, "10.0.0.2", 443, client_config)
+    net.sim.run(until=1.0)
+    server_conn = accepted[0]
+    got = bytearray()
+    server_conn.on_stream_data = lambda sid, d: got.extend(d)
+    stream = client.create_stream()
+    client.send(stream, b"before migration|")
+    net.sim.run(until=1.5)
+
+    client.migrate("10.0.1.1")
+    net.sim.run(until=2.0)
+    client.send(stream, b"after migration")
+    net.sim.run(until=3.0)
+    assert bytes(got) == b"before migration|after migration"
+    # The server validated and switched to the new path.
+    assert str(server_conn.peer_addr) == "10.0.1.1"
+    assert (server_conn.peer_addr, server_conn.peer_port) in server_conn.validated_paths
+
+
+def test_connection_close():
+    net, client_udp, _, client_config, server, accepted = _world()
+    client = QuicClient(client_udp, "10.0.0.2", 443, client_config)
+    net.sim.run(until=1.0)
+    client.close("done")
+    net.sim.run(until=2.0)
+    assert accepted[0].closed

@@ -1,0 +1,123 @@
+"""QUIC loss recovery specifics: packet threshold, PTO, dedup."""
+
+import pytest
+
+from repro.netsim.scenarios import simple_duplex_network
+from repro.netsim.udp import UdpStack
+from repro.quic import QuicClient, QuicConfig, QuicServer
+from repro.tls.certificates import CertificateAuthority, TrustStore
+from repro.tls.session import SessionTicketStore
+
+
+def _world(loss_rate=0.0, delay=0.01, seed=13):
+    net, client_host, server_host, link = simple_duplex_network(
+        delay=delay, loss_rate=loss_rate, seed=seed
+    )
+    ca = CertificateAuthority("QR Root", seed=b"qr")
+    identity = ca.issue_identity("server.example", seed=b"qrsrv")
+    trust = TrustStore()
+    trust.add_authority(ca)
+    client_udp = UdpStack(client_host)
+    server_udp = UdpStack(server_host)
+    accepted = []
+    QuicServer(server_udp, 443, QuicConfig(identity=identity, seed=seed),
+               on_connection=accepted.append)
+    config = QuicConfig(
+        trust_store=trust, server_name="server.example",
+        ticket_store=SessionTicketStore(), seed=seed + 5,
+    )
+    return net, client_udp, config, accepted, link
+
+
+def test_handshake_survives_total_first_flight_loss():
+    """Drop the client's entire first datagram; PTO retransmits it."""
+    net, client_udp, config, accepted, link = _world()
+    state = {"dropped": 0}
+
+    def drop_first(datagram):
+        if state["dropped"] < 1:
+            state["dropped"] += 1
+            return None
+        return datagram
+
+    link.add_transformer(list(client_udp.host.interfaces.values())[0], drop_first)
+    client = QuicClient(client_udp, "10.0.0.2", 443, config)
+    net.sim.run(until=3.0)
+    assert state["dropped"] == 1
+    assert client.handshake_complete
+    assert client.stats["packets_lost"] >= 1
+
+
+def test_duplicate_datagrams_processed_once():
+    net, client_udp, config, accepted, link = _world()
+
+    def duplicate(datagram):
+        return [datagram, datagram.copy()]
+
+    link.add_transformer(list(client_udp.host.interfaces.values())[0], duplicate)
+    client = QuicClient(client_udp, "10.0.0.2", 443, config)
+    net.sim.run(until=1.0)
+    assert client.handshake_complete
+    server_conn = accepted[0]
+    got = bytearray()
+    server_conn.on_stream_data = lambda sid, d: got.extend(d)
+    stream = client.create_stream()
+    client.send(stream, b"exactly once")
+    net.sim.run(until=2.0)
+    assert bytes(got) == b"exactly once"
+
+
+def test_ack_ranges_cover_gaps():
+    """Out-of-order packet numbers produce multi-range ACK frames."""
+    net, client_udp, config, accepted, link = _world()
+    client = QuicClient(client_udp, "10.0.0.2", 443, config)
+    net.sim.run(until=1.0)
+    client._received_pns.update({10, 11, 12, 20, 21, 30})
+    ack = client._make_ack_frame()
+    # Descending, coalesced ranges.
+    assert (30, 30) in ack.ranges
+    assert (20, 21) in ack.ranges
+    assert (10, 12) in ack.ranges
+
+
+def test_pto_backs_off_on_repeated_loss():
+    net, client_udp, config, accepted, link = _world()
+    client = QuicClient(client_udp, "10.0.0.2", 443, config)
+    net.sim.run(until=1.0)
+    rto_before = client.rto.rto
+    link.set_down()
+    stream = client.create_stream()
+    client.send(stream, b"into the void")
+    net.sim.run(until=5.0)
+    assert client.rto.rto > rto_before  # exponential PTO backoff
+    link.set_up()
+    got = bytearray()
+    accepted[0].on_stream_data = lambda sid, d: got.extend(d)
+    net.sim.run(until=20.0)
+    assert bytes(got) == b"into the void"  # recovered after the outage
+
+
+def test_loss_triggers_single_congestion_event_per_window():
+    net, client_udp, config, accepted, link = _world(loss_rate=0.0)
+    client = QuicClient(client_udp, "10.0.0.2", 443, config)
+    net.sim.run(until=1.0)
+    cwnd_before = client.cc.window()
+    # Drop three consecutive data packets in one burst.
+    state = {"count": 0}
+
+    def drop_three(datagram):
+        if 0 < state["count"] <= 3 and datagram.size > 500:
+            state["count"] += 1
+            return None
+        if datagram.size > 500:
+            state["count"] = max(state["count"], 1)
+        return datagram
+
+    link.add_transformer(list(client_udp.host.interfaces.values())[0], drop_three)
+    got = bytearray()
+    accepted[0].on_stream_data = lambda sid, d: got.extend(d)
+    stream = client.create_stream()
+    payload = b"\x41" * 200_000
+    client.send(stream, payload)
+    net.sim.run(until=20.0)
+    assert bytes(got) == payload

@@ -1,0 +1,164 @@
+"""Congestion-controller unit behaviour and end-to-end dynamics."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from helpers import start_sink_server, tcp_pair
+
+from repro.tcp.congestion import Cubic, NewReno, make
+
+MSS = 1400
+
+
+def test_factory_names():
+    assert make("reno", MSS).name == "reno"
+    assert make("newreno", MSS).name == "reno"
+    assert make("cubic", MSS).name == "cubic"
+    with pytest.raises(ValueError):
+        make("bbr", MSS)
+
+
+def test_reno_slow_start_doubles_per_rtt():
+    cc = NewReno(MSS)
+    initial = cc.cwnd
+    # Ack a full window: slow start should roughly double cwnd.
+    acked = 0
+    while acked < initial:
+        cc.on_ack(MSS, 0.01, 0.0)
+        acked += MSS
+    assert cc.cwnd >= 1.9 * initial
+
+
+def test_reno_congestion_avoidance_linear():
+    cc = NewReno(MSS)
+    cc.ssthresh = cc.cwnd  # force congestion avoidance
+    start = cc.cwnd
+    acked = 0
+    while acked < start:  # one window's worth of ACKs ~= +1 MSS
+        cc.on_ack(MSS, 0.01, 0.0)
+        acked += MSS
+    assert start + 0.5 * MSS < cc.cwnd < start + 2 * MSS
+
+
+def test_reno_loss_halves_window():
+    cc = NewReno(MSS)
+    cc.cwnd = 100 * MSS
+    cc.on_loss(flight_size=100 * MSS, now=1.0)
+    assert cc.cwnd == pytest.approx(50 * MSS)
+    assert cc.ssthresh == pytest.approx(50 * MSS)
+
+
+def test_timeout_collapses_to_one_segment():
+    for cc in (NewReno(MSS), Cubic(MSS)):
+        cc.cwnd = 80 * MSS
+        cc.on_timeout(flight_size=80 * MSS, now=2.0)
+        assert cc.cwnd == MSS
+        assert cc.ssthresh == pytest.approx(40 * MSS)
+
+
+def test_cubic_reduces_by_beta_on_loss():
+    cc = Cubic(MSS)
+    cc.cwnd = 100 * MSS
+    cc.on_loss(flight_size=100 * MSS, now=1.0)
+    assert cc.cwnd == pytest.approx(70 * MSS)
+
+
+def test_cubic_concave_recovery_toward_wmax():
+    cc = Cubic(MSS)
+    cc.cwnd = 100 * MSS
+    cc.on_loss(flight_size=100 * MSS, now=0.0)
+    w_after_loss = cc.cwnd
+    # Feed ACKs over simulated time; window should grow back toward w_max.
+    for i in range(1, 400):
+        cc.on_ack(MSS, 0.01, i * 0.01)
+    assert cc.cwnd > w_after_loss
+    # and should be approaching (not wildly exceeding) the old maximum
+    assert cc.cwnd < 200 * MSS
+
+
+def test_cubic_fast_convergence_lowers_wmax_on_consecutive_losses():
+    cc = Cubic(MSS)
+    cc.cwnd = 100 * MSS
+    cc.on_loss(100 * MSS, now=0.0)
+    first_wmax = cc._w_max
+    cc.on_loss(cc.cwnd, now=1.0)
+    assert cc._w_max < first_wmax
+
+
+def test_describe_reports_state():
+    cc = NewReno(MSS)
+    info = cc.describe()
+    assert info["name"] == "reno"
+    assert info["cwnd"] == 10 * MSS
+    assert info["ssthresh"] is None
+
+
+def test_end_to_end_goodput_near_link_rate():
+    # 20 Mbps link, 2 MB transfer: goodput should approach the link rate.
+    net, client_tcp, server_tcp, link = tcp_pair(rate_bps=20e6, delay=0.01)
+    sinks = start_sink_server(server_tcp)
+    payload = b"g" * 2_000_000
+    conn = client_tcp.connect("10.0.0.2", 443)
+    conn.send(payload)
+    net.sim.run(until=30.0)
+    assert bytes(sinks[0].data) == payload
+    # Ideal time = 16 Mbit over 20 Mbps = 0.8 s + slow start; require < 2 s.
+    assert net.sim.now <= 30.0
+
+
+def test_cubic_end_to_end_completes_faster_or_similar_to_reno_on_lossy_link():
+    def transfer_time(cc_name):
+        net, client_tcp, server_tcp, link = tcp_pair(
+            rate_bps=20e6, delay=0.02, loss_rate=0.005, seed=11, congestion=cc_name
+        )
+        sinks = start_sink_server(server_tcp)
+        payload = b"c" * 1_000_000
+        conn = client_tcp.connect("10.0.0.2", 443)
+        done = {}
+
+        def check():
+            if len(sinks[0].data) >= len(payload) and "t" not in done:
+                done["t"] = net.sim.now
+            else:
+                net.sim.schedule(0.05, check)
+
+        conn.send(payload)
+        net.sim.schedule(0.05, check)
+        net.sim.run(until=60.0)
+        assert bytes(sinks[0].data) == payload
+        return done["t"]
+
+    reno_time = transfer_time("reno")
+    cubic_time = transfer_time("cubic")
+    # Both complete; CUBIC should not be drastically worse.
+    assert cubic_time < reno_time * 2.5
+
+
+def test_hystart_exits_slow_start_on_rtt_rise():
+    cc = NewReno(MSS)
+    assert cc.in_slow_start()
+    cc.cwnd = 20 * MSS  # past the 16*MSS HyStart floor
+    cc.observe_rtt(0.010)  # baseline
+    cc.observe_rtt(0.011)  # small jitter: stay in slow start
+    assert cc.in_slow_start()
+    cc.observe_rtt(0.014)  # +40%: queue is building
+    assert not cc.in_slow_start()
+    assert cc.ssthresh == cc.cwnd
+
+
+def test_hystart_inactive_below_floor():
+    cc = NewReno(MSS)
+    cc.cwnd = 4 * MSS
+    cc.observe_rtt(0.010)
+    cc.observe_rtt(0.050)  # huge rise, but cwnd too small to matter
+    assert cc.in_slow_start()
+
+
+def test_observe_rtt_ignores_nonpositive():
+    cc = NewReno(MSS)
+    cc.observe_rtt(0.0)
+    cc.observe_rtt(-1.0)
+    assert cc.in_slow_start()

@@ -1,0 +1,247 @@
+"""End-to-end TCP behaviour over the simulated network."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from helpers import Sink, start_echo_server, start_sink_server, tcp_pair
+
+
+def test_three_way_handshake_establishes_both_sides():
+    net, client_tcp, server_tcp, link = tcp_pair()
+    server_conns = []
+    server_tcp.listen(443, server_conns.append)
+    conn = client_tcp.connect("10.0.0.2", 443)
+    client_side = Sink(conn)
+    net.sim.run(until=1.0)
+    assert conn.state == "ESTABLISHED"
+    assert client_side.established
+    assert len(server_conns) == 1
+    assert server_conns[0].state == "ESTABLISHED"
+
+
+def test_data_transfer_small():
+    net, client_tcp, server_tcp, link = tcp_pair()
+    sinks = start_sink_server(server_tcp)
+    conn = client_tcp.connect("10.0.0.2", 443)
+    conn.send(b"hello tcp world")
+    net.sim.run(until=1.0)
+    assert bytes(sinks[0].data) == b"hello tcp world"
+
+
+def test_echo_roundtrip():
+    net, client_tcp, server_tcp, link = tcp_pair()
+    start_echo_server(server_tcp)
+    conn = client_tcp.connect("10.0.0.2", 443)
+    client_side = Sink(conn)
+    conn.send(b"ping" * 100)
+    net.sim.run(until=2.0)
+    assert bytes(client_side.data) == b"ping" * 100
+
+
+def test_bulk_transfer_exceeds_initial_window():
+    net, client_tcp, server_tcp, link = tcp_pair()
+    sinks = start_sink_server(server_tcp)
+    payload = bytes(range(256)) * 2000  # 512 KB
+    conn = client_tcp.connect("10.0.0.2", 443)
+    conn.send(payload)
+    net.sim.run(until=10.0)
+    assert bytes(sinks[0].data) == payload
+    assert conn.stats["retransmissions"] == 0
+
+
+def test_bulk_transfer_with_loss_recovers():
+    net, client_tcp, server_tcp, link = tcp_pair(loss_rate=0.02, seed=42)
+    sinks = start_sink_server(server_tcp)
+    payload = b"\xab" * 200_000
+    conn = client_tcp.connect("10.0.0.2", 443)
+    conn.send(payload)
+    net.sim.run(until=60.0)
+    assert bytes(sinks[0].data) == payload
+    assert conn.stats["retransmissions"] > 0
+
+
+def test_heavy_loss_still_delivers_exactly_once():
+    net, client_tcp, server_tcp, link = tcp_pair(loss_rate=0.15, seed=7)
+    sinks = start_sink_server(server_tcp)
+    payload = bytes(i % 251 for i in range(50_000))
+    conn = client_tcp.connect("10.0.0.2", 443)
+    conn.send(payload)
+    net.sim.run(until=120.0)
+    assert bytes(sinks[0].data) == payload
+
+
+def test_graceful_close_four_way():
+    net, client_tcp, server_tcp, link = tcp_pair()
+    sinks = start_sink_server(server_tcp)
+    conn = client_tcp.connect("10.0.0.2", 443)
+    client_side = Sink(conn)
+    conn.send(b"goodbye")
+    net.sim.run(until=0.5)
+    conn.close()
+    net.sim.run(until=1.0)
+    server_conn = [s for s in sinks][0]
+    assert server_conn.closed  # server saw the FIN
+    assert bytes(sinks[0].data) == b"goodbye"
+
+
+def test_close_waits_for_queued_data():
+    net, client_tcp, server_tcp, link = tcp_pair(rate_bps=5e6)
+    sinks = start_sink_server(server_tcp)
+    payload = b"z" * 100_000
+    conn = client_tcp.connect("10.0.0.2", 443)
+    conn.send(payload)
+    conn.close()  # close immediately; data must still arrive first
+    net.sim.run(until=10.0)
+    assert bytes(sinks[0].data) == payload
+    assert sinks[0].closed
+
+
+def test_connection_refused_gets_rst():
+    net, client_tcp, server_tcp, link = tcp_pair()
+    conn = client_tcp.connect("10.0.0.2", 9999)  # nobody listening
+    client_side = Sink(conn)
+    net.sim.run(until=1.0)
+    assert conn.state == "CLOSED"
+    assert client_side.errors == ["connection refused"]
+
+
+def test_abort_sends_rst_and_peer_sees_reset():
+    net, client_tcp, server_tcp, link = tcp_pair()
+    sinks = start_sink_server(server_tcp)
+    conn = client_tcp.connect("10.0.0.2", 443)
+    net.sim.run(until=0.5)
+    conn.abort()
+    net.sim.run(until=1.0)
+    assert sinks[0].reset
+
+
+def test_syn_retransmission_on_loss():
+    net, client_tcp, server_tcp, link = tcp_pair()
+    server_tcp.listen(443, lambda c: None)
+    # Drop the first SYN only.
+    state = {"dropped": False}
+
+    def drop_first(datagram):
+        if not state["dropped"]:
+            state["dropped"] = True
+            return None
+        return datagram
+
+    link.add_transformer(list(client_tcp.host.interfaces.values())[0], drop_first)
+    conn = client_tcp.connect("10.0.0.2", 443)
+    net.sim.run(until=5.0)
+    assert conn.state == "ESTABLISHED"
+    assert conn.stats["retransmissions"] >= 1
+
+
+def test_connect_times_out_when_server_unreachable():
+    net, client_tcp, server_tcp, link = tcp_pair()
+    link.set_down()
+    conn = client_tcp.connect("10.0.0.2", 443)
+    client_side = Sink(conn)
+    net.sim.run(until=300.0)
+    assert conn.state == "CLOSED"
+    assert client_side.errors == ["too many retransmissions"]
+
+
+def test_mss_respected_on_wire():
+    net, client_tcp, server_tcp, link = tcp_pair()
+    sizes = []
+
+    def measure(datagram):
+        sizes.append(len(datagram.payload))
+        return datagram
+
+    link.add_transformer(list(client_tcp.host.interfaces.values())[0], measure)
+    sinks = start_sink_server(server_tcp)
+    conn = client_tcp.connect("10.0.0.2", 443)
+    conn.send(b"q" * 10_000)
+    net.sim.run(until=2.0)
+    # Max TCP payload is MSS; header is 20 + options.
+    assert max(sizes) <= 1400 + 60
+    assert bytes(sinks[0].data) == b"q" * 10_000
+
+
+def test_flow_control_pause_resume():
+    net, client_tcp, server_tcp, link = tcp_pair()
+    received = bytearray()
+    server_conns = []
+
+    def on_connection(conn):
+        server_conns.append(conn)
+        conn.on_data = received.extend
+        conn.pause_reading()
+
+    server_tcp.listen(443, on_connection)
+    payload = b"f" * 3_000_000  # larger than the 1 MiB receive window
+    conn = client_tcp.connect("10.0.0.2", 443)
+    conn.send(payload)
+    net.sim.run(until=5.0)
+    assert len(received) == 0
+    # Sender must have stalled: it cannot have more than the receive
+    # window outstanding.
+    assert conn.stats["bytes_sent"] <= 1 << 21
+    server_conns[0].resume_reading()
+    server_conns[0].pause_reading()
+    net.sim.run(until=30.0)
+    server_conns[0].resume_reading()
+    net.sim.run(until=60.0)
+    assert bytes(received) == payload
+
+
+def test_user_timeout_aborts_stalled_connection():
+    net, client_tcp, server_tcp, link = tcp_pair()
+    start_sink_server(server_tcp)
+    conn = client_tcp.connect("10.0.0.2", 443)
+    client_side = Sink(conn)
+    net.sim.run(until=0.5)
+    conn.set_user_timeout(3.0)
+    link.set_down()
+    conn.send(b"stuck data")
+    net.sim.run(until=60.0)
+    assert conn.state == "CLOSED"
+    assert client_side.errors == ["user timeout"]
+
+
+def test_rtt_estimator_converges():
+    net, client_tcp, server_tcp, link = tcp_pair(delay=0.020)
+    start_sink_server(server_tcp)
+    conn = client_tcp.connect("10.0.0.2", 443)
+    for _ in range(20):
+        conn.send(b"x" * 1000)
+    net.sim.run(until=5.0)
+    # Path RTT is 2*20ms plus transmission time.
+    assert 0.035 < conn.rto.srtt < 0.08
+
+
+def test_two_connections_same_hosts_are_independent():
+    net, client_tcp, server_tcp, link = tcp_pair()
+    sinks = start_sink_server(server_tcp)
+    conn_a = client_tcp.connect("10.0.0.2", 443)
+    conn_b = client_tcp.connect("10.0.0.2", 443)
+    conn_a.send(b"AAAA")
+    conn_b.send(b"BBBB")
+    net.sim.run(until=1.0)
+    payloads = sorted(bytes(s.data) for s in sinks)
+    assert payloads == [b"AAAA", b"BBBB"]
+    assert conn_a.local_port != conn_b.local_port
+
+
+def test_duplicate_listener_rejected():
+    net, client_tcp, server_tcp, link = tcp_pair()
+    server_tcp.listen(443, lambda c: None)
+    with pytest.raises(ValueError):
+        server_tcp.listen(443, lambda c: None)
+
+
+def test_send_after_close_rejected():
+    net, client_tcp, server_tcp, link = tcp_pair()
+    start_sink_server(server_tcp)
+    conn = client_tcp.connect("10.0.0.2", 443)
+    net.sim.run(until=0.5)
+    conn.close()
+    with pytest.raises(RuntimeError):
+        conn.send(b"late")

@@ -1,0 +1,157 @@
+"""TCP edge cases: bidirectional transfer, zero-window, TIME_WAIT, UTO."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from helpers import Sink, start_sink_server, tcp_pair
+
+
+def test_bidirectional_bulk_transfer():
+    net, client_tcp, server_tcp, link = tcp_pair()
+    server_received = bytearray()
+    client_received = bytearray()
+    server_conns = []
+
+    def on_connection(conn):
+        server_conns.append(conn)
+        conn.on_data = server_received.extend
+        conn.send(b"S" * 300_000)
+
+    server_tcp.listen(443, on_connection)
+    conn = client_tcp.connect("10.0.0.2", 443)
+    conn.on_data = client_received.extend
+    conn.send(b"C" * 300_000)
+    net.sim.run(until=20.0)
+    assert bytes(server_received) == b"C" * 300_000
+    assert bytes(client_received) == b"S" * 300_000
+
+
+def test_zero_window_probe_resumes_transfer():
+    net, client_tcp, server_tcp, link = tcp_pair()
+    received = bytearray()
+    server_conns = []
+
+    def on_connection(conn):
+        server_conns.append(conn)
+        conn.on_data = received.extend
+        conn.rcv_wnd_limit = 20_000  # tiny receive window
+        conn.pause_reading()
+
+    server_tcp.listen(443, on_connection)
+    conn = client_tcp.connect("10.0.0.2", 443)
+    conn.send(b"w" * 100_000)
+    net.sim.run(until=3.0)
+    # Window closed: transfer stalled with data pending.
+    assert len(received) == 0
+    assert conn.send_queue_length() > 0
+    server_conns[0].resume_reading()
+    net.sim.run(until=30.0)
+    assert bytes(received) == b"w" * 100_000
+
+
+def test_time_wait_expires_and_frees_connection_slot():
+    net, client_tcp, server_tcp, link = tcp_pair()
+    server_conns = []
+    server_tcp.listen(443, server_conns.append)
+    conn = client_tcp.connect("10.0.0.2", 443)
+    net.sim.run(until=0.5)
+    conn.close()
+    net.sim.run(until=1.0)
+    server_conns[0].close()  # complete the four-way close
+    net.sim.run(until=1.5)
+    assert conn.state in ("TIME_WAIT", "CLOSED")
+    # MSL is 1 s; after 2*MSL the connection must be fully gone.
+    net.sim.run(until=6.0)
+    assert conn.state == "CLOSED"
+    assert client_tcp.connection_count() == 0
+
+
+def test_simultaneous_close():
+    net, client_tcp, server_tcp, link = tcp_pair(delay=0.05)
+    server_conns = []
+    server_tcp.listen(443, server_conns.append)
+    conn = client_tcp.connect("10.0.0.2", 443)
+    net.sim.run(until=1.0)
+    # Both sides close at the same instant: FINs cross in flight.
+    conn.close()
+    server_conns[0].close()
+    net.sim.run(until=10.0)
+    assert conn.state == "CLOSED"
+    assert server_conns[0].state == "CLOSED"
+
+
+def test_half_close_server_keeps_sending():
+    """Client sends FIN; the server can still push data (half-close)."""
+    net, client_tcp, server_tcp, link = tcp_pair()
+    client_received = bytearray()
+    server_conns = []
+    server_tcp.listen(443, server_conns.append)
+    conn = client_tcp.connect("10.0.0.2", 443)
+    conn.on_data = client_received.extend
+    net.sim.run(until=0.5)
+    conn.close()  # client -> server direction closed
+    net.sim.run(until=1.0)
+    server_conn = server_conns[0]
+    assert server_conn.state == "CLOSE_WAIT"
+    server_conn.send(b"late data" * 1000)
+    server_conn.close()
+    net.sim.run(until=5.0)
+    assert bytes(client_received) == b"late data" * 1000
+
+
+def test_listener_counts_connections():
+    net, client_tcp, server_tcp, link = tcp_pair()
+    listener = server_tcp.listen(443, lambda c: None)
+    for _ in range(3):
+        client_tcp.connect("10.0.0.2", 443)
+    net.sim.run(until=1.0)
+    assert listener.connections_accepted == 3
+
+
+def test_uto_option_in_syn_applies_on_server():
+    """A UTO option in the SYN seeds the peer's user timeout (RFC 5482)."""
+    from repro.tcp.connection import TcpConnection
+    from repro.tcp.options import UserTimeout
+
+    net, client_tcp, server_tcp, link = tcp_pair()
+    server_conns = []
+    server_tcp.listen(443, server_conns.append)
+    conn = client_tcp.connect("10.0.0.2", 443)
+    # Inject a UTO option into the SYN by rebuilding it (white-box).
+    net.sim.run(until=1.0)
+    # (The header path exists; TCPLS uses the record path instead --
+    # verify the negotiation hook parses it.)
+    from repro.tcp.segment import Flags, TcpSegment
+
+    syn = TcpSegment(
+        src_port=1, dst_port=2, flags=Flags.SYN,
+        options=[UserTimeout(timeout=77)],
+    )
+    server_conn = server_conns[0]
+    server_conn._negotiate_from_options(syn)
+    assert server_conn.user_timeout == 77.0
+
+
+def test_rst_to_listener_port_ignored():
+    net, client_tcp, server_tcp, link = tcp_pair()
+    server_tcp.listen(443, lambda c: None)
+    from repro.netsim.packet import Datagram, PROTO_TCP, parse_address
+    from repro.tcp.segment import Flags, TcpSegment
+
+    rst = TcpSegment(src_port=5555, dst_port=443, flags=Flags.RST)
+    src = parse_address("10.0.0.1")
+    dst = parse_address("10.0.0.2")
+    client_tcp.host.send_ip(
+        Datagram(src, dst, PROTO_TCP, rst.to_bytes(src, dst))
+    )
+    net.sim.run(until=1.0)
+    assert server_tcp.rsts_sent == 0  # never answer a RST with a RST
+
+
+def test_stack_rejects_unowned_source_address():
+    net, client_tcp, server_tcp, link = tcp_pair()
+    with pytest.raises(ValueError):
+        client_tcp.connect("10.0.0.2", 443, local_addr="192.0.2.99")

@@ -1,0 +1,99 @@
+"""TCP Fast Open: cookie exchange, data-in-SYN, middlebox fallback."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from helpers import start_sink_server, tcp_pair
+
+from repro.netsim.middlebox import TfoBlocker
+from repro.netsim.packet import parse_address
+from repro.tcp.fastopen import FastOpenManager
+
+
+def test_cookie_is_bound_to_client_address():
+    manager = FastOpenManager(secret=b"k")
+    a = parse_address("10.0.0.1")
+    b = parse_address("10.0.0.9")
+    cookie_a = manager.make_cookie(a)
+    assert manager.validate_cookie(a, cookie_a)
+    assert not manager.validate_cookie(b, cookie_a)
+    assert len(cookie_a) == 8
+
+
+def test_first_connect_requests_cookie_second_sends_data_in_syn():
+    net, client_tcp, server_tcp, link = tcp_pair(delay=0.05)
+    sinks = start_sink_server(server_tcp)
+    server_tcp._listeners[443].fast_open = True
+
+    # First connection: requests a cookie (no data possible yet).
+    conn1 = client_tcp.connect("10.0.0.2", 443, fast_open=True)
+    net.sim.run(until=1.0)
+    assert conn1.state == "ESTABLISHED"
+    assert not conn1.tfo_used
+    cached = client_tcp.fastopen.cookie_for(parse_address("10.0.0.2"))
+    assert cached is not None
+
+    # Second connection: sends data in the SYN.
+    conn2 = client_tcp.connect(
+        "10.0.0.2", 443, fast_open=True, fast_open_data=b"early!"
+    )
+    first_data_time = {}
+
+    def wrap(sink):
+        original = sink.data
+
+    start = net.sim.now
+    net.sim.run(until=start + 0.06)  # just over one one-way delay
+    # Data must already be at the server before the handshake completes
+    # (one-way delay is 50 ms; a non-TFO connection needs 150 ms).
+    assert conn2.tfo_used
+    assert bytes(sinks[1].data) == b"early!"
+    net.sim.run(until=start + 1.0)
+    assert conn2.state == "ESTABLISHED"
+
+
+def test_tfo_data_rejected_without_valid_cookie_is_retransmitted():
+    net, client_tcp, server_tcp, link = tcp_pair()
+    sinks = start_sink_server(server_tcp)
+    server_tcp._listeners[443].fast_open = True
+    # Poison the client cache with a bogus cookie.
+    client_tcp.fastopen.remember_cookie(parse_address("10.0.0.2"), b"\x00" * 8)
+    conn = client_tcp.connect(
+        "10.0.0.2", 443, fast_open=True, fast_open_data=b"important"
+    )
+    net.sim.run(until=2.0)
+    assert conn.state == "ESTABLISHED"
+    # Data still arrives exactly once, after the handshake.
+    assert bytes(sinks[0].data) == b"important"
+    assert not sinks[0].reset
+
+
+def test_tfo_blocked_by_middlebox_falls_back():
+    net, client_tcp, server_tcp, link = tcp_pair()
+    sinks = start_sink_server(server_tcp)
+    server_tcp._listeners[443].fast_open = True
+    blocker = TfoBlocker()
+    link.add_transformer(list(client_tcp.host.interfaces.values())[0], blocker)
+
+    conn = client_tcp.connect(
+        "10.0.0.2", 443, fast_open=True, fast_open_data=b"blocked?"
+    )
+    net.sim.run(until=10.0)
+    assert blocker.blocked >= 1
+    assert conn.state == "ESTABLISHED"
+    assert not conn.tfo_used  # fell back to a plain handshake
+    assert bytes(sinks[0].data) == b"blocked?"
+
+
+def test_server_without_fast_open_ignores_cookie_data():
+    net, client_tcp, server_tcp, link = tcp_pair()
+    sinks = start_sink_server(server_tcp)  # fast_open defaults to False
+    client_tcp.fastopen.remember_cookie(
+        parse_address("10.0.0.2"),
+        FastOpenManager().make_cookie(parse_address("10.0.0.1")),
+    )
+    conn = client_tcp.connect("10.0.0.2", 443, fast_open=True, fast_open_data=b"zzz")
+    net.sim.run(until=2.0)
+    assert conn.state == "ESTABLISHED"
+    assert bytes(sinks[0].data) == b"zzz"

@@ -1,0 +1,145 @@
+"""TCP segment wire format: serialization, checksums, options."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netsim.packet import parse_address
+from repro.tcp.options import (
+    FastOpenCookie,
+    MaximumSegmentSize,
+    SackBlocks,
+    SackPermitted,
+    Timestamps,
+    UserTimeout,
+    WindowScale,
+    decode_options,
+    encode_options,
+    find_option,
+)
+from repro.tcp.segment import Flags, TcpSegment, internet_checksum
+from repro.utils.errors import ProtocolViolation
+
+SRC = parse_address("10.0.0.1")
+DST = parse_address("10.0.0.2")
+SRC6 = parse_address("fc00::1")
+DST6 = parse_address("fc00::2")
+
+
+def test_roundtrip_plain_segment():
+    seg = TcpSegment(
+        src_port=1234, dst_port=443, seq=1000, ack=2000,
+        flags=Flags.ACK | Flags.PSH, window=5840, payload=b"hello",
+    )
+    parsed = TcpSegment.from_bytes(seg.to_bytes(SRC, DST), SRC, DST)
+    assert parsed.src_port == 1234
+    assert parsed.dst_port == 443
+    assert parsed.seq == 1000
+    assert parsed.ack == 2000
+    assert parsed.flags == Flags.ACK | Flags.PSH
+    assert parsed.payload == b"hello"
+
+
+def test_roundtrip_with_all_options():
+    options = [
+        MaximumSegmentSize(mss=1460),
+        WindowScale(shift=7),
+        SackPermitted(),
+        Timestamps(value=123456, echo_reply=654321),
+        UserTimeout(granularity_minutes=True, timeout=5),
+        FastOpenCookie(cookie=b"\x01" * 8),
+    ]
+    seg = TcpSegment(src_port=1, dst_port=2, flags=Flags.SYN, options=options)
+    parsed = TcpSegment.from_bytes(seg.to_bytes(SRC, DST), SRC, DST)
+    assert find_option(parsed.options, MaximumSegmentSize).mss == 1460
+    assert find_option(parsed.options, WindowScale).shift == 7
+    assert find_option(parsed.options, SackPermitted) is not None
+    ts = find_option(parsed.options, Timestamps)
+    assert (ts.value, ts.echo_reply) == (123456, 654321)
+    uto = find_option(parsed.options, UserTimeout)
+    assert uto.granularity_minutes and uto.timeout == 5
+    assert uto.timeout_seconds() == 300.0
+    assert find_option(parsed.options, FastOpenCookie).cookie == b"\x01" * 8
+
+
+def test_checksum_verification_v4_and_v6():
+    seg = TcpSegment(src_port=80, dst_port=8080, payload=b"data")
+    raw = seg.to_bytes(SRC, DST)
+    TcpSegment.from_bytes(raw, SRC, DST)  # valid
+    corrupted = raw[:21] + bytes([raw[21] ^ 0xFF]) + raw[22:]
+    with pytest.raises(ProtocolViolation):
+        TcpSegment.from_bytes(corrupted, SRC, DST)
+
+    raw6 = seg.to_bytes(SRC6, DST6)
+    TcpSegment.from_bytes(raw6, SRC6, DST6)
+    with pytest.raises(ProtocolViolation):
+        # v6 checksum computed with different pseudo-header than v4.
+        TcpSegment.from_bytes(raw, SRC6, DST6)
+
+
+def test_checksum_zero_result():
+    # internet_checksum of data including its own checksum folds to zero.
+    seg = TcpSegment(src_port=5, dst_port=6, payload=b"xyz")
+    raw = seg.to_bytes(SRC, DST)
+    from repro.tcp.segment import _pseudo_header
+
+    assert internet_checksum(_pseudo_header(SRC, DST, len(raw)) + raw) == 0
+
+
+def test_sequence_space_counts_syn_fin():
+    assert TcpSegment(src_port=1, dst_port=2, flags=Flags.SYN).sequence_space() == 1
+    assert TcpSegment(src_port=1, dst_port=2, flags=Flags.FIN, payload=b"ab").sequence_space() == 3
+    assert TcpSegment(src_port=1, dst_port=2).sequence_space() == 0
+
+
+def test_truncated_segment_rejected():
+    with pytest.raises(ProtocolViolation):
+        TcpSegment.from_bytes(b"\x00" * 10)
+
+
+def test_bad_data_offset_rejected():
+    seg = TcpSegment(src_port=1, dst_port=2)
+    raw = bytearray(seg.to_bytes(SRC, DST))
+    raw[12] = 0x30  # data offset 12 words = 48 bytes > segment length
+    with pytest.raises(ProtocolViolation):
+        TcpSegment.from_bytes(bytes(raw), verify_checksum=False)
+
+
+def test_sack_blocks_roundtrip():
+    blocks = ((1000, 2000), (3000, 4000))
+    encoded = encode_options([SackBlocks(blocks=blocks)])
+    decoded = decode_options(encoded)
+    assert find_option(decoded, SackBlocks).blocks == blocks
+
+
+def test_options_exceeding_40_bytes_rejected():
+    too_many = [Timestamps()] * 5  # 5 * 10 = 50 bytes
+    with pytest.raises(ProtocolViolation):
+        encode_options(too_many)
+
+
+def test_flag_names():
+    assert Flags.names(Flags.SYN | Flags.ACK) == "SYN|ACK"
+    assert Flags.names(0) == "none"
+
+
+def test_summary_format():
+    seg = TcpSegment(src_port=1, dst_port=2, seq=5, flags=Flags.SYN)
+    assert "SYN" in seg.summary()
+
+
+@given(
+    st.integers(0, 65535), st.integers(0, 65535),
+    st.integers(0, 2**32 - 1), st.integers(0, 2**32 - 1),
+    st.integers(0, 255), st.binary(max_size=500),
+)
+def test_property_roundtrip(sport, dport, seq, ack, flags, payload):
+    seg = TcpSegment(
+        src_port=sport, dst_port=dport, seq=seq, ack=ack,
+        flags=flags, payload=payload,
+    )
+    parsed = TcpSegment.from_bytes(seg.to_bytes(SRC, DST), SRC, DST)
+    assert (parsed.src_port, parsed.dst_port) == (sport, dport)
+    assert (parsed.seq, parsed.ack) == (seq, ack)
+    assert parsed.flags == flags
+    assert parsed.payload == payload

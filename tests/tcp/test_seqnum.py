@@ -1,0 +1,49 @@
+"""Modular sequence arithmetic, including wraparound."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.tcp import seqnum
+
+
+def test_basic_comparisons():
+    assert seqnum.seq_lt(1, 2)
+    assert seqnum.seq_gt(2, 1)
+    assert seqnum.seq_le(2, 2)
+    assert seqnum.seq_ge(2, 2)
+
+
+def test_wraparound_comparisons():
+    near_top = 2**32 - 10
+    assert seqnum.seq_lt(near_top, 5)  # 5 is "after" near_top across the wrap
+    assert seqnum.seq_gt(5, near_top)
+    assert seqnum.seq_add(near_top, 20) == 10
+
+
+def test_seq_sub_signed_distance():
+    assert seqnum.seq_sub(10, 5) == 5
+    assert seqnum.seq_sub(5, 10) == -5
+    assert seqnum.seq_sub(5, 2**32 - 5) == 10
+
+
+def test_between_window():
+    assert seqnum.seq_between(10, 10, 20)
+    assert seqnum.seq_between(10, 19, 20)
+    assert not seqnum.seq_between(10, 20, 20)
+    assert not seqnum.seq_between(10, 9, 20)
+
+
+def test_between_wrapping_window():
+    low = 2**32 - 5
+    assert seqnum.seq_between(low, 2**32 - 1, 10)
+    assert seqnum.seq_between(low, 3, 10)
+    assert not seqnum.seq_between(low, 10, 10)
+
+
+@given(st.integers(0, 2**32 - 1), st.integers(0, 2**31 - 2))
+def test_property_add_then_compare(base, delta):
+    later = seqnum.seq_add(base, delta)
+    assert seqnum.seq_le(base, later)
+    if delta:
+        assert seqnum.seq_lt(base, later)
+        assert seqnum.seq_sub(later, base) == delta

@@ -1,0 +1,29 @@
+"""Fixtures for the TLS test suite."""
+
+import pytest
+
+from repro.tls.certificates import CertificateAuthority, TrustStore
+
+from tests.tls.tls_pipe import make_pair
+
+
+@pytest.fixture
+def ca():
+    return CertificateAuthority("TestRoot CA", seed=b"ca-seed")
+
+
+@pytest.fixture
+def server_identity(ca):
+    return ca.issue_identity("server.example", seed=b"server-seed")
+
+
+@pytest.fixture
+def trust_store(ca):
+    store = TrustStore()
+    store.add_authority(ca)
+    return store
+
+
+@pytest.fixture
+def pair(server_identity, trust_store):
+    return make_pair(server_identity, trust_store)

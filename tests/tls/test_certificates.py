@@ -1,0 +1,85 @@
+"""Certificate issuance and verification."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.tls.certificates import Certificate, CertificateAuthority, TrustStore
+from repro.utils.errors import ProtocolViolation
+
+
+def test_issue_and_verify():
+    ca = CertificateAuthority("Root", seed=b"seed")
+    identity = ca.issue_identity("host.example")
+    store = TrustStore()
+    store.add_authority(ca)
+    assert store.verify(identity.certificate)
+    assert store.verify(identity.certificate, expected_subject="host.example")
+
+
+def test_subject_mismatch_rejected():
+    ca = CertificateAuthority("Root")
+    identity = ca.issue_identity("host.example")
+    store = TrustStore()
+    store.add_authority(ca)
+    assert not store.verify(identity.certificate, expected_subject="other.example")
+
+
+def test_unknown_issuer_rejected():
+    ca = CertificateAuthority("Root")
+    identity = ca.issue_identity("host.example")
+    assert not TrustStore().verify(identity.certificate)
+
+
+def test_forged_signature_rejected():
+    ca = CertificateAuthority("Root")
+    cert = ca.issue_identity("host.example").certificate
+    forged = Certificate(
+        subject=cert.subject,
+        public_key=cert.public_key,
+        issuer=cert.issuer,
+        signature=bytes(64),
+    )
+    store = TrustStore()
+    store.add_authority(ca)
+    assert not store.verify(forged)
+
+
+def test_key_substitution_rejected():
+    ca = CertificateAuthority("Root")
+    cert = ca.issue_identity("host.example").certificate
+    mallory = CertificateAuthority("Mallory").public_key
+    swapped = Certificate(
+        subject=cert.subject,
+        public_key=mallory,
+        issuer=cert.issuer,
+        signature=cert.signature,
+    )
+    store = TrustStore()
+    store.add_authority(ca)
+    assert not store.verify(swapped)
+
+
+def test_serialization_roundtrip():
+    ca = CertificateAuthority("Root")
+    cert = ca.issue_identity("αβγ.example").certificate  # unicode subject
+    parsed = Certificate.from_bytes(cert.to_bytes())
+    assert parsed == cert
+
+
+def test_malformed_bytes_rejected():
+    with pytest.raises(Exception):
+        Certificate.from_bytes(b"\x00\x05trash")
+
+
+def test_deterministic_issuance():
+    a = CertificateAuthority("Root", seed=b"x").issue_identity("s", seed=b"k")
+    b = CertificateAuthority("Root", seed=b"x").issue_identity("s", seed=b"k")
+    assert a.certificate == b.certificate
+
+
+@given(st.text(min_size=1, max_size=40))
+def test_property_any_subject_roundtrips(subject):
+    ca = CertificateAuthority("Root", seed=b"prop")
+    cert = ca.issue(subject, b"\x07" * 32)
+    assert Certificate.from_bytes(cert.to_bytes()).subject == subject

@@ -1,0 +1,124 @@
+"""Handshake message codecs."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.tls import messages as m
+from repro.utils.errors import ProtocolViolation
+
+
+def test_client_hello_roundtrip():
+    hello = m.ClientHello(
+        random=b"\x01" * 32,
+        session_id=b"\x02" * 32,
+        extensions=[
+            (m.EXT_SUPPORTED_VERSIONS, m.build_supported_versions_client()),
+            (m.EXT_KEY_SHARE, m.build_key_share_client(b"\x03" * 32)),
+            (m.EXT_SERVER_NAME, m.build_server_name("example.com")),
+            (m.EXT_TCPLS, b"\x01"),
+        ],
+    )
+    raw = hello.to_bytes()
+    frames = m.parse_handshake_frames(raw)
+    assert len(frames) == 1
+    msg_type, body, raw_frame = frames[0]
+    assert msg_type == m.CLIENT_HELLO
+    assert raw_frame == raw
+    parsed = m.ClientHello.from_body(body)
+    assert parsed.random == b"\x01" * 32
+    assert m.parse_key_share_client(
+        m.get_extension(parsed.extensions, m.EXT_KEY_SHARE)
+    ) == b"\x03" * 32
+    assert m.parse_server_name(
+        m.get_extension(parsed.extensions, m.EXT_SERVER_NAME)
+    ) == "example.com"
+    assert m.get_extension(parsed.extensions, m.EXT_TCPLS) == b"\x01"
+
+
+def test_server_hello_roundtrip():
+    hello = m.ServerHello(
+        random=b"\x09" * 32,
+        session_id=b"\x0a" * 32,
+        extensions=[(m.EXT_KEY_SHARE, m.build_key_share_server(b"\x0b" * 32))],
+    )
+    _, body, _ = m.parse_handshake_frames(hello.to_bytes())[0]
+    parsed = m.ServerHello.from_body(body)
+    assert parsed.cipher_suite == m.CIPHER_CHACHA20_POLY1305_SHA256
+    assert m.parse_key_share_server(
+        m.get_extension(parsed.extensions, m.EXT_KEY_SHARE)
+    ) == b"\x0b" * 32
+
+
+def test_multiple_messages_in_one_buffer():
+    ee = m.EncryptedExtensionsMsg(extensions=[(m.EXT_TCPLS, b"params")])
+    fin = m.FinishedMsg(verify_data=b"\x0c" * 32)
+    frames = m.parse_handshake_frames(ee.to_bytes() + fin.to_bytes())
+    assert [t for t, _b, _r in frames] == [m.ENCRYPTED_EXTENSIONS, m.FINISHED]
+    parsed_ee = m.EncryptedExtensionsMsg.from_body(frames[0][1])
+    assert m.get_extension(parsed_ee.extensions, m.EXT_TCPLS) == b"params"
+    assert m.FinishedMsg.from_body(frames[1][1]).verify_data == b"\x0c" * 32
+
+
+def test_new_session_ticket_roundtrip():
+    ticket = m.NewSessionTicketMsg(
+        lifetime=7200, age_add=123456, nonce=b"\x0d" * 8,
+        ticket=b"\x0e" * 64, max_early_data=16384,
+    )
+    _, body, _ = m.parse_handshake_frames(ticket.to_bytes())[0]
+    parsed = m.NewSessionTicketMsg.from_body(body)
+    assert parsed.lifetime == 7200
+    assert parsed.age_add == 123456
+    assert parsed.ticket == b"\x0e" * 64
+    assert parsed.max_early_data == 16384
+
+
+def test_certificate_roundtrip():
+    msg = m.CertificateMsg(certificate_bytes=b"\x0f" * 100)
+    _, body, _ = m.parse_handshake_frames(msg.to_bytes())[0]
+    assert m.CertificateMsg.from_body(body).certificate_bytes == b"\x0f" * 100
+
+
+def test_certificate_verify_roundtrip():
+    msg = m.CertificateVerifyMsg(algorithm=m.SIG_ED25519, signature=b"\x10" * 64)
+    _, body, _ = m.parse_handshake_frames(msg.to_bytes())[0]
+    parsed = m.CertificateVerifyMsg.from_body(body)
+    assert parsed.algorithm == m.SIG_ED25519
+    assert parsed.signature == b"\x10" * 64
+
+
+def test_psk_offer_roundtrip_and_binder_length():
+    offered = m.build_psk_offer(b"ticket-identity", 99, 32)
+    identity, age, binder = m.parse_psk_offer(offered)
+    assert identity == b"ticket-identity"
+    assert age == 99
+    assert binder == b"\x00" * 32
+    assert m.psk_binders_length(32) == 35
+
+
+def test_bad_legacy_version_rejected():
+    hello = m.ClientHello(random=b"\x00" * 32)
+    raw = bytearray(hello.to_bytes())
+    raw[4] = 0x02  # clobber legacy_version
+    _, body, _ = m.parse_handshake_frames(bytes(raw))[0]
+    with pytest.raises(ProtocolViolation):
+        m.ClientHello.from_body(body)
+
+
+def test_unknown_extension_roundtrips_opaquely():
+    hello = m.ClientHello(random=b"\x00" * 32, extensions=[(0xABCD, b"mystery")])
+    _, body, _ = m.parse_handshake_frames(hello.to_bytes())[0]
+    parsed = m.ClientHello.from_body(body)
+    assert m.get_extension(parsed.extensions, 0xABCD) == b"mystery"
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 0xFFFF), st.binary(max_size=200)),
+        max_size=8,
+    )
+)
+def test_property_extensions_roundtrip(extensions):
+    hello = m.ClientHello(random=b"\x00" * 32, extensions=extensions)
+    _, body, _ = m.parse_handshake_frames(hello.to_bytes())[0]
+    assert m.ClientHello.from_body(body).extensions == extensions

@@ -1,0 +1,150 @@
+"""Session tickets, PSK resumption, and 0-RTT early data."""
+
+import pytest
+
+from repro.tls.alerts import TlsAlertError
+from repro.tls.session import SessionTicketStore
+from repro.utils.errors import ProtocolViolation
+
+from tests.tls.tls_pipe import make_pair
+
+
+def _handshake_and_get_ticket(server_identity, trust_store, store, **kwargs):
+    pipe = make_pair(server_identity, trust_store, client_tickets=store, **kwargs)
+    pipe.client.start_handshake()
+    pipe.pump()
+    assert store.count("server.example") >= 1
+    return pipe
+
+
+def test_ticket_issued_after_full_handshake(server_identity, trust_store):
+    store = SessionTicketStore()
+    _handshake_and_get_ticket(server_identity, trust_store, store)
+    ticket = store.take("server.example")
+    assert ticket is not None
+    assert len(ticket.psk) == 32
+    assert ticket.max_early_data > 0
+
+
+def test_multiple_tickets_configurable(server_identity, trust_store):
+    store = SessionTicketStore()
+    _handshake_and_get_ticket(server_identity, trust_store, store, send_tickets=3)
+    assert store.count("server.example") == 3
+
+
+def test_psk_resumption_skips_certificate(server_identity, trust_store):
+    store = SessionTicketStore()
+    _handshake_and_get_ticket(server_identity, trust_store, store)
+    pipe2 = make_pair(server_identity, trust_store, client_tickets=store, seed=99)
+    pipe2.client.start_handshake()
+    pipe2.pump()
+    assert pipe2.client.is_established
+    assert pipe2.client.used_psk
+    assert pipe2.server.used_psk
+    assert pipe2.client.peer_certificate is None  # no Certificate message
+
+
+def test_resumed_session_transfers_data(server_identity, trust_store):
+    store = SessionTicketStore()
+    _handshake_and_get_ticket(server_identity, trust_store, store)
+    pipe2 = make_pair(server_identity, trust_store, client_tickets=store, seed=99)
+    received = bytearray()
+    pipe2.server.on_application_data = received.extend
+    pipe2.client.start_handshake()
+    pipe2.pump()
+    pipe2.client.send(b"resumed!")
+    pipe2.pump()
+    assert bytes(received) == b"resumed!"
+
+
+def test_0rtt_early_data_arrives_before_client_finished(server_identity, trust_store):
+    store = SessionTicketStore()
+    _handshake_and_get_ticket(server_identity, trust_store, store)
+    pipe2 = make_pair(server_identity, trust_store, client_tickets=store, seed=42)
+    early = bytearray()
+    pipe2.server.on_early_data = early.extend
+    pipe2.client.start_handshake(early_data=b"GET / 0-RTT")
+    # Deliver only the client's first flight: CH + early data records.
+    chunk = bytes(pipe2.to_server)
+    pipe2.to_server.clear()
+    pipe2.server.receive(chunk)
+    assert bytes(early) == b"GET / 0-RTT"  # before any server response
+    pipe2.pump()
+    assert pipe2.client.is_established
+    assert pipe2.client.early_data_accepted
+    assert pipe2.server.early_data_accepted
+
+
+def test_0rtt_rejected_when_server_disables_early_data(server_identity, trust_store):
+    store = SessionTicketStore()
+    # The ticket-issuing server allows early data, but the resumption
+    # server has it disabled (max_early_data=0) and must reject.
+    _handshake_and_get_ticket(server_identity, trust_store, store)
+    pipe2 = make_pair(
+        server_identity, trust_store, client_tickets=store, seed=42, max_early_data=0
+    )
+    early = bytearray()
+    app = bytearray()
+    pipe2.server.on_early_data = early.extend
+    pipe2.server.on_application_data = app.extend
+    pipe2.client.start_handshake(early_data=b"replayable request")
+    pipe2.pump()
+    assert pipe2.client.is_established
+    assert not pipe2.client.early_data_accepted
+    # The client replayed the data under 1-RTT keys; it is not lost.
+    assert bytes(app) == b"replayable request"
+    assert bytes(early) == b""
+
+
+def test_0rtt_without_ticket_raises(server_identity, trust_store):
+    pipe = make_pair(server_identity, trust_store, client_tickets=SessionTicketStore())
+    with pytest.raises(ProtocolViolation):
+        pipe.client.start_handshake(early_data=b"no ticket")
+
+
+def test_forged_ticket_rejected(server_identity, trust_store):
+    store = SessionTicketStore()
+    _handshake_and_get_ticket(server_identity, trust_store, store)
+    ticket = store.take("server.example")
+    forged = type(ticket)(
+        server_name=ticket.server_name,
+        identity=b"\x00" * len(ticket.identity),
+        psk=ticket.psk,
+        max_early_data=ticket.max_early_data,
+        age_add=ticket.age_add,
+    )
+    store.add(forged)
+    pipe2 = make_pair(server_identity, trust_store, client_tickets=store, seed=5)
+    pipe2.client.start_handshake()
+    with pytest.raises(TlsAlertError):
+        pipe2.pump()
+
+
+def test_wrong_psk_binder_rejected(server_identity, trust_store):
+    store = SessionTicketStore()
+    _handshake_and_get_ticket(server_identity, trust_store, store)
+    ticket = store.take("server.example")
+    bad = type(ticket)(
+        server_name=ticket.server_name,
+        identity=ticket.identity,
+        psk=b"\xff" * 32,  # wrong PSK -> wrong binder
+        max_early_data=ticket.max_early_data,
+        age_add=ticket.age_add,
+    )
+    store.add(bad)
+    pipe2 = make_pair(server_identity, trust_store, client_tickets=store, seed=5)
+    pipe2.client.start_handshake()
+    with pytest.raises(TlsAlertError):
+        pipe2.pump()
+
+
+def test_tickets_are_single_use(server_identity, trust_store):
+    store = SessionTicketStore()
+    _handshake_and_get_ticket(server_identity, trust_store, store)
+    count = store.count("server.example")
+    pipe2 = make_pair(server_identity, trust_store, client_tickets=store, seed=9)
+    pipe2.client.start_handshake()
+    pipe2.pump()
+    # The resumption consumed one ticket but earned new ones.
+    assert pipe2.client.used_psk
+    assert store.count("server.example") == count  # -1 used, +1 fresh

@@ -1,0 +1,64 @@
+"""In-memory transport pipe for back-to-back TLS sessions."""
+
+import random
+
+from repro.tls.session import SessionTicketStore, TlsConfig, TlsSession
+
+
+class Pipe:
+    """Synchronous in-memory transport pair with manual pumping."""
+
+    def __init__(self):
+        self.to_server = bytearray()
+        self.to_client = bytearray()
+        self.client: TlsSession = None
+        self.server: TlsSession = None
+
+    def client_write(self, data):
+        self.to_server.extend(data)
+
+    def server_write(self, data):
+        self.to_client.extend(data)
+
+    def pump(self, rounds=10):
+        for _ in range(rounds):
+            if not self.to_server and not self.to_client:
+                break
+            if self.to_server:
+                chunk = bytes(self.to_server)
+                self.to_server.clear()
+                self.server.receive(chunk)
+            if self.to_client:
+                chunk = bytes(self.to_client)
+                self.to_client.clear()
+                self.client.receive(chunk)
+
+
+def make_pair(
+    server_identity,
+    trust_store,
+    client_tickets=None,
+    server_extra_ee=(),
+    client_extra_ch=(),
+    send_tickets=1,
+    max_early_data=1 << 16,
+    seed=7,
+):
+    pipe = Pipe()
+    server_config = TlsConfig(
+        identity=server_identity,
+        send_tickets=send_tickets,
+        max_early_data=max_early_data,
+        extra_encrypted_extensions=list(server_extra_ee),
+        rng=random.Random(seed),
+    )
+    client_config = TlsConfig(
+        trust_store=trust_store,
+        server_name="server.example",
+        ticket_store=client_tickets,
+        extra_client_extensions=list(client_extra_ch),
+        rng=random.Random(seed + 1),
+    )
+    pipe.server = TlsSession(server_config, is_server=True, transport_write=pipe.server_write)
+    pipe.client = TlsSession(client_config, is_server=False, transport_write=pipe.client_write)
+    return pipe

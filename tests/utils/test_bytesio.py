@@ -1,0 +1,104 @@
+"""Unit and property-based tests for the byte reader/writer pair."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bytesio import ByteReader, ByteWriter, NeedMoreData, hexdump, xor_bytes
+
+
+def test_writer_reader_roundtrip_fixed_widths():
+    w = ByteWriter()
+    w.put_u8(0xAB).put_u16(0xBEEF).put_u24(0x123456).put_u32(0xDEADBEEF)
+    w.put_u64(0x0102030405060708).put_bytes(b"tail")
+    r = ByteReader(w.getvalue())
+    assert r.get_u8() == 0xAB
+    assert r.get_u16() == 0xBEEF
+    assert r.get_u24() == 0x123456
+    assert r.get_u32() == 0xDEADBEEF
+    assert r.get_u64() == 0x0102030405060708
+    assert r.get_rest() == b"tail"
+    assert r.is_empty()
+
+
+def test_vectors_roundtrip():
+    w = ByteWriter()
+    w.put_vec8(b"a").put_vec16(b"bb" * 300).put_vec24(b"c" * 70000)
+    r = ByteReader(w.getvalue())
+    assert r.get_vec8() == b"a"
+    assert r.get_vec16() == b"bb" * 300
+    assert r.get_vec24() == b"c" * 70000
+
+
+def test_reader_raises_need_more_data():
+    r = ByteReader(b"\x01")
+    assert r.get_u8() == 1
+    with pytest.raises(NeedMoreData):
+        r.get_u8()
+
+
+def test_vec_length_larger_than_buffer_raises():
+    w = ByteWriter()
+    w.put_u16(100).put_bytes(b"short")
+    with pytest.raises(NeedMoreData):
+        ByteReader(w.getvalue()).get_vec16()
+
+
+def test_writer_rejects_oversized_vectors():
+    w = ByteWriter()
+    with pytest.raises(ValueError):
+        w.put_vec8(b"x" * 256)
+    with pytest.raises(ValueError):
+        w.put_vec16(b"x" * 65536)
+    with pytest.raises(ValueError):
+        w.put_u24(1 << 24)
+
+
+def test_peek_does_not_consume():
+    r = ByteReader(b"\x42\x43")
+    assert r.peek_u8() == 0x42
+    assert r.get_u8() == 0x42
+
+
+def test_negative_read_rejected():
+    with pytest.raises(ValueError):
+        ByteReader(b"abc").get_bytes(-1)
+
+
+def test_xor_bytes():
+    assert xor_bytes(b"\x0f\xf0", b"\xff\xff") == b"\xf0\x0f"
+    with pytest.raises(ValueError):
+        xor_bytes(b"a", b"ab")
+
+
+def test_hexdump_renders():
+    dump = hexdump(b"hello world, this is a dump test!")
+    assert "68 65 6c 6c 6f" in dump
+    assert "hello" in dump
+
+
+@given(st.lists(st.integers(min_value=0, max_value=2**32 - 1), max_size=50))
+def test_u32_list_roundtrip(values):
+    w = ByteWriter()
+    for v in values:
+        w.put_u32(v)
+    r = ByteReader(w.getvalue())
+    assert [r.get_u32() for _ in values] == values
+    assert r.is_empty()
+
+
+@given(st.binary(max_size=65535))
+def test_vec16_roundtrip_property(data):
+    w = ByteWriter()
+    w.put_vec16(data)
+    assert ByteReader(w.getvalue()).get_vec16() == data
+
+
+@given(st.binary(max_size=200), st.binary(max_size=200))
+def test_concatenated_vec8_stream(a, b):
+    a, b = a[:255], b[:255]
+    w = ByteWriter()
+    w.put_vec8(a).put_vec8(b)
+    r = ByteReader(w.getvalue())
+    assert r.get_vec8() == a
+    assert r.get_vec8() == b
