@@ -203,6 +203,11 @@ def test_a5_time_to_first_request_byte(once):
     report(
         f"A5 — Time until the server sees the request (RTT = {RTT * 1000:.0f} ms)",
         rows,
+        extra={
+            "rtt_s": RTT,
+            "time_to_first_request_byte_s": dict(times),
+            "time_in_rtts": {name: t / RTT for name, t in times.items()},
+        },
     )
     # Shape: each removed round trip shows up as ~1 RTT.
     assert times["TCP + TFO"] < times["TCP"]

@@ -67,7 +67,10 @@ def _tcpls_run():
         before = max((t for t, _n in arrival_times if t < failover_at), default=start)
         after = min((t for t, _n in arrival_times if t >= failover_at), default=start)
         gap = after - before
-    return done, failovers, gap, client.stats["frames_replayed"], injector.fired
+    return (
+        done, failovers, gap, client.stats["frames_replayed"], injector.fired,
+        net, client, sessions[0], link,
+    )
 
 
 def _tls_run():
@@ -87,7 +90,7 @@ def test_a2_failover_vs_layered_tls(once):
     def run():
         return _tcpls_run(), _tls_run()
 
-    (tcpls_done, failovers, gap, replayed, fired), (
+    (tcpls_done, failovers, gap, replayed, fired, net, client, server, link), (
         tls_done, tls_reset, tls_got
     ) = once(run)
 
@@ -99,6 +102,17 @@ def test_a2_failover_vs_layered_tls(once):
             f"TLS/TCP: completed={tls_done}  connection reset seen={tls_reset}  "
             f"bytes before death={tls_got}",
         ],
+        sim=net.sim,
+        sessions=[client, server],
+        links=[link],
+        extra={
+            "tcpls_completed": tcpls_done,
+            "failovers": len(failovers),
+            "delivery_gap_s": gap,
+            "frames_replayed": replayed,
+            "tls_completed": tls_done,
+            "tls_bytes_before_death": tls_got,
+        },
     )
     assert fired
     assert tcpls_done, "TCPLS failed to survive the RST"

@@ -93,7 +93,15 @@ def test_a6_middlebox_detection(once):
         else:
             lines.append(f"{path:<18}: {len(findings)} finding(s)")
             lines.extend(f"{'':<20}- {f}" for f in findings)
-    report("A6 — SYN-echo middlebox detection", lines)
+    report(
+        "A6 — SYN-echo middlebox detection",
+        lines,
+        extra={
+            "findings": {
+                path: findings for path, findings in results.items()
+            },
+        },
+    )
 
     assert results["clean path"] == []
     assert results["NAT44"] is not None

@@ -69,16 +69,18 @@ def _transfer(multipath_mode, use_both_paths):
     per_conn = {}
     for _t, conn_id, n in sessions[0].delivery_log:
         per_conn[conn_id] = per_conn.get(conn_id, 0) + n
-    return done[0], per_conn
+    return done[0], per_conn, topo, client, sessions[0]
 
 
 def test_a1_aggregation_vs_single_path(once):
     def run():
-        single_time, single_share = _transfer("pinned", use_both_paths=False)
-        agg_time, agg_share = _transfer("aggregate", use_both_paths=True)
-        return single_time, agg_time, single_share, agg_share
+        single_time, single_share, *_ = _transfer("pinned", use_both_paths=False)
+        agg_time, agg_share, topo, client, server = _transfer(
+            "aggregate", use_both_paths=True
+        )
+        return single_time, agg_time, single_share, agg_share, topo, client, server
 
-    single_time, agg_time, single_share, agg_share = once(run)
+    single_time, agg_time, single_share, agg_share, topo, client, server = once(run)
     single_mbps = FILE_SIZE * 8 / single_time / 1e6
     agg_mbps = FILE_SIZE * 8 / agg_time / 1e6
     speedup = single_time / agg_time
@@ -91,6 +93,16 @@ def test_a1_aggregation_vs_single_path(once):
             f"speedup     : {speedup:4.2f}x  (ideal 2.0x)",
             f"per-connection bytes (aggregated): {agg_share}",
         ],
+        sim=topo.sim,
+        sessions=[client, server],
+        extra={
+            "single_time_s": single_time,
+            "aggregated_time_s": agg_time,
+            "single_mbps": single_mbps,
+            "aggregated_mbps": agg_mbps,
+            "speedup": speedup,
+            "per_conn_bytes": {str(k): v for k, v in agg_share.items()},
+        },
     )
     # Shape: aggregation combines the paths — a clear speedup with both
     # connections carrying a meaningful share.
@@ -134,9 +146,12 @@ def test_a1_hol_avoidance_streams_stay_independent(once):
         totals = {}
         for _t, sid, n in deliveries:
             totals[sid] = totals.get(sid, 0) + n
-        return b_done_during_outage, a_blocked_during_outage, totals, stream_a, stream_b
+        return (
+            b_done_during_outage, a_blocked_during_outage, totals,
+            stream_a, stream_b, topo, client, sessions[0],
+        )
 
-    b_done, a_blocked, totals, stream_a, stream_b = once(run)
+    b_done, a_blocked, totals, stream_a, stream_b, topo, client, server = once(run)
     report(
         "A1b — HOL avoidance: v4 outage while both streams send",
         [
@@ -144,6 +159,14 @@ def test_a1_hol_avoidance_streams_stay_independent(once):
             f"stream A (v4) stalled during outage:     {a_blocked}",
             f"final totals: {totals}",
         ],
+        sim=topo.sim,
+        sessions=[client, server],
+        links=topo.v4_links + topo.v6_links,
+        extra={
+            "b_done_during_outage": b_done,
+            "a_blocked_during_outage": a_blocked,
+            "stream_totals": {str(k): v for k, v in totals.items()},
+        },
     )
     assert b_done, "the v6 stream was HOL-blocked by the v4 outage"
     assert totals[stream_a] == 400_000 and totals[stream_b] == 400_000

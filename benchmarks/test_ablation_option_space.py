@@ -67,6 +67,13 @@ def test_a3_option_space_budgets(benchmark):
             f"expansion factor         : {MAX_PLAINTEXT // MAX_OPTION_SPACE}x "
             "per record, middlebox-proof",
         ],
+        extra={
+            "tcp_option_budget_bytes": MAX_OPTION_SPACE,
+            "tcpls_record_budget_bytes": MAX_PLAINTEXT,
+            "sack_blocks_tcp": sack_blocks_tcp,
+            "sack_blocks_tcpls": sack_blocks_tcpls,
+            "expansion_factor": MAX_PLAINTEXT // MAX_OPTION_SPACE,
+        },
     )
 
 
@@ -109,5 +116,11 @@ def test_a3_user_timeout_applied_end_to_end(once):
             f"value={options_seen[0]['option'].timeout}s",
             f"applied to the server's TCP connection (setsockopt): {applied}s",
         ],
+        sessions=[server],
+        extra={
+            "option_kind": options_seen[0]["kind"],
+            "option_timeout_s": options_seen[0]["option"].timeout,
+            "applied_user_timeout_s": applied,
+        },
     )
     assert applied == 42.0

@@ -100,6 +100,14 @@ def test_a4_plugin_switches_cwnd_regime(once):
                 for t, name, w in cwnd_trace[:: max(len(cwnd_trace) // 20, 1)]
             ],
         ],
+        sessions=[client],
+        extra={
+            "switch_time_s": switch_time,
+            "cwnd_before_min": min(before),
+            "cwnd_before_max": max(before),
+            "cwnd_after_bytes": 4 * mss,
+            "cwnd_trace": [[t, name, w] for t, name, w in cwnd_trace],
+        },
     )
 
 

@@ -93,6 +93,10 @@ def test_a7_record_sizing(once):
             f"{matched_stats['fragmented']:>12}"
             f"{matched_stats['fragmented_ratio']:>8.2f}{matched_time:>8.2f}s",
         ],
+        extra={
+            "fixed": {"time_s": fixed_time, **fixed_stats},
+            "cwnd_matched": {"time_s": matched_time, **matched_stats},
+        },
     )
     # Shape: cwnd matching eliminates most record fragmentation...
     assert matched_stats["fragmented_ratio"] < fixed_stats["fragmented_ratio"] * 0.5

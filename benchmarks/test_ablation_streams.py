@@ -94,6 +94,7 @@ def test_a8_streams_over_one_and_two_connections(once):
             f"{'2 TCP connections':<18}{two['records']:>9}{two['trials']:>12}"
             f"{two['trials_per_record']:>12.2f}{two['forgeries']:>11}",
         ],
+        extra={"one_connection": one, "two_connections": two},
     )
     assert one["ok"] and two["ok"]
     assert one["forgeries"] == 0 and two["forgeries"] == 0
@@ -110,5 +111,6 @@ def test_a8_forgery_accounting(once):
     report(
         "A8b — tampering shows up as forgery suspects",
         [f"forgery suspects counted: {result['forgeries']}"],
+        extra={"result": result},
     )
     assert result["forgeries"] > 0

@@ -119,6 +119,14 @@ def test_section46_goodput_comparison(once):
             f"{'mini-QUIC':<10}{results[('quic', 0.0)]:>9.1f}M"
             f"{results[('quic', 0.01)]:>9.1f}M",
         ],
+        extra={
+            "file_size": FILE_SIZE,
+            "rate_bps": RATE,
+            "goodput_mbps": {
+                f"{stack}@{loss:g}": mbps
+                for (stack, loss), mbps in results.items()
+            },
+        },
     )
     # Shape: both stacks are in the same league on a clean path; under
     # 1% loss both land in the envelope the Mathis model predicts for a

@@ -73,6 +73,14 @@ def test_fig1_wire_layout(benchmark):
             "wire bytes:",
             hexdump(wire),
         ],
+        extra={
+            "outer_type": wire[0],
+            "record_length": length,
+            "ciphertext_bytes": len(ciphertext),
+            "inner_ttype": int(TType.TCP_OPTION),
+            "option_kind": 28,
+            "option_timeout_s": option.timeout,
+        },
     )
 
 

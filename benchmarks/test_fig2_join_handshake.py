@@ -90,6 +90,14 @@ def test_fig2_join_flow(once):
             f" consumed={server.cookie_jar.consumed} left(client)={cookies_left}",
             f"server connections in one session: {len(server.connections)}",
         ],
+        sim=topo.sim,
+        sessions=[client, server],
+        links=topo.v4_links + topo.v6_links,
+        extra={
+            "cookies_consumed": server.cookie_jar.consumed,
+            "cookies_left_client": cookies_left,
+            "server_connections": len(server.connections),
+        },
     )
 
 

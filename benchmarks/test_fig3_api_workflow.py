@@ -117,6 +117,14 @@ def test_fig3_api_workflow(once):
             "",
             *[f"  {side:>6}: {event}" for side, event in trace],
         ],
+        sim=topo.sim,
+        sessions=[client, sessions[0]],
+        extra={
+            "happy_eyeballs": {
+                "winner": race["winner"], "v4": race["v4"], "v6": race["v6"],
+            },
+            "event_trace": [f"{side}:{event}" for side, event in trace],
+        },
     )
 
 

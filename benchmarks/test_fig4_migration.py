@@ -154,4 +154,23 @@ def test_fig4_connection_migration(once):
         lines.append(
             f"{bucket * INTERVAL:>6.2f} {v4:>9.2f} {v6:>9.2f}  {bar}{marker}"
         )
-    report("Figure 4 — App-level connection migration during download", lines)
+    report(
+        "Figure 4 — App-level connection migration during download",
+        lines,
+        sim=topo.sim,
+        sessions=[client],
+        links=topo.v4_links + topo.v6_links,
+        extra={
+            "file_size": FILE_SIZE,
+            "rate_bps": RATE,
+            "migration_time_s": migration_time[0],
+            "done_time_s": done_time[0],
+            "goodput_mbps": {
+                str(conn_id): {
+                    str(bucket * INTERVAL): _mbps(nbytes)
+                    for bucket, nbytes in sorted(buckets.items())
+                }
+                for conn_id, buckets in series.items()
+            },
+        },
+    )

@@ -34,5 +34,15 @@ def test_table1_full_matrix(once):
             "",
             render_table(measured),
         ],
+        extra={
+            "matrix": {
+                feature: {
+                    protocol: measured[feature][protocol]
+                    for protocol in PROTOCOLS
+                }
+                for feature in FEATURES
+            },
+            "mismatches": [list(cell) for cell in mismatches],
+        },
     )
     assert mismatches == [], f"cells differing from the paper: {mismatches}"

@@ -8,7 +8,7 @@ reception of a TCP option to tune TCP, and more."
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 
 class Event:
@@ -47,6 +47,10 @@ class EventDispatcher:
     def __init__(self) -> None:
         self._handlers: Dict[str, List[Callable]] = {}
         self.log: List[tuple] = []  # (event, kwargs) history for inspection
+        # Observability tap: called as observer(event, kwargs) before the
+        # application handlers for every emission.  Recording only — it
+        # must never mutate session state or schedule simulator events.
+        self.observer: Optional[Callable[[str, dict], None]] = None
 
     def on(self, event: str, handler: Callable) -> None:
         if event not in Event.ALL:
@@ -55,6 +59,8 @@ class EventDispatcher:
 
     def emit(self, event: str, **kwargs) -> None:
         self.log.append((event, kwargs))
+        if self.observer is not None:
+            self.observer(event, kwargs)
         for handler in self._handlers.get(event, []):
             handler(**kwargs)
 

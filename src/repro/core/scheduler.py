@@ -41,19 +41,37 @@ class PinnedScheduler(Scheduler):
 
 
 class RoundRobinScheduler(Scheduler):
-    """Aggregation mode: cycle through usable connections."""
+    """Aggregation mode: cycle through usable connections.
+
+    The rotation cursor is the *identity* of the last-picked connection,
+    not an index into the usable list: indexing modulo a list whose
+    membership changes (a JOIN adds a path, a failure removes one)
+    silently double-serves or skips paths, skewing aggregation fairness.
+    Resuming after the last-picked ``conn_id`` keeps every surviving
+    path served exactly once per cycle across churn.
+    """
 
     name = "round_robin"
 
     def __init__(self) -> None:
-        self._last_index = -1
+        self._last_conn_id: Optional[int] = None
 
     def pick(self, stream, connections: List) -> Optional[object]:
         usable = [conn for conn in connections if conn.usable()]
         if not usable:
             return None
-        self._last_index = (self._last_index + 1) % len(usable)
-        return usable[self._last_index]
+        chosen = None
+        if self._last_conn_id is not None:
+            # Cyclic successor by conn_id (ids are assigned monotonically,
+            # so this is the connection order): the smallest id strictly
+            # greater than the last pick, wrapping to the smallest overall.
+            after = [c for c in usable if c.conn_id > self._last_conn_id]
+            if after:
+                chosen = min(after, key=lambda c: c.conn_id)
+        if chosen is None:
+            chosen = min(usable, key=lambda c: c.conn_id)
+        self._last_conn_id = chosen.conn_id
+        return chosen
 
 
 class CwndAwareScheduler(Scheduler):

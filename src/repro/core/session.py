@@ -34,6 +34,7 @@ from repro.core.record_sizing import RecordSizer, TOTAL_OVERHEAD
 from repro.core.reliability import ReceiveTracker, ReplayBuffer
 from repro.core.scheduler import make_scheduler
 from repro.core.streams import TcplsStream
+from repro.obs import Observability
 from repro.tcp.connection import TcpConnection
 from repro.tcp.options import UserTimeout, decode_single_option
 from repro.tcp.stack import TcpStack
@@ -78,6 +79,15 @@ class TcplsContext:
     cookie_batch: int = 4
     advertise_addresses: bool = True
     seed: int = 0
+
+    # Observability (repro.obs).  ``telemetry`` keeps the per-session
+    # hub on by default (instrumentation is observation-only, so
+    # disabling it never changes a simulated result); ``observability``
+    # shares one hub — one timeline, one metrics registry — across all
+    # sessions built from this context (e.g. a server and everything it
+    # accepts).
+    telemetry: bool = True
+    observability: Optional[Observability] = None
 
     def rng(self) -> random.Random:
         return random.Random(self.seed)
@@ -201,12 +211,65 @@ class TcplsSession:
         self.session_closed = False
         self._probe_reports: Dict[int, List[str]] = {}
 
+        # Observability: one hub per session unless the context shares
+        # one.  Instruments are looked up once here so the hot paths
+        # below are single attribute increments.
+        self.obs = context.observability or Observability(
+            self.sim, enabled=context.telemetry
+        )
+        component = "session.server" if is_server else "session.client"
+        self._obs_component = component
+        telemetry = self.obs.telemetry
+        self._obs_records_sent = telemetry.counter(component, "records_sent")
+        self._obs_records_received = telemetry.counter(component, "records_received")
+        self._obs_record_bytes = telemetry.histogram(component, "record_bytes")
+        self._obs_acks_sent = telemetry.counter(component, "acks_sent")
+        self._obs_acks_received = telemetry.counter(component, "acks_received")
+        self._obs_frames_replayed = telemetry.counter(component, "frames_replayed")
+        self._obs_stream_bytes = telemetry.counter(component, "stream_bytes_received")
+        self.events.observer = self._observe_session_event
+        self._hs_span = None
+        self._join_spans: Dict[int, object] = {}
+
     # ------------------------------------------------------------------
     # Event registration
     # ------------------------------------------------------------------
 
     def on(self, event: str, handler: Callable) -> None:
         self.events.on(event, handler)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    # Session state transitions worth a TCP_INFO snapshot of every
+    # connection (cheap: a handful per session lifetime, never per-record).
+    _SNAPSHOT_EVENTS = frozenset(
+        (
+            Event.HANDSHAKE_DONE,
+            Event.JOIN,
+            Event.FAILOVER,
+            Event.CONN_FAILED,
+            Event.CONN_CLOSED,
+            Event.MIGRATION_DONE,
+        )
+    )
+
+    def _observe_session_event(self, event: str, kwargs: dict) -> None:
+        """EventDispatcher tap: mirror every session event onto the
+        timeline (correlatable with pcap timestamps) and snapshot TCP
+        state on the transitions the paper's figures care about."""
+        self.obs.tracer.point(self._obs_component, event, **kwargs)
+        self.obs.telemetry.counter(self._obs_component, f"event.{event}").inc()
+        if event in self._SNAPSHOT_EVENTS:
+            self.obs.tcp_log.sample(event, self.connections.values())
+
+    def metrics(self) -> dict:
+        """Machine-readable self-description: stats, counters, per-
+        connection TCP snapshots, and the event timeline."""
+        from repro.obs.export import _session_metrics
+
+        return _session_metrics(self)
 
     # ------------------------------------------------------------------
     # Connection management (client)
@@ -314,6 +377,10 @@ class TcplsSession:
     def _start_tls_client(self, conn: TcplsConnection, early_data: bytes) -> None:
         conn.is_primary = True
         self.primary = conn
+        self._hs_span = self.obs.tracer.span(
+            self._obs_component, "handshake", conn_id=conn.conn_id,
+            early_data=bool(early_data),
+        )
         tls_config = TlsConfig(
             trust_store=self.context.trust_store,
             server_name=self.context.server_name,
@@ -381,6 +448,10 @@ class TcplsSession:
         conn.is_primary = True
         conn.state = TcplsConnection.TLS_HANDSHAKE
         self.primary = conn
+        self._hs_span = self.obs.tracer.span(
+            self._obs_component, "handshake", conn_id=conn.conn_id,
+            zero_rtt=True,
+        )
         hold[0] = conn.tcp.send  # later flights go straight to TCP
         self.tls.on_handshake_complete = lambda: self._on_tls_complete(conn)
         return conn_id
@@ -392,6 +463,9 @@ class TcplsSession:
         conn.is_primary = True
         conn.state = TcplsConnection.TLS_HANDSHAKE
         self.primary = conn
+        self._hs_span = self.obs.tracer.span(
+            self._obs_component, "handshake", conn_id=conn.conn_id
+        )
 
         self.connection_id = mint_connection_id(self.rng)
         cookies = self.cookie_jar.mint()
@@ -427,6 +501,13 @@ class TcplsSession:
     def _on_tls_complete(self, conn: TcplsConnection) -> None:
         self.handshake_complete = True
         conn.state = TcplsConnection.ACTIVE
+        if self._hs_span is not None:
+            self._hs_span.end()
+            self._hs_span = None
+        # Post-handshake TLS records (tickets, key updates) feed the
+        # same record-size histogram as TCPLS frames.
+        self.tls.encoder.on_record_encrypted = self._obs_record_bytes.observe
+        self.tls.decoder.on_record_decrypted = self._obs_record_bytes.observe
         self.contexts = ContextManager(self.tls.export, is_client=not self.is_server)
 
         if not self.is_server:
@@ -469,6 +550,9 @@ class TcplsSession:
             self._on_tcp_failed(conn, "no JOIN cookie available")
             return
         conn.token = cookie
+        self._join_spans[conn.conn_id] = self.obs.tracer.span(
+            self._obs_component, "join", conn_id=conn.conn_id
+        )
 
         def send_join():
             conn.state = TcplsConnection.JOIN_SENT
@@ -702,6 +786,8 @@ class TcplsSession:
         cipher.advance()
         conn.tcp.send(header + sealed)
         self.stats["records_sent"] += 1
+        self._obs_records_sent.inc()
+        self._obs_record_bytes.observe(len(header) + len(sealed))
 
     def _send_control(self, ttype: int, body: bytes, seq: int) -> None:
         conns = self._active_conns()
@@ -742,6 +828,7 @@ class TcplsSession:
         stream_id, ttype, plaintext = opened
         conn.records_received += 1
         self.stats["records_received"] += 1
+        self._obs_records_received.inc()
         if ttype == TType.HANDSHAKE:
             self.tls.process_handshake_bytes(plaintext)
             self._maybe_collect_ticket()
@@ -774,6 +861,9 @@ class TcplsSession:
         stream_id, ttype, plaintext = opened
         if ttype != TType.JOIN_ACK:
             return
+        span = self._join_spans.pop(conn.conn_id, None)
+        if span is not None:
+            span.end()
         self._activate_joined(conn)
         self.events.emit(Event.JOIN, conn_id=conn.conn_id)
         self._pump()
@@ -810,6 +900,7 @@ class TcplsSession:
         stream = self._ensure_stream(stream_id, conn)
         self.delivery_log.append((self.sim.now, conn.conn_id, len(data)))
         conn.bytes_delivered += len(data)
+        self._obs_stream_bytes.inc(len(data))
         stream.on_segment(offset, data, fin)
 
     def _on_stream_open_frame(self, conn: TcplsConnection, frame: framing.Frame) -> None:
@@ -839,6 +930,7 @@ class TcplsSession:
     def _on_ack_frame(self, conn: TcplsConnection, frame: framing.Frame) -> None:
         cumulative, _conn_id = framing.decode_ack(frame.body)
         self.stats["acks_received"] += 1
+        self._obs_acks_received.inc()
         self.replay.on_ack(cumulative)
 
     def _on_tcp_option_frame(self, conn: TcplsConnection, frame: framing.Frame) -> None:
@@ -967,6 +1059,7 @@ class TcplsSession:
         body = framing.encode_ack(self.tracker.cumulative, conns[0].conn_id)
         self._send_frame(conns[0], TType.ACK, body, seq=0, stream_id=CONTROL_STREAM_ID)
         self.stats["acks_sent"] += 1
+        self._obs_acks_sent.inc()
 
     # ------------------------------------------------------------------
     # TCP option channel / plugins / probes (sender side)
@@ -1129,6 +1222,7 @@ class TcplsSession:
     def _replay_unacked(self, conn: TcplsConnection) -> None:
         for seq, ttype, stream_id, body in list(self.replay.unacked_frames()):
             self.stats["frames_replayed"] += 1
+            self._obs_frames_replayed.inc()
             context_stream = (
                 framing.decode_stream_data(body)[0]
                 if ttype == TType.STREAM_DATA

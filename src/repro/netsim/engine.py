@@ -40,11 +40,25 @@ class Event:
 class Simulator:
     """A single-threaded discrete-event loop with float-seconds time."""
 
+    # Absolute-time scheduling tolerance: a target computed as
+    # ``now + rtt - elapsed`` can land one float ulp before ``now``;
+    # deltas smaller than a nanosecond are clock noise, not the past.
+    TIME_EPSILON = 1e-9
+
     def __init__(self) -> None:
         self.now: float = 0.0
         self._queue: list[Event] = []
         self._seq = 0
         self._events_processed = 0
+        self._obs_events = None  # optional telemetry counter
+
+    def attach_observability(self, obs) -> None:
+        """Mirror the processed-event count into a telemetry registry.
+
+        Pure observation: attaching never changes scheduling order,
+        event counts, or the clock.
+        """
+        self._obs_events = obs.telemetry.counter("engine", "events_processed")
 
     @property
     def events_processed(self) -> int:
@@ -60,8 +74,17 @@ class Simulator:
         return event
 
     def schedule_at(self, time: float, callback: Callable, *args) -> Event:
-        """Run ``callback`` at an absolute simulated time."""
-        return self.schedule(time - self.now, callback, *args)
+        """Run ``callback`` at an absolute simulated time.
+
+        A target equal to ``now`` may subtract to a tiny negative delta
+        (one ulp) after float arithmetic; clamp anything smaller than
+        ``TIME_EPSILON`` to zero instead of crashing a deterministic
+        replay.  Genuinely past times still raise.
+        """
+        delay = time - self.now
+        if -self.TIME_EPSILON < delay < 0:
+            delay = 0.0
+        return self.schedule(delay, callback, *args)
 
     def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> None:
         """Process events in order until the queue drains or ``until`` passes.
@@ -74,17 +97,22 @@ class Simulator:
             event = self._queue[0]
             if until is not None and event.time > until:
                 break
-            heapq.heappop(self._queue)
             if event.cancelled:
+                heapq.heappop(self._queue)
                 continue
+            # Check the cap BEFORE popping: the event that trips it must
+            # stay queued so a follow-up run() resumes without losing it.
             if processed >= max_events:
                 raise RuntimeError(
                     f"simulation exceeded {max_events} events; likely a loop"
                 )
+            heapq.heappop(self._queue)
             self.now = event.time
             event.callback(*event.args)
             processed += 1
             self._events_processed += 1
+            if self._obs_events is not None:
+                self._obs_events.inc()
         if until is not None and until > self.now:
             self.now = until
 

@@ -74,6 +74,34 @@ class Link:
             "reordered": 0,
             "bytes_delivered": 0,
         }
+        # Optional observability hookup (see observe()).
+        self._obs_counters = None
+        self._obs_queue = None
+        self._obs_tracer = None
+        self._obs_component = ""
+
+    def observe(self, obs) -> None:
+        """Mirror this link's counters and queue/drop events into an
+        ``Observability`` hub.  Pure observation: the data path is
+        unchanged whether or not a hub is attached."""
+        self._obs_component = f"link.{self.name}" if self.name else "link"
+        telemetry = obs.telemetry
+        self._obs_counters = {
+            key: telemetry.counter(self._obs_component, key) for key in self.stats
+        }
+        self._obs_queue = telemetry.histogram(self._obs_component, "queue_depth")
+        self._obs_tracer = obs.tracer
+
+    def _obs_count(self, key: str, amount: int = 1) -> None:
+        if self._obs_counters is not None:
+            self._obs_counters[key].inc(amount)
+
+    def _obs_drop(self, reason: str, datagram: Datagram) -> None:
+        self._obs_count(reason)
+        if self._obs_tracer is not None:
+            self._obs_tracer.point(
+                self._obs_component, reason, size=datagram.size
+            )
 
     # -- wiring ------------------------------------------------------------
 
@@ -109,11 +137,15 @@ class Link:
 
     def set_down(self) -> None:
         self.up = False
+        if self._obs_tracer is not None:
+            self._obs_tracer.point(self._obs_component, "link_down")
 
     def set_up(self) -> None:
         self.up = True
         for direction in self._directions.values():
             direction.next_free_time = self.sim.now
+        if self._obs_tracer is not None:
+            self._obs_tracer.point(self._obs_component, "link_up")
 
     # -- data path -----------------------------------------------------------
 
@@ -137,24 +169,30 @@ class Link:
         direction = self._directions[index]
         if not self.up:
             self.stats["dropped_down"] += 1
+            self._obs_drop("dropped_down", datagram)
             return
         if direction.queued_packets >= self.queue_packets:
             self.stats["dropped_queue"] += 1
+            self._obs_drop("dropped_queue", datagram)
             return
         if self.loss_rate and self._rng.random() < self.loss_rate:
             self.stats["dropped_loss"] += 1
+            self._obs_drop("dropped_loss", datagram)
             return
 
         tx_time = datagram.size * 8 / self.rate_bps
         start = max(self.sim.now, direction.next_free_time)
         direction.next_free_time = start + tx_time
         direction.queued_packets += 1
+        if self._obs_queue is not None:
+            self._obs_queue.observe(direction.queued_packets)
         arrival_delay = (start + tx_time + self.delay) - self.sim.now
         if self.reorder_rate and self._rng.random() < self.reorder_rate:
             # Reordering model: a packet takes a slow lane and arrives
             # behind packets transmitted after it.
             arrival_delay += self.reorder_extra_delay
             self.stats["reordered"] += 1
+            self._obs_count("reordered")
         self.sim.schedule(arrival_delay, self._deliver, index, datagram)
 
     def _deliver(self, index: int, datagram: Datagram) -> None:
@@ -162,10 +200,13 @@ class Link:
         direction.queued_packets -= 1
         if not self.up:
             self.stats["dropped_down"] += 1
+            self._obs_drop("dropped_down", datagram)
             return
         destination = self._endpoints[1 - index]
         if destination is None or not destination.up:
             return
         self.stats["delivered"] += 1
         self.stats["bytes_delivered"] += datagram.size
+        self._obs_count("delivered")
+        self._obs_count("bytes_delivered", datagram.size)
         destination.deliver(datagram)

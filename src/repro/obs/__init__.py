@@ -1,0 +1,42 @@
+"""``repro.obs`` — the observability subsystem.
+
+Every quantitative claim this reproduction makes (bandwidth
+aggregation, failover continuity, cwnd-matched record sizing) needs
+machine-readable numbers.  This package provides them:
+
+- :class:`Telemetry` — counters/gauges/histograms keyed by component,
+  cheap enough to stay on by default;
+- :class:`Tracer` — spans and points on the simulated-time axis,
+  correlatable with the pcap writer's timestamps;
+- :func:`sample_tcp` / :class:`TcpInfoLog` — ``TCP_INFO``-style
+  per-connection snapshots, pull-based so sampling never perturbs the
+  simulation;
+- :class:`Observability` — one hub bundling all three around one clock;
+- :func:`collect_metrics` / :func:`write_metrics_json` — the
+  ``BENCH_*.json`` export the benchmarks emit.
+
+Invariant: instrumentation is observation only.  A simulation run with
+telemetry enabled and one with it disabled produce byte-identical
+results (same goodput, same ``events_processed``, same pcap bytes).
+"""
+
+from repro.obs.export import collect_metrics, write_metrics_json
+from repro.obs.hub import Observability
+from repro.obs.tcpinfo import TcpInfo, TcpInfoLog, sample_tcp
+from repro.obs.telemetry import Counter, Gauge, Histogram, Telemetry
+from repro.obs.tracing import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Observability",
+    "Span",
+    "TcpInfo",
+    "TcpInfoLog",
+    "Telemetry",
+    "Tracer",
+    "collect_metrics",
+    "sample_tcp",
+    "write_metrics_json",
+]

@@ -1,0 +1,159 @@
+"""The metrics registry: counters, gauges, and histograms by component.
+
+Design constraints (the reason this is not a thin dict wrapper):
+
+- **cheap enough to stay on by default** — callers look an instrument up
+  once (``telemetry.counter("tls", "records_sent")``) and keep the
+  returned object; the hot path is then a single attribute increment.
+  When the registry is disabled every lookup returns one shared no-op
+  instrument, so instrumented code needs no ``if enabled`` branches;
+- **zero perturbation** — instruments only record; they never touch the
+  simulator, never consume randomness, and never allocate on the hot
+  path (histograms bisect into preallocated log-scaled buckets);
+- **machine readable** — ``snapshot()`` returns plain nested dicts that
+  serialize to the ``BENCH_*.json`` metrics files.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Optional, Tuple, Union
+
+# Log-scaled bucket upper bounds shared by all histograms: 1, 2, 4, ...
+# 2^30.  Good enough resolution for byte sizes, counts, and (scaled)
+# latencies without per-histogram configuration.
+_DEFAULT_BOUNDS = tuple(1 << i for i in range(31))
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (queue depth, cwnd, clock)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: Union[int, float] = 0
+
+    def set(self, value: Union[int, float]) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Streaming distribution: count/sum/min/max plus log-2 buckets."""
+
+    __slots__ = ("count", "total", "min", "max", "_bounds", "_buckets")
+
+    def __init__(self, bounds: Tuple[float, ...] = _DEFAULT_BOUNDS) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._bounds = bounds
+        self._buckets = [0] * (len(bounds) + 1)
+
+    def observe(self, value: Union[int, float]) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        self._buckets[bisect_left(self._bounds, value)] += 1
+
+    def summary(self) -> dict:
+        mean = self.total / self.count if self.count else 0.0
+        buckets = {
+            (str(self._bounds[i]) if i < len(self._bounds) else "+inf"): n
+            for i, n in enumerate(self._buckets)
+            if n
+        }
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": mean,
+            "buckets": buckets,
+        }
+
+
+class _NullInstrument:
+    """Shared do-nothing counter/gauge/histogram for disabled telemetry."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value) -> None:
+        pass
+
+    def observe(self, value) -> None:
+        pass
+
+
+_NULL = _NullInstrument()
+
+
+class Telemetry:
+    """Registry of instruments keyed by ``(component, name)``.
+
+    Instruments are created on first use and shared on later lookups, so
+    two subsystems asking for ``counter("engine", "events")`` increment
+    the same value.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._counters: Dict[Tuple[str, str], Counter] = {}
+        self._gauges: Dict[Tuple[str, str], Gauge] = {}
+        self._histograms: Dict[Tuple[str, str], Histogram] = {}
+
+    def counter(self, component: str, name: str) -> Counter:
+        if not self.enabled:
+            return _NULL  # type: ignore[return-value]
+        key = (component, name)
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter()
+        return instrument
+
+    def gauge(self, component: str, name: str) -> Gauge:
+        if not self.enabled:
+            return _NULL  # type: ignore[return-value]
+        key = (component, name)
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge()
+        return instrument
+
+    def histogram(self, component: str, name: str) -> Histogram:
+        if not self.enabled:
+            return _NULL  # type: ignore[return-value]
+        key = (component, name)
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram()
+        return instrument
+
+    def snapshot(self) -> dict:
+        """Nested ``{component: {name: value}}`` of everything recorded."""
+        out: Dict[str, dict] = {}
+        for (component, name), counter in self._counters.items():
+            out.setdefault(component, {})[name] = counter.value
+        for (component, name), gauge in self._gauges.items():
+            out.setdefault(component, {})[name] = gauge.value
+        for (component, name), histogram in self._histograms.items():
+            out.setdefault(component, {})[name] = histogram.summary()
+        return out

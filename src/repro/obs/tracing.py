@@ -1,0 +1,140 @@
+"""Trace spans and points on the simulated-time axis.
+
+The tracer shares the discrete-event engine's clock, so every record is
+directly correlatable with the pcap files ``repro.netsim.pcap`` writes:
+a ``handshake`` span covering ``t=0.013..0.054`` brackets exactly the
+packets Wireshark shows between those timestamps.
+
+Two record shapes:
+
+- a **point** is an instant event (``link_down``, a queue drop, any
+  session event);
+- a **span** covers an interval (a handshake, a JOIN round-trip); it is
+  recorded when ``end()`` is called and carries ``t``/``t_end``/``dur``.
+
+Both are plain dicts so the timeline serializes to JSON untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+_SCALARS = (int, float, str, bool, type(None))
+
+
+def scrub_attrs(attrs: dict) -> dict:
+    """Keep only JSON-friendly attribute values (scalars and flat lists)."""
+    out = {}
+    for key, value in attrs.items():
+        if isinstance(value, _SCALARS):
+            out[key] = value
+        elif isinstance(value, (list, tuple)) and all(
+            isinstance(item, _SCALARS) for item in value
+        ):
+            out[key] = list(value)
+    return out
+
+
+class Span:
+    """An open interval; call ``end()`` (or use as a context manager)."""
+
+    __slots__ = ("_tracer", "component", "name", "start", "attrs", "ended")
+
+    def __init__(self, tracer: "Tracer", component: str, name: str, attrs: dict):
+        self._tracer = tracer
+        self.component = component
+        self.name = name
+        self.start = tracer.now()
+        self.attrs = attrs
+        self.ended = False
+
+    def end(self, **attrs) -> None:
+        if self.ended:
+            return
+        self.ended = True
+        merged = dict(self.attrs)
+        merged.update(scrub_attrs(attrs))
+        end_time = self._tracer.now()
+        self._tracer._record(
+            {
+                "t": self.start,
+                "t_end": end_time,
+                "dur": end_time - self.start,
+                "component": self.component,
+                "event": self.name,
+                **merged,
+            }
+        )
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.end()
+
+
+class _NullSpan:
+    __slots__ = ()
+
+    def end(self, **attrs) -> None:
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Timeline recorder driven by an external clock (the simulator's)."""
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        enabled: bool = True,
+        max_records: int = 200_000,
+    ) -> None:
+        self.now = clock
+        self.enabled = enabled
+        self.max_records = max_records
+        self.dropped = 0
+        self._records: List[dict] = []
+
+    def _record(self, record: dict) -> None:
+        if len(self._records) >= self.max_records:
+            self.dropped += 1
+            return
+        self._records.append(record)
+
+    def point(self, component: str, name: str, **attrs) -> None:
+        """Record an instant event at the current simulated time."""
+        if not self.enabled:
+            return
+        self._record(
+            {
+                "t": self.now(),
+                "component": component,
+                "event": name,
+                **scrub_attrs(attrs),
+            }
+        )
+
+    def span(self, component: str, name: str, **attrs):
+        """Open a span starting now; it appears in the timeline on end()."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return Span(self, component, name, scrub_attrs(attrs))
+
+    def timeline(self) -> List[dict]:
+        """All records ordered by start time (stable for ties)."""
+        return sorted(self._records, key=lambda record: record["t"])
+
+    def events_named(self, name: str) -> List[dict]:
+        return [record for record in self._records if record["event"] == name]
+
+    def __len__(self) -> int:
+        return len(self._records)

@@ -179,6 +179,12 @@ class TcpConnection:
             "timeouts": 0,
             "dup_acks_received": 0,
         }
+        # Delivery accounting for TCP_INFO-style snapshots (repro.obs):
+        # bytes the peer has cumulatively acknowledged, and when this
+        # connection reached ESTABLISHED (basis of the delivery rate).
+        self.delivered_bytes = 0
+        self.sacked_segments = 0
+        self._established_time: Optional[float] = None
 
     # ------------------------------------------------------------------
     # Public API
@@ -284,6 +290,15 @@ class TcpConnection:
     def bytes_in_flight(self) -> int:
         return sum(entry.length() for entry in self._inflight.values())
 
+    def delivery_rate(self) -> float:
+        """Average delivery rate in bits/s since ESTABLISHED (0 before)."""
+        if self._established_time is None:
+            return 0.0
+        elapsed = self.sim.now - self._established_time
+        if elapsed <= 0:
+            return 0.0
+        return self.delivered_bytes * 8 / elapsed
+
     def info(self) -> dict:
         """Introspection used by TCPLS for cross-layer decisions."""
         return {
@@ -291,11 +306,15 @@ class TcpConnection:
             "cwnd": self.cc.window(),
             "ssthresh": self.cc.ssthresh,
             "srtt": self.rto.srtt,
+            "rttvar": self.rto.rttvar,
             "rto": self.rto.rto,
             "mss": self.effective_mss(),
             "flight": self.bytes_in_flight(),
             "snd_wnd": self.snd_wnd,
             "congestion": self.cc.name,
+            "sacked_segments": self.sacked_segments,
+            "delivered_bytes": self.delivered_bytes,
+            "delivery_rate_bps": self.delivery_rate(),
             **self.stats,
         }
 
@@ -430,6 +449,8 @@ class TcpConnection:
             self.stack.fastopen.remember_cookie(self.remote_addr, cookie_option.cookie)
 
         self.state = ESTABLISHED
+        if self._established_time is None:
+            self._established_time = self.sim.now
         self._retries = 0
         self._cancel_rto()
         self._send_ack()
@@ -475,6 +496,8 @@ class TcpConnection:
         if self.state == SYN_RCVD:
             if seqnum.seq_ge(ack, seqnum.seq_add(self.iss, 1)):
                 self.state = ESTABLISHED
+                if self._established_time is None:
+                    self._established_time = self.sim.now
                 if self.on_established:
                     self.on_established()
             else:
@@ -547,6 +570,7 @@ class TcpConnection:
                     self._sack_recovery_send(cap=2)
                 else:
                     self._retransmit_earliest()
+        self.delivered_bytes += acked_bytes
         if acked_bytes and self._recovery_point is None:
             self.cc.on_ack(acked_bytes, self.rto.srtt, self.sim.now)
         self._arm_rto()
@@ -578,6 +602,8 @@ class TcpConnection:
             for seq, entry in self._inflight.items():
                 end = seqnum.seq_add(seq, entry.length())
                 if seqnum.seq_ge(seq, left) and seqnum.seq_le(end, right):
+                    if not entry.sacked:
+                        self.sacked_segments += 1
                     entry.sacked = True
             if self._highest_sacked is None or seqnum.seq_gt(
                 right, self._highest_sacked

@@ -69,6 +69,10 @@ class RecordEncoder:
     def __init__(self) -> None:
         self._cipher: Optional[CipherState] = None
         self.records_encrypted = 0
+        # Optional observability hook: called with the on-wire record
+        # length after each encrypted record is produced.  Recording
+        # only — never alters the bytes.
+        self.on_record_encrypted: Optional[Callable[[int], None]] = None
 
     @property
     def is_encrypting(self) -> bool:
@@ -107,6 +111,8 @@ class RecordEncoder:
         sealed = self._cipher.aead.encrypt(self._cipher.next_nonce(), inner, header)
         self._cipher.advance()
         self.records_encrypted += 1
+        if self.on_record_encrypted is not None:
+            self.on_record_encrypted(len(header) + len(sealed))
         return header + sealed
 
 
@@ -128,6 +134,9 @@ class RecordDecoder:
         self._buffer = bytearray()
         self.records_decrypted = 0
         self.decrypt_failures = 0
+        # Optional observability hook: ciphertext length of each record
+        # successfully decrypted by this decoder.
+        self.on_record_decrypted: Optional[Callable[[int], None]] = None
 
     @property
     def is_decrypting(self) -> bool:
@@ -196,6 +205,8 @@ class RecordDecoder:
             raise
         self._cipher.advance()
         self.records_decrypted += 1
+        if self.on_record_decrypted is not None:
+            self.on_record_decrypted(len(ciphertext))
         return strip_padding(inner)
 
     @staticmethod

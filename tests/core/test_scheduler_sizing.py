@@ -79,6 +79,41 @@ def test_round_robin_skips_dead_connections():
     assert picks == {0, 2}
 
 
+def test_round_robin_resumes_cycle_after_path_failure():
+    """Losing a path must not skew service toward a survivor.
+
+    The scheduler keys its rotation on conn_ids, so when conn 0 dies
+    mid-cycle the next pick is conn 0's cyclic successor and every
+    surviving path keeps getting served once per cycle.
+    """
+    conns = [FakeConn(0), FakeConn(1), FakeConn(2)]
+    scheduler = RoundRobinScheduler()
+    assert scheduler.pick(FakeStream(0), conns).conn_id == 0
+    assert scheduler.pick(FakeStream(0), conns).conn_id == 1
+    conns[0]._usable = False  # path failure mid-rotation
+    picks = [scheduler.pick(FakeStream(0), conns).conn_id for _ in range(4)]
+    assert picks == [2, 1, 2, 1]
+
+
+def test_round_robin_fair_when_connection_list_shrinks():
+    """Removing an entry from the list must not double-serve a survivor."""
+    conns = [FakeConn(0), FakeConn(1), FakeConn(2)]
+    scheduler = RoundRobinScheduler()
+    assert scheduler.pick(FakeStream(0), conns).conn_id == 0
+    del conns[0]  # conn 0 closed and was dropped from the list
+    picks = [scheduler.pick(FakeStream(0), conns).conn_id for _ in range(4)]
+    assert picks == [1, 2, 1, 2]
+
+
+def test_round_robin_serves_joining_connection_next_cycle():
+    conns = [FakeConn(0), FakeConn(2)]
+    scheduler = RoundRobinScheduler()
+    assert scheduler.pick(FakeStream(0), conns).conn_id == 0
+    conns.append(FakeConn(1))  # a JOIN lands mid-cycle
+    picks = [scheduler.pick(FakeStream(0), conns).conn_id for _ in range(5)]
+    assert picks == [1, 2, 0, 1, 2]
+
+
 def test_cwnd_aware_prefers_most_room():
     conns = [FakeConn(0, room=100), FakeConn(1, room=9000)]
     assert CwndAwareScheduler().pick(FakeStream(0), conns).conn_id == 1

@@ -79,6 +79,31 @@ def test_max_events_guard():
         sim.run(until=1000.0, max_events=100)
 
 
+def test_max_events_cap_does_not_lose_the_tripping_event():
+    sim = Simulator()
+    fired = []
+    for i in range(5):
+        sim.schedule(0.1 * (i + 1), fired.append, i)
+    with pytest.raises(RuntimeError):
+        sim.run(max_events=3)
+    # Exactly the first three ran; the event that tripped the cap is
+    # still queued, so resuming processes every remaining event.
+    assert fired == [0, 1, 2]
+    assert sim.pending_events() == 2
+    sim.run_until_idle()
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_max_events_cap_ignores_cancelled_events():
+    sim = Simulator()
+    fired = []
+    for i in range(3):
+        sim.schedule(0.1 * (i + 1), fired.append, i)
+    sim.schedule(0.05, fired.append, "x").cancel()
+    sim.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
 def test_schedule_at_absolute_time():
     sim = Simulator()
     fired = []
@@ -86,6 +111,32 @@ def test_schedule_at_absolute_time():
     sim.run_until_idle()
     assert fired == ["x"]
     assert sim.now == pytest.approx(3.0)
+
+
+def test_schedule_at_tolerates_float_ulp_in_the_past():
+    # 0.1 + 0.2 == 0.30000000000000004: a callback firing at that instant
+    # must still be able to schedule_at(0.3) computed independently.
+    sim = Simulator()
+    fired = []
+
+    def outer():
+        sim.schedule(0.2, inner)
+
+    def inner():
+        assert sim.now > 0.3  # off by one ulp
+        sim.schedule_at(0.3, fired.append, "x")
+
+    sim.schedule(0.1, outer)
+    sim.run_until_idle()
+    assert fired == ["x"]
+
+
+def test_schedule_at_still_rejects_genuinely_past_times():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run_until_idle()
+    with pytest.raises(ValueError):
+        sim.schedule_at(0.5, lambda: None)
 
 
 def test_pending_events_counts_uncancelled():

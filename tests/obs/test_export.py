@@ -1,0 +1,187 @@
+"""Session-level observability and the metrics export pipeline.
+
+The central invariant tested here is **zero perturbation**: running the
+exact same simulated TCPLS transfer with telemetry on and off must
+produce bit-identical results — same delivered bytes, same number of
+simulator events, same finishing time, same packets on the wire (pcap).
+"""
+
+import json
+
+from repro.core.events import Event
+from repro.core.session import TcplsContext, TcplsServer, TcplsSession
+from repro.netsim.pcap import PcapWriter
+from repro.netsim.scenarios import simple_duplex_network
+from repro.obs import Observability, collect_metrics, write_metrics_json
+from repro.tcp.stack import TcpStack
+from repro.tls.certificates import CertificateAuthority, TrustStore
+
+FILE_SIZE = 300_000
+
+
+def _run_transfer(telemetry=True, pcap_path=None, loss_rate=0.0):
+    """One fixed TCPLS transfer; every seed pinned so runs are replicas."""
+    # Two process-global counters leak across runs: the IP identification
+    # counter (stamped into every pcap header) and the session counter
+    # (mixed into each session's RNG seed).  Rewind both so two runs in
+    # one process are true replicas and the pcaps can be compared raw.
+    from repro.core import session as session_module
+    from repro.netsim import packet
+
+    packet._next_packet_id = 0
+    session_module._session_counter[0] = 0
+    net, client_host, server_host, link = simple_duplex_network(
+        delay=0.01, loss_rate=loss_rate, seed=9
+    )
+    writer = None
+    if pcap_path is not None:
+        writer = PcapWriter(pcap_path, net.sim)
+        link.add_transformer(list(client_host.interfaces.values())[0], writer)
+    ca = CertificateAuthority("Obs Root", seed=b"obs")
+    identity = ca.issue_identity("server.example", seed=b"obssrv")
+    trust = TrustStore()
+    trust.add_authority(ca)
+    sessions = []
+    TcplsServer(
+        TcplsContext(identity=identity, seed=2, telemetry=telemetry),
+        TcpStack(server_host, seed=3),
+        on_session=sessions.append,
+    )
+    client = TcplsSession(
+        TcplsContext(
+            trust_store=trust, server_name="server.example", seed=4,
+            telemetry=telemetry,
+        ),
+        TcpStack(client_host, seed=5),
+    )
+    client.connect("10.0.0.2")
+    client.handshake()
+    net.sim.run(until=1.0)
+    received = bytearray()
+    sessions[0].on_stream_data = lambda sid, d: received.extend(d)
+    stream = client.stream_new()
+    client.streams_attach()
+    client.send(stream, b"\x0b" * FILE_SIZE)
+    net.sim.run(until=30.0)
+    if writer is not None:
+        writer.close()
+    assert bytes(received) == b"\x0b" * FILE_SIZE
+    return net, client, sessions[0]
+
+
+def test_telemetry_does_not_perturb_the_simulation(tmp_path):
+    on_pcap = str(tmp_path / "on.pcap")
+    off_pcap = str(tmp_path / "off.pcap")
+    net_on, client_on, _ = _run_transfer(
+        telemetry=True, pcap_path=on_pcap, loss_rate=0.02
+    )
+    net_off, client_off, _ = _run_transfer(
+        telemetry=False, pcap_path=off_pcap, loss_rate=0.02
+    )
+    assert net_on.sim.events_processed == net_off.sim.events_processed
+    assert net_on.sim.now == net_off.sim.now
+    assert client_on.stats == client_off.stats
+    # The strongest check: every packet on the wire is byte-identical.
+    with open(on_pcap, "rb") as a, open(off_pcap, "rb") as b:
+        assert a.read() == b.read()
+
+
+def test_disabled_telemetry_records_nothing():
+    _net, client, _server = _run_transfer(telemetry=False)
+    snapshot = client.obs.snapshot()
+    assert snapshot["counters"] == {}
+    assert snapshot["timeline"] == []
+    assert snapshot["tcp_samples"] == []
+
+
+def test_session_records_counters_spans_and_snapshots():
+    net, client, server = _run_transfer(telemetry=True)
+    counters = client.obs.telemetry.snapshot()["session.client"]
+    assert counters["records_sent"] > 0
+    assert counters["acks_received"] > 0
+    assert counters["record_bytes"]["count"] == counters["records_sent"]
+    assert counters[f"event.{Event.HANDSHAKE_DONE}"] == 1
+
+    (handshake,) = client.obs.tracer.events_named("handshake")
+    assert handshake["t"] < handshake["t_end"] <= 1.0
+    assert handshake["dur"] > 0
+
+    samples = client.obs.tcp_log.samples()
+    assert any(row["label"] == Event.HANDSHAKE_DONE for row in samples)
+    assert all(row["time"] <= net.sim.now for row in samples)
+
+    # The server side records into its own hub under its own component.
+    assert server.obs.telemetry.snapshot()["session.server"]["records_received"] > 0
+
+
+def test_shared_observability_hub_merges_both_sides():
+    net, client_host, server_host, _link = simple_duplex_network(delay=0.01)
+    shared = Observability(net.sim)
+    ca = CertificateAuthority("Obs Root", seed=b"obs2")
+    identity = ca.issue_identity("server.example", seed=b"obs2srv")
+    trust = TrustStore()
+    trust.add_authority(ca)
+    TcplsServer(
+        TcplsContext(identity=identity, seed=2, observability=shared),
+        TcpStack(server_host, seed=3),
+    )
+    client = TcplsSession(
+        TcplsContext(
+            trust_store=trust, server_name="server.example", seed=4,
+            observability=shared,
+        ),
+        TcpStack(client_host, seed=5),
+    )
+    client.connect("10.0.0.2")
+    client.handshake()
+    net.sim.run(until=1.0)
+    assert client.obs is shared
+    counters = shared.telemetry.snapshot()
+    assert "session.client" in counters and "session.server" in counters
+    # Both sides' handshake spans land on one timeline.
+    assert len(shared.tracer.events_named("handshake")) == 2
+
+
+def test_collect_metrics_document_shape(tmp_path):
+    net, client, server = _run_transfer(telemetry=True)
+    metrics = collect_metrics(
+        title="unit",
+        sim=net.sim,
+        sessions=[client, server],
+        extra={"goodput_mbps": 12.5},
+    )
+    assert metrics["schema"] == 1
+    assert metrics["title"] == "unit"
+    assert metrics["sim_time"] == net.sim.now
+    assert metrics["events_processed"] == net.sim.events_processed
+    assert metrics["extra"] == {"goodput_mbps": 12.5}
+    roles = [session["role"] for session in metrics["sessions"]]
+    assert roles == ["client", "server"]
+    conn = metrics["sessions"][0]["connections"]["0"]
+    assert conn["tcp"]["state"] == "ESTABLISHED"
+    assert conn["tcp"]["delivered_bytes"] > 0
+
+    path = write_metrics_json(str(tmp_path / "out" / "m.json"), metrics)
+    with open(path) as handle:
+        assert json.load(handle)["schema"] == 1
+
+
+def test_engine_mirrors_event_count_into_telemetry():
+    from repro.netsim.engine import Simulator
+
+    sim = Simulator()
+    obs = Observability(sim)
+    sim.attach_observability(obs)
+    for i in range(4):
+        sim.schedule(0.1 * (i + 1), lambda: None)
+    sim.run_until_idle()
+    assert obs.telemetry.snapshot()["engine"]["events_processed"] == 4
+    assert sim.events_processed == 4
+
+
+def test_session_metrics_method_matches_export():
+    _net, client, _server = _run_transfer(telemetry=True)
+    doc = client.metrics()
+    assert doc["role"] == "client"
+    assert doc["stats"] == dict(client.stats)
+    assert "counters" in doc and "timeline" in doc and "tcp_samples" in doc

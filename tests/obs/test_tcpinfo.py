@@ -1,0 +1,87 @@
+"""TCP_INFO-style snapshots read real transport state, pull-only."""
+
+from repro.netsim.scenarios import simple_duplex_network
+from repro.obs.tcpinfo import TcpInfoLog, sample_tcp
+from repro.tcp.stack import TcpStack
+
+
+def _established_transfer(nbytes=200_000):
+    net, client_host, server_host, _link = simple_duplex_network()
+    client_tcp = TcpStack(client_host, seed=1)
+    server_tcp = TcpStack(server_host, seed=1001)
+    received = bytearray()
+    server_tcp.listen(
+        443, lambda conn: setattr(conn, "on_data", received.extend)
+    )
+    conn = client_tcp.connect("10.0.0.2", 443)
+    net.sim.run(until=0.2)
+    conn.send(b"\xab" * nbytes)
+    net.sim.run(until=5.0)
+    assert len(received) == nbytes
+    return net, conn
+
+
+def test_sample_reflects_a_real_transfer():
+    net, conn = _established_transfer()
+    info = sample_tcp(conn)
+    assert info.time == net.sim.now
+    assert info.state == "ESTABLISHED"
+    assert info.congestion == "reno"
+    assert info.cwnd > 0
+    assert info.mss > 0
+    assert info.srtt > 0
+    assert info.rto >= info.srtt
+    assert info.bytes_sent >= 200_000
+    assert info.delivered_bytes >= 200_000
+    assert info.delivery_rate_bps > 0
+    assert info.flight == 0  # everything ACKed by now
+    assert info.segments_sent > info.retransmissions
+
+
+def test_to_dict_is_json_scalar_only():
+    _net, conn = _established_transfer(nbytes=5_000)
+    row = sample_tcp(conn).to_dict()
+    assert all(isinstance(v, (int, float, str)) for v in row.values())
+
+
+def test_delivered_bytes_counts_acked_payload_only():
+    net, conn = _established_transfer(nbytes=50_000)
+    # Delivered counts ACKed stream bytes: at least the payload, and not
+    # wildly more (SYN/FIN and retransmits don't inflate it per-byte).
+    assert 50_000 <= conn.delivered_bytes <= conn.stats["bytes_sent"]
+
+
+def test_log_samples_every_connection_with_labels():
+    net, conn = _established_transfer(nbytes=1_000)
+
+    class FakeTcplsConn:
+        def __init__(self, conn_id, tcp):
+            self.conn_id = conn_id
+            self.tcp = tcp
+
+    log = TcpInfoLog(lambda: net.sim.now)
+    log.sample("handshake_done", [FakeTcplsConn(0, conn)])
+    log.sample("export", [FakeTcplsConn(0, conn), FakeTcplsConn(1, conn)])
+    rows = log.samples()
+    assert [row["label"] for row in rows] == ["handshake_done", "export", "export"]
+    assert [row["conn_id"] for row in rows] == [0, 0, 1]
+    assert all(row["time"] == net.sim.now for row in rows)
+
+
+def test_log_respects_disable_and_cap():
+    net, conn = _established_transfer(nbytes=1_000)
+
+    class FakeTcplsConn:
+        conn_id = 0
+
+        def __init__(self, tcp):
+            self.tcp = tcp
+
+    disabled = TcpInfoLog(lambda: net.sim.now, enabled=False)
+    disabled.sample("x", [FakeTcplsConn(conn)])
+    assert len(disabled) == 0
+
+    capped = TcpInfoLog(lambda: net.sim.now, max_samples=1)
+    capped.sample("x", [FakeTcplsConn(conn), FakeTcplsConn(conn)])
+    assert len(capped) == 1
+    assert capped.dropped == 1

@@ -1,0 +1,68 @@
+"""The metrics registry: counters, gauges, histograms, null objects."""
+
+from repro.obs.telemetry import Counter, Gauge, Histogram, Telemetry
+
+
+def test_counter_and_gauge_basics():
+    counter = Counter()
+    counter.inc()
+    counter.inc(9)
+    assert counter.value == 10
+    gauge = Gauge()
+    gauge.set(3.5)
+    gauge.set(2)
+    assert gauge.value == 2
+
+
+def test_instruments_are_shared_by_key():
+    telemetry = Telemetry()
+    a = telemetry.counter("tls", "records")
+    b = telemetry.counter("tls", "records")
+    other = telemetry.counter("tls", "acks")
+    assert a is b
+    assert a is not other
+    a.inc(3)
+    assert telemetry.snapshot()["tls"]["records"] == 3
+
+
+def test_disabled_registry_returns_shared_noop_instruments():
+    telemetry = Telemetry(enabled=False)
+    counter = telemetry.counter("x", "y")
+    counter.inc(100)
+    telemetry.gauge("x", "g").set(5)
+    telemetry.histogram("x", "h").observe(1)
+    # Nothing recorded, nothing registered.
+    assert telemetry.snapshot() == {}
+    # All lookups share one null object: no per-callsite allocation.
+    assert telemetry.counter("a", "b") is telemetry.histogram("c", "d")
+
+
+def test_histogram_summary():
+    histogram = Histogram()
+    for value in (1, 2, 2, 1000):
+        histogram.observe(value)
+    summary = histogram.summary()
+    assert summary["count"] == 4
+    assert summary["sum"] == 1005
+    assert summary["min"] == 1
+    assert summary["max"] == 1000
+    assert summary["mean"] == 1005 / 4
+    # Log-2 buckets: 1 -> "1", the 2s -> "2", 1000 -> "1024".
+    assert summary["buckets"] == {"1": 1, "2": 2, "1024": 1}
+
+
+def test_histogram_overflow_bucket():
+    histogram = Histogram()
+    histogram.observe(2 ** 40)
+    assert histogram.summary()["buckets"] == {"+inf": 1}
+
+
+def test_snapshot_mixes_instrument_kinds_per_component():
+    telemetry = Telemetry()
+    telemetry.counter("link", "delivered").inc(7)
+    telemetry.gauge("link", "queue").set(3)
+    telemetry.histogram("link", "sizes").observe(512)
+    snapshot = telemetry.snapshot()
+    assert snapshot["link"]["delivered"] == 7
+    assert snapshot["link"]["queue"] == 3
+    assert snapshot["link"]["sizes"]["count"] == 1

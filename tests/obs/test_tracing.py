@@ -1,0 +1,103 @@
+"""Trace points and spans on the simulated-time axis."""
+
+from repro.netsim.engine import Simulator
+from repro.obs.tracing import Tracer, scrub_attrs
+
+
+def _tracer(sim, **kwargs):
+    return Tracer(lambda: sim.now, **kwargs)
+
+
+def test_points_carry_the_simulated_time():
+    sim = Simulator()
+    tracer = _tracer(sim)
+    sim.schedule(1.5, lambda: tracer.point("link", "drop", reason="queue"))
+    sim.run_until_idle()
+    (record,) = tracer.timeline()
+    assert record["t"] == 1.5
+    assert record["component"] == "link"
+    assert record["event"] == "drop"
+    assert record["reason"] == "queue"
+
+
+def test_span_records_interval_on_end():
+    sim = Simulator()
+    tracer = _tracer(sim)
+    spans = []
+    sim.schedule(0.5, lambda: spans.append(tracer.span("session", "handshake")))
+    sim.schedule(0.9, lambda: spans[0].end(conn_id=0))
+    sim.run_until_idle()
+    (record,) = tracer.timeline()
+    assert record["t"] == 0.5
+    assert record["t_end"] == 0.9
+    assert abs(record["dur"] - 0.4) < 1e-12
+    assert record["conn_id"] == 0
+
+
+def test_span_end_is_idempotent_and_context_manager_ends():
+    sim = Simulator()
+    tracer = _tracer(sim)
+    with tracer.span("s", "x") as span:
+        pass
+    span.end()  # second end is a no-op
+    assert len(tracer.timeline()) == 1
+
+
+def test_timeline_sorted_by_start_time():
+    # A span is recorded at end() but sorts by its *start* time, so a
+    # long span lands before points that fired while it was open.
+    sim = Simulator()
+    tracer = _tracer(sim)
+    spans = []
+    sim.schedule(1.0, lambda: spans.append(tracer.span("a", "whole-run")))
+    sim.schedule(2.0, tracer.point, "a", "mid")
+    sim.schedule(3.0, lambda: spans[0].end())
+    sim.run_until_idle()
+    events = [record["event"] for record in tracer.timeline()]
+    assert events == ["whole-run", "mid"]
+
+
+def test_disabled_tracer_records_nothing():
+    sim = Simulator()
+    tracer = _tracer(sim, enabled=False)
+    tracer.point("a", "x")
+    tracer.span("a", "y").end()
+    assert tracer.timeline() == []
+    assert len(tracer) == 0
+
+
+def test_bounded_timeline_counts_drops():
+    sim = Simulator()
+    tracer = _tracer(sim, max_records=2)
+    for i in range(5):
+        tracer.point("a", "x", i=i)
+    assert len(tracer) == 2
+    assert tracer.dropped == 3
+
+
+def test_scrub_attrs_keeps_json_friendly_values():
+    class Opaque:
+        pass
+
+    attrs = scrub_attrs(
+        {
+            "n": 1,
+            "f": 0.5,
+            "s": "x",
+            "b": True,
+            "none": None,
+            "flat": (1, 2),
+            "obj": Opaque(),
+            "nested": [[1]],
+        }
+    )
+    assert attrs == {"n": 1, "f": 0.5, "s": "x", "b": True, "none": None, "flat": [1, 2]}
+
+
+def test_events_named_filters():
+    sim = Simulator()
+    tracer = _tracer(sim)
+    tracer.point("a", "x")
+    tracer.point("b", "y")
+    tracer.point("c", "x")
+    assert [r["component"] for r in tracer.events_named("x")] == ["a", "c"]
