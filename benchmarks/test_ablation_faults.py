@@ -1,0 +1,146 @@
+"""R1 — fault injection & recovery (section 2.1 robustness matrix).
+
+The paper's survivability claim, quantified: every fault kind is
+injected mid-transfer on a two-path session and the recovery machinery
+(failover + replay, backoff'd reconnect, background redial) must bring
+the session back with byte-exact, exactly-once delivery.  The printed
+table shows per-kind downtime, retry count, and replayed frames; a
+seeded-random five-fault plan stresses the same machinery end to end.
+"""
+
+from repro.core.events import Event
+from repro.faults import (
+    ChaosEngine,
+    DeliveryRecorder,
+    FaultPlan,
+    TrackerAudit,
+    check_invariants,
+    recovery_spans,
+)
+from repro.netsim.scenarios import multi_path_network
+from repro.core.session import TcplsContext, TcplsServer, TcplsSession
+from repro.tcp.stack import TcpStack
+from repro.tls.certificates import CertificateAuthority, TrustStore
+
+from conftest import report
+
+PAYLOAD = bytes(range(256)) * 12000  # ~3 MB, ~4.8 s on one 5 Mbps path
+INJECT_AT = 2.8
+
+
+def _world(paths=2, seed=5):
+    ca = CertificateAuthority("Bench Root", seed=b"r1")
+    identity = ca.issue_identity("server.example", seed=b"r1srv")
+    trust = TrustStore()
+    trust.add_authority(ca)
+    topo = multi_path_network(paths=paths, rate_bps=5e6, seed=seed)
+    sessions = []
+    TcplsServer(
+        TcplsContext(identity=identity, seed=seed + 500),
+        TcpStack(topo.server, seed=seed + 1000),
+        on_session=sessions.append,
+    )
+    client = TcplsSession(
+        TcplsContext(trust_store=trust, server_name="server.example", seed=seed),
+        TcpStack(topo.client, seed=seed),
+    )
+    client.connect(topo.server_addrs[0], src=topo.client_addrs[0])
+    client.handshake()
+    topo.net.sim.run(until=1.0)
+    assert client.handshake_complete
+    for index in range(1, paths):
+        conn = client.connect(topo.server_addrs[index], src=topo.client_addrs[index])
+        client.handshake(conn_id=conn)
+    topo.net.sim.run(until=2.0)
+    return topo, client, sessions[0]
+
+
+def _plan_for(kind, at=INJECT_AT):
+    plan = FaultPlan(name=kind)
+    if kind == "flap":
+        return plan.flap(at, 1.5, path=0)
+    if kind == "blackhole":
+        return plan.blackhole(at, 1.5, path=0)
+    if kind == "loss_burst":
+        return plan.loss_burst(at, 1.5, loss=0.3, path=0)
+    if kind == "corrupt_burst":
+        return plan.corrupt_burst(at, 0.5, every=3, path=0)
+    if kind == "rst_storm":
+        return plan.rst_storm(at, 1.0, every=1, path=0)
+    if kind == "nat_rebind":
+        return plan.nat_rebind(at, path=0)
+    raise ValueError(kind)
+
+
+def _run_one(plan, seed=5):
+    topo, client, server = _world(seed=seed)
+    sim = topo.net.sim
+    recorder = DeliveryRecorder(server)
+    audit = TrackerAudit(server.tracker)
+    retries = []
+    client.on(Event.CONN_RETRY, lambda **kw: retries.append(kw))
+    stream = client.stream_new()
+    client.streams_attach()
+    start = sim.now
+    client.send(stream, PAYLOAD)
+    ChaosEngine(sim, topo.links).apply(plan)
+    sim.run(until=90.0)
+    check_invariants(
+        {stream: PAYLOAD}, recorder, server,
+        context=client.context, audit=audit, slack=2.0,
+    ).assert_ok()
+    done_at = max(
+        (t for chunks in recorder.chunks.values() for t, _off, _n in chunks),
+        default=start,
+    )
+    spans = recovery_spans(client)
+    downtime = sum(d for _s, _e, d in spans["recovered"])
+    return {
+        "transfer_s": done_at - start,
+        "downtime_s": downtime,
+        "recoveries": len(spans["recovered"]),
+        "retries": len(retries),
+        "replayed": client.stats["frames_replayed"],
+        "duplicates_absorbed": server.tracker.duplicates,
+    }, (topo, client, server)
+
+
+def test_r1_fault_matrix_recovery(once):
+    kinds = ("flap", "blackhole", "loss_burst", "corrupt_burst",
+             "rst_storm", "nat_rebind")
+
+    def run():
+        rows = {kind: _run_one(_plan_for(kind))[0] for kind in kinds}
+        random_plan = FaultPlan.random(
+            seed=23, horizon=8.0, paths=2, count=5,
+            min_start=2.2, max_duration=1.5,
+        )
+        rows["random(seed=23)x5"], world = _run_one(random_plan, seed=5)
+        return rows, world
+
+    rows, (topo, client, server) = once(run)
+
+    baseline = rows["flap"]  # every row passed the same invariant checker
+    report(
+        "R1 — fault matrix: recovery with exactly-once delivery (3 MB, 2 paths)",
+        [
+            f"{'fault':<20} {'transfer':>9} {'downtime':>9} {'recov':>6} "
+            f"{'retries':>8} {'replayed':>9} {'dups absorbed':>14}",
+            *(
+                f"{kind:<20} {r['transfer_s']:>8.2f}s {r['downtime_s']:>8.2f}s "
+                f"{r['recoveries']:>6} {r['retries']:>8} {r['replayed']:>9} "
+                f"{r['duplicates_absorbed']:>14}"
+                for kind, r in rows.items()
+            ),
+            "every cell: byte-exact, zero duplicate delivery past the tracker,",
+            "downtime within the backoff-schedule bound (invariants.assert_ok).",
+        ],
+        sim=topo.net.sim,
+        sessions=[client, server],
+        links=topo.links,
+        extra={"matrix": rows},
+    )
+    assert baseline["transfer_s"] > 0
+    # At least one kind forces a full failover + replay cycle.
+    assert any(r["replayed"] > 0 for r in rows.values())
+    assert any(r["recoveries"] > 0 for r in rows.values())

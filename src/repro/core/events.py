@@ -31,6 +31,14 @@ class Event:
     FAILOVER = "failover"
     MIGRATION_DONE = "migration_done"
     TICKET = "ticket"
+    # Robustness lifecycle (fault injection & recovery): a session loses
+    # path redundancy or all connectivity (DEGRADED), a reconnection
+    # attempt is scheduled (CONN_RETRY), connectivity comes back
+    # (RECOVERED).  ``terminal=True`` on SESSION_DEGRADED means recovery
+    # was abandoned (cookie or retry budget exhausted).
+    SESSION_DEGRADED = "session_degraded"
+    SESSION_RECOVERED = "session_recovered"
+    CONN_RETRY = "conn_retry"
 
     ALL = (
         CONN_ESTABLISHED, CONN_FAILED, CONN_CLOSED, HANDSHAKE_DONE, JOIN,
@@ -38,6 +46,7 @@ class Event:
         ADDRESS_ADVERTISED, ADDRESS_REMOVED, PLUGIN_INSTALLED, PROBE_REPORT,
         SESSION_CLOSED,
         FAILOVER, MIGRATION_DONE, TICKET,
+        SESSION_DEGRADED, SESSION_RECOVERED, CONN_RETRY,
     )
 
 
@@ -51,17 +60,43 @@ class EventDispatcher:
         # application handlers for every emission.  Recording only — it
         # must never mutate session state or schedule simulator events.
         self.observer: Optional[Callable[[str, dict], None]] = None
+        # Optional clock (e.g. ``lambda: sim.now``).  When set, every
+        # emission is also appended to ``timeline`` as (time, event,
+        # kwargs) — the trace the fault-injection invariant checker
+        # replays to bound recovery times.
+        self.clock: Optional[Callable[[], float]] = None
+        self.timeline: List[tuple] = []
 
     def on(self, event: str, handler: Callable) -> None:
         if event not in Event.ALL:
             raise ValueError(f"unknown event {event!r}")
         self._handlers.setdefault(event, []).append(handler)
 
+    def off(self, event: str, handler: Callable) -> bool:
+        """Deregister one handler; True if it was registered.
+
+        One-shot protocol handlers (failover's on-JOIN continuation,
+        migration chains) must deregister once they fire or are
+        abandoned, otherwise every failover leaks a handler that can
+        re-trigger stale replays on later JOINs.
+        """
+        handlers = self._handlers.get(event)
+        if handlers is None or handler not in handlers:
+            return False
+        handlers.remove(handler)
+        return True
+
+    def handler_count(self, event: str) -> int:
+        return len(self._handlers.get(event, []))
+
     def emit(self, event: str, **kwargs) -> None:
         self.log.append((event, kwargs))
+        if self.clock is not None:
+            self.timeline.append((self.clock(), event, kwargs))
         if self.observer is not None:
             self.observer(event, kwargs)
-        for handler in self._handlers.get(event, []):
+        # Snapshot: a handler may (de)register handlers while firing.
+        for handler in list(self._handlers.get(event, [])):
             handler(**kwargs)
 
     def events_named(self, event: str) -> List[dict]:

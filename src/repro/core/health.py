@@ -1,0 +1,118 @@
+"""Per-path health scoring for TCPLS sessions.
+
+The paper's failover story (section 2.1) needs an answer to "which
+surviving connection should carry the replayed frames and the re-pinned
+streams?"  The seed implementation always picked ``survivors[0]``; this
+module scores every path from cross-layer TCP signals — smoothed RTT and
+loss events (retransmissions, fast retransmits, RTO expiries) — so the
+scheduler, ``_repin_streams_away_from`` and the replay target all prefer
+the healthiest path.
+
+Scores are *lower-is-better* simulated seconds: an idealised path scores
+its smoothed RTT; loss inflates that multiplicatively.  Scoring reads
+only locally-available TCP state, so it costs nothing on the wire; the
+optional heartbeat (session-level PING on idle connections, driven by
+``TcplsSession`` when ``health_interval`` is set) exists to keep those
+TCP signals fresh on paths that would otherwise sit idle and look
+perfectly healthy while dead.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+# A path with no RTT sample yet (e.g. freshly joined) is scored with
+# this placeholder so established paths with real measurements win ties.
+UNMEASURED_RTT = 1.0
+
+# Weight of the long-run loss ratio relative to RTT: a path losing 10%
+# of its segments scores as if its RTT were ~1.8x higher.
+LOSS_WEIGHT = 8.0
+
+# Weight of *recent* loss events (since the last refresh window) — these
+# dominate so a path that just started timing out is fled quickly even
+# if its lifetime ratio still looks good.
+RECENT_LOSS_WEIGHT = 0.5
+
+
+class PathHealth:
+    """Health state attached to one ``TcplsConnection``."""
+
+    __slots__ = (
+        "last_activity",
+        "pings_sent",
+        "loss_ewma",
+        "_seen_loss_events",
+    )
+
+    def __init__(self) -> None:
+        self.last_activity = 0.0   # sim time of the last send or receive
+        self.pings_sent = 0        # heartbeat PINGs emitted on this path
+        self.loss_ewma = 0.0       # EWMA of loss events per refresh tick
+        self._seen_loss_events = 0
+
+    # -- periodic refresh (driven by the session's health tick) -----------
+
+    def refresh(self, conn) -> int:
+        """Fold loss events since the last refresh into the EWMA.
+
+        Returns the number of new loss events observed this tick.
+        """
+        total = self._loss_events(conn)
+        delta = total - self._seen_loss_events
+        self._seen_loss_events = total
+        self.loss_ewma = 0.75 * self.loss_ewma + 0.25 * delta
+        return delta
+
+    # -- scoring ----------------------------------------------------------
+
+    def score(self, conn) -> float:
+        """Lower is better.  Usable at any time, tick or no tick."""
+        stats = conn.tcp.stats
+        srtt = conn.tcp.rto.srtt or UNMEASURED_RTT
+        sent = stats["segments_sent"]
+        loss_ratio = self._loss_events(conn) / sent if sent else 0.0
+        recent = self._loss_events(conn) - self._seen_loss_events
+        return srtt * (
+            1.0
+            + LOSS_WEIGHT * loss_ratio
+            + RECENT_LOSS_WEIGHT * recent
+            + self.loss_ewma
+        )
+
+    @staticmethod
+    def _loss_events(conn) -> int:
+        stats = conn.tcp.stats
+        return (
+            stats["retransmissions"]
+            + stats["fast_retransmits"]
+            + stats["timeouts"]
+        )
+
+    def describe(self, conn) -> dict:
+        return {
+            "score": self.score(conn),
+            "srtt": conn.tcp.rto.srtt,
+            "loss_ewma": self.loss_ewma,
+            "loss_events": self._loss_events(conn),
+            "pings_sent": self.pings_sent,
+            "last_activity": self.last_activity,
+        }
+
+
+def best_path(connections, exclude: Optional[object] = None):
+    """The healthiest usable connection, or None.
+
+    ``exclude`` removes one candidate (the connection being fled).
+    Deterministic tie-break: equal scores fall back to the lowest
+    ``conn_id`` (Python's ``min`` is stable over the iteration order,
+    which the session keeps id-sorted).
+    """
+    candidates = [
+        conn
+        for conn in connections
+        if conn is not exclude and conn.usable()
+    ]
+    if not candidates:
+        return None
+    return min(candidates, key=lambda conn: (conn.health.score(conn), conn.conn_id))

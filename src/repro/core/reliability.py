@@ -57,13 +57,25 @@ class ReplayBuffer:
 
 
 class ReceiveTracker:
-    """Receiver side: dedup + cumulative ACK computation."""
+    """Receiver side: dedup + cumulative ACK computation.
 
-    def __init__(self) -> None:
+    ``window`` bounds the out-of-order set: a frame whose seq is more
+    than ``window`` ahead of the cumulative point is refused (counted in
+    ``rejected_window``), so a replay flood or an adversarial sender
+    cannot grow ``_out_of_order`` without bound.  Honest senders never
+    open such a gap — the replay buffer only holds unacked frames, and
+    each TCP connection delivers its share in order.
+    """
+
+    DEFAULT_WINDOW = 1 << 20
+
+    def __init__(self, window: int = DEFAULT_WINDOW) -> None:
         self.cumulative = 0  # every seq <= cumulative has been received
+        self.window = window
         self._out_of_order: set = set()
         self.duplicates = 0
         self.received = 0
+        self.rejected_window = 0
 
     def accept(self, seq: int) -> bool:
         """Record a sequenced frame; False if it is a duplicate."""
@@ -71,6 +83,9 @@ class ReceiveTracker:
             return True  # unsequenced frames are never deduplicated
         if seq <= self.cumulative or seq in self._out_of_order:
             self.duplicates += 1
+            return False
+        if seq > self.cumulative + self.window:
+            self.rejected_window += 1
             return False
         self.received += 1
         if seq == self.cumulative + 1:

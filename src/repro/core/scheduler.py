@@ -112,6 +112,35 @@ class LowestRttScheduler(Scheduler):
         return usable[0] if usable else None
 
 
+class HealthAwareScheduler(Scheduler):
+    """Aggregation mode steered by the per-path health monitor.
+
+    Picks the usable connection with the best (lowest) ``PathHealth``
+    score — RTT inflated by observed loss — so a path that starts
+    retransmitting sheds load *before* it fails outright.  Connections
+    without a health record (unit-test stubs) fall back to RTT only.
+    """
+
+    name = "health"
+
+    def pick(self, stream, connections: List) -> Optional[object]:
+        best = None
+        best_score = None
+        for conn in connections:
+            if not conn.usable() or conn.send_room() <= 0:
+                continue
+            health = getattr(conn, "health", None)
+            score = (
+                health.score(conn)
+                if health is not None
+                else (conn.tcp.rto.srtt or 1e9)
+            )
+            if best_score is None or score < best_score:
+                best = conn
+                best_score = score
+        return best
+
+
 def make_scheduler(name: str) -> Scheduler:
     name = name.lower()
     if name in ("pinned", "hol_avoidance"):
@@ -122,4 +151,6 @@ def make_scheduler(name: str) -> Scheduler:
         return CwndAwareScheduler()
     if name in ("lowest_rtt", "rtt"):
         return LowestRttScheduler()
+    if name in ("health", "health_aware"):
+        return HealthAwareScheduler()
     raise ValueError(f"unknown scheduler {name!r}")

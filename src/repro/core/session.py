@@ -30,6 +30,7 @@ from repro.core.contexts import CONTROL_STREAM_ID, ContextManager
 from repro.core.cookies import CookieJar, CookiePurse, mint_connection_id
 from repro.core.events import Event, EventDispatcher
 from repro.core.framing import TType
+from repro.core.health import PathHealth, best_path
 from repro.core.record_sizing import RecordSizer, TOTAL_OVERHEAD
 from repro.core.reliability import ReceiveTracker, ReplayBuffer
 from repro.core.scheduler import make_scheduler
@@ -80,6 +81,40 @@ class TcplsContext:
     advertise_addresses: bool = True
     seed: int = 0
 
+    # Robustness / recovery (client-side reconnection after total path
+    # loss).  The seed code made exactly one reconnect attempt; these
+    # knobs bound an exponential-backoff retry loop instead: attempt i
+    # waits ``min(backoff_base * 2**(i-1), backoff_max)`` plus a random
+    # jitter fraction before redialling, up to ``reconnect_max_retries``
+    # attempts (each consuming one JOIN cookie).  ``join_timeout`` is a
+    # per-attempt guard for JOINs that hang without the TCP connection
+    # dying.
+    reconnect_max_retries: int = 4
+    reconnect_backoff_base: float = 0.25
+    reconnect_backoff_max: float = 4.0
+    reconnect_backoff_jitter: float = 0.1
+    join_timeout: float = 10.0
+
+    # How many *consecutive* record-authentication failures a connection
+    # tolerates before it is declared compromised and failed over.  A
+    # lone forged record injected by an attacker fails once and genuine
+    # traffic keeps decrypting (the receive nonce never advanced), so
+    # small runs are survivable noise; but a tampered *genuine* record
+    # desynchronizes the AEAD nonce sequence and every later record on
+    # that connection fails too — only killing the connection (and
+    # replaying its unacked frames elsewhere) can recover from that, and
+    # a tolerance this small bounds how long the stall lasts.
+    auth_failure_tolerance: int = 3
+
+    # Path health monitor.  ``health_interval > 0`` arms a periodic tick
+    # that refreshes per-path loss scores and sends a heartbeat PING on
+    # connections idle longer than ``health_idle_ping`` (keeping TCP's
+    # RTT/loss signals fresh on quiet paths so a dead one is noticed).
+    # Off by default: scoring itself works without the tick, and the
+    # tick adds wire traffic.
+    health_interval: float = 0.0
+    health_idle_ping: float = 1.0
+
     # Observability (repro.obs).  ``telemetry`` keeps the per-session
     # hub on by default (instrumentation is observation-only, so
     # disabling it never changes a simulated result); ``observability``
@@ -113,6 +148,8 @@ class TcplsConnection:
         self.decoder = RecordDecoder()  # raw record splitting only
         self.bytes_delivered = 0
         self.records_received = 0
+        self.auth_failure_run = 0  # consecutive open_record failures
+        self.health = PathHealth()
         tcp.on_data = self._on_data
         tcp.on_established = lambda: session._on_tcp_established(self)
         tcp.on_reset = lambda: session._on_tcp_failed(self, "reset")
@@ -133,6 +170,10 @@ class TcplsConnection:
         info_window = min(self.tcp.cc.window(), self.tcp.snd_wnd)
         return info_window - self.tcp.bytes_in_flight() - self.tcp.send_queue_length()
 
+    def path_score(self) -> float:
+        """Health score (lower is better) for scheduler/failover choice."""
+        return self.health.score(self)
+
     def describe(self) -> dict:
         return {
             "conn_id": self.conn_id,
@@ -141,6 +182,7 @@ class TcplsConnection:
             "local": f"{self.tcp.local_addr}:{self.tcp.local_port}",
             "remote": f"{self.tcp.remote_addr}:{self.tcp.remote_port}",
             "tcp": self.tcp.info(),
+            "health": self.health.describe(self),
         }
 
 
@@ -211,6 +253,17 @@ class TcplsSession:
         self.session_closed = False
         self._probe_reports: Dict[int, List[str]] = {}
 
+        # Robustness state.  ``_reconnect`` is the in-flight reconnection
+        # state machine (None when idle); ``_degraded_level`` is None,
+        # "single_path" or "no_path"; ``_peak_active`` remembers the best
+        # path redundancy the session ever had, so dropping from 2 paths
+        # to 1 counts as degradation but a single-path session does not.
+        self._reconnect: Optional[dict] = None
+        self._degraded_level: Optional[str] = None
+        self._degraded_since = 0.0
+        self._peak_active = 0
+        self._health_timer = None
+
         # Observability: one hub per session unless the context shares
         # one.  Instruments are looked up once here so the hot paths
         # below are single attribute increments.
@@ -227,7 +280,17 @@ class TcplsSession:
         self._obs_acks_received = telemetry.counter(component, "acks_received")
         self._obs_frames_replayed = telemetry.counter(component, "frames_replayed")
         self._obs_stream_bytes = telemetry.counter(component, "stream_bytes_received")
+        # Fault & recovery counters (the fault-injection test matrix and
+        # the invariant checker read these).
+        self._obs_retries = telemetry.counter(component, "failover.retries")
+        self._obs_recovered = telemetry.counter(component, "failover.recovered")
+        self._obs_abandoned = telemetry.counter(component, "failover.abandoned")
+        self._obs_cookies_exhausted = telemetry.counter(
+            component, "failover.cookies_exhausted"
+        )
+        self._obs_pings = telemetry.counter(component, "health.pings_sent")
         self.events.observer = self._observe_session_event
+        self.events.clock = lambda: self.sim.now
         self._hs_span = None
         self._join_spans: Dict[int, object] = {}
 
@@ -252,6 +315,8 @@ class TcplsSession:
             Event.CONN_FAILED,
             Event.CONN_CLOSED,
             Event.MIGRATION_DONE,
+            Event.SESSION_DEGRADED,
+            Event.SESSION_RECOVERED,
         )
     )
 
@@ -368,8 +433,16 @@ class TcplsSession:
     def _resolve_conn(self, conn_id: Optional[int]) -> TcplsConnection:
         if conn_id is not None:
             return self.connections[conn_id]
-        if self.primary is not None:
+        if self.primary is not None and self.primary.state not in (
+            TcplsConnection.FAILED,
+            TcplsConnection.CLOSED,
+        ):
             return self.primary
+        # The primary is gone: pin to the healthiest surviving path
+        # instead of silently targeting a dead connection.
+        fallback = best_path(self._active_conns())
+        if fallback is not None:
+            return fallback
         if not self.connections:
             raise RuntimeError("no connection; call connect() first")
         return next(iter(self.connections.values()))
@@ -538,6 +611,8 @@ class TcplsSession:
             recv=self.tls.decoder.cipher,
         )
         self.events.emit(Event.HANDSHAKE_DONE, conn_id=conn.conn_id)
+        self._note_path_active()
+        self._start_health_monitor()
         self._pump()
 
     # ------------------------------------------------------------------
@@ -591,6 +666,13 @@ class TcplsSession:
             conn, TType.JOIN_ACK, framing.encode_join_ack(conn.conn_id), seq=0
         )
         self.events.emit(Event.JOIN, conn_id=conn.conn_id)
+        # Replenish what the JOIN consumed (plus cover for attempts that
+        # burned a cookie without completing): without a top-up, a few
+        # reconnect cycles exhaust the handshake batch and the next
+        # failure becomes unrecoverable.  Sent as sequenced control data,
+        # so a replenishment in flight when a path dies is replayed.
+        if self.context.cookie_batch > 0:
+            self.send_new_cookies(self.context.cookie_batch)
         if leftover:
             self._on_tcp_data(conn, leftover)
         return True
@@ -602,6 +684,7 @@ class TcplsSession:
         for stream in self.streams.values():
             if stream.attached:
                 self.contexts.install(stream.stream_id, conn.conn_id, conn.token)
+        self._note_path_active()
 
     # ------------------------------------------------------------------
     # Streams
@@ -785,6 +868,7 @@ class TcplsSession:
         sealed = cipher.aead.encrypt(cipher.next_nonce(), inner, header)
         cipher.advance()
         conn.tcp.send(header + sealed)
+        conn.health.last_activity = self.sim.now
         self.stats["records_sent"] += 1
         self._obs_records_sent.inc()
         self._obs_record_bytes.observe(len(header) + len(sealed))
@@ -801,6 +885,7 @@ class TcplsSession:
     # ------------------------------------------------------------------
 
     def _on_tcp_data(self, conn: TcplsConnection, data: bytes) -> None:
+        conn.health.last_activity = self.sim.now
         conn.decoder.feed(data)
         try:
             for outer_type, body in conn.decoder.raw_records():
@@ -824,7 +909,18 @@ class TcplsSession:
             return  # plaintext records after establishment: middlebox junk
         opened = self.contexts.open_record(conn.conn_id, body)
         if opened is None:
-            return  # forgery attempt — counted in the context manager
+            # Forgery attempt — counted in the context manager.  A short
+            # run is survivable (an injected record never advanced our
+            # nonce), but a long run means the genuine record stream no
+            # longer authenticates (tampering desynchronized the AEAD
+            # sequence): fail the connection so replay/reconnect can act
+            # instead of stalling silently.
+            conn.auth_failure_run += 1
+            if conn.auth_failure_run >= self.context.auth_failure_tolerance:
+                conn.tcp.abort("record authentication failures")
+                self._on_tcp_failed(conn, "record_auth_failures")
+            return
+        conn.auth_failure_run = 0
         stream_id, ttype, plaintext = opened
         conn.records_received += 1
         self.stats["records_received"] += 1
@@ -1151,11 +1247,11 @@ class TcplsSession:
             conn.tcp.close()
         self.events.emit(Event.CONN_CLOSED, conn_id=conn.conn_id)
         self._repin_streams_away_from(conn)
-        survivors = self._active_conns()
-        if survivors:
+        target = best_path(self._active_conns())
+        if target is not None:
             # Anything the peer has not TCPLS-acked may have died with
             # the connection; replay it (the receiver deduplicates).
-            self._replay_unacked(survivors[0])
+            self._replay_unacked(target)
         self._pump()
 
     def _on_tcp_failed(self, conn: TcplsConnection, reason: str) -> None:
@@ -1168,49 +1264,47 @@ class TcplsSession:
         self.events.emit(Event.CONN_FAILED, conn_id=conn.conn_id, reason=reason)
         if not self.handshake_complete or self.session_closed:
             return
+        self._reassess_degraded(reason)
+        # A failing *reconnection attempt* feeds the retry loop, not a
+        # fresh failover (the attempt connection was never ACTIVE).
+        if self._reconnect is not None and self._reconnect.get("conn") is conn:
+            self._retry_after_backoff(reason)
+            return
         if not was_active or not self.context.auto_failover:
             return
         self._failover_from(conn)
 
     def _failover_from(self, failed: TcplsConnection) -> None:
-        """Re-establish connectivity and replay unacked frames (2.1)."""
+        """Re-establish connectivity and replay unacked frames (2.1).
+
+        With survivors, traffic re-pins onto the healthiest remaining
+        path immediately.  With none, the client enters the bounded
+        exponential-backoff reconnection loop (``_begin_reconnect``);
+        the seed code's single-shot reconnect stalled forever if that
+        one attempt was itself lost.
+        """
         survivors = self._active_conns()
         if survivors:
             self._repin_streams_away_from(failed)
-            self._replay_unacked(survivors[0])
+            target = best_path(survivors) or survivors[0]
+            self._transfer_primary(failed, target)
+            self._replay_unacked(target)
             self.events.emit(
-                Event.FAILOVER, from_conn=failed.conn_id, to_conn=survivors[0].conn_id
+                Event.FAILOVER, from_conn=failed.conn_id, to_conn=target.conn_id
             )
             self._pump()
-            return
         if self.is_server:
             return  # the client drives reconnection
-        # Reconnect: same destination (spurious RST recovery) via JOIN.
-        if len(self.cookie_purse) == 0:
-            return
-        dest = str(failed.tcp.remote_addr)
-        port = failed.tcp.remote_port
-        new_id = self.connect(dest, port, src=str(failed.tcp.local_addr))
-        new_conn = self.connections[new_id]
-        self._start_join(new_conn)
-
-        def on_join(conn_id: int, _new=new_conn, _failed=failed) -> None:
-            if conn_id != _new.conn_id:
-                return
-            self._repin_streams_away_from(_failed)
-            self._replay_unacked(_new)
-            self.events.emit(
-                Event.FAILOVER, from_conn=_failed.conn_id, to_conn=_new.conn_id
-            )
-            self._pump()
-
-        self.events.on(Event.JOIN, on_join)
+        # Even with survivors carrying the traffic, redial the failed
+        # path in the background: failover restores *connectivity*, the
+        # reconnect loop restores *redundancy* (single_path -> RECOVERED
+        # once the JOIN lands).
+        self._begin_reconnect(failed)
 
     def _repin_streams_away_from(self, gone: TcplsConnection) -> None:
-        survivors = self._active_conns()
-        if not survivors:
+        target = best_path(self._active_conns())
+        if target is None:
             return
-        target = survivors[0]
         for stream in self.streams.values():
             if stream.conn_id == gone.conn_id:
                 stream.conn_id = target.conn_id
@@ -1218,6 +1312,279 @@ class TcplsSession:
                     self.contexts.install(
                         stream.stream_id, target.conn_id, target.token
                     )
+
+    # -- degradation bookkeeping ------------------------------------------
+
+    _DEGRADATION_RANK = {None: 0, "single_path": 1, "no_path": 2}
+
+    def _degradation_level(self) -> Optional[str]:
+        active = len(self._active_conns())
+        if active == 0:
+            return "no_path"
+        if active == 1 and self._peak_active >= 2:
+            return "single_path"
+        return None
+
+    def _note_path_active(self) -> None:
+        """A connection became usable: update redundancy bookkeeping and
+        emit SESSION_RECOVERED if a degradation just healed."""
+        self._peak_active = max(self._peak_active, len(self._active_conns()))
+        self._reassess_degraded("path_active")
+        self._start_health_monitor()
+
+    def _reassess_degraded(self, reason: str) -> None:
+        """Emit the app-visible DEGRADED/RECOVERED pair on transitions.
+
+        Levels (ranked): healthy < single_path < no_path.  Worsening
+        emits SESSION_DEGRADED, improving emits SESSION_RECOVERED (with
+        the level recovered *to* — a reconnect out of ``no_path`` onto
+        one path is a recovery even if redundancy is not yet back).
+        Only failures move the needle; graceful retirement (migration)
+        never calls this.
+        """
+        if not self.handshake_complete or self.session_closed:
+            return
+        level = self._degradation_level()
+        old = self._degraded_level
+        if level == old:
+            return
+        rank, ranks = self._DEGRADATION_RANK[level], self._DEGRADATION_RANK
+        if rank > ranks[old]:
+            if old is None:
+                self._degraded_since = self.sim.now
+            self.events.emit(
+                Event.SESSION_DEGRADED, level=level, reason=reason, terminal=False
+            )
+        else:
+            self.events.emit(
+                Event.SESSION_RECOVERED,
+                level=level,
+                downtime=self.sim.now - self._degraded_since,
+            )
+        self._degraded_level = level
+
+    # -- path health monitor ----------------------------------------------
+
+    def _start_health_monitor(self) -> None:
+        if self._health_timer is not None or self.context.health_interval <= 0:
+            return
+        if self.session_closed:
+            return
+        self._health_timer = self.sim.schedule(
+            self.context.health_interval, self._health_tick
+        )
+
+    def _health_tick(self) -> None:
+        self._health_timer = None
+        if self.session_closed:
+            return
+        active = self._active_conns()
+        for conn in active:
+            conn.health.refresh(conn)
+            idle = self.sim.now - conn.health.last_activity
+            if idle >= self.context.health_idle_ping:
+                # Heartbeat: an unsequenced PING keeps TCP's RTT/loss
+                # signals fresh on idle paths, so the user timeout can
+                # notice a silently dead one.
+                self._send_frame(
+                    conn, TType.PING, b"", seq=0, stream_id=CONTROL_STREAM_ID
+                )
+                conn.health.pings_sent += 1
+                self._obs_pings.inc()
+        # Keep ticking while anything could still need watching; a fully
+        # failed session with no reconnection in flight stops the timer
+        # (``_note_path_active`` restarts it).
+        if active or self._reconnect is not None:
+            self._health_timer = self.sim.schedule(
+                self.context.health_interval, self._health_tick
+            )
+
+    # -- reconnection with backoff ----------------------------------------
+
+    def _begin_reconnect(self, failed: TcplsConnection) -> None:
+        if self._reconnect is not None:
+            return  # a reconnection is already in flight
+        self._reconnect = {
+            "failed": failed,
+            "dest": str(failed.tcp.remote_addr),
+            "port": failed.tcp.remote_port,
+            "src": str(failed.tcp.local_addr),
+            "attempt": 0,
+            "started": self.sim.now,
+            "conn": None,
+            "handler": None,
+            "timer": None,
+            "span": self.obs.tracer.span(
+                self._obs_component, "reconnect", from_conn=failed.conn_id
+            ),
+        }
+        self._reconnect_attempt()
+
+    def _reconnect_attempt(self) -> None:
+        state = self._reconnect
+        if state is None or self.session_closed:
+            return
+        state["timer"] = None
+        if state["attempt"] >= self.context.reconnect_max_retries:
+            self._abandon_reconnect("retries_exhausted")
+            return
+        if len(self.cookie_purse) == 0:
+            # Surface cookie exhaustion instead of silently abandoning
+            # the session (the seed code's bare ``return``).  Checked
+            # after the budget so "out of budget" is never misreported
+            # as "out of cookies".
+            self._obs_cookies_exhausted.inc()
+            self._abandon_reconnect("cookies_exhausted")
+            return
+        state["attempt"] += 1
+        self._obs_retries.inc()
+        self.events.emit(
+            Event.CONN_RETRY,
+            attempt=state["attempt"],
+            dest=state["dest"],
+            max_retries=self.context.reconnect_max_retries,
+        )
+        new_id = self.connect(state["dest"], state["port"], src=state["src"])
+        new_conn = self.connections[new_id]
+        state["conn"] = new_conn
+
+        def on_join(conn_id: int, _new=new_conn) -> None:
+            if conn_id != _new.conn_id:
+                return
+            self._finish_reconnect(_new)
+
+        state["handler"] = on_join
+        self.events.on(Event.JOIN, on_join)
+        self._start_join(new_conn)
+        if self.context.join_timeout:
+            state["timer"] = self.sim.schedule(
+                self.context.join_timeout, self._join_attempt_timeout, new_conn
+            )
+
+    def _join_attempt_timeout(self, conn: TcplsConnection) -> None:
+        state = self._reconnect
+        if state is None or state.get("conn") is not conn:
+            return
+        if conn.state == TcplsConnection.ACTIVE:
+            return
+        state["timer"] = None
+        conn.tcp.abort("reconnect JOIN timed out")
+        # ``abort`` may or may not surface through callbacks; fail the
+        # connection explicitly (idempotent) so the retry loop advances.
+        self._on_tcp_failed(conn, "join_timeout")
+
+    def _retry_after_backoff(self, reason: str) -> None:
+        state = self._reconnect
+        if state is None:
+            return
+        self._detach_attempt(state)
+        attempt = max(1, state["attempt"])
+        delay = min(
+            self.context.reconnect_backoff_base * (2 ** (attempt - 1)),
+            self.context.reconnect_backoff_max,
+        )
+        delay += delay * self.context.reconnect_backoff_jitter * self.rng.random()
+        self.obs.tracer.point(
+            self._obs_component, "reconnect_backoff",
+            attempt=attempt, delay=delay, reason=reason,
+        )
+        state["timer"] = self.sim.schedule(delay, self._reconnect_attempt)
+
+    def _detach_attempt(self, state: dict) -> None:
+        """Disarm the current attempt's timer and one-shot JOIN handler.
+
+        Deregistering here (and in ``_finish_reconnect``) is what keeps
+        repeated failovers from accumulating stale on-JOIN handlers that
+        re-trigger old replays.
+        """
+        if state["timer"] is not None:
+            state["timer"].cancel()
+            state["timer"] = None
+        if state["handler"] is not None:
+            self.events.off(Event.JOIN, state["handler"])
+            state["handler"] = None
+        state["conn"] = None
+
+    def _finish_reconnect(self, new_conn: TcplsConnection) -> None:
+        state = self._reconnect
+        if state is None:
+            return
+        self._reconnect = None
+        self._detach_attempt(state)
+        state["span"].end(attempts=state["attempt"], ok=True)
+        self._obs_recovered.inc()
+        failed = state["failed"]
+        self._repin_streams_away_from(failed)
+        self._transfer_primary(failed, new_conn)
+        self._replay_unacked(new_conn)
+        self.events.emit(
+            Event.FAILOVER,
+            from_conn=failed.conn_id,
+            to_conn=new_conn.conn_id,
+            attempts=state["attempt"],
+        )
+        self._pump()
+        self._redial_next_failed_path()
+
+    def _transfer_primary(self, failed: TcplsConnection,
+                          target: TcplsConnection) -> None:
+        """Hand the primary role to the failover target so default
+        stream pinning and control traffic never aim at a dead
+        connection."""
+        if not failed.is_primary or failed is target:
+            return
+        failed.is_primary = False
+        target.is_primary = True
+        self.primary = target
+
+    def _redial_next_failed_path(self) -> None:
+        """If the session is still short on redundancy, redial the next
+        failed path (e.g. the survivor died while its sibling was being
+        reconnected).  A path counts as restored when some ACTIVE
+        connection shares its (local, remote) address pair."""
+        if self.is_server or self._degradation_level() is None:
+            return
+        restored = {
+            (str(conn.tcp.local_addr), str(conn.tcp.remote_addr))
+            for conn in self._active_conns()
+        }
+        stale = [
+            conn
+            for conn in self.connections.values()
+            if conn.state == TcplsConnection.FAILED
+            and (str(conn.tcp.local_addr), str(conn.tcp.remote_addr))
+            not in restored
+        ]
+        if stale:
+            self._begin_reconnect(stale[-1])
+
+    def _abandon_reconnect(self, reason: str) -> None:
+        state = self._reconnect
+        self._reconnect = None
+        if state is not None:
+            self._detach_attempt(state)
+            state["span"].end(attempts=state["attempt"], ok=False, reason=reason)
+        self._obs_abandoned.inc()
+        level = self._degradation_level()
+        if level == "no_path":
+            # Terminal: recovery gave up and nothing is left.  Emitted
+            # even though a DEGRADED event already fired for the level
+            # transition — ``terminal`` is the signal callers react to
+            # (tear down, alert, re-dial by hand).
+            self._degraded_level = "no_path"
+            self.events.emit(
+                Event.SESSION_DEGRADED, level="no_path", reason=reason,
+                terminal=True,
+            )
+        else:
+            # Survivors still carry traffic: redundancy was not restored
+            # (the path may be gone for good) but the session lives on at
+            # its current level.  Restate the degradation so observers
+            # learn the redial gave up; non-terminal, not a transition.
+            self.events.emit(
+                Event.SESSION_DEGRADED, level=level, reason=reason,
+                terminal=False,
+            )
 
     def _replay_unacked(self, conn: TcplsConnection) -> None:
         for seq, ttype, stream_id, body in list(self.replay.unacked_frames()):
@@ -1241,6 +1608,8 @@ class TcplsSession:
             "connections": [c.describe() for c in self.connections.values()],
             "streams": sorted(self.streams),
             "cookies_left": len(self.cookie_purse),
+            "degraded_level": self._degraded_level,
+            "reconnecting": self._reconnect is not None,
             "stats": dict(self.stats),
             "forgery_suspects": self.contexts.forgery_suspects if self.contexts else 0,
             "record_sizing": self.sizer.stats(),

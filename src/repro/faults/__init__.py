@@ -1,0 +1,40 @@
+"""Fault injection and recovery invariants for TCPLS scenarios.
+
+Three pieces, used together in ``tests/faults``:
+
+* :mod:`repro.faults.plan` — declarative, seedable fault schedules
+  (:class:`FaultPlan` / :class:`Fault`);
+* :mod:`repro.faults.chaos` — :class:`ChaosEngine`, which executes a
+  plan against live :class:`~repro.netsim.link.Link` objects on the
+  simulator clock;
+* :mod:`repro.faults.invariants` — :func:`check_invariants` and the
+  live recorders that prove the session honoured its robustness
+  contract (no loss, no dup, in-order, bounded recovery) under the plan.
+"""
+
+from repro.faults.chaos import Blackhole, ChaosEngine, NatRebinder, RstStorm
+from repro.faults.invariants import (
+    DeliveryRecorder,
+    InvariantReport,
+    TrackerAudit,
+    check_invariants,
+    max_recovery_time,
+    recovery_spans,
+)
+from repro.faults.plan import ALL_KINDS, Fault, FaultPlan
+
+__all__ = [
+    "ALL_KINDS",
+    "Blackhole",
+    "ChaosEngine",
+    "DeliveryRecorder",
+    "Fault",
+    "FaultPlan",
+    "InvariantReport",
+    "NatRebinder",
+    "RstStorm",
+    "TrackerAudit",
+    "check_invariants",
+    "max_recovery_time",
+    "recovery_spans",
+]

@@ -1,0 +1,281 @@
+"""ChaosEngine: executes a :class:`~repro.faults.plan.FaultPlan` on live links.
+
+The engine owns the mapping from abstract fault kinds to concrete link
+mutations: flaps call ``Link.set_down``/``set_up`` (per direction where
+asked), windowed middlebox faults install a transformer at the start
+instant and remove it at the end (middlebox churn — the box appears
+mid-session and later vanishes), loss bursts temporarily raise the
+link's Bernoulli loss rate, and NAT rebinds snapshot the flows alive at
+the rebind instant and kill exactly those.
+
+Everything runs on the simulator clock, so a given (topology seed,
+plan) pair replays identically — which is what lets the invariant
+checker make hard assertions about recovery behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.faults.plan import (
+    KIND_BLACKHOLE,
+    KIND_CORRUPT_BURST,
+    KIND_FLAP,
+    KIND_LOSS_BURST,
+    KIND_NAT_REBIND,
+    KIND_RST_STORM,
+    KIND_STRIP_OPTIONS,
+    Fault,
+    FaultPlan,
+)
+from repro.netsim.middlebox import (
+    OptionStripper,
+    PayloadCorruptor,
+    _parse_tcp,
+    _reserialize,
+)
+from repro.tcp.segment import Flags, TcpSegment
+
+
+class Blackhole:
+    """Transformer that silently eats every packet while installed.
+
+    Distinct from a link flap: the link stays nominally up (no
+    ``dropped_down`` accounting, no carrier-loss signal a stack could
+    react to) — traffic just vanishes, the way a misconfigured firewall
+    or a routing black hole behaves.
+    """
+
+    def __init__(self) -> None:
+        self.dropped = 0
+
+    def __call__(self, datagram):
+        self.dropped += 1
+        return None
+
+
+class RstStorm:
+    """Transformer that replaces every Nth TCP packet with a forged RST.
+
+    Unlike :class:`repro.netsim.middlebox.RstInjector` (one targeted
+    kill after a byte threshold), a storm sprays RSTs at whatever flows
+    are active while it lasts — modelling the documented behaviour of
+    censorship boxes and broken traffic shapers.  The RST carries the
+    victim packet's own sequence numbers, so it lands in-window.
+    """
+
+    def __init__(self, every: int = 1) -> None:
+        self.every = max(1, every)
+        self._count = 0
+        self.forged = 0
+
+    def __call__(self, datagram):
+        segment = _parse_tcp(datagram)
+        if segment is None:
+            return datagram
+        self._count += 1
+        if self._count % self.every:
+            return datagram
+        rst = TcpSegment(
+            src_port=segment.src_port,
+            dst_port=segment.dst_port,
+            seq=segment.seq,
+            ack=segment.ack,
+            flags=Flags.RST | Flags.ACK,
+            window=0,
+        )
+        self.forged += 1
+        return [_reserialize(datagram, rst)]
+
+
+class NatRebinder:
+    """Transformer modelling a NAT that forgets its bindings mid-session.
+
+    While armed it passively records TCP 4-tuples.  ``rebind()``
+    snapshots the flows known at that instant as *stale*: their packets
+    are dropped from then on (the NAT no longer has a translation for
+    them), while flows first seen after the rebind pass untouched (new
+    connections re-establish a binding).  This is the failure mode the
+    paper's JOIN mechanism exists to recover from.
+    """
+
+    def __init__(self) -> None:
+        self._seen: set = set()
+        self._stale: set = set()
+        self.rebinds = 0
+        self.dropped = 0
+
+    @staticmethod
+    def _flow(datagram, segment) -> tuple:
+        return (datagram.src, segment.src_port, datagram.dst, segment.dst_port)
+
+    def rebind(self) -> None:
+        self._stale |= self._seen
+        self._seen = set()
+        self.rebinds += 1
+
+    def __call__(self, datagram):
+        segment = _parse_tcp(datagram)
+        if segment is None:
+            return datagram
+        flow = self._flow(datagram, segment)
+        if flow in self._stale:
+            self.dropped += 1
+            return None
+        self._seen.add(flow)
+        return datagram
+
+
+class ChaosEngine:
+    """Schedules a fault plan against a set of paths.
+
+    ``paths`` is a sequence with one entry per path; an entry is either a
+    single ``Link`` or a list of links (multi-hop paths apply each fault
+    to every hop).  Faults with ``path=None`` hit all paths.
+    """
+
+    def __init__(self, sim, paths: Sequence, obs=None) -> None:
+        self.sim = sim
+        self.paths: List[list] = [
+            list(entry) if isinstance(entry, (list, tuple)) else [entry]
+            for entry in paths
+        ]
+        # Chronological record of every action taken: (time, kind, path,
+        # phase) where phase is "start"/"end" ("fire" for instant faults).
+        self.log: list = []
+        self._saved_loss: dict = {}
+        # NAT rebinders are armed lazily, one per (link, direction), the
+        # first time a nat_rebind fault touches that direction — they
+        # must watch traffic *before* the rebind instant to know which
+        # flows to kill, so arming happens at apply() time.
+        self._rebinders: dict = {}
+        self._obs_counters = None
+        if obs is not None:
+            self.observe(obs)
+
+    def observe(self, obs) -> None:
+        telemetry = obs.telemetry
+        self._obs_counters = {
+            kind: telemetry.counter("faults", kind)
+            for kind in (
+                KIND_FLAP, KIND_BLACKHOLE, KIND_LOSS_BURST, KIND_CORRUPT_BURST,
+                KIND_RST_STORM, KIND_STRIP_OPTIONS, KIND_NAT_REBIND,
+            )
+        }
+
+    # -- plan execution ----------------------------------------------------
+
+    def apply(self, plan: FaultPlan) -> None:
+        """Schedule every fault in ``plan`` relative to the current clock."""
+        for fault in plan:
+            if fault.kind == KIND_NAT_REBIND:
+                # Arm the observer now so pre-rebind flows are recorded.
+                for link, direction in self._targets(fault):
+                    self._arm_rebinder(link, direction)
+            self.sim.schedule(
+                max(0.0, fault.at - self.sim.now), self._start, fault
+            )
+
+    def _start(self, fault: Fault) -> None:
+        handler = {
+            KIND_FLAP: self._start_flap,
+            KIND_BLACKHOLE: self._start_install,
+            KIND_CORRUPT_BURST: self._start_install,
+            KIND_RST_STORM: self._start_install,
+            KIND_STRIP_OPTIONS: self._start_install,
+            KIND_LOSS_BURST: self._start_loss,
+            KIND_NAT_REBIND: self._fire_nat_rebind,
+        }[fault.kind]
+        self._note(fault, "start" if fault.kind != KIND_NAT_REBIND else "fire")
+        if self._obs_counters is not None:
+            self._obs_counters[fault.kind].inc()
+        handler(fault)
+
+    def _note(self, fault: Fault, phase: str) -> None:
+        self.log.append((self.sim.now, fault.kind, fault.path, phase))
+
+    # -- targeting helpers -------------------------------------------------
+
+    def _links_for(self, fault: Fault) -> list:
+        if fault.path is None:
+            return [link for path in self.paths for link in path]
+        return self.paths[fault.path]
+
+    def _directions(self, fault: Fault) -> tuple:
+        return (0, 1) if fault.direction is None else (fault.direction,)
+
+    def _targets(self, fault: Fault) -> Iterable[tuple]:
+        for link in self._links_for(fault):
+            for direction in self._directions(fault):
+                yield link, direction
+
+    # -- kind handlers -----------------------------------------------------
+
+    def _start_flap(self, fault: Fault) -> None:
+        for link in self._links_for(fault):
+            link.set_down(fault.direction)
+        self.sim.schedule(fault.duration, self._end_flap, fault)
+
+    def _end_flap(self, fault: Fault) -> None:
+        for link in self._links_for(fault):
+            link.set_up(fault.direction)
+        self._note(fault, "end")
+
+    _FACTORIES = {
+        KIND_BLACKHOLE: lambda params: Blackhole(),
+        KIND_CORRUPT_BURST: lambda params: PayloadCorruptor(
+            every=params.get("every", 1)
+        ),
+        KIND_RST_STORM: lambda params: RstStorm(every=params.get("every", 1)),
+        KIND_STRIP_OPTIONS: lambda params: OptionStripper(
+            kinds=params.get("kinds", ())
+        ),
+    }
+
+    def _start_install(self, fault: Fault) -> None:
+        installed = []
+        for link, direction in self._targets(fault):
+            transformer = self._FACTORIES[fault.kind](fault.params)
+            link.add_transformer(link.endpoint(direction), transformer)
+            installed.append((link, direction, transformer))
+        self.sim.schedule(fault.duration, self._end_install, fault, installed)
+
+    def _end_install(self, fault: Fault, installed: list) -> None:
+        for link, direction, transformer in installed:
+            link.remove_transformer(link.endpoint(direction), transformer)
+        self._note(fault, "end")
+
+    def _start_loss(self, fault: Fault) -> None:
+        links = self._links_for(fault)
+        for link in links:
+            # Remember the pre-burst rate once even if bursts overlap.
+            self._saved_loss.setdefault(id(link), link.loss_rate)
+            link.loss_rate = float(fault.params.get("loss", 0.3))
+        self.sim.schedule(fault.duration, self._end_loss, fault, links)
+
+    def _end_loss(self, fault: Fault, links: list) -> None:
+        for link in links:
+            link.loss_rate = self._saved_loss.pop(id(link), 0.0)
+        self._note(fault, "end")
+
+    def _arm_rebinder(self, link, direction: int) -> NatRebinder:
+        key = (id(link), direction)
+        rebinder = self._rebinders.get(key)
+        if rebinder is None:
+            rebinder = NatRebinder()
+            link.add_transformer(link.endpoint(direction), rebinder)
+            self._rebinders[key] = rebinder
+        return rebinder
+
+    def _fire_nat_rebind(self, fault: Fault) -> None:
+        for link, direction in self._targets(fault):
+            self._arm_rebinder(link, direction).rebind()
+
+    # -- introspection -----------------------------------------------------
+
+    def describe(self) -> dict:
+        return {
+            "paths": len(self.paths),
+            "actions": len(self.log),
+            "rebinders": len(self._rebinders),
+        }

@@ -1,0 +1,204 @@
+"""Fault schedules: what goes wrong, where, and when.
+
+A :class:`FaultPlan` is a declarative list of :class:`Fault` entries on
+the simulated clock — "path 0 flaps down for 1.5 s at t=2", "a RST storm
+rages on path 1 between t=3 and t=4".  Plans are data: they serialize to
+plain dicts, compose (``plan_a + plan_b``), and can be generated from a
+seed (:meth:`FaultPlan.random`) so a whole adversarial matrix is
+reproducible from ``(seed, horizon, paths)``.
+
+Executing a plan against live links is :class:`repro.faults.chaos.ChaosEngine`'s
+job; checking that a session survived it is
+:mod:`repro.faults.invariants`'s.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+# The fault vocabulary.  Every kind maps to a ChaosEngine handler.
+KIND_FLAP = "flap"                   # link down for `duration`, then up
+KIND_BLACKHOLE = "blackhole"         # silently drop offered packets
+KIND_LOSS_BURST = "loss_burst"       # Bernoulli loss spike (params: loss)
+KIND_CORRUPT_BURST = "corrupt_burst"  # payload corruption (params: every)
+KIND_RST_STORM = "rst_storm"         # forge RSTs for live flows
+KIND_STRIP_OPTIONS = "strip_options"  # middlebox churn: option stripper appears
+KIND_NAT_REBIND = "nat_rebind"       # NAT forgets its mappings
+
+ALL_KINDS = (
+    KIND_FLAP,
+    KIND_BLACKHOLE,
+    KIND_LOSS_BURST,
+    KIND_CORRUPT_BURST,
+    KIND_RST_STORM,
+    KIND_STRIP_OPTIONS,
+    KIND_NAT_REBIND,
+)
+
+# Kinds that occupy a time window (duration matters).
+WINDOWED_KINDS = frozenset(ALL_KINDS) - {KIND_NAT_REBIND}
+
+
+@dataclass
+class Fault:
+    """One scheduled fault.
+
+    ``path`` indexes the engine's path list (None = every path);
+    ``direction`` is the link-endpoint index whose outgoing traffic is
+    affected (None = both directions).  ``params`` carries kind-specific
+    tuning (e.g. ``loss`` for a loss burst).
+    """
+
+    kind: str
+    at: float
+    duration: float = 0.0
+    path: Optional[int] = None
+    direction: Optional[int] = None
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ALL_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.at < 0:
+            raise ValueError("fault time must be >= 0")
+        if self.duration < 0:
+            raise ValueError("fault duration must be >= 0")
+
+    @property
+    def end(self) -> float:
+        return self.at + self.duration
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "at": self.at,
+            "duration": self.duration,
+            "path": self.path,
+            "direction": self.direction,
+            "params": dict(self.params),
+        }
+
+
+@dataclass
+class FaultPlan:
+    """An ordered fault schedule (ordering by ``at`` is for humans; the
+    engine schedules each fault independently on the simulator clock)."""
+
+    faults: List[Fault] = field(default_factory=list)
+    name: str = ""
+
+    # -- builder helpers ---------------------------------------------------
+
+    def add(self, fault: Fault) -> "FaultPlan":
+        self.faults.append(fault)
+        return self
+
+    def flap(self, at: float, duration: float, path: Optional[int] = None,
+             direction: Optional[int] = None) -> "FaultPlan":
+        return self.add(Fault(KIND_FLAP, at, duration, path, direction))
+
+    def blackhole(self, at: float, duration: float, path: Optional[int] = None,
+                  direction: Optional[int] = None) -> "FaultPlan":
+        return self.add(Fault(KIND_BLACKHOLE, at, duration, path, direction))
+
+    def loss_burst(self, at: float, duration: float, loss: float = 0.3,
+                   path: Optional[int] = None) -> "FaultPlan":
+        return self.add(
+            Fault(KIND_LOSS_BURST, at, duration, path, params={"loss": loss})
+        )
+
+    def corrupt_burst(self, at: float, duration: float, every: int = 1,
+                      path: Optional[int] = None,
+                      direction: Optional[int] = None) -> "FaultPlan":
+        return self.add(
+            Fault(KIND_CORRUPT_BURST, at, duration, path, direction,
+                  params={"every": every})
+        )
+
+    def rst_storm(self, at: float, duration: float, path: Optional[int] = None,
+                  direction: Optional[int] = None, every: int = 1) -> "FaultPlan":
+        return self.add(
+            Fault(KIND_RST_STORM, at, duration, path, direction,
+                  params={"every": every})
+        )
+
+    def strip_options(self, at: float, duration: float, kinds: Iterable[int],
+                      path: Optional[int] = None,
+                      direction: Optional[int] = None) -> "FaultPlan":
+        return self.add(
+            Fault(KIND_STRIP_OPTIONS, at, duration, path, direction,
+                  params={"kinds": tuple(kinds)})
+        )
+
+    def nat_rebind(self, at: float, path: Optional[int] = None) -> "FaultPlan":
+        return self.add(Fault(KIND_NAT_REBIND, at, path=path))
+
+    # -- composition / introspection --------------------------------------
+
+    def __add__(self, other: "FaultPlan") -> "FaultPlan":
+        return FaultPlan(
+            faults=list(self.faults) + list(other.faults),
+            name=f"{self.name}+{other.name}" if self.name or other.name else "",
+        )
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __iter__(self):
+        return iter(self.faults)
+
+    def sorted(self) -> List[Fault]:
+        return sorted(self.faults, key=lambda f: (f.at, f.kind))
+
+    def horizon(self) -> float:
+        """Last instant at which any fault is still active."""
+        return max((f.end for f in self.faults), default=0.0)
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "faults": [f.to_dict() for f in self.faults]}
+
+    # -- seeded-random schedules -------------------------------------------
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        horizon: float,
+        paths: int = 1,
+        count: int = 4,
+        kinds: Sequence[str] = (
+            KIND_FLAP, KIND_BLACKHOLE, KIND_LOSS_BURST, KIND_CORRUPT_BURST,
+            KIND_RST_STORM,
+        ),
+        min_start: float = 0.0,
+        max_duration: float = 2.0,
+    ) -> "FaultPlan":
+        """A reproducible adversarial schedule.
+
+        ``count`` faults are drawn uniformly from ``kinds``, placed at
+        random instants in ``[min_start, horizon)``, each on a random
+        path and direction, with durations in ``(0, max_duration]``.
+        Identical arguments always produce the identical plan.
+        """
+        rng = random.Random(seed)
+        plan = cls(name=f"random(seed={seed})")
+        for _ in range(count):
+            kind = kinds[rng.randrange(len(kinds))]
+            at = min_start + rng.random() * max(0.0, horizon - min_start)
+            duration = (
+                rng.random() * max_duration if kind in WINDOWED_KINDS else 0.0
+            )
+            path = rng.randrange(paths) if paths > 1 else 0
+            direction = rng.choice((None, 0, 1))
+            params = {}
+            if kind == KIND_LOSS_BURST:
+                params = {"loss": 0.1 + 0.4 * rng.random()}
+                direction = None  # loss rate is a per-link property
+            elif kind == KIND_CORRUPT_BURST:
+                params = {"every": rng.randrange(1, 4)}
+            elif kind == KIND_RST_STORM:
+                params = {"every": rng.randrange(1, 3)}
+            plan.add(Fault(kind, at, duration, path, direction, params))
+        return plan

@@ -30,6 +30,13 @@ class _Direction:
         self.next_free_time = 0.0
         self.queued_packets = 0
         self.transformers: list = []
+        self.up = True
+        # Outage epoch: bumped on every set_down() of this direction.  A
+        # packet captures the epoch when it is accepted; if the epoch has
+        # moved by delivery time the link went down while the packet was
+        # queued or propagating, and the packet is lost (``dropped_down``)
+        # even if the link is back up by then.
+        self.down_epoch = 0
 
 
 class Link:
@@ -61,7 +68,6 @@ class Link:
         self.reorder_rate = reorder_rate
         self.reorder_extra_delay = reorder_extra_delay
         self.name = name
-        self.up = True
         self._rng = random.Random(seed)
         self._endpoints: list = [None, None]  # two Interface objects
         self._directions = {0: _Direction(), 1: _Direction()}
@@ -113,6 +119,10 @@ class Link:
                 return index
         raise ValueError("link already has two endpoints")
 
+    def endpoint(self, index: int):
+        """The interface attached at endpoint ``index`` (0 or 1)."""
+        return self._endpoints[index]
+
     def peer_of(self, interface):
         a, b = self._endpoints
         if interface is a:
@@ -127,6 +137,14 @@ class Link:
             transformer
         )
 
+    def remove_transformer(self, from_interface, transformer: Transformer) -> bool:
+        """Uninstall a transformer (middlebox churn); True if it was present."""
+        transformers = self._directions[self._index_of(from_interface)].transformers
+        if transformer not in transformers:
+            return False
+        transformers.remove(transformer)
+        return True
+
     def _index_of(self, interface) -> int:
         for index in (0, 1):
             if self._endpoints[index] is interface:
@@ -135,17 +153,43 @@ class Link:
 
     # -- outages -------------------------------------------------------------
 
-    def set_down(self) -> None:
-        self.up = False
-        if self._obs_tracer is not None:
-            self._obs_tracer.point(self._obs_component, "link_down")
+    @property
+    def up(self) -> bool:
+        """True when both directions are up (back-compat view)."""
+        return self._directions[0].up and self._directions[1].up
 
-    def set_up(self) -> None:
-        self.up = True
-        for direction in self._directions.values():
-            direction.next_free_time = self.sim.now
+    def _selected_directions(self, direction: Optional[int]):
+        if direction is None:
+            return self._directions.values()
+        return (self._directions[direction],)
+
+    def set_down(self, direction: Optional[int] = None) -> None:
+        """Take the link (or one direction of it) down.
+
+        Packets already queued or propagating on an affected direction
+        are lost and counted in ``dropped_down`` — an outage kills what
+        is on the wire, it does not park it.  ``direction`` is the
+        endpoint index (0/1) whose *outgoing* traffic dies; None means
+        both directions (a full outage).
+        """
+        for state in self._selected_directions(direction):
+            state.up = False
+            state.down_epoch += 1
         if self._obs_tracer is not None:
-            self._obs_tracer.point(self._obs_component, "link_up")
+            self._obs_tracer.point(
+                self._obs_component, "link_down",
+                direction=-1 if direction is None else direction,
+            )
+
+    def set_up(self, direction: Optional[int] = None) -> None:
+        for state in self._selected_directions(direction):
+            state.up = True
+            state.next_free_time = self.sim.now
+        if self._obs_tracer is not None:
+            self._obs_tracer.point(
+                self._obs_component, "link_up",
+                direction=-1 if direction is None else direction,
+            )
 
     # -- data path -----------------------------------------------------------
 
@@ -167,7 +211,7 @@ class Link:
 
     def _enqueue(self, index: int, datagram: Datagram) -> None:
         direction = self._directions[index]
-        if not self.up:
+        if not direction.up:
             self.stats["dropped_down"] += 1
             self._obs_drop("dropped_down", datagram)
             return
@@ -193,12 +237,17 @@ class Link:
             arrival_delay += self.reorder_extra_delay
             self.stats["reordered"] += 1
             self._obs_count("reordered")
-        self.sim.schedule(arrival_delay, self._deliver, index, datagram)
+        self.sim.schedule(
+            arrival_delay, self._deliver, index, datagram, direction.down_epoch
+        )
 
-    def _deliver(self, index: int, datagram: Datagram) -> None:
+    def _deliver(self, index: int, datagram: Datagram, epoch: int) -> None:
         direction = self._directions[index]
         direction.queued_packets -= 1
-        if not self.up:
+        if not direction.up or epoch != direction.down_epoch:
+            # Down right now, or went down at least once while this
+            # packet was queued/propagating: either way it is an outage
+            # loss, distinct from Bernoulli loss (``dropped_loss``).
             self.stats["dropped_down"] += 1
             self._obs_drop("dropped_down", datagram)
             return

@@ -121,6 +121,22 @@ class Nat44:
         self._forward: dict = {}  # (private addr, private port) -> public port
         self._reverse: dict = {}  # public port -> (private addr, private port)
         self.translations = 0
+        self.rebinds = 0
+
+    def rebind(self) -> None:
+        """Forget every mapping and move to a fresh port range.
+
+        Models a NAT timeout/reboot (the classic middlebox failure the
+        paper's JOIN mechanism recovers from): established flows lose
+        their translation — subsequent inbound packets are unsolicited
+        and dropped, outbound packets get a *new* public port the peer's
+        stack won't recognise — while brand-new connections work fine.
+        """
+        self._forward.clear()
+        self._reverse.clear()
+        # Jump past the old range so recycled ports never alias dead flows.
+        self._next_port += 1009
+        self.rebinds += 1
 
     def outbound(self, datagram: Datagram):
         segment = _parse_tcp(datagram)

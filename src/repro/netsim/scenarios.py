@@ -117,6 +117,82 @@ def dual_path_network(
     )
 
 
+@dataclass
+class MultiPathNetwork:
+    """Handles for the N-path fault-matrix topology."""
+
+    net: Network
+    client: "object"
+    server: "object"
+    client_addrs: list
+    server_addrs: list
+    links: list  # one Link per path, same index as the address lists
+
+    @property
+    def sim(self):
+        return self.net.sim
+
+    def cut_path(self, index: int) -> None:
+        self.links[index].set_down()
+
+    def restore_path(self, index: int) -> None:
+        self.links[index].set_up()
+
+
+def multi_path_network(
+    paths: int = 2,
+    rate_bps: float = 30e6,
+    base_delay: float = 0.010,
+    delay_step: float = 0.005,
+    queue_packets: int = 100,
+    loss_rate: float = 0.0,
+    seed: int = 1,
+) -> MultiPathNetwork:
+    """A client and a server joined by ``paths`` disjoint IPv4 links.
+
+    The fault-injection matrix sweeps path count; this generalises the
+    Figure 4 dual-path idea to N directly-connected paths (no routers,
+    so per-scenario cost stays low).  Path ``i`` uses subnet
+    ``10.(i+1).0.0/24`` and delay ``base_delay + i*delay_step`` — paths
+    are deliberately asymmetric so scheduler/health choices matter.
+    """
+    if paths < 1:
+        raise ValueError("need at least one path")
+    net = Network()
+    client = net.add_host("client")
+    server = net.add_host("server")
+    client_addrs, server_addrs, links = [], [], []
+    for index in range(paths):
+        subnet = index + 1
+        c_if = client.add_interface(f"eth{index}").configure_ipv4(
+            f"10.{subnet}.0.1/24"
+        )
+        s_if = server.add_interface(f"eth{index}").configure_ipv4(
+            f"10.{subnet}.0.2/24"
+        )
+        links.append(
+            net.connect(
+                c_if, s_if,
+                rate_bps=rate_bps,
+                delay=base_delay + index * delay_step,
+                queue_packets=queue_packets,
+                loss_rate=loss_rate,
+                seed=seed + index,
+            )
+        )
+        client_addrs.append(f"10.{subnet}.0.1")
+        server_addrs.append(f"10.{subnet}.0.2")
+    net.compute_routes()
+    return MultiPathNetwork(
+        net=net,
+        client=client,
+        server=server,
+        client_addrs=client_addrs,
+        server_addrs=server_addrs,
+        links=links,
+    )
+
+
 def simple_duplex_network(
     rate_bps: float = 100e6,
     delay: float = 0.005,

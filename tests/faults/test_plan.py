@@ -1,0 +1,107 @@
+"""FaultPlan construction, validation, determinism, and engine wiring."""
+
+import pytest
+
+from repro.faults import Fault, FaultPlan
+from repro.faults.chaos import ChaosEngine
+from repro.faults.plan import ALL_KINDS, WINDOWED_KINDS
+from repro.netsim.scenarios import simple_duplex_network
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError):
+        Fault("gremlins", at=1.0)
+
+
+def test_negative_times_rejected():
+    with pytest.raises(ValueError):
+        Fault("flap", at=-1.0)
+    with pytest.raises(ValueError):
+        Fault("flap", at=1.0, duration=-0.5)
+
+
+def test_builders_cover_every_kind():
+    plan = (
+        FaultPlan()
+        .flap(1.0, 0.5)
+        .blackhole(2.0, 0.5)
+        .loss_burst(3.0, 0.5, loss=0.2)
+        .corrupt_burst(4.0, 0.5, every=2)
+        .rst_storm(5.0, 0.5)
+        .strip_options(6.0, 0.5, kinds=(30,))
+        .nat_rebind(7.0)
+    )
+    assert sorted({fault.kind for fault in plan}) == sorted(ALL_KINDS)
+    assert plan.horizon() == 7.0
+    assert all(
+        fault.duration == 0.0
+        for fault in plan
+        if fault.kind not in WINDOWED_KINDS
+    )
+
+
+def test_plans_compose_and_serialize():
+    merged = FaultPlan(name="a").flap(1.0, 0.5) + FaultPlan(name="b").nat_rebind(2.0)
+    assert len(merged) == 2
+    assert merged.name == "a+b"
+    payload = merged.to_dict()
+    assert [entry["kind"] for entry in payload["faults"]] == ["flap", "nat_rebind"]
+
+
+def test_random_plans_are_deterministic_per_seed():
+    make = lambda s: FaultPlan.random(seed=s, horizon=10.0, paths=3, count=8)
+    assert make(7).to_dict() == make(7).to_dict()
+    assert make(7).to_dict() != make(8).to_dict()
+    for fault in make(7):
+        assert 0.0 <= fault.at < 10.0
+        assert fault.path in (0, 1, 2)
+
+
+def test_engine_restores_loss_rate_after_burst():
+    net, client, server, link = simple_duplex_network(loss_rate=0.01)
+    engine = ChaosEngine(net.sim, [link])
+    engine.apply(FaultPlan().loss_burst(1.0, 2.0, loss=0.5))
+    net.sim.run(until=1.5)
+    assert link.loss_rate == 0.5
+    net.sim.run(until=4.0)
+    assert link.loss_rate == 0.01
+
+
+def test_engine_removes_installed_middleboxes_when_window_ends():
+    net, client, server, link = simple_duplex_network()
+    engine = ChaosEngine(net.sim, [link])
+    engine.apply(FaultPlan().blackhole(1.0, 2.0).corrupt_burst(1.5, 1.0))
+    net.sim.run(until=2.0)
+    installed = sum(
+        len(link._directions[index].transformers) for index in (0, 1)
+    )
+    assert installed == 4  # blackhole + corruptor on both directions
+    net.sim.run(until=4.0)
+    installed = sum(
+        len(link._directions[index].transformers) for index in (0, 1)
+    )
+    assert installed == 0
+
+
+def test_engine_flap_is_per_direction_and_logged():
+    net, client, server, link = simple_duplex_network()
+    engine = ChaosEngine(net.sim, [link])
+    engine.apply(FaultPlan().flap(1.0, 1.0, direction=0))
+    net.sim.run(until=1.5)
+    assert not link.up
+    assert link._directions[1].up  # reverse direction untouched
+    net.sim.run(until=3.0)
+    assert link.up
+    phases = [phase for _t, kind, _p, phase in engine.log if kind == "flap"]
+    assert phases == ["start", "end"]
+
+
+def test_relative_scheduling_from_nonzero_clock():
+    net, client, server, link = simple_duplex_network()
+    net.sim.run(until=5.0)
+    engine = ChaosEngine(net.sim, [link])
+    engine.apply(FaultPlan().flap(6.0, 0.5))
+    net.sim.run(until=6.2)
+    assert not link.up
+    net.sim.run(until=7.0)
+    assert link.up

@@ -110,6 +110,80 @@ def test_packets_in_flight_lost_when_link_goes_down():
     assert received == []
 
 
+def test_queued_unserialized_packets_count_in_dropped_down():
+    # 8 kbit/s: each 1000-byte packet takes 1 s to serialize, so a burst
+    # of 5 sits queued. Cutting the link at 0.5 s must count every
+    # queued-but-undelivered packet as an outage drop.
+    sim, a, b, ia, ib, link = _two_hosts(rate_bps=8e3, delay=0.0)
+    received = _capture(b)
+    for _ in range(5):
+        a.send_ip(
+            Datagram(parse_address("10.0.0.1"), parse_address("10.0.0.2"), 253, b"x" * 980)
+        )
+    sim.schedule(0.5, link.set_down)
+    sim.run_until_idle()
+    assert received == []
+    assert link.stats["dropped_down"] == 5
+    assert link.stats["dropped_loss"] == 0
+
+
+def test_flap_kills_in_flight_packet_even_if_up_again_at_delivery():
+    # Packet leaves at t=0, would arrive at t~1.  A down/up flap wholly
+    # inside that flight window must still kill it: the wire did go
+    # dead under the packet (epoch check), it was not parked.
+    sim, a, b, ia, ib, link = _two_hosts(delay=1.0)
+    received = _capture(b)
+    a.send_ip(Datagram(parse_address("10.0.0.1"), parse_address("10.0.0.2"), 253, b"x"))
+    sim.schedule(0.3, link.set_down)
+    sim.schedule(0.4, link.set_up)
+    sim.run_until_idle()
+    assert received == []
+    assert link.stats["dropped_down"] == 1
+    assert link.up
+
+
+def test_set_down_is_per_direction():
+    sim, a, b, ia, ib, link = _two_hosts()
+    at_a = _capture(a)
+    at_b = _capture(b)
+    link.set_down(direction=0)  # a's outgoing traffic dies
+    assert not link.up
+    a.send_ip(Datagram(parse_address("10.0.0.1"), parse_address("10.0.0.2"), 253, b"ab"))
+    b.send_ip(Datagram(parse_address("10.0.0.2"), parse_address("10.0.0.1"), 253, b"ba"))
+    sim.run_until_idle()
+    assert at_b == []
+    assert [d.payload for _, d in at_a] == [b"ba"]
+    assert link.stats["dropped_down"] == 1
+    link.set_up(direction=0)
+    assert link.up
+    a.send_ip(Datagram(parse_address("10.0.0.1"), parse_address("10.0.0.2"), 253, b"ab"))
+    sim.run_until_idle()
+    assert [d.payload for _, d in at_b] == [b"ab"]
+
+
+def test_outage_drops_distinct_from_bernoulli_loss():
+    sim, a, b, ia, ib, link = _two_hosts(loss_rate=0.5, seed=3)
+
+    def send_burst(count):
+        for _ in range(count):
+            a.send_ip(
+                Datagram(parse_address("10.0.0.1"), parse_address("10.0.0.2"), 253, b"x")
+            )
+
+    send_burst(40)
+    sim.run_until_idle()
+    loss_before = link.stats["dropped_loss"]
+    assert loss_before > 0
+    assert link.stats["dropped_down"] == 0
+    link.set_down()
+    send_burst(40)
+    sim.run_until_idle()
+    # An outage accounts every drop as dropped_down; the Bernoulli
+    # counter must not move while the link is dark.
+    assert link.stats["dropped_down"] == 40
+    assert link.stats["dropped_loss"] == loss_before
+
+
 def test_interface_down_blocks_delivery():
     sim, a, b, ia, ib, link = _two_hosts()
     received = _capture(b)
