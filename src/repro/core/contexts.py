@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro import fastpath
 from repro.crypto.keyschedule import TrafficKeys
 from repro.tls.record import CipherState, RecordDecoder
 from repro.utils.errors import CryptoError
@@ -41,6 +42,11 @@ class ContextManager:
         self._recv: Dict[Tuple[int, int], CipherState] = {}
         self.forgery_suspects = 0
         self.trial_decryptions = 0
+        # Per-connection affinity: the stream whose context authenticated
+        # the most recent record.  Bulk transfers land on one stream, so
+        # trying it first collapses trial decryption to ~1 MAC per record
+        # (fastpath feature "tls.affinity").
+        self._last_stream: Dict[int, int] = {}
 
     # -- derivation ---------------------------------------------------------
 
@@ -74,12 +80,16 @@ class ContextManager:
             del self._send[key]
         for key in [k for k in self._recv if k[0] == stream_id]:
             del self._recv[key]
+        for conn_id, last in list(self._last_stream.items()):
+            if last == stream_id:
+                del self._last_stream[conn_id]
 
     def remove_connection(self, conn_id: int) -> None:
         for key in [k for k in self._send if k[1] == conn_id]:
             del self._send[key]
         for key in [k for k in self._recv if k[1] == conn_id]:
             del self._recv[key]
+        self._last_stream.pop(conn_id, None)
 
     # -- access -----------------------------------------------------------------
 
@@ -113,13 +123,24 @@ class ContextManager:
 
         Returns (stream_id, inner_type, plaintext) or None when no
         context verifies — which the session counts as a forgery attempt.
+
+        With the "tls.affinity" fast path, the context that authenticated
+        the previous record on this connection is tried first — a pure
+        reordering of the candidate scan, so the accepted (stream,
+        plaintext) outcome is unchanged (exactly one context can verify a
+        given tag) and only the number of wasted MACs drops.
         """
-        for stream_id, state in self.recv_candidates(conn_id):
+        candidates = self.recv_candidates(conn_id)
+        last = self._last_stream.get(conn_id)
+        if last is not None and fastpath.enabled("tls.affinity"):
+            candidates.sort(key=lambda item: item[0] != last)
+        for stream_id, state in candidates:
             self.trial_decryptions += 1
             try:
                 inner_type, plaintext = RecordDecoder.decrypt_with(state, ciphertext)
             except CryptoError:
                 continue
+            self._last_stream[conn_id] = stream_id
             return stream_id, inner_type, plaintext
         self.forgery_suspects += 1
         return None

@@ -865,7 +865,9 @@ class TcplsSession:
         plaintext = framing.encode_frame(ttype, seq, body)
         inner = plaintext + bytes([ttype])
         header = record_header(ContentType.APPLICATION_DATA, len(inner) + 16)
-        sealed = cipher.aead.encrypt(cipher.next_nonce(), inner, header)
+        # seal() routes large records through the keystream lookahead
+        # cache (bit-identical to aead.encrypt at this nonce).
+        sealed = cipher.seal(inner, header)
         cipher.advance()
         conn.tcp.send(header + sealed)
         conn.health.last_activity = self.sim.now

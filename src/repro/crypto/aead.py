@@ -4,19 +4,45 @@ This is the single cipher suite the TLS stack uses
 (``TLS_CHACHA20_POLY1305_SHA256``).  Decryption failures raise
 ``CryptoError`` — TCPLS counts those as forgery attempts when doing
 trial decryption across per-stream contexts (paper section 2.3).
+
+Fast path (``fastpath`` feature ``crypto.batch``): for multi-block
+records the Poly1305 one-time key and the payload keystream come out of
+a *single* vectorized ``chacha20_keystream`` call (blocks 0..n), and the
+tag is computed by the batched Poly1305.  The scalar construction below
+is the reference; both produce bit-identical output and the scalar path
+engages automatically when numpy is missing or the record is small.
+
+``seal_with_keystream`` / ``open_with_keystream`` additionally let the
+record layer supply keystream bytes it precomputed for several future
+records at once (see the lookahead cache in ``repro.tls.record``).
 """
 
 from __future__ import annotations
 
 import struct
 
+from repro import fastpath
 from repro.crypto.chacha20 import chacha20_encrypt
 from repro.crypto.poly1305 import constant_time_equal, poly1305_key_gen, poly1305_mac
+from repro.crypto.poly1305_fast import MIN_BATCH_BYTES, poly1305_mac_fast
 from repro.utils.errors import CryptoError
+
+try:  # numpy is baked into the image, but the scalar path must survive
+    from repro.crypto.chacha20_fast import chacha20_keystream, xor_keystream
+
+    _HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - exercised via fastpath flags
+    _HAVE_NUMPY = False
+
+#: Exposed so the record layer can gate its keystream lookahead cache.
+HAVE_NUMPY = _HAVE_NUMPY
 
 TAG_LENGTH = 16
 KEY_LENGTH = 32
 NONCE_LENGTH = 12
+
+#: Payload size from which the one-call keystream path pays off.
+BATCH_MIN_PAYLOAD = 256
 
 
 def _pad16(data: bytes) -> bytes:
@@ -37,6 +63,47 @@ def _auth_input(aad: bytes, ciphertext: bytes) -> bytes:
     )
 
 
+def _mac(otk: bytes, data: bytes) -> bytes:
+    """Tag via the batched Poly1305 when it is worth it, scalar otherwise."""
+    if len(data) >= MIN_BATCH_BYTES and fastpath.enabled("crypto.batch"):
+        return poly1305_mac_fast(otk, data)
+    return poly1305_mac(otk, data)
+
+
+def _use_batch(payload_length: int) -> bool:
+    return (
+        _HAVE_NUMPY
+        and payload_length >= BATCH_MIN_PAYLOAD
+        and fastpath.enabled("crypto.batch")
+    )
+
+
+def seal_with_keystream(keystream, plaintext: bytes, aad: bytes = b"") -> bytes:
+    """Encrypt + tag using externally supplied keystream bytes.
+
+    ``keystream`` must hold at least ``64 + len(plaintext)`` bytes of the
+    ChaCha20 stream for this record's nonce starting at block 0 (block 0
+    yields the Poly1305 one-time key, blocks 1.. the payload stream).
+    Output is bit-identical to ``ChaCha20Poly1305.encrypt``.
+    """
+    otk = bytes(keystream[:32])
+    ciphertext = xor_keystream(plaintext, keystream[64 : 64 + len(plaintext)])
+    tag = _mac(otk, _auth_input(aad, ciphertext))
+    return ciphertext + tag
+
+
+def open_with_keystream(keystream, data: bytes, aad: bytes = b"") -> bytes:
+    """Verify + decrypt using externally supplied keystream bytes."""
+    if len(data) < TAG_LENGTH:
+        raise CryptoError("ciphertext shorter than the AEAD tag")
+    ciphertext, tag = data[:-TAG_LENGTH], data[-TAG_LENGTH:]
+    otk = bytes(keystream[:32])
+    expected = _mac(otk, _auth_input(aad, ciphertext))
+    if not constant_time_equal(tag, expected):
+        raise CryptoError("AEAD tag verification failed")
+    return xor_keystream(ciphertext, keystream[64 : 64 + len(ciphertext)])
+
+
 class ChaCha20Poly1305:
     """AEAD cipher object bound to one 32-byte key."""
 
@@ -49,10 +116,19 @@ class ChaCha20Poly1305:
             raise ValueError("ChaCha20-Poly1305 key must be 32 bytes")
         self._key = bytes(key)
 
+    def _keystream(self, nonce: bytes, payload_length: int) -> bytes:
+        """Blocks 0..n in one vectorized call: OTK + payload stream."""
+        n_blocks = 1 + (payload_length + 63) // 64
+        return chacha20_keystream(self._key, 0, nonce, n_blocks)
+
     def encrypt(self, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
         """Return ciphertext || 16-byte tag."""
         if len(nonce) != NONCE_LENGTH:
             raise ValueError("nonce must be 12 bytes")
+        if _use_batch(len(plaintext)):
+            return seal_with_keystream(
+                self._keystream(nonce, len(plaintext)), plaintext, aad
+            )
         otk = poly1305_key_gen(self._key, nonce)
         ciphertext = chacha20_encrypt(self._key, 1, nonce, plaintext)
         tag = poly1305_mac(otk, _auth_input(aad, ciphertext))
@@ -65,8 +141,10 @@ class ChaCha20Poly1305:
         if len(data) < TAG_LENGTH:
             raise CryptoError("ciphertext shorter than the AEAD tag")
         ciphertext, tag = data[:-TAG_LENGTH], data[-TAG_LENGTH:]
+        # The tag is always verified before any payload keystream is
+        # generated, so a failed trial decryption costs only the MAC.
         otk = poly1305_key_gen(self._key, nonce)
-        expected = poly1305_mac(otk, _auth_input(aad, ciphertext))
+        expected = _mac(otk, _auth_input(aad, ciphertext))
         if not constant_time_equal(tag, expected):
             raise CryptoError("AEAD tag verification failed")
         return chacha20_encrypt(self._key, 1, nonce, ciphertext)

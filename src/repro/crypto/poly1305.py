@@ -1,6 +1,13 @@
-"""Poly1305 one-time authenticator (RFC 8439 section 2.5)."""
+"""Poly1305 one-time authenticator (RFC 8439 section 2.5).
+
+This scalar implementation is the reference; the batched fast path in
+``repro.crypto.poly1305_fast`` must agree with it bit-for-bit on every
+input (cross-checked by randomized tests).
+"""
 
 from __future__ import annotations
+
+import hmac
 
 from repro.crypto.chacha20 import chacha20_block
 
@@ -30,10 +37,12 @@ def poly1305_key_gen(key: bytes, nonce: bytes) -> bytes:
 
 
 def constant_time_equal(a: bytes, b: bytes) -> bool:
-    """Compare two byte strings without early exit on mismatch."""
+    """Compare two byte strings without early exit on mismatch.
+
+    Delegates to ``hmac.compare_digest`` (constant-time in C) instead of
+    the original per-byte Python loop; that loop survives only as a
+    documented reference in ``tests/crypto/test_fastpath_crypto.py``.
+    """
     if len(a) != len(b):
         return False
-    result = 0
-    for x, y in zip(a, b):
-        result |= x ^ y
-    return result == 0
+    return hmac.compare_digest(a, b)

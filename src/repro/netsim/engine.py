@@ -9,18 +9,27 @@ rules:
   run in the order they were scheduled;
 - all randomness used by links/middleboxes comes from ``Random`` instances
   seeded at construction.
+
+``pending_events`` is O(1): a live counter tracks scheduled-minus-
+(cancelled-or-executed) events instead of scanning the heap.  The engine
+also keeps cheap wall-clock profiling (total ``run()`` time and an
+events-per-second gauge) that ``attach_observability`` mirrors into the
+telemetry registry for the perf benchmarks.
 """
 
 from __future__ import annotations
 
 import heapq
+import time as _time
 from typing import Callable, Optional
+
+from repro import fastpath
 
 
 class Event:
     """A scheduled callback; keep the handle to be able to cancel it."""
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_owner")
 
     def __init__(self, time: float, seq: int, callback: Callable, args: tuple):
         self.time = time
@@ -28,10 +37,14 @@ class Event:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._owner: Optional["Simulator"] = None
 
     def cancel(self) -> None:
         """Prevent the callback from running; safe to call more than once."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._owner is not None:
+                self._owner._live_events -= 1
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -47,30 +60,57 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._queue: list[Event] = []
+        # Heap entry format, fixed for the simulator's lifetime: the
+        # netsim.fast path stores (time, seq, event) tuples so ordering
+        # uses C-level tuple comparison; the reference path stores the
+        # ``Event`` objects themselves and orders via ``Event.__lt__``
+        # exactly as the pre-fast-path engine did.  Both produce the
+        # identical (time, seq) execution order.
+        self._tuple_queue = fastpath.flags["netsim.fast"]
+        self._queue: list = []
         self._seq = 0
         self._events_processed = 0
+        self._live_events = 0  # scheduled minus cancelled/executed
+        self.run_wall_seconds = 0.0  # wall-clock time spent inside run()
         self._obs_events = None  # optional telemetry counter
+        self._obs_rate = None  # optional events/sec gauge
+        self._obs_wall = None  # optional wall-seconds gauge
 
     def attach_observability(self, obs) -> None:
         """Mirror the processed-event count into a telemetry registry.
 
         Pure observation: attaching never changes scheduling order,
-        event counts, or the clock.
+        event counts, or the clock.  Also exposes wall-clock profiling:
+        total seconds spent inside ``run()`` and the resulting
+        events-per-second rate.
         """
         self._obs_events = obs.telemetry.counter("engine", "events_processed")
+        self._obs_rate = obs.telemetry.gauge("engine", "events_per_second")
+        self._obs_wall = obs.telemetry.gauge("engine", "run_wall_seconds")
 
     @property
     def events_processed(self) -> int:
         return self._events_processed
+
+    @property
+    def events_per_second(self) -> float:
+        """Processed events per wall-clock second inside ``run()``."""
+        if self.run_wall_seconds <= 0:
+            return 0.0
+        return self._events_processed / self.run_wall_seconds
 
     def schedule(self, delay: float, callback: Callable, *args) -> Event:
         """Run ``callback(*args)`` after ``delay`` seconds of simulated time."""
         if delay < 0:
             raise ValueError(f"cannot schedule in the past (delay={delay})")
         event = Event(self.now + delay, self._seq, callback, args)
+        event._owner = self
+        if self._tuple_queue:
+            heapq.heappush(self._queue, (event.time, self._seq, event))
+        else:
+            heapq.heappush(self._queue, event)
         self._seq += 1
-        heapq.heappush(self._queue, event)
+        self._live_events += 1
         return event
 
     def schedule_at(self, time: float, callback: Callable, *args) -> Event:
@@ -93,26 +133,39 @@ class Simulator:
         if the queue drained earlier, so follow-up scheduling is intuitive.
         """
         processed = 0
-        while self._queue:
-            event = self._queue[0]
-            if until is not None and event.time > until:
-                break
-            if event.cancelled:
-                heapq.heappop(self._queue)
-                continue
-            # Check the cap BEFORE popping: the event that trips it must
-            # stay queued so a follow-up run() resumes without losing it.
-            if processed >= max_events:
-                raise RuntimeError(
-                    f"simulation exceeded {max_events} events; likely a loop"
-                )
-            heapq.heappop(self._queue)
-            self.now = event.time
-            event.callback(*event.args)
-            processed += 1
-            self._events_processed += 1
-            if self._obs_events is not None:
-                self._obs_events.inc()
+        wall_start = _time.perf_counter()
+        queue = self._queue
+        heappop = heapq.heappop
+        tuple_queue = self._tuple_queue
+        try:
+            while queue:
+                head = queue[0]
+                event = head[2] if tuple_queue else head
+                if until is not None and event.time > until:
+                    break
+                if event.cancelled:
+                    heappop(queue)
+                    continue
+                # Check the cap BEFORE popping: the event that trips it must
+                # stay queued so a follow-up run() resumes without losing it.
+                if processed >= max_events:
+                    raise RuntimeError(
+                        f"simulation exceeded {max_events} events; likely a loop"
+                    )
+                heappop(queue)
+                self._live_events -= 1
+                self.now = event.time
+                event.callback(*event.args)
+                processed += 1
+                self._events_processed += 1
+                if self._obs_events is not None:
+                    self._obs_events.inc()
+        finally:
+            self.run_wall_seconds += _time.perf_counter() - wall_start
+            if self._obs_wall is not None:
+                self._obs_wall.set(self.run_wall_seconds)
+            if self._obs_rate is not None:
+                self._obs_rate.set(self.events_per_second)
         if until is not None and until > self.now:
             self.now = until
 
@@ -121,4 +174,5 @@ class Simulator:
         self.run(until=None, max_events=max_events)
 
     def pending_events(self) -> int:
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Live (scheduled, not cancelled, not yet executed) events — O(1)."""
+        return self._live_events

@@ -195,7 +195,14 @@ class Link:
 
     def transmit(self, from_interface, datagram: Datagram) -> None:
         """Accept a datagram for transmission out of ``from_interface``."""
-        index = self._index_of(from_interface)
+        # Inlined _index_of: this runs once per packet per hop.
+        endpoints = self._endpoints
+        if endpoints[0] is from_interface:
+            index = 0
+        elif endpoints[1] is from_interface:
+            index = 1
+        else:
+            raise ValueError("interface not attached to this link")
         direction = self._directions[index]
 
         for transformer in direction.transformers:
@@ -224,13 +231,16 @@ class Link:
             self._obs_drop("dropped_loss", datagram)
             return
 
+        now = self.sim.now
         tx_time = datagram.size * 8 / self.rate_bps
-        start = max(self.sim.now, direction.next_free_time)
+        start = direction.next_free_time
+        if start < now:
+            start = now
         direction.next_free_time = start + tx_time
         direction.queued_packets += 1
         if self._obs_queue is not None:
             self._obs_queue.observe(direction.queued_packets)
-        arrival_delay = (start + tx_time + self.delay) - self.sim.now
+        arrival_delay = (start + tx_time + self.delay) - now
         if self.reorder_rate and self._rng.random() < self.reorder_rate:
             # Reordering model: a packet takes a slow lane and arrives
             # behind packets transmitted after it.
@@ -254,8 +264,11 @@ class Link:
         destination = self._endpoints[1 - index]
         if destination is None or not destination.up:
             return
-        self.stats["delivered"] += 1
-        self.stats["bytes_delivered"] += datagram.size
-        self._obs_count("delivered")
-        self._obs_count("bytes_delivered", datagram.size)
+        stats = self.stats
+        stats["delivered"] += 1
+        stats["bytes_delivered"] += datagram.size
+        counters = self._obs_counters
+        if counters is not None:
+            counters["delivered"].inc(1)
+            counters["bytes_delivered"].inc(datagram.size)
         destination.deliver(datagram)

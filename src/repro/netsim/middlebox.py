@@ -6,19 +6,29 @@ addresses (NAT), forge RSTs, mangle SYNs like a transparent proxy, or
 block TCP Fast Open.  Because TLS record payloads are AEAD-protected,
 none of them can touch the TCPLS control channel — which is exactly the
 paper's argument for moving control data there.
+
+Fast path (``fastpath`` feature ``netsim.fast``): every box first peeks
+at the fixed TCP header (:class:`~repro.tcp.segment.TcpHeaderPeek`) and
+only the packets it actually rewrites pay for a full parse → mutate →
+reserialize round trip; NAT and the payload corruptor skip even that by
+patching the raw bytes in place and refreshing the checksum.  Both
+paths emit byte-identical packets (proved by the wire-fidelity tests).
 """
 
 from __future__ import annotations
 
+import struct
+
 from typing import Callable, Iterable, Optional
 
+from repro import fastpath
 from repro.netsim.packet import Datagram, PROTO_TCP
 from repro.tcp.options import (
     KIND_FAST_OPEN,
     MaximumSegmentSize,
     TcpOption,
 )
-from repro.tcp.segment import Flags, TcpSegment
+from repro.tcp.segment import Flags, TcpHeaderPeek, TcpSegment, patch_checksum
 
 
 def _parse_tcp(datagram: Datagram) -> Optional[TcpSegment]:
@@ -30,6 +40,17 @@ def _parse_tcp(datagram: Datagram) -> Optional[TcpSegment]:
         )
     except Exception:
         return None
+
+
+def _peek_tcp(datagram: Datagram) -> Optional[TcpHeaderPeek]:
+    """Header peek when the "netsim.fast" path is on, else None.
+
+    Returning None sends the caller down the reference parse path, so a
+    packet the peek cannot read gets the same treatment either way.
+    """
+    if datagram.protocol != PROTO_TCP or not fastpath.flags["netsim.fast"]:
+        return None
+    return TcpHeaderPeek.of(datagram.payload)
 
 
 def _reserialize(datagram: Datagram, segment: TcpSegment, **overrides) -> Datagram:
@@ -50,6 +71,9 @@ class OptionStripper:
         self.stripped_count = 0
 
     def __call__(self, datagram: Datagram):
+        peek = _peek_tcp(datagram)
+        if peek is not None and not set(peek.option_kinds()) & self.kinds:
+            return datagram  # nothing to strip: forward the bytes untouched
         segment = _parse_tcp(datagram)
         if segment is None:
             return datagram
@@ -78,6 +102,13 @@ class RstInjector:
         self.fired = False
 
     def __call__(self, datagram: Datagram):
+        if self.match is None:
+            peek = _peek_tcp(datagram)
+            if peek is not None:
+                self.seen_bytes += peek.payload_length
+                if self.fired or self.seen_bytes < self.trigger_bytes:
+                    return datagram
+                self.seen_bytes -= peek.payload_length  # recounted below
         segment = _parse_tcp(datagram)
         if segment is None:
             return datagram
@@ -139,6 +170,22 @@ class Nat44:
         self.rebinds += 1
 
     def outbound(self, datagram: Datagram):
+        if datagram.version == 4:
+            peek = _peek_tcp(datagram)
+            if peek is not None:
+                # Raw rewrite: patch the source port bytes in place and
+                # refresh the checksum — no parse, no option re-encode.
+                key = (datagram.src, peek.src_port)
+                if key not in self._forward:
+                    self._forward[key] = self._next_port
+                    self._reverse[self._next_port] = key
+                    self._next_port += 1
+                public_port = self._forward[key]
+                self.translations += 1
+                buffer = bytearray(datagram.payload)
+                struct.pack_into("!H", buffer, 0, public_port)
+                patch_checksum(buffer, self.public_address, datagram.dst)
+                return datagram.copy(payload=bytes(buffer), src=self.public_address)
         segment = _parse_tcp(datagram)
         if segment is None or datagram.version != 4:
             return datagram
@@ -153,6 +200,18 @@ class Nat44:
         return _reserialize(datagram, segment, src=self.public_address)
 
     def inbound(self, datagram: Datagram):
+        if datagram.version == 4 and datagram.dst == self.public_address:
+            peek = _peek_tcp(datagram)
+            if peek is not None:
+                mapping = self._reverse.get(peek.dst_port)
+                if mapping is None:
+                    return None  # unsolicited inbound: NATs drop these
+                private_addr, private_port = mapping
+                self.translations += 1
+                buffer = bytearray(datagram.payload)
+                struct.pack_into("!H", buffer, 2, private_port)
+                patch_checksum(buffer, datagram.src, private_addr)
+                return datagram.copy(payload=bytes(buffer), dst=private_addr)
         segment = _parse_tcp(datagram)
         if segment is None or datagram.version != 4:
             return datagram
@@ -183,6 +242,9 @@ class TransparentProxyMangler:
         self.mangled_syns = 0
 
     def __call__(self, datagram: Datagram):
+        peek = _peek_tcp(datagram)
+        if peek is not None and not peek.is_syn:
+            return datagram  # only SYNs are mangled; everything else passes
         segment = _parse_tcp(datagram)
         if segment is None or not segment.is_syn:
             return datagram
@@ -210,6 +272,14 @@ class TfoBlocker:
         self.blocked = 0
 
     def __call__(self, datagram: Datagram):
+        peek = _peek_tcp(datagram)
+        if peek is not None:
+            # Never rewrites, so the peek answers everything.
+            if peek.is_syn and not peek.is_ack:
+                if KIND_FAST_OPEN in peek.option_kinds() or peek.payload_length:
+                    self.blocked += 1
+                    return None
+            return datagram
         segment = _parse_tcp(datagram)
         if segment is None:
             return datagram
@@ -234,6 +304,18 @@ class PayloadCorruptor:
         self.corrupted = 0
 
     def __call__(self, datagram: Datagram):
+        peek = _peek_tcp(datagram)
+        if peek is not None:
+            if not peek.payload_length:
+                return datagram
+            self._count += 1
+            if self._count % self.every:
+                return datagram
+            buffer = bytearray(datagram.payload)
+            buffer[peek.data_offset + peek.payload_length // 2] ^= 0xFF
+            self.corrupted += 1
+            patch_checksum(buffer, datagram.src, datagram.dst)
+            return datagram.copy(payload=bytes(buffer))
         segment = _parse_tcp(datagram)
         if segment is not None and segment.payload:
             self._count += 1

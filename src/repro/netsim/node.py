@@ -5,13 +5,20 @@ match).  ``Router`` forwards packets not addressed to it; ``Host`` hands
 local deliveries to registered protocol handlers (the TCP and UDP stacks
 register themselves).  Hosts can be dual-stack — the Figure 4 experiment
 uses a host with one IPv4-only and one IPv6-only interface.
+
+Fast path (``fastpath`` feature ``netsim.fast``): per-node caches for
+``owns_address`` (a set of owned addresses) and ``lookup_route`` (a
+destination-keyed memo of the longest-prefix match).  Both are dropped
+whenever an interface address or the routing table changes, so they are
+pure memoization of the reference scans.
 """
 
 from __future__ import annotations
 
 import ipaddress
-from typing import Callable, Optional
+from typing import Callable, Dict, Optional
 
+from repro import fastpath
 from repro.netsim.packet import Datagram, IPAddress
 
 
@@ -28,10 +35,12 @@ class Interface:
 
     def configure_ipv4(self, cidr: str) -> "Interface":
         self.ipv4 = ipaddress.IPv4Interface(cidr)
+        self.node.invalidate_lookup_caches()
         return self
 
     def configure_ipv6(self, cidr: str) -> "Interface":
         self.ipv6 = ipaddress.IPv6Interface(cidr)
+        self.node.invalidate_lookup_caches()
         return self
 
     def address_for_family(self, version: int) -> Optional[IPAddress]:
@@ -86,6 +95,9 @@ class Node:
         self._routes: list = []
         self.packets_forwarded = 0
         self.packets_delivered = 0
+        # Lazy lookup caches ("netsim.fast"); see invalidate_lookup_caches.
+        self._owned_cache: Optional[frozenset] = None
+        self._route_cache: Dict[tuple, Optional[Interface]] = {}
 
     # -- configuration ---------------------------------------------------
 
@@ -102,9 +114,16 @@ class Node:
         )
         self._routes.append((network, interface))
         self._routes.sort(key=lambda entry: entry[0].prefixlen, reverse=True)
+        self.invalidate_lookup_caches()
 
     def clear_routes(self) -> None:
         self._routes.clear()
+        self.invalidate_lookup_caches()
+
+    def invalidate_lookup_caches(self) -> None:
+        """Drop the address/route memos after any topology change."""
+        self._owned_cache = None
+        self._route_cache.clear()
 
     # -- address helpers -----------------------------------------------------
 
@@ -118,6 +137,17 @@ class Node:
                     yield address
 
     def owns_address(self, address: IPAddress) -> bool:
+        if fastpath.flags["netsim.fast"]:
+            # Keyed by (concrete class, integer value): hashing an
+            # ``ipaddress`` object builds a hex string every time, while
+            # a (type, int) tuple hashes in a few nanoseconds.  The class
+            # in the key keeps v4 and v6 addresses with equal integer
+            # values distinct.
+            if self._owned_cache is None:
+                self._owned_cache = frozenset(
+                    (owned.__class__, int(owned)) for owned in self.addresses()
+                )
+            return (address.__class__, address._ip) in self._owned_cache
         return any(address == owned for owned in self.addresses())
 
     def interface_for_address(self, address: IPAddress) -> Optional[Interface]:
@@ -145,6 +175,18 @@ class Node:
         out.send(datagram.copy(hop_limit=datagram.hop_limit - 1))
 
     def lookup_route(self, destination: IPAddress) -> Optional[Interface]:
+        if fastpath.flags["netsim.fast"]:
+            key = (destination.__class__, destination._ip)
+            try:
+                return self._route_cache[key]
+            except KeyError:
+                pass
+            result = self._lookup_route_scan(destination)
+            self._route_cache[key] = result
+            return result
+        return self._lookup_route_scan(destination)
+
+    def _lookup_route_scan(self, destination: IPAddress) -> Optional[Interface]:
         for network, interface in self._routes:
             if network.version == destination.version and destination in network:
                 return interface

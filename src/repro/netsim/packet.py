@@ -13,6 +13,8 @@ import ipaddress
 from dataclasses import dataclass, field
 from typing import Union
 
+from repro import fastpath
+
 IPAddress = Union[ipaddress.IPv4Address, ipaddress.IPv6Address]
 
 PROTO_TCP = 6
@@ -46,22 +48,42 @@ class Datagram:
             raise ValueError(
                 f"address family mismatch: {self.src} -> {self.dst}"
             )
-
-    @property
-    def version(self) -> int:
-        return self.src.version
-
-    @property
-    def header_length(self) -> int:
-        return IPV4_HEADER_LEN if self.version == 4 else IPV6_HEADER_LEN
-
-    @property
-    def size(self) -> int:
-        """Total on-wire size in bytes (IP header + payload)."""
-        return self.header_length + len(self.payload)
+        # All fields that determine the wire size are effectively
+        # immutable after construction (middleboxes rewrite via
+        # ``copy()``, which builds a new datagram), so precompute the
+        # values the link layer reads on every enqueue/delivery instead
+        # of paying property-call overhead per packet.
+        version = self.src.version
+        self.version = version
+        self.header_length = IPV4_HEADER_LEN if version == 4 else IPV6_HEADER_LEN
+        # Total on-wire size in bytes (IP header + payload).
+        self.size = self.header_length + len(self.payload)
 
     def copy(self, **overrides) -> "Datagram":
-        """Clone with modifications; used by middleboxes that rewrite."""
+        """Clone with modifications; used by middleboxes that rewrite
+        and by every router hop (``hop_limit`` decrement).
+
+        Fast path (``netsim.fast``): skips the dataclass ``__init__``
+        and fills the instance dict directly; ``__post_init__`` still
+        runs whenever a field other than ``hop_limit`` changed, so the
+        family check and the derived size fields stay exactly as a
+        fresh construction would set them.
+        """
+        if fastpath.flags["netsim.fast"]:
+            clone = object.__new__(Datagram)
+            state = dict(self.__dict__)
+            if overrides:
+                state.update(overrides)
+            if "packet_id" not in overrides:
+                state["packet_id"] = _allocate_packet_id()
+            clone.__dict__ = state
+            if overrides and not overrides.keys() <= {"hop_limit", "packet_id"}:
+                # Addresses or payload changed: revalidate the family
+                # pairing and recompute the derived size fields.  A
+                # hop-limit-only clone (the router forwarding path)
+                # inherits them unchanged.
+                clone.__post_init__()
+            return clone
         fields = {
             "src": self.src,
             "dst": self.dst,

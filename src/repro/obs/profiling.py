@@ -1,0 +1,60 @@
+"""Wall-clock profiling hooks for the datapath benchmarks.
+
+``SubsystemTimers`` accumulates wall time per named subsystem ("crypto",
+"tcp", "netsim", ...) via context-managed sections.  It is deliberately
+tiny — two ``perf_counter`` calls per section — so wrapping a hot region
+costs nanoseconds, and like everything in ``repro.obs`` it observes
+without changing simulated outcomes.
+
+The timers ride along in ``Observability`` and surface through
+``Observability.snapshot()`` (and therefore in every ``BENCH_*.json``
+the benchmark conftest writes) as::
+
+    "profiling": {"wall_seconds": {"crypto": 1.23, ...},
+                  "sections": {"crypto": 42, ...}}
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Dict, Iterator
+
+
+class SubsystemTimers:
+    """Accumulated wall-clock time per named subsystem."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._seconds: Dict[str, float] = {}
+        self._sections: Dict[str, int] = {}
+
+    @contextmanager
+    def section(self, name: str) -> Iterator[None]:
+        """Time the enclosed block under ``name`` (no-op when disabled)."""
+        if not self.enabled:
+            yield
+            return
+        start = perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = perf_counter() - start
+            self._seconds[name] = self._seconds.get(name, 0.0) + elapsed
+            self._sections[name] = self._sections.get(name, 0) + 1
+
+    def add(self, name: str, seconds: float) -> None:
+        """Fold externally measured time (e.g. ``Simulator.run_wall_seconds``)."""
+        if not self.enabled:
+            return
+        self._seconds[name] = self._seconds.get(name, 0.0) + seconds
+        self._sections[name] = self._sections.get(name, 0) + 1
+
+    def seconds(self, name: str) -> float:
+        return self._seconds.get(name, 0.0)
+
+    def snapshot(self) -> dict:
+        return {
+            "wall_seconds": dict(self._seconds),
+            "sections": dict(self._sections),
+        }

@@ -23,8 +23,10 @@ The application-facing surface is callback-based: ``send``/``close`` plus
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from operator import attrgetter
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro import fastpath
 from repro.netsim.packet import Datagram, PROTO_TCP, IPAddress
 from repro.tcp import seqnum
 from repro.tcp.congestion import CongestionControl, make as make_cc
@@ -40,6 +42,8 @@ from repro.tcp.options import (
 )
 from repro.tcp.rto import RtoEstimator
 from repro.tcp.segment import Flags, TcpSegment
+
+_send_time_of = attrgetter("send_time")
 
 # Connection states.
 CLOSED = "CLOSED"
@@ -114,7 +118,13 @@ class TcpConnection:
         self.snd_nxt = self.iss
         self.snd_wnd = mss * 10
         self._send_queue = bytearray()
+        # Scoreboard of transmitted-but-unacked segments.  Insertion
+        # order is sequence order (entries are keyed by first-transmit
+        # seq and never re-keyed), which the "tcp.ack" fast path relies
+        # on; ``_inflight_bytes`` mirrors the summed lengths so
+        # ``bytes_in_flight()`` is O(1).
         self._inflight: Dict[int, _Inflight] = {}
+        self._inflight_bytes = 0
         self._fin_pending = False
         self._fin_sent = False
         self._fin_seq: Optional[int] = None
@@ -233,6 +243,7 @@ class TcpConnection:
             seq=self.iss, data=payload, syn=True, send_time=self.sim.now
         )
         self._inflight[self.iss] = entry
+        self._inflight_bytes += entry.length()
         self.sent_syn_bytes = syn.to_bytes(self.local_addr, self.remote_addr)
         self._transmit_raw(self.sent_syn_bytes)
         self.stats["segments_sent"] += 1
@@ -288,6 +299,8 @@ class TcpConnection:
         return len(self._send_queue)
 
     def bytes_in_flight(self) -> int:
+        if fastpath.flags["tcp.ack"]:
+            return self._inflight_bytes
         return sum(entry.length() for entry in self._inflight.values())
 
     def delivery_rate(self) -> float:
@@ -369,6 +382,7 @@ class TcpConnection:
         self._inflight[self.iss] = _Inflight(
             seq=self.iss, data=b"", syn=True, send_time=self.sim.now
         )
+        self._inflight_bytes += 1
         self._transmit(syn_ack)
         self._arm_rto()
         if tfo_payload_accepted:
@@ -407,7 +421,7 @@ class TcpConnection:
             return
 
         if segment.is_ack:
-            self._handle_ack(segment)
+            self._handle_ack(segment, timestamps)
             if self.state == CLOSED:
                 return
 
@@ -436,6 +450,8 @@ class TcpConnection:
         # Handle TFO: ack may cover SYN only, or SYN + early data.
         acked = seqnum.seq_sub(segment.ack, self.iss) - 1  # payload bytes acked
         entry = self._inflight.pop(self.iss, None)
+        if entry is not None:
+            self._inflight_bytes -= entry.length()
         if entry is not None and entry.data and acked < len(entry.data):
             # Server ignored our TFO data (cookie rejected): requeue it.
             self._send_queue[:0] = entry.data[max(acked, 0):]
@@ -479,15 +495,21 @@ class TcpConnection:
 
     # -- ACK processing -----------------------------------------------------------
 
-    def _handle_ack(self, segment: TcpSegment) -> None:
+    def _handle_ack(
+        self, segment: TcpSegment, timestamps: Optional[Timestamps] = None
+    ) -> None:
         ack = segment.ack
         # RFC 7323 timestamp-based RTT sampling, but only on ACKs that
         # advance snd_una: echoes on duplicate/idle ACKs reflect stale
         # timestamps and would inflate the RTO.  Unlike Karn sampling this
         # works even when the acked segment was retransmitted, keeping the
         # RTO from staying backed off across consecutive loss events.
+        # ``timestamps`` is the option already parsed by ``on_segment`` —
+        # reparsing it here would scan the option list a second time per
+        # ACK for the identical value.
         if seqnum.seq_gt(ack, self.snd_una):
-            timestamps = find_option(segment.options, Timestamps)
+            if timestamps is None:
+                timestamps = find_option(segment.options, Timestamps)
             if timestamps is not None and timestamps.echo_reply:
                 sample = self.sim.now - (timestamps.echo_reply / 1000.0)
                 if 0 <= sample < 60:
@@ -523,27 +545,48 @@ class TcpConnection:
     def _handle_new_ack(self, ack: int) -> None:
         acked_bytes = 0
         rtt_sample: Optional[float] = None
-        for seq in sorted(
-            self._inflight, key=lambda s: seqnum.seq_sub(s, self.snd_una)
-        ):
-            entry = self._inflight[seq]
-            end = seqnum.seq_add(seq, entry.length())
-            if seqnum.seq_le(end, ack):
+        if fastpath.flags["tcp.ack"]:
+            # The scoreboard is in sequence order and entry ends strictly
+            # increase, so an ACK always covers a prefix: scan until the
+            # first entry past it instead of sorting per ACK.
+            acked_seqs: List[int] = []
+            for seq, entry in self._inflight.items():
+                end = seqnum.seq_add(seq, entry.length())
+                if not seqnum.seq_le(end, ack):
+                    break
                 acked_bytes += entry.length()
                 # Karn sample only from the segment whose arrival produced
-                # this ACK (end == ack): earlier segments may have been
-                # sitting in the receiver's reassembly buffer for many
-                # RTTs waiting for a hole to fill.
+                # this ACK (end == ack) — see the reference loop below.
                 if not entry.retransmitted and not entry.sacked and end == ack:
                     rtt_sample = self.sim.now - entry.send_time
-                del self._inflight[seq]
+                acked_seqs.append(seq)
+            for seq in acked_seqs:
+                self._inflight_bytes -= self._inflight.pop(seq).length()
+        else:
+            for seq in sorted(
+                self._inflight, key=lambda s: seqnum.seq_sub(s, self.snd_una)
+            ):
+                entry = self._inflight[seq]
+                end = seqnum.seq_add(seq, entry.length())
+                if seqnum.seq_le(end, ack):
+                    acked_bytes += entry.length()
+                    # Karn sample only from the segment whose arrival produced
+                    # this ACK (end == ack): earlier segments may have been
+                    # sitting in the receiver's reassembly buffer for many
+                    # RTTs waiting for a hole to fill.
+                    if not entry.retransmitted and not entry.sacked and end == ack:
+                        rtt_sample = self.sim.now - entry.send_time
+                    self._inflight_bytes -= entry.length()
+                    del self._inflight[seq]
         self.snd_una = ack
         self._retries = 0
         self._dup_acks = 0
+        # min() via a C-level attrgetter key: identical value to the
+        # generator form, no per-entry generator frame on the ACK path.
         self._first_unacked_time = (
             None
             if not self._inflight
-            else min(entry.send_time for entry in self._inflight.values())
+            else min(self._inflight.values(), key=_send_time_of).send_time
         )
         if rtt_sample is not None:
             self.rto.on_measurement(rtt_sample)
@@ -624,10 +667,17 @@ class TcpConnection:
         budget_bytes = self.cc.window() - self._pipe_estimate()
         highest = self._highest_sacked
         sent = 0
-        for entry in sorted(
-            self._inflight.values(),
-            key=lambda e: seqnum.seq_sub(e.seq, self.snd_una),
-        ):
+        # Insertion order is sequence order, so iterating the scoreboard
+        # directly visits entries exactly as the sorted reference would.
+        ordered = (
+            list(self._inflight.values())
+            if fastpath.flags["tcp.ack"]
+            else sorted(
+                self._inflight.values(),
+                key=lambda e: seqnum.seq_sub(e.seq, self.snd_una),
+            )
+        )
+        for entry in ordered:
             if sent >= cap or budget_bytes <= 0:
                 break
             if entry.sacked or entry.retransmitted:
@@ -768,6 +818,7 @@ class TcpConnection:
         if self._time_wait_event is not None:
             self._time_wait_event.cancel()
         self._inflight.clear()
+        self._inflight_bytes = 0
         self.stack.forget(self)
         if already_closed:
             return
@@ -819,6 +870,7 @@ class TcpConnection:
         self.snd_nxt = seqnum.seq_add(self.snd_nxt, len(chunk))
         entry = _Inflight(seq=seq, data=chunk, send_time=self.sim.now)
         self._inflight[seq] = entry
+        self._inflight_bytes += len(chunk)
         if self._first_unacked_time is None:
             self._first_unacked_time = self.sim.now
         self.stats["bytes_sent"] += len(chunk)
@@ -836,6 +888,7 @@ class TcpConnection:
         self._inflight[seq] = _Inflight(
             seq=seq, data=b"", fin=True, send_time=self.sim.now
         )
+        self._inflight_bytes += 1
         self._fin_sent = True
         self._fin_seq = seq
         self.state = FIN_WAIT_1 if self.state in (ESTABLISHED, SYN_RCVD) else LAST_ACK
@@ -885,6 +938,25 @@ class TcpConnection:
             window_field = min(
                 self._advertised_window() >> self.rcv_ws_shift, 0xFFFF
             )
+        if fastpath.flags["wire.cache"]:
+            # Send-path construction: fill the instance dict directly
+            # instead of running nine __setattr__ calls through the
+            # dataclass __init__.  Values match the reference constructor
+            # below exactly (urgent defaults to 0, no cached wire bytes).
+            segment = object.__new__(TcpSegment)
+            segment.__dict__.update(
+                src_port=self.local_port,
+                dst_port=self.remote_port,
+                seq=seq,
+                ack=self.rcv_nxt,
+                flags=flags,
+                window=window_field,
+                options=options,
+                payload=payload,
+                urgent=0,
+                _wire=None,
+            )
+            return segment
         return TcpSegment(
             src_port=self.local_port,
             dst_port=self.remote_port,
@@ -975,17 +1047,25 @@ class TcpConnection:
         return pipe
 
     def _retransmit_earliest(self) -> None:
-        candidates = sorted(
-            (
-                entry
-                for entry in self._inflight.values()
-                if not entry.sacked
-            ),
-            key=lambda entry: seqnum.seq_sub(entry.seq, self.snd_una),
-        )
-        if not candidates:
-            return
-        entry = candidates[0]
+        if fastpath.flags["tcp.ack"]:
+            # First unsacked entry in insertion (== sequence) order.
+            entry = next(
+                (e for e in self._inflight.values() if not e.sacked), None
+            )
+            if entry is None:
+                return
+        else:
+            candidates = sorted(
+                (
+                    entry
+                    for entry in self._inflight.values()
+                    if not entry.sacked
+                ),
+                key=lambda entry: seqnum.seq_sub(entry.seq, self.snd_una),
+            )
+            if not candidates:
+                return
+            entry = candidates[0]
         entry.retransmitted = True
         entry.send_time = self.sim.now
         self.stats["retransmissions"] += 1
@@ -996,6 +1076,7 @@ class TcpConnection:
                     # be dropping SYNs that carry data or the TFO option —
                     # retry with a plain SYN.
                     self._send_queue[:0] = entry.data
+                    self._inflight_bytes -= len(entry.data)
                     entry.data = b""
                     self.tfo_used = False
                     self._syn_had_tfo = False

@@ -7,10 +7,12 @@ block exceeds what a TCP header can carry.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field
 from typing import List, Tuple
 
-from repro.utils.bytesio import ByteReader, ByteWriter
+from repro import fastpath
+from repro.utils.bytesio import ByteReader, ByteWriter, NeedMoreData
 from repro.utils.errors import ProtocolViolation
 
 KIND_EOL = 0
@@ -85,10 +87,10 @@ class SackBlocks(TcpOption):
     blocks: Tuple[Tuple[int, int], ...] = ()
 
     def body(self) -> bytes:
-        writer = ByteWriter()
-        for left, right in self.blocks:
-            writer.put_u32(left & 0xFFFFFFFF).put_u32(right & 0xFFFFFFFF)
-        return writer.getvalue()
+        return b"".join(
+            struct.pack("!II", left & 0xFFFFFFFF, right & 0xFFFFFFFF)
+            for left, right in self.blocks
+        )
 
 
 @dataclass(frozen=True)
@@ -98,10 +100,9 @@ class Timestamps(TcpOption):
     echo_reply: int = 0
 
     def body(self) -> bytes:
-        writer = ByteWriter()
-        writer.put_u32(self.value & 0xFFFFFFFF)
-        writer.put_u32(self.echo_reply & 0xFFFFFFFF)
-        return writer.getvalue()
+        return struct.pack(
+            "!II", self.value & 0xFFFFFFFF, self.echo_reply & 0xFFFFFFFF
+        )
 
 
 @dataclass(frozen=True)
@@ -155,7 +156,35 @@ class RawOption(TcpOption):
 
 
 def encode_options(options: List[TcpOption]) -> bytes:
-    """Serialize options with NOP-free padding to a 4-byte boundary."""
+    """Serialize options with NOP-free padding to a 4-byte boundary.
+
+    Runs once per transmitted segment, so the ``wire.cache`` fast path
+    assembles a parts list and joins it once; the ``ByteWriter``
+    reference below is the specification and emits identical bytes.
+    """
+    if not fastpath.flags["wire.cache"]:
+        return _encode_options_reference(options)
+    parts: List[bytes] = []
+    length = 0
+    for option in options:
+        if isinstance(option, NoOperation):
+            parts.append(b"\x01")
+            length += 1
+            continue
+        body = option.body()
+        parts.append(bytes((option.kind, 2 + len(body))))
+        parts.append(body)
+        length += 2 + len(body)
+    if length > MAX_OPTION_SPACE:
+        raise ProtocolViolation(
+            f"TCP options exceed the 40-byte header budget ({length}B)"
+        )
+    parts.append(b"\x00" * ((-length) % 4))
+    return b"".join(parts)
+
+
+def _encode_options_reference(options: List[TcpOption]) -> bytes:
+    """Original writer-based encoder (the scalar-baseline path)."""
     writer = ByteWriter()
     for option in options:
         if isinstance(option, NoOperation):
@@ -173,7 +202,43 @@ def encode_options(options: List[TcpOption]) -> bytes:
 
 
 def decode_options(data: bytes) -> List[TcpOption]:
-    """Parse an option block back into option objects."""
+    """Parse an option block back into option objects.
+
+    Fast path (``wire.cache``): index-based scan, no ``ByteReader``
+    allocation — this runs once per received segment.  Truncated
+    buffers raise ``NeedMoreData`` exactly like the reader-based
+    reference parser.
+    """
+    if not fastpath.flags["wire.cache"]:
+        return _decode_options_reference(data)
+    options: List[TcpOption] = []
+    offset, end = 0, len(data)
+    while offset < end:
+        kind = data[offset]
+        offset += 1
+        if kind == KIND_EOL:
+            break
+        if kind == KIND_NOP:
+            options.append(NoOperation())
+            continue
+        if offset >= end:
+            raise NeedMoreData("wanted 1 bytes, only 0 available")
+        length = data[offset]
+        offset += 1
+        if length < 2:
+            raise ProtocolViolation(f"TCP option kind {kind} with length {length}")
+        body = bytes(data[offset : offset + length - 2])
+        if len(body) != length - 2:
+            raise NeedMoreData(
+                f"wanted {length - 2} bytes, only {len(body)} available"
+            )
+        offset += length - 2
+        options.append(_decode_one(kind, body))
+    return options
+
+
+def _decode_options_reference(data: bytes) -> List[TcpOption]:
+    """Original reader-based decoder (the scalar-baseline path)."""
     reader = ByteReader(data)
     options: List[TcpOption] = []
     while not reader.is_empty():
@@ -199,14 +264,14 @@ def _decode_one(kind: int, body: bytes) -> TcpOption:
     if kind == KIND_SACK_PERMITTED and not body:
         return SackPermitted()
     if kind == KIND_SACK and len(body) % 8 == 0:
-        reader = ByteReader(body)
+        words = struct.unpack(f"!{len(body) // 4}I", body)
         blocks = tuple(
-            (reader.get_u32(), reader.get_u32()) for _ in range(len(body) // 8)
+            (words[i], words[i + 1]) for i in range(0, len(words), 2)
         )
         return SackBlocks(blocks=blocks)
     if kind == KIND_TIMESTAMPS and len(body) == 8:
-        reader = ByteReader(body)
-        return Timestamps(value=reader.get_u32(), echo_reply=reader.get_u32())
+        value, echo = struct.unpack("!II", body)
+        return Timestamps(value=value, echo_reply=echo)
     if kind == KIND_USER_TIMEOUT and len(body) == 2:
         value = int.from_bytes(body, "big")
         return UserTimeout(

@@ -4,14 +4,33 @@ Segments serialize to genuine header bytes so that middleboxes in
 ``repro.netsim.middlebox`` can observe and rewrite exactly what a
 hardware middlebox would — the mechanism behind the paper's middlebox
 interference and SYN-echo detection experiments (sections 2.1 and 4.5).
+
+Fast path (``fastpath`` feature ``wire.cache``):
+
+- :func:`internet_checksum` folds the whole buffer through one big-int
+  conversion instead of a Python loop over 16-bit words (``2^16 ≡ 1
+  (mod 0xFFFF)``, so the byte string's big-endian value is congruent to
+  its ones-complement word sum).  The original loop survives as
+  :func:`internet_checksum_reference`; both agree on every input.
+- :meth:`TcpSegment.to_bytes` serializes into a single buffer with the
+  checksum patched in place, and caches the wire bytes on the segment.
+  Any header/payload attribute assignment invalidates the cache;
+  :meth:`TcpSegment.from_bytes` seeds it with the original raw bytes
+  (only when their checksum verifies), so parse → forward round-trips
+  are byte-identical *and* free.
+- :class:`TcpHeaderPeek` reads the fixed header fields straight out of a
+  raw buffer so middleboxes can decide pass/rewrite without a full
+  parse; :func:`patch_checksum` refreshes a raw segment they edited in
+  place.
 """
 
 from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional, Tuple
 
+from repro import fastpath
 from repro.netsim.packet import IPAddress, PROTO_TCP
 from repro.tcp.options import TcpOption, decode_options, encode_options
 from repro.utils.errors import ProtocolViolation
@@ -38,8 +57,14 @@ class Flags:
         return "|".join(parts) or "none"
 
 
-def internet_checksum(data: bytes) -> int:
-    """RFC 1071 ones-complement checksum over 16-bit big-endian words."""
+def internet_checksum_reference(data: bytes) -> int:
+    """RFC 1071 ones-complement checksum, the original word-loop form.
+
+    Kept as the executable specification for :func:`internet_checksum`;
+    the randomized cross-check tests assert the two agree on every input
+    (including the ``sum ≡ 0 (mod 0xFFFF)`` folding edge case).
+    """
+    data = bytes(data)
     if len(data) % 2:
         data += b"\x00"
     total = sum(struct.unpack(f"!{len(data) // 2}H", data))
@@ -48,10 +73,157 @@ def internet_checksum(data: bytes) -> int:
     return ~total & 0xFFFF
 
 
+def _fold(total: int) -> int:
+    # total % 0xFFFF equals the fully folded word sum *except* when the
+    # sum is a nonzero multiple of 0xFFFF, where the reference folding
+    # loop settles on 0xFFFF rather than 0.
+    folded = total % 0xFFFF
+    if folded == 0 and total:
+        folded = 0xFFFF
+    return ~folded & 0xFFFF
+
+
+def internet_checksum(data) -> int:
+    """RFC 1071 ones-complement checksum over 16-bit big-endian words.
+
+    Fast path: one ``int.from_bytes`` then a single ``% 0xFFFF`` — since
+    ``2^16 ≡ 1 (mod 0xFFFF)``, the big-endian integer value of the
+    buffer is congruent to its 16-bit word sum.  Accepts any bytes-like
+    object (odd lengths are handled by shifting, never by copying).
+    """
+    if not fastpath.flags["wire.cache"]:
+        return internet_checksum_reference(data)
+    total = int.from_bytes(data, "big")
+    if len(data) % 2:
+        total <<= 8
+    return _fold(total)
+
+
+def internet_checksum_parts(*parts) -> int:
+    """Checksum of the concatenation of ``parts`` without concatenating.
+
+    Exact only while every part except the last has even length (so the
+    16-bit word boundaries of the virtual concatenation are preserved) —
+    true for the TCP pseudo-header, which is 12 bytes for IPv4 and 40
+    for IPv6.
+    """
+    total = 0
+    for part in parts:
+        value = int.from_bytes(part, "big")
+        if len(part) % 2:
+            value <<= 8
+        total += value
+    return _fold(total)
+
+
+#: (address class, src int, dst int) -> packed src||dst prefix.  The
+#: packed form of an address pair never changes, so memoizing it saves
+#: two ``packed`` conversions per checksum; keys hash as plain ints.
+_PSEUDO_PREFIX: dict = {}
+
+
 def _pseudo_header(src: IPAddress, dst: IPAddress, tcp_length: int) -> bytes:
+    if fastpath.flags["wire.cache"]:
+        key = (src.__class__, src._ip, dst._ip)
+        prefix = _PSEUDO_PREFIX.get(key)
+        if prefix is None:
+            prefix = _PSEUDO_PREFIX[key] = src.packed + dst.packed
+    else:
+        prefix = src.packed + dst.packed
     if src.version == 4:
-        return src.packed + dst.packed + struct.pack("!BBH", 0, PROTO_TCP, tcp_length)
-    return src.packed + dst.packed + struct.pack("!IBBBB", tcp_length, 0, 0, 0, PROTO_TCP)
+        return prefix + struct.pack("!BBH", 0, PROTO_TCP, tcp_length)
+    return prefix + struct.pack("!IBBBB", tcp_length, 0, 0, 0, PROTO_TCP)
+
+
+def patch_checksum(buffer: bytearray, src: IPAddress, dst: IPAddress) -> None:
+    """Recompute and patch the checksum of a raw TCP segment in place.
+
+    For middleboxes that rewrite header bytes directly instead of going
+    through parse → mutate → reserialize.
+    """
+    buffer[16:18] = b"\x00\x00"
+    checksum = internet_checksum_parts(_pseudo_header(src, dst, len(buffer)), buffer)
+    struct.pack_into("!H", buffer, 16, checksum)
+
+
+class TcpHeaderPeek:
+    """Fixed-offset view of a TCP header inside a raw buffer.
+
+    Lets middleboxes inspect ports, flags, payload length and option
+    kinds without building a :class:`TcpSegment` (no option decoding, no
+    payload copy).  Read-only; rewriters copy the buffer and use
+    :func:`patch_checksum`.
+    """
+
+    __slots__ = ("buffer", "src_port", "dst_port", "flags", "data_offset")
+
+    @classmethod
+    def of(cls, data) -> Optional["TcpHeaderPeek"]:
+        """Peek at ``data``, or None when it cannot be a TCP segment."""
+        if len(data) < 20:
+            return None
+        offset = (data[12] >> 4) * 4
+        if offset < 20 or offset > len(data):
+            return None
+        peek = cls.__new__(cls)
+        peek.buffer = data
+        peek.src_port = (data[0] << 8) | data[1]
+        peek.dst_port = (data[2] << 8) | data[3]
+        peek.flags = data[13]
+        peek.data_offset = offset
+        return peek
+
+    @property
+    def payload_length(self) -> int:
+        return len(self.buffer) - self.data_offset
+
+    def has(self, flag: int) -> bool:
+        return bool(self.flags & flag)
+
+    @property
+    def is_syn(self) -> bool:
+        return self.has(Flags.SYN)
+
+    @property
+    def is_ack(self) -> bool:
+        return self.has(Flags.ACK)
+
+    def option_kinds(self) -> List[int]:
+        """Option kind bytes present, scanned without decoding values."""
+        kinds: List[int] = []
+        data = self.buffer
+        index = 20
+        while index < self.data_offset:
+            kind = data[index]
+            if kind == 0:  # end of option list
+                break
+            kinds.append(kind)
+            if kind == 1:  # NOP
+                index += 1
+                continue
+            if index + 1 >= self.data_offset:
+                break
+            length = data[index + 1]
+            if length < 2:
+                break
+            index += length
+        return kinds
+
+
+#: Attribute assignments that change the wire encoding drop the cache.
+_WIRE_FIELDS = frozenset(
+    {
+        "src_port",
+        "dst_port",
+        "seq",
+        "ack",
+        "flags",
+        "window",
+        "options",
+        "payload",
+        "urgent",
+    }
+)
 
 
 @dataclass
@@ -67,6 +239,15 @@ class TcpSegment:
     options: List[TcpOption] = field(default_factory=list)
     payload: bytes = b""
     urgent: int = 0
+
+    def __setattr__(self, name: str, value) -> None:
+        # NOTE: mutating nested objects in place (appending to
+        # ``segment.options`` or editing an option object) bypasses this
+        # hook — rewriters must assign whole attributes, as every
+        # middlebox in ``repro.netsim.middlebox`` does.
+        if name in _WIRE_FIELDS:
+            object.__setattr__(self, "_wire", None)
+        object.__setattr__(self, name, value)
 
     def has(self, flag: int) -> bool:
         return bool(self.flags & flag)
@@ -99,6 +280,15 @@ class TcpSegment:
     # -- wire format -----------------------------------------------------
 
     def to_bytes(self, src: IPAddress, dst: IPAddress) -> bytes:
+        if fastpath.flags["wire.cache"]:
+            cached: Optional[Tuple[IPAddress, IPAddress, bytes]]
+            cached = getattr(self, "_wire", None)
+            if cached is not None and cached[0] == src and cached[1] == dst:
+                return cached[2]
+            wire = self._serialize_fast(src, dst)
+            object.__setattr__(self, "_wire", (src, dst, wire))
+            return wire
+        # Reference path: the original splice-based serializer.
         options_block = encode_options(self.options)
         data_offset_words = 5 + len(options_block) // 4
         header = struct.pack(
@@ -114,8 +304,37 @@ class TcpSegment:
             self.urgent,
         )
         segment = header + options_block + self.payload
-        checksum = internet_checksum(_pseudo_header(src, dst, len(segment)) + segment)
+        checksum = internet_checksum_reference(
+            _pseudo_header(src, dst, len(segment)) + segment
+        )
         return segment[:16] + struct.pack("!H", checksum) + segment[18:]
+
+    def _serialize_fast(self, src: IPAddress, dst: IPAddress) -> bytes:
+        """Single-buffer serialization with the checksum patched in place."""
+        options_block = encode_options(self.options)
+        header_length = 20 + len(options_block)
+        buffer = bytearray(header_length + len(self.payload))
+        struct.pack_into(
+            "!HHIIBBHHH",
+            buffer,
+            0,
+            self.src_port,
+            self.dst_port,
+            self.seq & 0xFFFFFFFF,
+            self.ack & 0xFFFFFFFF,
+            (header_length // 4) << 4,
+            self.flags,
+            self.window & 0xFFFF,
+            0,  # checksum patched below
+            self.urgent,
+        )
+        buffer[20:header_length] = options_block
+        buffer[header_length:] = self.payload
+        checksum = internet_checksum_parts(
+            _pseudo_header(src, dst, len(buffer)), buffer
+        )
+        struct.pack_into("!H", buffer, 16, checksum)
+        return bytes(buffer)
 
     @classmethod
     def from_bytes(
@@ -141,10 +360,49 @@ class TcpSegment:
         data_offset = (offset_flags_hi >> 4) * 4
         if data_offset < 20 or data_offset > len(data):
             raise ProtocolViolation(f"bad TCP data offset {data_offset}")
-        if verify_checksum and src is not None and dst is not None:
-            if internet_checksum(_pseudo_header(src, dst, len(data)) + data) != 0:
-                raise ProtocolViolation("TCP checksum verification failed")
+        checksum_ok = False
+        if src is not None and dst is not None:
+            use_fast = fastpath.flags["wire.cache"]
+            if verify_checksum or use_fast:
+                if use_fast:
+                    checksum_ok = (
+                        internet_checksum_parts(
+                            _pseudo_header(src, dst, len(data)), data
+                        )
+                        == 0
+                    )
+                else:
+                    checksum_ok = (
+                        internet_checksum(
+                            _pseudo_header(src, dst, len(data)) + bytes(data)
+                        )
+                        == 0
+                    )
+                if verify_checksum and not checksum_ok:
+                    raise ProtocolViolation("TCP checksum verification failed")
         options = decode_options(data[20:data_offset])
+        if fastpath.flags["wire.cache"]:
+            # Receive-path construction bypasses the dataclass __init__
+            # (nine __setattr__ calls per segment) and fills the instance
+            # dict in one go.  Field values are exactly what the
+            # reference constructor below would set.  The wire cache is
+            # seeded with the original bytes only when the checksum
+            # verified, so a reserialize can never launder a corrupted
+            # checksum through the cache.
+            segment = object.__new__(cls)
+            segment.__dict__.update(
+                src_port=src_port,
+                dst_port=dst_port,
+                seq=seq,
+                ack=ack,
+                flags=flags,
+                window=window,
+                options=options,
+                payload=data[data_offset:],
+                urgent=urgent,
+                _wire=(src, dst, bytes(data)) if checksum_ok else None,
+            )
+            return segment
         return cls(
             src_port=src_port,
             dst_port=dst_port,

@@ -10,16 +10,30 @@ opaque APPDATA records.
 ``RecordDecoder.decrypt_with`` exposes the per-record AEAD open so TCPLS
 can do trial decryption across per-stream cryptographic contexts
 (paper section 2.3).
+
+Fast path (``fastpath`` feature ``crypto.batch``): the nonce schedule is
+deterministic (``iv XOR sequence``), so a ``CipherState`` can precompute
+the ChaCha20 keystream for the next several record sequence numbers in
+one vectorized call and hand slices of it to the AEAD layer.  The cache
+is pure lookahead — sealing/opening through it is bit-identical to the
+per-record scalar construction, the sequence numbers advance exactly as
+before, and any key change drops the cache.
 """
 
 from __future__ import annotations
 
+import struct
 from typing import Callable, Iterator, List, Optional, Tuple
 
+from repro import fastpath
+from repro.crypto import aead as _aead
 from repro.crypto.aead import ChaCha20Poly1305, TAG_LENGTH
 from repro.crypto.keyschedule import TrafficKeys
-from repro.utils.bytesio import ByteReader, ByteWriter
+from repro.utils.bytesio import ByteWriter
 from repro.utils.errors import CryptoError, ProtocolViolation
+
+if _aead.HAVE_NUMPY:
+    from repro.crypto.chacha20_fast import chacha20_keystream_multi
 
 
 class ContentType:
@@ -35,6 +49,15 @@ LEGACY_RECORD_VERSION = 0x0303
 # Per-record overhead once encrypted: header + inner type byte + AEAD tag.
 ENCRYPTED_OVERHEAD = RECORD_HEADER_LEN + 1 + TAG_LENGTH
 
+#: Record sequence numbers covered per lookahead keystream generation.
+#: numpy dispatch overhead is per-op, not per-element, so a wider window
+#: amortizes the ~1000 vector ops of a ChaCha20 pass over more records;
+#: 32 full-size records is ~0.5 MiB of cached keystream.
+LOOKAHEAD_RECORDS = 32
+#: Inner plaintexts below this size skip the lookahead (the one-call
+#: batch inside ``ChaCha20Poly1305`` already covers them adequately).
+_LOOKAHEAD_MIN_INNER = 1024
+
 
 def record_header(content_type: int, length: int) -> bytes:
     writer = ByteWriter()
@@ -43,12 +66,22 @@ def record_header(content_type: int, length: int) -> bytes:
 
 
 class CipherState:
-    """One direction's AEAD key material plus its record sequence number."""
+    """One direction's AEAD key material plus its record sequence number.
+
+    Holds the keystream lookahead cache: because the per-record nonce is
+    ``iv XOR sequence``, the keystream for sequences ``[base, base + R)``
+    can be generated in one vectorized pass and sliced per record.  The
+    cache is sized by the first record that misses it, so a bulk stream
+    of max-size records pays one generation per ``LOOKAHEAD_RECORDS``.
+    """
 
     def __init__(self, keys: TrafficKeys) -> None:
         self.keys = keys
         self.aead = ChaCha20Poly1305(keys.key)
         self.sequence = 0
+        self._ks_cache: Optional[memoryview] = None
+        self._ks_base = 0
+        self._ks_record_bytes = 0
 
     def next_nonce(self) -> bytes:
         return self.keys.nonce_for(self.sequence)
@@ -61,6 +94,52 @@ class CipherState:
         self.keys = self.keys.next_generation()
         self.aead = ChaCha20Poly1305(self.keys.key)
         self.sequence = 0
+        self._ks_cache = None
+
+    def _lookahead(self, payload_length: int) -> Optional[memoryview]:
+        """Keystream slice (OTK block + payload blocks) for the current
+        sequence, or ``None`` when the lookahead should not engage."""
+        if (
+            payload_length < _LOOKAHEAD_MIN_INNER
+            or not _aead.HAVE_NUMPY
+            or not fastpath.flags["crypto.batch"]
+        ):
+            return None
+        needed = 64 * (1 + (payload_length + 63) // 64)
+        seq = self.sequence
+        if (
+            self._ks_cache is None
+            or needed > self._ks_record_bytes
+            or not self._ks_base <= seq < self._ks_base + LOOKAHEAD_RECORDS
+        ):
+            nonces = [
+                self.keys.nonce_for(s) for s in range(seq, seq + LOOKAHEAD_RECORDS)
+            ]
+            self._ks_cache = memoryview(
+                chacha20_keystream_multi(self.keys.key, nonces, 0, needed // 64)
+            )
+            self._ks_base = seq
+            self._ks_record_bytes = needed
+        start = (seq - self._ks_base) * self._ks_record_bytes
+        return self._ks_cache[start : start + needed]
+
+    def seal(self, inner: bytes, aad: bytes) -> bytes:
+        """Encrypt one record at the current sequence (does not advance)."""
+        keystream = self._lookahead(len(inner))
+        if keystream is not None:
+            return _aead.seal_with_keystream(keystream, inner, aad)
+        return self.aead.encrypt(self.next_nonce(), inner, aad)
+
+    def open(self, ciphertext: bytes, aad: bytes) -> bytes:
+        """Verify + decrypt one record at the current sequence.
+
+        The tag is checked before any plaintext is produced either way,
+        so failed trial decryptions stay cheap on both paths.
+        """
+        keystream = self._lookahead(len(ciphertext) - TAG_LENGTH)
+        if keystream is not None:
+            return _aead.open_with_keystream(keystream, ciphertext, aad)
+        return self.aead.decrypt(self.next_nonce(), ciphertext, aad)
 
 
 class RecordEncoder:
@@ -108,7 +187,7 @@ class RecordEncoder:
         inner = chunk + bytes([content_type])
         sealed_length = len(inner) + TAG_LENGTH
         header = record_header(ContentType.APPLICATION_DATA, sealed_length)
-        sealed = self._cipher.aead.encrypt(self._cipher.next_nonce(), inner, header)
+        sealed = self._cipher.seal(inner, header)
         self._cipher.advance()
         self.records_encrypted += 1
         if self.on_record_encrypted is not None:
@@ -181,10 +260,11 @@ class RecordDecoder:
     def _next_raw_record(self) -> Optional[Tuple[int, bytes]]:
         if len(self._buffer) < RECORD_HEADER_LEN:
             return None
-        reader = ByteReader(bytes(self._buffer[:RECORD_HEADER_LEN]))
-        outer_type = reader.get_u8()
-        reader.get_u16()
-        length = reader.get_u16()
+        # Header fields straight out of the reassembly buffer — one
+        # struct call instead of a ByteReader over a copied slice.
+        outer_type, _legacy_version, length = struct.unpack_from(
+            "!BHH", self._buffer, 0
+        )
         if length > MAX_PLAINTEXT + 256 + TAG_LENGTH:
             raise ProtocolViolation(f"record length {length} exceeds the limit")
         if len(self._buffer) < RECORD_HEADER_LEN + length:
@@ -197,9 +277,7 @@ class RecordDecoder:
         assert self._cipher is not None
         header = record_header(ContentType.APPLICATION_DATA, len(ciphertext))
         try:
-            inner = self._cipher.aead.decrypt(
-                self._cipher.next_nonce(), ciphertext, header
-            )
+            inner = self._cipher.open(ciphertext, header)
         except CryptoError:
             self.decrypt_failures += 1
             raise
@@ -218,6 +296,6 @@ class RecordDecoder:
         tag until we find the stream" probe from paper section 2.3.
         """
         header = record_header(ContentType.APPLICATION_DATA, len(ciphertext))
-        inner = cipher.aead.decrypt(cipher.next_nonce(), ciphertext, header)
+        inner = cipher.open(ciphertext, header)
         cipher.advance()
         return strip_padding(inner)

@@ -1,0 +1,235 @@
+"""Randomized cross-checks: every crypto fast path vs its scalar reference.
+
+The fast paths are only allowed to exist because they are bit-identical
+to the scalar implementations.  These tests are the enforcement: random
+keys/messages (seeded — failures reproduce), boundary sizes around every
+group/block/window edge, and both the numpy and the pure-int group
+evaluators of the batched Poly1305.
+
+The CI perf-smoke job fails if any test here is *skipped*, so none of
+them may depend on optional machinery without a hard reason.
+"""
+
+import random
+
+import pytest
+
+from repro import fastpath
+from repro.crypto import aead as _aead
+from repro.crypto import poly1305_fast as _poly_fast
+from repro.crypto.aead import ChaCha20Poly1305, TAG_LENGTH
+from repro.crypto.chacha20 import chacha20_block, chacha20_encrypt
+from repro.crypto.keyschedule import TrafficKeys
+from repro.crypto.poly1305 import constant_time_equal, poly1305_mac
+from repro.crypto.poly1305_fast import poly1305_mac_fast
+from repro.tls.record import CipherState, ContentType, record_header
+from repro.utils.errors import CryptoError
+
+_RNG = random.Random(0x7C9)
+
+#: Sizes straddling every boundary in the batched code: the empty and
+#: sub-block cases, the 16-byte block edge, the 512-byte MIN_BATCH edge,
+#: the 1024-byte group edge (64 blocks x 16 bytes), and the TLS record
+#: ceiling.
+BOUNDARY_SIZES = (
+    0, 1, 15, 16, 17, 31, 32, 511, 512, 513,
+    1023, 1024, 1025, 2047, 2048, 4096, 16384, 16400,
+)
+
+
+def _random_bytes(n: int) -> bytes:
+    return _RNG.randbytes(n)
+
+
+# ----------------------------------------------------------------------
+# Poly1305
+# ----------------------------------------------------------------------
+
+def test_poly1305_fast_matches_reference_on_boundaries():
+    for size in BOUNDARY_SIZES:
+        key = _random_bytes(32)
+        message = _random_bytes(size)
+        assert poly1305_mac_fast(key, message) == poly1305_mac(key, message), size
+
+
+def test_poly1305_fast_matches_reference_randomized():
+    for _ in range(150):
+        key = _random_bytes(32)
+        message = _random_bytes(_RNG.randrange(0, 20000))
+        assert poly1305_mac_fast(key, message) == poly1305_mac(key, message)
+
+
+def test_poly1305_pure_int_group_path(monkeypatch):
+    """The no-numpy fallback evaluator must agree bit-for-bit too."""
+    monkeypatch.setattr(_poly_fast, "HAVE_NUMPY", False)
+    for size in BOUNDARY_SIZES:
+        key = _random_bytes(32)
+        message = _random_bytes(size)
+        assert poly1305_mac_fast(key, message) == poly1305_mac(key, message), size
+    for _ in range(50):
+        key = _random_bytes(32)
+        message = _random_bytes(_RNG.randrange(0, 20000))
+        assert poly1305_mac_fast(key, message) == poly1305_mac(key, message)
+
+
+def test_poly1305_group_evaluators_agree():
+    """numpy and pure-int group folds are interchangeable."""
+    if not _poly_fast.HAVE_NUMPY:
+        pytest.skip("numpy unavailable: only one group evaluator exists")
+    for size in (1024, 2048, 4096, 16384):
+        r = int.from_bytes(_random_bytes(16), "little") & _poly_fast._R_CLAMP
+        powers = _poly_fast._powers_of_r(r)
+        view = memoryview(_random_bytes(size))
+        assert _poly_fast._grouped_numpy(
+            view, size, powers, powers[0]
+        ) == _poly_fast._grouped_int(view, size, powers, powers[0])
+
+
+def test_poly1305_accepts_memoryview():
+    key = _random_bytes(32)
+    message = _random_bytes(5000)
+    assert poly1305_mac_fast(key, memoryview(message)) == poly1305_mac(key, message)
+
+
+def test_constant_time_equal_is_compare_digest():
+    assert constant_time_equal(b"abc", b"abc")
+    assert not constant_time_equal(b"abc", b"abd")
+    assert not constant_time_equal(b"abc", b"abcd")
+    # Reference semantics of the original per-byte loop: equal iff same
+    # length and same content.
+    for _ in range(50):
+        a = _random_bytes(_RNG.randrange(0, 64))
+        b = bytearray(a)
+        if b and _RNG.random() < 0.7:
+            b[_RNG.randrange(len(b))] ^= 1 << _RNG.randrange(8)
+        assert constant_time_equal(a, bytes(b)) == (a == bytes(b))
+
+
+# ----------------------------------------------------------------------
+# ChaCha20 keystream batching
+# ----------------------------------------------------------------------
+
+def test_chacha20_keystream_multi_matches_block():
+    if not _aead.HAVE_NUMPY:
+        pytest.skip("numpy unavailable: no vectorized keystream")
+    from repro.crypto.chacha20_fast import chacha20_keystream_multi
+
+    key = _random_bytes(32)
+    nonces = [_random_bytes(12) for _ in range(5)]
+    blocks_per_nonce = 4
+    stream = chacha20_keystream_multi(key, nonces, 0, blocks_per_nonce)
+    assert len(stream) == len(nonces) * blocks_per_nonce * 64
+    for n_index, nonce in enumerate(nonces):
+        for b_index in range(blocks_per_nonce):
+            offset = (n_index * blocks_per_nonce + b_index) * 64
+            assert stream[offset : offset + 64] == chacha20_block(
+                key, b_index, nonce
+            ), (n_index, b_index)
+
+
+def test_chacha20_encrypt_batch_matches_scalar():
+    for size in (0, 1, 63, 64, 65, 512, 4096):
+        key = _random_bytes(32)
+        nonce = _random_bytes(12)
+        plaintext = _random_bytes(size)
+        fast = chacha20_encrypt(key, 1, nonce, plaintext)
+        with fastpath.scalar_baseline():
+            scalar = chacha20_encrypt(key, 1, nonce, plaintext)
+        assert fast == scalar, size
+
+
+# ----------------------------------------------------------------------
+# AEAD: batched vs scalar, and the keystream-slice entry points
+# ----------------------------------------------------------------------
+
+def test_aead_seal_open_matches_scalar_baseline():
+    for size in (0, 1, 16, 511, 512, 1024, 4096, 16384):
+        key = _random_bytes(32)
+        nonce = _random_bytes(12)
+        aad = _random_bytes(_RNG.randrange(0, 48))
+        plaintext = _random_bytes(size)
+        aead = ChaCha20Poly1305(key)
+        fast = aead.encrypt(nonce, plaintext, aad)
+        with fastpath.scalar_baseline():
+            scalar = aead.encrypt(nonce, plaintext, aad)
+        assert fast == scalar, size
+        assert aead.decrypt(nonce, fast, aad) == plaintext
+
+
+def test_aead_keystream_slice_entry_points():
+    if not _aead.HAVE_NUMPY:
+        pytest.skip("numpy unavailable: keystream entry points unused")
+    from repro.crypto.chacha20_fast import chacha20_keystream_multi
+
+    key = _random_bytes(32)
+    nonce = _random_bytes(12)
+    aad = _random_bytes(13)
+    plaintext = _random_bytes(3000)
+    blocks = 1 + (len(plaintext) + 63) // 64
+    keystream = memoryview(chacha20_keystream_multi(key, [nonce], 0, blocks))
+    sealed_ref = ChaCha20Poly1305(key).encrypt(nonce, plaintext, aad)
+    assert _aead.seal_with_keystream(keystream, plaintext, aad) == sealed_ref
+    assert _aead.open_with_keystream(keystream, sealed_ref, aad) == plaintext
+    tampered = bytearray(sealed_ref)
+    tampered[7] ^= 1
+    with pytest.raises(CryptoError):
+        _aead.open_with_keystream(keystream, bytes(tampered), aad)
+
+
+# ----------------------------------------------------------------------
+# Record-layer lookahead cache
+# ----------------------------------------------------------------------
+
+def _seal_series(sizes):
+    keys = TrafficKeys.from_secret(b"\x31" * 32)
+    state = CipherState(keys)
+    out = []
+    for index, size in enumerate(sizes):
+        inner = bytes([index & 0xFF]) * size + bytes([ContentType.APPLICATION_DATA])
+        aad = record_header(ContentType.APPLICATION_DATA, len(inner) + TAG_LENGTH)
+        out.append(state.seal(inner, aad))
+        state.advance()
+    return out
+
+
+def test_record_lookahead_seal_matches_scalar():
+    # Mix sizes so the series crosses the lookahead threshold both ways
+    # and forces cache regeneration (larger record after a small window).
+    sizes = [100, 2048, 2048, 16000, 64, 16000, 1024, 4096, 300, 8192]
+    fast = _seal_series(sizes)
+    with fastpath.scalar_baseline():
+        scalar = _seal_series(sizes)
+    assert fast == scalar
+
+
+def test_record_lookahead_open_and_failed_trial():
+    keys = TrafficKeys.from_secret(b"\x32" * 32)
+    sender = CipherState(keys)
+    receiver = CipherState(keys)
+    wrong = CipherState(TrafficKeys.from_secret(b"\x33" * 32))
+    for size in (2048, 16000, 2048):
+        inner = b"\xaa" * size + bytes([ContentType.APPLICATION_DATA])
+        aad = record_header(ContentType.APPLICATION_DATA, len(inner) + TAG_LENGTH)
+        sealed = sender.seal(inner, aad)
+        sender.advance()
+        # A failed trial decryption must not advance the wrong context.
+        with pytest.raises(CryptoError):
+            wrong.open(sealed, aad)
+        assert wrong.sequence == 0
+        assert receiver.open(sealed, aad) == inner
+        receiver.advance()
+
+
+def test_record_rekey_drops_lookahead_cache():
+    keys = TrafficKeys.from_secret(b"\x34" * 32)
+    fast_state = CipherState(keys)
+    inner = b"\xbb" * 4096 + bytes([ContentType.APPLICATION_DATA])
+    aad = record_header(ContentType.APPLICATION_DATA, len(inner) + TAG_LENGTH)
+    fast_state.seal(inner, aad)  # populates the cache
+    fast_state.rekey()
+    sealed_fast = fast_state.seal(inner, aad)
+    with fastpath.scalar_baseline():
+        scalar_state = CipherState(keys)
+        scalar_state.rekey()
+        sealed_scalar = scalar_state.seal(inner, aad)
+    assert sealed_fast == sealed_scalar

@@ -1,0 +1,169 @@
+"""Netsim fast paths: engine heap modes, Datagram.copy, pcap fidelity.
+
+The ``netsim.fast`` feature changes *how* the simulator and packet layer
+do their work (tuple-keyed heap, ``__init__``-bypassing clones, cached
+wire bytes forwarded untouched) but must never change *what* happens:
+event execution order, datagram semantics, and — the end-to-end proof —
+the exact bytes a packet capture records for a middlebox-traversing
+connection.
+"""
+
+import pytest
+
+from repro import fastpath
+import repro.netsim.packet as packet_mod
+from repro.netsim.engine import Simulator
+from repro.netsim.packet import Datagram, PROTO_TCP, parse_address
+from repro.netsim.pcap import PcapWriter
+from repro.netsim.middlebox import OptionStripper
+from repro.tcp.options import KIND_SACK_PERMITTED
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from helpers import start_sink_server, tcp_pair
+
+
+# ----------------------------------------------------------------------
+# Engine: both heap formats
+# ----------------------------------------------------------------------
+
+def _exercise_simulator():
+    """Schedule a mix of ties, cancellations and re-entrant scheduling;
+    return the observed execution order."""
+    sim = Simulator()
+    order = []
+    sim.schedule(0.2, order.append, "c")
+    sim.schedule(0.1, order.append, "a")
+    sim.schedule(0.1, order.append, "b")  # same time: insertion order wins
+    doomed = sim.schedule(0.15, order.append, "never")
+    doomed.cancel()
+    doomed.cancel()  # double-cancel is safe
+
+    def reentrant():
+        order.append("r1")
+        sim.schedule(0.0, order.append, "r2")  # same-instant follow-up
+
+    sim.schedule(0.3, reentrant)
+    assert sim.pending_events() == 4  # cancelled event already excluded
+    sim.run(until=1.0)
+    assert sim.pending_events() == 0
+    assert sim.events_processed == 5
+    return order
+
+
+def test_engine_order_identical_both_heap_modes():
+    fast_order = _exercise_simulator()
+    with fastpath.scalar_baseline():
+        scalar_order = _exercise_simulator()
+    assert fast_order == scalar_order == ["a", "b", "c", "r1", "r2"]
+
+
+@pytest.mark.parametrize("flag", [True, False])
+def test_engine_max_events_keeps_tripping_event(flag):
+    with fastpath.overridden("netsim.fast", flag):
+        sim = Simulator()
+        hits = []
+        for index in range(5):
+            sim.schedule(0.01 * (index + 1), hits.append, index)
+        with pytest.raises(RuntimeError):
+            sim.run(max_events=3)
+        assert hits == [0, 1, 2]
+        # The event that tripped the cap is still queued; resuming runs it.
+        sim.run()
+        assert hits == [0, 1, 2, 3, 4]
+
+
+@pytest.mark.parametrize("flag", [True, False])
+def test_engine_rejects_negative_delay(flag):
+    with fastpath.overridden("netsim.fast", flag):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-0.5, lambda: None)
+
+
+# ----------------------------------------------------------------------
+# Datagram.copy: both construction paths
+# ----------------------------------------------------------------------
+
+def _copy_checks():
+    datagram = Datagram(
+        parse_address("10.0.0.1"), parse_address("10.0.0.2"), PROTO_TCP, b"x" * 100
+    )
+    hop = datagram.copy(hop_limit=datagram.hop_limit - 1)
+    assert hop.hop_limit == 63
+    assert hop.packet_id != datagram.packet_id  # every hop is a new packet
+    assert (hop.version, hop.header_length, hop.size) == (4, 20, 120)
+    bigger = datagram.copy(payload=b"y" * 200)
+    assert bigger.size == 220  # derived fields recomputed on payload change
+    pinned = datagram.copy(packet_id=datagram.packet_id)
+    assert pinned.packet_id == datagram.packet_id
+    with pytest.raises(ValueError):
+        datagram.copy(dst=parse_address("fc00::2"))  # family mismatch
+
+
+def test_datagram_copy_semantics_both_flag_states():
+    _copy_checks()
+    with fastpath.scalar_baseline():
+        _copy_checks()
+
+
+def test_datagram_copy_allocates_same_ids_both_flag_states():
+    """packet_id allocation order must not depend on the flag — the pcap
+    format embeds the id in the IPv4 header."""
+
+    def ids():
+        packet_mod._next_packet_id = 1000
+        datagram = Datagram(
+            parse_address("10.0.0.1"), parse_address("10.0.0.2"), PROTO_TCP, b"z"
+        )
+        chain = [datagram]
+        for _ in range(3):
+            chain.append(chain[-1].copy(hop_limit=chain[-1].hop_limit - 1))
+        return [d.packet_id for d in chain]
+
+    fast = ids()
+    with fastpath.scalar_baseline():
+        scalar = ids()
+    assert fast == scalar == [1001, 1002, 1003, 1004]
+
+
+# ----------------------------------------------------------------------
+# End-to-end pcap fidelity through a middlebox
+# ----------------------------------------------------------------------
+
+def _capture_leg(path: str) -> bytes:
+    """Run a TCP transfer through an option-stripping middlebox with a
+    pcap writer on both directions; return the capture bytes.
+
+    Must be called inside the desired flag context: the simulator's heap
+    format and every datapath choice are taken from the flags at
+    construction time.
+    """
+    packet_mod._next_packet_id = 0  # ids are embedded in the IPv4 header
+    net, client_tcp, server_tcp, link = tcp_pair(seed=9, loss_rate=0.01)
+    client_iface = list(client_tcp.host.interfaces.values())[0]
+    server_iface = list(server_tcp.host.interfaces.values())[0]
+    stripper = OptionStripper([KIND_SACK_PERMITTED])
+    link.add_transformer(client_iface, stripper)
+    writer = PcapWriter(path, net.sim)
+    link.add_transformer(client_iface, writer)  # post-middlebox bytes
+    link.add_transformer(server_iface, writer)
+    sinks = start_sink_server(server_tcp)
+    conn = client_tcp.connect("10.0.0.2", 443)
+    conn.send(b"\x5c" * 60_000)
+    net.sim.run(until=10.0)
+    writer.close()
+    assert stripper.stripped_count >= 1  # the middlebox actually fired
+    assert bytes(sinks[0].data) == b"\x5c" * 60_000
+    assert writer.packets_written > 50
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+def test_pcap_byte_identical_fast_vs_scalar(tmp_path):
+    fast = _capture_leg(str(tmp_path / "fast.pcap"))
+    with fastpath.scalar_baseline():
+        scalar = _capture_leg(str(tmp_path / "scalar.pcap"))
+    assert fast == scalar

@@ -1,0 +1,231 @@
+"""Wire-format fast paths vs their scalar references.
+
+Covers the ``wire.cache`` feature: the single-bytearray segment
+serializer, the wire-bytes cache and its invalidation hook, the
+streamlined checksum, and the index-based options codec — all of which
+must be byte-identical to the reference implementations that run when
+the flag is off.
+"""
+
+import pytest
+
+from repro import fastpath
+from repro.netsim.packet import parse_address
+from repro.tcp.options import (
+    FastOpenCookie,
+    MaximumSegmentSize,
+    NoOperation,
+    RawOption,
+    SackBlocks,
+    SackPermitted,
+    Timestamps,
+    UserTimeout,
+    WindowScale,
+    decode_options,
+    encode_options,
+)
+from repro.tcp.segment import (
+    Flags,
+    TcpHeaderPeek,
+    TcpSegment,
+    internet_checksum,
+    internet_checksum_parts,
+    internet_checksum_reference,
+)
+from repro.utils.bytesio import NeedMoreData
+from repro.utils.errors import ProtocolViolation
+
+V4_SRC = parse_address("10.0.0.1")
+V4_DST = parse_address("10.0.0.2")
+V6_SRC = parse_address("fc00::1")
+V6_DST = parse_address("fc00::2")
+
+
+def _sample_segments():
+    return [
+        TcpSegment(1234, 443, seq=7, flags=Flags.SYN,
+                   options=[MaximumSegmentSize(1460), SackPermitted(),
+                            WindowScale(7), Timestamps(123456, 0)]),
+        TcpSegment(443, 1234, seq=100, ack=8, flags=Flags.ACK,
+                   options=[Timestamps(9, 123456),
+                            SackBlocks([(200, 300), (400, 500)])],
+                   window=4321),
+        TcpSegment(5000, 5001, seq=0xFFFFFFF0, ack=0x10, flags=Flags.ACK | Flags.PSH,
+                   payload=b"\x5a" * 1400),
+        TcpSegment(1, 2, flags=Flags.RST),
+        TcpSegment(7, 8, flags=Flags.SYN,
+                   options=[FastOpenCookie(b"\x11" * 8), UserTimeout(timeout=120),
+                            NoOperation(), RawOption(200, b"xyz")]),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Segment serialization / parsing
+# ----------------------------------------------------------------------
+
+def test_segment_bytes_identical_both_flag_states():
+    for src, dst in ((V4_SRC, V4_DST), (V6_SRC, V6_DST)):
+        for segment in _sample_segments():
+            fast = segment.to_bytes(src, dst)
+            with fastpath.scalar_baseline():
+                scalar = segment.to_bytes(src, dst)
+            assert fast == scalar, segment.summary()
+
+
+def test_segment_roundtrip_both_flag_states():
+    for segment in _sample_segments():
+        wire = segment.to_bytes(V4_SRC, V4_DST)
+        parsed_fast = TcpSegment.from_bytes(wire, V4_SRC, V4_DST)
+        with fastpath.scalar_baseline():
+            parsed_scalar = TcpSegment.from_bytes(wire, V4_SRC, V4_DST)
+        for name in ("src_port", "dst_port", "seq", "ack", "flags",
+                     "window", "options", "payload", "urgent"):
+            assert getattr(parsed_fast, name) == getattr(parsed_scalar, name), name
+
+
+@pytest.fixture
+def wire_cache_on():
+    # These tests assert cache *behavior*, so they force the flag on —
+    # robust even under a REPRO_FASTPATH=0 run of the suite.
+    with fastpath.overridden("wire.cache", True):
+        yield
+
+
+def test_wire_cache_hit_and_invalidation(wire_cache_on):
+    segment = TcpSegment(10, 20, seq=1, flags=Flags.ACK, payload=b"abc")
+    first = segment.to_bytes(V4_SRC, V4_DST)
+    assert segment.to_bytes(V4_SRC, V4_DST) is first  # cache hit
+    # A different address pair must not reuse the cached bytes (the
+    # checksum covers the pseudo-header, so the bytes change too).
+    other = segment.to_bytes(V4_SRC, parse_address("10.0.0.9"))
+    assert other != first
+    # Mutating any wire field drops the cache and reserializes.
+    cached = segment.to_bytes(V4_SRC, V4_DST)
+    segment.seq = 2
+    fresh = segment.to_bytes(V4_SRC, V4_DST)
+    assert fresh != cached
+    parsed = TcpSegment.from_bytes(fresh, V4_SRC, V4_DST)
+    assert parsed.seq == 2
+
+
+def test_from_bytes_seeds_cache_only_when_checksum_ok(wire_cache_on):
+    segment = TcpSegment(10, 20, seq=5, flags=Flags.ACK, payload=b"data")
+    wire = segment.to_bytes(V4_SRC, V4_DST)
+    good = TcpSegment.from_bytes(wire, V4_SRC, V4_DST)
+    assert good.to_bytes(V4_SRC, V4_DST) == wire  # cache seeded, same bytes
+    corrupted = bytearray(wire)
+    corrupted[-1] ^= 0xFF
+    bad = TcpSegment.from_bytes(
+        bytes(corrupted), V4_SRC, V4_DST, verify_checksum=False
+    )
+    # The corrupted bytes must NOT be cached: reserializing computes a
+    # fresh (correct) checksum rather than replaying the bad wire image.
+    reserialized = bad.to_bytes(V4_SRC, V4_DST)
+    assert reserialized != bytes(corrupted)
+    TcpSegment.from_bytes(reserialized, V4_SRC, V4_DST)  # checksum verifies
+
+
+def test_from_bytes_rejects_bad_checksum():
+    wire = bytearray(_sample_segments()[0].to_bytes(V4_SRC, V4_DST))
+    wire[4] ^= 1
+    with pytest.raises(ProtocolViolation):
+        TcpSegment.from_bytes(bytes(wire), V4_SRC, V4_DST)
+    with fastpath.scalar_baseline():
+        with pytest.raises(ProtocolViolation):
+            TcpSegment.from_bytes(bytes(wire), V4_SRC, V4_DST)
+
+
+def test_header_peek_matches_full_parse():
+    for segment in _sample_segments():
+        wire = segment.to_bytes(V4_SRC, V4_DST)
+        peek = TcpHeaderPeek.of(wire)
+        assert peek is not None
+        assert peek.src_port == segment.src_port
+        assert peek.dst_port == segment.dst_port
+        assert peek.flags == segment.flags
+        assert peek.payload_length == len(segment.payload)
+
+
+# ----------------------------------------------------------------------
+# Checksum
+# ----------------------------------------------------------------------
+
+def test_checksum_matches_reference():
+    import random
+
+    rng = random.Random(0xC5)
+    for size in (0, 1, 2, 3, 19, 20, 21, 255, 1399, 1400, 1401):
+        data = rng.randbytes(size)
+        assert internet_checksum(data) == internet_checksum_reference(data), size
+        assert internet_checksum(memoryview(data)) == internet_checksum_reference(
+            data
+        )
+
+
+def test_checksum_parts_equals_concatenation():
+    # Exactness contract: every part except the last has even length
+    # (how the TCP pseudo-header is always shaped).
+    a, b, c = b"\x12\x34\x56\x78", b"", b"\x9a\xbc\xde\xf0\x11"
+    assert internet_checksum_parts(a, b, c) == internet_checksum_reference(a + b + c)
+
+
+def test_checksum_zero_sum_edge():
+    # A buffer whose one's-complement sum is ≡ 0 (mod 0xFFFF): both
+    # implementations must agree on the fold (0xFFFF, never 0x0000,
+    # unless the data itself is all zero).
+    data = b"\xff\xff"
+    assert internet_checksum(data) == internet_checksum_reference(data)
+    data = b"\x00\x01\xff\xfe"  # sums to 0xFFFF
+    assert internet_checksum(data) == internet_checksum_reference(data)
+    assert internet_checksum(b"") == internet_checksum_reference(b"")
+    assert internet_checksum(b"\x00\x00") == internet_checksum_reference(b"\x00\x00")
+
+
+# ----------------------------------------------------------------------
+# Options codec
+# ----------------------------------------------------------------------
+
+def test_options_encode_identical_both_flag_states():
+    samples = [
+        [],
+        [MaximumSegmentSize(536)],
+        [SackPermitted(), WindowScale(14), Timestamps(1, 2)],
+        [SackBlocks([(1, 2), (3, 4), (5, 6), (7, 8)])],
+        [NoOperation(), NoOperation(), RawOption(253, b"\x01\x02")],
+    ]
+    for options in samples:
+        fast = encode_options(options)
+        with fastpath.scalar_baseline():
+            scalar = encode_options(options)
+        assert fast == scalar, options
+        assert len(fast) % 4 == 0
+
+
+def test_options_decode_identical_both_flag_states():
+    encoded = encode_options(
+        [MaximumSegmentSize(1460), SackPermitted(), Timestamps(10, 20),
+         WindowScale(3), RawOption(99, b"ab")]
+    )
+    fast = decode_options(encoded)
+    with fastpath.scalar_baseline():
+        scalar = decode_options(encoded)
+    assert fast == scalar
+
+
+def test_options_truncation_raises_need_more_data_both_states():
+    encoded = encode_options([Timestamps(10, 20)])
+    truncated = encoded[:3]  # kind+length present, body cut short
+    with pytest.raises(NeedMoreData):
+        decode_options(truncated)
+    with fastpath.scalar_baseline():
+        with pytest.raises(NeedMoreData):
+            decode_options(truncated)
+
+
+def test_options_over_40_bytes_rejected_both_states():
+    too_many = [Timestamps(1, 2)] * 5  # 5 * 10 = 50 bytes > 40
+    with pytest.raises(ProtocolViolation):
+        encode_options(too_many)
+    with fastpath.scalar_baseline():
+        with pytest.raises(ProtocolViolation):
+            encode_options(too_many)
