@@ -1,0 +1,127 @@
+"""R2 — wire hardening: deterministic fuzz campaign + keyless-attacker run.
+
+Two halves, one report:
+
+* the seeded mutation campaign over all seven wire formats (unit-level
+  parser armor: every outcome is parse-or-typed-rejection, replayable
+  bit-for-bit from ``(seed, iterations)``);
+* an attacked two-path transfer (ciphertext tampering plus a
+  garbage-spraying raw connection) that must finish byte-exact and
+  exactly-once while the hardening counters — ``decode.rejected`` and
+  ``guard.tripped`` — land nonzero in the exported metrics.
+"""
+
+from repro.core.session import TcplsContext, TcplsServer, TcplsSession
+from repro.faults import DeliveryRecorder, TrackerAudit, check_invariants
+from repro.fuzz import run_campaign
+from repro.fuzz.attackers import PayloadTamperer
+from repro.fuzz.harness import default_iterations
+from repro.netsim.scenarios import multi_path_network
+from repro.tcp.stack import TcpStack
+from repro.tls.certificates import CertificateAuthority, TrustStore
+
+from conftest import report
+
+PAYLOAD = bytes(range(256)) * 4000  # ~1 MB, two 5 Mbps paths
+CAMPAIGN_SEED = 2026
+
+
+def _world(seed=5):
+    ca = CertificateAuthority("Bench Root", seed=b"r2")
+    identity = ca.issue_identity("server.example", seed=b"r2srv")
+    trust = TrustStore()
+    trust.add_authority(ca)
+    topo = multi_path_network(paths=2, rate_bps=5e6, seed=seed)
+    sessions = []
+    listener = TcplsServer(
+        TcplsContext(identity=identity, seed=seed + 500),
+        TcpStack(topo.server, seed=seed + 1000),
+        on_session=sessions.append,
+    )
+    client_stack = TcpStack(topo.client, seed=seed)
+    client = TcplsSession(
+        TcplsContext(trust_store=trust, server_name="server.example", seed=seed),
+        client_stack,
+    )
+    client.connect(topo.server_addrs[0], src=topo.client_addrs[0])
+    client.handshake()
+    topo.net.sim.run(until=1.0)
+    assert client.handshake_complete
+    conn = client.connect(topo.server_addrs[1], src=topo.client_addrs[1])
+    client.handshake(conn_id=conn)
+    topo.net.sim.run(until=2.0)
+    return topo, client_stack, client, listener, sessions[0]
+
+
+def _attacked_transfer(seed=5):
+    topo, client_stack, client, listener, server = _world(seed=seed)
+    sim = topo.net.sim
+    topo.links[0].add_transformer(
+        topo.client.interfaces["eth0"],
+        PayloadTamperer(count=2, start_after=4, seed=5),
+    )
+    # A keyless peer spraying garbage straight at the listener.
+    raw = client_stack.connect(
+        topo.server_addrs[1], 443, local_addr=topo.client_addrs[1]
+    )
+    raw.on_established = lambda: raw.send(b"\x16\x03\x01\xde\xad" * 40)
+    recorder = DeliveryRecorder(server)
+    audit = TrackerAudit(server.tracker)
+    stream = client.stream_new()
+    client.streams_attach()
+    client.send(stream, PAYLOAD)
+    sim.run(until=90.0)
+    check_invariants(
+        {stream: PAYLOAD}, recorder, server,
+        context=client.context, audit=audit, slack=4.0,
+    ).assert_ok()
+    session_counters = server.obs.telemetry.snapshot().get("session.server", {})
+    listener_counters = listener.obs.telemetry.snapshot().get("server", {})
+    row = {
+        "guard_tripped": session_counters.get("guard.tripped", 0)
+        + listener_counters.get("guard.tripped", 0),
+        "decode_rejected": session_counters.get("decode.rejected", 0)
+        + listener_counters.get("decode.rejected", 0),
+        "replayed": client.stats["frames_replayed"],
+        "duplicates_absorbed": server.tracker.duplicates,
+    }
+    return row, (topo, client, server)
+
+
+def test_r2_fuzz_and_attack_accounting(once):
+    def run():
+        campaign = run_campaign(
+            seed=CAMPAIGN_SEED, iterations=default_iterations()
+        )
+        attack_row, world = _attacked_transfer()
+        return campaign, attack_row, world
+
+    campaign, attack, (topo, client, server) = once(run)
+
+    report(
+        "R2 — wire hardening: fuzz campaign + keyless attacker",
+        [
+            f"campaign: seed={campaign.seed} inputs={campaign.iterations} "
+            f"rejected={campaign.rejected} accepted={campaign.accepted} "
+            f"crashers={len(campaign.crashers)}",
+            f"replay digest: {campaign.digest}",
+            *(
+                f"  {name:<14} inputs={campaign.per_format[name]:>6} "
+                f"rejected={campaign.rejected_per_format.get(name, 0):>6}"
+                for name in sorted(campaign.per_format)
+            ),
+            "attacked transfer (1 MB, 2 paths, tamperer + garbage conn):",
+            f"  guard.tripped={attack['guard_tripped']} "
+            f"decode.rejected={attack['decode_rejected']} "
+            f"replayed={attack['replayed']} "
+            f"dups absorbed={attack['duplicates_absorbed']}",
+            "delivery: byte-exact, exactly-once (invariants.assert_ok).",
+        ],
+        sim=topo.net.sim,
+        sessions=[client, server],
+        links=topo.links,
+        extra={"campaign": campaign.to_dict(), "attack": attack},
+    )
+    assert campaign.clean, campaign.crashers[:3]
+    assert attack["guard_tripped"] >= 1
+    assert attack["decode_rejected"] >= 1

@@ -19,8 +19,23 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+import functools
+
 from repro.utils.bytesio import ByteReader, ByteWriter
-from repro.utils.errors import ProtocolViolation
+from repro.utils.errors import decode_guard
+
+
+def _armored(fn):
+    """Fail-closed wrapper: any stray exception a frame-body decoder
+    leaks (bad text encoding, arithmetic on lying fields) surfaces as a
+    typed ``DecodeError`` naming the decoder."""
+
+    @functools.wraps(fn)
+    def wrapper(body: bytes):
+        with decode_guard(fn.__name__):
+            return fn(body)
+
+    return wrapper
 
 
 class TType:
@@ -82,9 +97,10 @@ def encode_frame(ttype: int, seq: int, body: bytes) -> bytes:
 
 
 def decode_frame(ttype: int, plaintext: bytes) -> Frame:
-    reader = ByteReader(plaintext)
-    seq = reader.get_u64()
-    return Frame(ttype=ttype, seq=seq, body=reader.get_rest())
+    with decode_guard("decode_frame"):
+        reader = ByteReader(plaintext)
+        seq = reader.get_u64()
+        return Frame(ttype=ttype, seq=seq, body=reader.get_rest())
 
 
 # ---------------------------------------------------------------------------
@@ -101,6 +117,7 @@ def encode_stream_data(stream_id: int, offset: int, data: bytes, fin: bool = Fal
     return writer.getvalue()
 
 
+@_armored
 def decode_stream_data(body: bytes) -> Tuple[int, int, bool, bytes]:
     reader = ByteReader(body)
     stream_id = reader.get_u32()
@@ -118,6 +135,7 @@ def encode_tcp_option(kind: int, option_body: bytes, apply_to_conn: int = 0) -> 
     return writer.getvalue()
 
 
+@_armored
 def decode_tcp_option(body: bytes) -> Tuple[int, int, bytes]:
     reader = ByteReader(body)
     kind = reader.get_u8()
@@ -132,6 +150,7 @@ def encode_ack(cumulative_seq: int, conn_id: int) -> bytes:
     return writer.getvalue()
 
 
+@_armored
 def decode_ack(body: bytes) -> Tuple[int, int]:
     reader = ByteReader(body)
     return reader.get_u64(), reader.get_u32()
@@ -144,6 +163,7 @@ def encode_stream_open(stream_id: int, conn_id: int) -> bytes:
     return writer.getvalue()
 
 
+@_armored
 def decode_stream_open(body: bytes) -> Tuple[int, int]:
     reader = ByteReader(body)
     return reader.get_u32(), reader.get_u32()
@@ -156,6 +176,7 @@ def encode_stream_close(stream_id: int, final_offset: int) -> bytes:
     return writer.getvalue()
 
 
+@_armored
 def decode_stream_close(body: bytes) -> Tuple[int, int]:
     reader = ByteReader(body)
     return reader.get_u32(), reader.get_u64()
@@ -167,6 +188,7 @@ def encode_join_ack(conn_index: int) -> bytes:
     return writer.getvalue()
 
 
+@_armored
 def decode_join_ack(body: bytes) -> int:
     return ByteReader(body).get_u32()
 
@@ -179,6 +201,7 @@ def encode_new_cookies(cookies: List[bytes]) -> bytes:
     return writer.getvalue()
 
 
+@_armored
 def decode_new_cookies(body: bytes) -> List[bytes]:
     reader = ByteReader(body)
     return [reader.get_vec8() for _ in range(reader.get_u8())]
@@ -191,6 +214,7 @@ def encode_plugin(target: str, bytecode: bytes) -> bytes:
     return writer.getvalue()
 
 
+@_armored
 def decode_plugin(body: bytes) -> Tuple[str, bytes]:
     reader = ByteReader(body)
     return reader.get_vec8().decode("ascii"), reader.get_vec16()
@@ -204,6 +228,7 @@ def encode_probe(conn_id: int, syn_bytes: bytes) -> bytes:
     return writer.getvalue()
 
 
+@_armored
 def decode_probe(body: bytes) -> Tuple[int, bytes]:
     reader = ByteReader(body)
     return reader.get_u32(), reader.get_vec16()
@@ -218,6 +243,7 @@ def encode_probe_report(conn_id: int, differences: List[str]) -> bytes:
     return writer.getvalue()
 
 
+@_armored
 def decode_probe_report(body: bytes) -> Tuple[int, List[str]]:
     reader = ByteReader(body)
     conn_id = reader.get_u32()
@@ -237,6 +263,7 @@ def encode_address_advert(v4_addresses: List[str], v6_addresses: List[str]) -> b
     return writer.getvalue()
 
 
+@_armored
 def decode_address_advert(body: bytes) -> Tuple[List[str], List[str]]:
     reader = ByteReader(body)
     v4 = [reader.get_vec8().decode("ascii") for _ in range(reader.get_u8())]
@@ -250,5 +277,6 @@ def encode_session_close(last_stream_id: int) -> bytes:
     return writer.getvalue()
 
 
+@_armored
 def decode_session_close(body: bytes) -> int:
     return ByteReader(body).get_u32()

@@ -22,6 +22,7 @@ from typing import List, Optional, Tuple
 
 from repro.tls import messages as m
 from repro.utils.bytesio import ByteReader, ByteWriter
+from repro.utils.errors import InvalidValue, decode_guard
 
 # Private-use extension codepoints.
 EXT_TCPLS = m.EXT_TCPLS
@@ -38,7 +39,11 @@ def build_tcpls_marker() -> bytes:
 
 
 def parse_tcpls_marker(body: bytes) -> int:
-    return ByteReader(body).get_u8()
+    with decode_guard("tcpls_marker"):
+        version = ByteReader(body).get_u8()
+        if version != TCPLS_VERSION:
+            raise InvalidValue(f"unsupported TCPLS version {version}")
+        return version
 
 
 @dataclass
@@ -66,11 +71,18 @@ class TcplsServerParams:
 
     @classmethod
     def from_bytes(cls, body: bytes) -> "TcplsServerParams":
-        reader = ByteReader(body)
-        connection_id = reader.get_vec8()
-        cookies = [reader.get_vec8() for _ in range(reader.get_u8())]
-        v4 = [reader.get_vec8().decode("ascii") for _ in range(reader.get_u8())]
-        v6 = [reader.get_vec8().decode("ascii") for _ in range(reader.get_u8())]
+        with decode_guard("TcplsServerParams"):
+            reader = ByteReader(body)
+            connection_id = reader.get_vec8()
+            if not connection_id:
+                raise InvalidValue("empty CONNID in TCPLS parameters")
+            cookies = [reader.get_vec8() for _ in range(reader.get_u8())]
+            v4 = [
+                reader.get_vec8().decode("ascii") for _ in range(reader.get_u8())
+            ]
+            v6 = [
+                reader.get_vec8().decode("ascii") for _ in range(reader.get_u8())
+            ]
         return cls(
             connection_id=connection_id,
             cookies=cookies,
@@ -87,8 +99,13 @@ def build_join_body(connection_id: bytes, cookie: bytes) -> bytes:
 
 
 def parse_join_body(body: bytes) -> Tuple[bytes, bytes]:
-    reader = ByteReader(body)
-    return reader.get_vec8(), reader.get_vec8()
+    with decode_guard("JOIN"):
+        reader = ByteReader(body)
+        connection_id = reader.get_vec8()
+        cookie = reader.get_vec8()
+        if not connection_id or not cookie:
+            raise InvalidValue("JOIN with empty CONNID or cookie")
+        return connection_id, cookie
 
 
 def build_join_client_hello(

@@ -44,7 +44,12 @@ from repro.tls.certificates import Identity, TrustStore
 from repro.tls.record import ContentType, RecordDecoder, record_header
 from repro.tls.session import SessionTicketStore, TlsConfig, TlsSession
 from repro.utils.bytesio import ByteWriter
-from repro.utils.errors import ProtocolViolation
+from repro.utils.errors import (
+    DecodeError,
+    GuardLimitExceeded,
+    ProtocolViolation,
+    UnknownType,
+)
 
 # Per-process session counter mixed into each session's RNG: one server
 # context accepts many sessions, and each must mint a distinct CONNID and
@@ -106,6 +111,20 @@ class TcplsContext:
     # a tolerance this small bounds how long the stall lasts.
     auth_failure_tolerance: int = 3
 
+    # Resource-exhaustion guards (fail closed; each trip increments the
+    # session's ``guard.tripped`` counter).  ``max_streams`` caps the
+    # concurrent stream table; ``max_reassembly_bytes`` caps one
+    # stream's out-of-order buffer (a peer striping far ahead of a hole
+    # is hoarding our memory); ``max_plaintext_records`` caps how much
+    # post-establishment plaintext junk (injected non-APPDATA records)
+    # a connection tolerates before it is torn down; the JOIN knobs
+    # rate-limit cookie-guessing against the server per peer address.
+    max_streams: int = 64
+    max_reassembly_bytes: int = 4 << 20
+    max_plaintext_records: int = 32
+    join_rate_limit: int = 8
+    join_rate_window: float = 1.0
+
     # Path health monitor.  ``health_interval > 0`` arms a periodic tick
     # that refreshes per-path loss scores and sends a heartbeat PING on
     # connections idle longer than ``health_idle_ping`` (keeping TCP's
@@ -149,6 +168,7 @@ class TcplsConnection:
         self.bytes_delivered = 0
         self.records_received = 0
         self.auth_failure_run = 0  # consecutive open_record failures
+        self.plaintext_junk = 0  # post-establishment non-APPDATA records
         self.health = PathHealth()
         tcp.on_data = self._on_data
         tcp.on_established = lambda: session._on_tcp_established(self)
@@ -289,6 +309,11 @@ class TcplsSession:
             component, "failover.cookies_exhausted"
         )
         self._obs_pings = telemetry.counter(component, "health.pings_sent")
+        # Fail-closed wire hardening: rejected decodes and tripped
+        # resource guards, per layer (the fuzz/attacker tests and the
+        # BENCH export read these).
+        self._obs_decode_rejected = telemetry.counter(component, "decode.rejected")
+        self._obs_guard_tripped = telemetry.counter(component, "guard.tripped")
         self.events.observer = self._observe_session_event
         self.events.clock = lambda: self.sim.now
         self._hs_span = None
@@ -447,6 +472,16 @@ class TcplsSession:
             raise RuntimeError("no connection; call connect() first")
         return next(iter(self.connections.values()))
 
+    def _wire_tls_guards(self, tls: TlsSession) -> None:
+        """Feed TLS-layer rejections into the session's observability.
+
+        The TLS driver fails closed on its own (alert + teardown); this
+        only makes those events visible in ``decode.rejected`` /
+        ``guard.tripped`` alongside the TCPLS-layer ones.
+        """
+        tls.on_decode_rejected = lambda _why: self._obs_decode_rejected.inc()
+        tls.on_guard_tripped = lambda _why: self._obs_guard_tripped.inc()
+
     def _start_tls_client(self, conn: TcplsConnection, early_data: bytes) -> None:
         conn.is_primary = True
         self.primary = conn
@@ -466,6 +501,7 @@ class TcplsSession:
         self.tls = TlsSession(
             tls_config, is_server=False, transport_write=conn.tcp.send
         )
+        self._wire_tls_guards(self.tls)
         self.tls.on_handshake_complete = lambda: self._on_tls_complete(conn)
 
         def start():
@@ -511,6 +547,7 @@ class TcplsSession:
             rng=random.Random(self.rng.randrange(1 << 30)),
         )
         self.tls = TlsSession(tls_config, is_server=False, transport_write=write)
+        self._wire_tls_guards(self.tls)
         self.tls.start_handshake(early_data=early_data)
         syn_payload = bytes(first_flight)
 
@@ -560,6 +597,7 @@ class TcplsSession:
             rng=random.Random(self.rng.randrange(1 << 30)),
         )
         self.tls = TlsSession(tls_config, is_server=True, transport_write=tcp.send)
+        self._wire_tls_guards(self.tls)
         self.tls.on_handshake_complete = lambda: self._on_tls_complete(conn)
         self.tls.on_early_data = self._on_tls_early_data
         if initial_bytes:
@@ -892,9 +930,24 @@ class TcplsSession:
         try:
             for outer_type, body in conn.decoder.raw_records():
                 self._on_raw_record(conn, outer_type, body)
+        except GuardLimitExceeded:
+            # A resource-exhaustion guard fired (stream table,
+            # reassembly buffer, plaintext-junk cap, ...): tear the
+            # connection down before the attacker-controlled state
+            # grows any further.
+            self._obs_guard_tripped.inc()
+            conn.tcp.abort("resource guard tripped")
+            self._on_tcp_failed(conn, "guard_tripped")
+        except DecodeError:
+            # Malformed bytes that a parser rejected (fail-closed wire
+            # armor): count, kill this connection; the session survives
+            # on the others.
+            self._obs_decode_rejected.inc()
+            conn.tcp.abort("malformed record stream")
+            self._on_tcp_failed(conn, "malformed record stream")
         except ProtocolViolation:
-            # Malformed record stream (garbage or a broken middlebox):
-            # kill this connection; the session survives on the others.
+            # Other protocol violations (e.g. AEAD desync detected at a
+            # higher layer): same teardown, separate bookkeeping.
             conn.tcp.abort("malformed record stream")
             self._on_tcp_failed(conn, "malformed record stream")
 
@@ -908,7 +961,17 @@ class TcplsSession:
             self._client_join_record(conn, outer_type, body)
             return
         if outer_type != ContentType.APPLICATION_DATA:
-            return  # plaintext records after establishment: middlebox junk
+            # Plaintext records after establishment: middlebox junk.
+            # Tolerate a few (a confused box re-emitting handshake
+            # flights), but an endless stream of them is an injection
+            # attack burning our cycles — fail the connection.
+            conn.plaintext_junk += 1
+            if conn.plaintext_junk > self.context.max_plaintext_records:
+                raise GuardLimitExceeded(
+                    f"conn {conn.conn_id}: {conn.plaintext_junk} plaintext "
+                    f"records after establishment"
+                )
+            return
         opened = self.contexts.open_record(conn.conn_id, body)
         if opened is None:
             # Forgery attempt — counted in the context manager.  A short
@@ -919,6 +982,7 @@ class TcplsSession:
             # instead of stalling silently.
             conn.auth_failure_run += 1
             if conn.auth_failure_run >= self.context.auth_failure_tolerance:
+                self._obs_guard_tripped.inc()
                 conn.tcp.abort("record authentication failures")
                 self._on_tcp_failed(conn, "record_auth_failures")
             return
@@ -990,12 +1054,22 @@ class TcplsSession:
             TType.PING: lambda c, f: self._flush_ack(),
         }.get(frame.ttype)
         if handler is None:
-            raise ProtocolViolation(f"unknown TCPLS frame type {frame.ttype:#04x}")
+            raise UnknownType(f"unknown TCPLS frame type {frame.ttype:#04x}")
         handler(conn, frame)
 
     def _on_stream_data_frame(self, conn: TcplsConnection, frame: framing.Frame) -> None:
         stream_id, offset, fin, data = framing.decode_stream_data(frame.body)
         stream = self._ensure_stream(stream_id, conn)
+        if (
+            stream.reassembly_bytes() + len(data)
+            > self.context.max_reassembly_bytes
+        ):
+            # A peer striping far past an unfilled hole is making us
+            # hoard memory; cap the out-of-order buffer.
+            raise GuardLimitExceeded(
+                f"stream {stream_id} reassembly buffer over "
+                f"{self.context.max_reassembly_bytes}B"
+            )
         self.delivery_log.append((self.sim.now, conn.conn_id, len(data)))
         conn.bytes_delivered += len(data)
         self._obs_stream_bytes.inc(len(data))
@@ -1009,6 +1083,13 @@ class TcplsSession:
     def _ensure_stream(self, stream_id: int, conn: TcplsConnection) -> TcplsStream:
         stream = self.streams.get(stream_id)
         if stream is None:
+            if len(self.streams) >= self.context.max_streams:
+                # Implicit stream creation is peer-controlled: cap it so
+                # a hostile sender can't grow the table without bound.
+                raise GuardLimitExceeded(
+                    f"stream table full ({self.context.max_streams}); "
+                    f"refusing stream {stream_id}"
+                )
             stream = TcplsStream(stream_id, conn.conn_id)
             stream.attached = True
             self._wire_stream(stream)
@@ -1635,6 +1716,17 @@ class TcplsServer:
         self.on_session = on_session
         self.sessions: List[TcplsSession] = []
         self._session_seed = context.seed
+        # Listener-level hardening counters: rejects that happen before
+        # any session exists (garbage first flights, JOIN floods).
+        self.obs = context.observability or Observability(
+            stack.sim, enabled=context.telemetry
+        )
+        telemetry = self.obs.telemetry
+        self._obs_decode_rejected = telemetry.counter("server", "decode.rejected")
+        self._obs_guard_tripped = telemetry.counter("server", "guard.tripped")
+        # Per-peer-address JOIN arrival times (sim clock), for the
+        # sliding-window rate limit that throttles cookie guessing.
+        self._join_times: Dict[str, List[float]] = {}
         stack.listen(
             port,
             self._on_tcp_connection,
@@ -1661,6 +1753,7 @@ class TcplsServer:
                     return
             except ProtocolViolation:
                 done["routed"] = True
+                self._obs_decode_rejected.inc()
                 tcp.abort("not a TLS record stream")
 
         tcp.on_data = on_first_data
@@ -1674,12 +1767,18 @@ class TcplsServer:
                     hello = m.ClientHello.from_body(frames[0][1])
                     join_info = joinmod.extract_join(hello)
             except Exception:
+                self._obs_decode_rejected.inc()
                 tcp.abort("malformed first record")
                 return
         if join_info is not None:
+            if not self._join_allowed(tcp):
+                self._obs_guard_tripped.inc()
+                tcp.abort("JOIN rate limit")
+                return
             connection_id, cookie = join_info
             session = self._find_session(connection_id)
             if session is None:
+                self._obs_decode_rejected.inc()
                 tcp.abort("JOIN for unknown session")
                 return
             session.adopt_joined_connection(tcp, cookie, b"")
@@ -1691,6 +1790,29 @@ class TcplsServer:
         if self.on_session:
             self.on_session(session)
         session.accept_primary(tcp, all_bytes)
+
+    def _join_allowed(self, tcp) -> bool:
+        """Sliding-window JOIN rate limit, keyed by peer address.
+
+        A keyless attacker can always open TCP connections and send
+        JOIN-shaped ClientHellos; without a cap each attempt costs us a
+        cookie comparison and (on success-shaped garbage) session
+        lookups.  Bound the attempts per ``join_rate_window`` seconds so
+        cookie guessing is throttled while legitimate multipath joins
+        (a handful per session lifetime) are untouched.
+        """
+        peer = str(getattr(tcp, "remote_addr", None) or "?")
+        now = self.stack.sim.now
+        window = self.context.join_rate_window
+        times = [
+            t for t in self._join_times.get(peer, []) if now - t < window
+        ]
+        if len(times) >= self.context.join_rate_limit:
+            self._join_times[peer] = times
+            return False
+        times.append(now)
+        self._join_times[peer] = times
+        return True
 
     def _find_session(self, connection_id: bytes) -> Optional[TcplsSession]:
         for session in self.sessions:

@@ -33,6 +33,7 @@ class TcplsStream:
         # Receiver state.
         self.recv_next = 0  # next in-order offset expected
         self._segments: Dict[int, bytes] = {}
+        self._buffered = 0  # bytes held in _segments awaiting reassembly
         self.fin_offset: Optional[int] = None
         self.remote_closed = False
         self.bytes_received = 0
@@ -87,6 +88,7 @@ class TcplsStream:
                     offset = self.recv_next
             if data and offset not in self._segments:
                 self._segments[offset] = data
+                self._buffered += len(data)
         self._drain()
 
     def _drain(self) -> None:
@@ -96,6 +98,7 @@ class TcplsStream:
             if earliest > self.recv_next:
                 break
             data = self._segments.pop(earliest)
+            self._buffered -= len(data)
             skip = self.recv_next - earliest
             if skip < len(data):
                 chunk = data[skip:]
@@ -113,6 +116,10 @@ class TcplsStream:
             self.remote_closed = True
             if self.on_fin:
                 self.on_fin()
+
+    def reassembly_bytes(self) -> int:
+        """Out-of-order bytes currently buffered awaiting reassembly."""
+        return self._buffered
 
     def fully_closed(self) -> bool:
         return self.fin_sent and self.remote_closed

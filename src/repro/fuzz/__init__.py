@@ -1,0 +1,42 @@
+"""repro.fuzz — deterministic protocol fuzzing for the wire parsers.
+
+The harness replays seeded, structured mutations of every wire format
+the stack parses (TCP segments and options, TLS records and handshake
+messages, TCPLS control frames, JOIN/cookie messages, QUIC packets) and
+asserts the fail-closed contract: a parser handed attacker bytes may
+raise only the typed :class:`~repro.utils.errors.ProtocolViolation`
+hierarchy (``DecodeError`` and friends) or ``CryptoError`` — never a
+stray ``struct.error`` / ``IndexError`` / crash.
+
+Two drive levels:
+
+- Unit level (:mod:`repro.fuzz.harness`): mutated bytes straight into
+  each parser, thousands of inputs per second, bit-for-bit reproducible
+  from the campaign seed.
+- In-situ (:mod:`repro.fuzz.attackers`): attacker middleboxes installed
+  on live simulated links inject, tamper and spoof against an
+  established two-path TCPLS session, which must degrade within the
+  fault-recovery bounds — never desync or crash.
+"""
+
+from repro.fuzz.corpus import FORMATS, seed_corpus
+from repro.fuzz.harness import (
+    ALLOWED_EXCEPTIONS,
+    CampaignReport,
+    Crasher,
+    TARGETS,
+    run_campaign,
+)
+from repro.fuzz.mutate import MUTATORS, mutate
+
+__all__ = [
+    "ALLOWED_EXCEPTIONS",
+    "CampaignReport",
+    "Crasher",
+    "FORMATS",
+    "MUTATORS",
+    "TARGETS",
+    "mutate",
+    "run_campaign",
+    "seed_corpus",
+]

@@ -1,0 +1,258 @@
+"""Seed corpus: well-formed exemplars of every wire format we parse.
+
+Each entry is built with the stack's own encoders, so the corpus stays
+in sync with the wire formats by construction.  A handful of hand-built
+regression entries reproduce specific parser bugs this hardening pass
+fixed (zero-length TCP options, option lengths that overrun the block,
+handshake length lies); committing them here keeps those exact byte
+sequences in every future campaign.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core import framing
+from repro.core import join as joinmod
+from repro.core.framing import TType
+from repro.quic import packet as quicpkt
+from repro.tcp.options import (
+    FastOpenCookie,
+    MaximumSegmentSize,
+    NoOperation,
+    SackBlocks,
+    SackPermitted,
+    Timestamps,
+    UserTimeout,
+    WindowScale,
+    encode_options,
+)
+from repro.tcp.segment import Flags, TcpSegment
+from repro.tls import messages as m
+from repro.tls.record import ContentType, record_header
+from repro.utils.bytesio import ByteWriter
+
+FORMATS = (
+    "tcp_segment",
+    "tcp_options",
+    "tls_record",
+    "tls_handshake",
+    "tcpls_frame",
+    "join",
+    "quic_packet",
+)
+
+
+def _tcp_segment_seeds() -> List[bytes]:
+    import ipaddress
+
+    src = ipaddress.ip_address("10.0.0.1")
+    dst = ipaddress.ip_address("10.0.0.2")
+    segments = [
+        TcpSegment(
+            src_port=40000,
+            dst_port=443,
+            seq=1000,
+            flags=Flags.SYN,
+            options=[
+                MaximumSegmentSize(mss=1460),
+                SackPermitted(),
+                WindowScale(shift=7),
+                Timestamps(value=111, echo_reply=0),
+                FastOpenCookie(cookie=b"\xaa" * 8),
+            ],
+        ),
+        TcpSegment(
+            src_port=40000,
+            dst_port=443,
+            seq=1001,
+            ack=2001,
+            flags=Flags.ACK | Flags.PSH,
+            payload=b"\x17\x03\x03\x00\x05hello",
+        ),
+        TcpSegment(
+            src_port=443,
+            dst_port=40000,
+            seq=2001,
+            ack=1001,
+            flags=Flags.RST | Flags.ACK,
+            window=0,
+        ),
+        TcpSegment(
+            src_port=1,
+            dst_port=2,
+            flags=Flags.FIN | Flags.ACK,
+            options=[NoOperation(), Timestamps(value=5, echo_reply=6)],
+            payload=b"x" * 64,
+        ),
+    ]
+    return [segment.to_bytes(src, dst) for segment in segments]
+
+
+def _tcp_option_seeds() -> List[bytes]:
+    seeds = [
+        encode_options(
+            [
+                MaximumSegmentSize(mss=1460),
+                SackPermitted(),
+                WindowScale(shift=7),
+            ]
+        ),
+        encode_options(
+            [
+                Timestamps(value=123456, echo_reply=654321),
+                SackBlocks(blocks=((100, 200), (300, 400))),
+            ]
+        ),
+        encode_options(
+            [
+                UserTimeout(granularity_minutes=True, timeout=30),
+                FastOpenCookie(cookie=b"\x01\x02\x03\x04\x05\x06\x07\x08"),
+                NoOperation(),
+            ]
+        ),
+        # Regression: a kind/length option with length 0 used to loop
+        # the scanner; it must raise a typed DecodeError instead.
+        b"\x02\x00\x05\xb4",
+        # Regression: length 1 (header shorter than the length field).
+        b"\x03\x01\x07",
+        # Regression: declared length overruns the option block.
+        b"\x02\x0a\x01",
+        b"\x08\x0a\x00\x01\x02\x03",
+    ]
+    return seeds
+
+
+def _tls_handshake_seeds() -> List[bytes]:
+    client_hello = m.ClientHello(
+        random=bytes(range(32)),
+        session_id=b"\x07" * 8,
+        extensions=[
+            (m.EXT_SUPPORTED_VERSIONS, m.build_supported_versions_client()),
+            (m.EXT_KEY_SHARE, m.build_key_share_client(b"\x11" * 32)),
+            (m.EXT_SERVER_NAME, m.build_server_name("example.com")),
+            (m.EXT_TCPLS, joinmod.build_tcpls_marker()),
+            (m.EXT_PRE_SHARED_KEY, m.build_psk_offer(b"ticket-id", 1234, 32)),
+        ],
+    )
+    server_hello = m.ServerHello(
+        random=bytes(reversed(range(32))),
+        session_id=b"\x07" * 8,
+        extensions=[
+            (m.EXT_SUPPORTED_VERSIONS, m.build_supported_versions_server()),
+            (m.EXT_KEY_SHARE, m.build_key_share_server(b"\x22" * 32)),
+        ],
+    )
+    seeds = [
+        client_hello.to_bytes(),
+        server_hello.to_bytes(),
+        # A two-message flight: coalesced handshake records are the
+        # common case on the wire.
+        server_hello.to_bytes()
+        + m.frame_handshake(m.ENCRYPTED_EXTENSIONS, b"\x00\x00"),
+        m.frame_handshake(m.FINISHED, b"\x5a" * 32),
+        m.frame_handshake(m.KEY_UPDATE, b"\x01"),
+        # Regression: a declared u24 length larger than the buffer —
+        # the length-lie class of bug parse_handshake_frames now rejects.
+        b"\x01\x00\x40\x00" + b"\x00" * 16,
+        # Regression: dangling 3-byte header fragment.
+        b"\x02\x00\x00",
+    ]
+    return seeds
+
+
+def _tls_record_seeds() -> List[bytes]:
+    handshake = _tls_handshake_seeds()[0]
+    seeds = [
+        record_header(ContentType.HANDSHAKE, len(handshake)) + handshake,
+        record_header(ContentType.ALERT, 2) + b"\x02\x32",
+        record_header(ContentType.APPLICATION_DATA, 24) + b"\xc5" * 24,
+        # Coalesced records in one buffer.
+        (record_header(ContentType.APPLICATION_DATA, 8) + b"\x9f" * 8) * 3,
+        # Regression: header claiming more than the record-size limit.
+        record_header(ContentType.APPLICATION_DATA, 0xFFFF) + b"\x00" * 32,
+    ]
+    return seeds
+
+
+def _tcpls_frame_seeds() -> List[bytes]:
+    # Layout matches what the session's dispatch sees after record
+    # decryption: one leading TType byte, then seq-prefixed plaintext.
+    bodies = [
+        (TType.STREAM_DATA, framing.encode_stream_data(2, 4096, b"payload", fin=True)),
+        (TType.STREAM_OPEN, framing.encode_stream_open(2, 1)),
+        (TType.STREAM_CLOSE, framing.encode_stream_close(2, 8192)),
+        (TType.ACK, framing.encode_ack(77, 1)),
+        (TType.TCP_OPTION, framing.encode_tcp_option(28, b"\x80\x1e", 1)),
+        (TType.JOIN_ACK, framing.encode_join_ack(2)),
+        (TType.NEW_COOKIES, framing.encode_new_cookies([b"\xab" * 16, b"\xcd" * 16])),
+        (TType.PLUGIN, framing.encode_plugin("bpf.cc", b"\x00\x01\x02\x03")),
+        (TType.PROBE, framing.encode_probe(1, b"\x45" * 20)),
+        (TType.PROBE_REPORT, framing.encode_probe_report(1, ["mss", "window"])),
+        (TType.ADDRESS_ADVERT, framing.encode_address_advert(["10.0.1.1"], ["fd00::1"])),
+        (TType.SESSION_CLOSE, framing.encode_session_close(4)),
+        (TType.PING, b""),
+    ]
+    return [
+        bytes([ttype]) + framing.encode_frame(ttype, seq, body)
+        for seq, (ttype, body) in enumerate(bodies, start=1)
+    ]
+
+
+def _join_seeds() -> List[bytes]:
+    params = joinmod.TcplsServerParams(
+        connection_id=b"\x42" * 16,
+        cookies=[b"\x10" * 16, b"\x20" * 16],
+        v4_addresses=["10.0.0.1", "192.168.1.1"],
+        v6_addresses=["fd00::1"],
+    )
+    seeds = [
+        joinmod.build_tcpls_marker(),
+        params.to_bytes(),
+        joinmod.build_join_body(b"\x42" * 16, b"\x10" * 16),
+        # Regression: empty CONNID / cookie must be rejected, not
+        # accepted as a zero-length credential.
+        b"\x00\x00",
+    ]
+    return seeds
+
+
+def _quic_packet_seeds() -> List[bytes]:
+    def header(ptype: int, dcid: bytes, scid: bytes, pn: int) -> bytes:
+        writer = ByteWriter()
+        writer.put_u8(ptype)
+        writer.put_vec8(dcid)
+        writer.put_vec8(scid)
+        writer.put_u64(pn)
+        return writer.getvalue()
+
+    seeds = [
+        header(quicpkt.TYPE_INITIAL, b"\xd1" * 8, b"\x51" * 8, 0) + b"\xee" * 48,
+        header(quicpkt.TYPE_EARLY, b"\xd1" * 8, b"", 1) + b"\xee" * 32,
+        header(quicpkt.TYPE_APP, b"\xd1" * 8, b"\x51" * 8, 7) + b"\xee" * 64,
+        # Frame plaintexts (what decode_frames sees post-decrypt).
+        quicpkt.encode_frames(
+            [
+                quicpkt.PingFrame(),
+                quicpkt.CryptoFrame(offset=0, data=b"\x01\x02\x03"),
+                quicpkt.StreamFrame(stream_id=4, offset=0, data=b"req", fin=True),
+            ]
+        ),
+        quicpkt.encode_frames(
+            [quicpkt.AckFrame(ranges=[(7, 9), (1, 3)])]
+        ),
+    ]
+    return seeds
+
+
+def seed_corpus() -> Dict[str, List[bytes]]:
+    """All committed seeds, keyed by wire-format name."""
+    return {
+        "tcp_segment": _tcp_segment_seeds(),
+        "tcp_options": _tcp_option_seeds(),
+        "tls_record": _tls_record_seeds(),
+        "tls_handshake": _tls_handshake_seeds(),
+        "tcpls_frame": _tcpls_frame_seeds(),
+        "join": _join_seeds(),
+        "quic_packet": _quic_packet_seeds(),
+    }

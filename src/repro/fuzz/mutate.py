@@ -1,0 +1,135 @@
+"""Structured byte mutations, deterministic under a seeded RNG.
+
+Each mutator is a pure function ``(rng, data) -> bytes`` that models one
+thing a hostile peer or broken middlebox does to wire bytes: cut them
+short, lie in a length field, flip bits, duplicate or reorder chunks,
+claim absurd sizes.  ``mutate`` picks one (sometimes stacking a second
+pass) so a campaign exercises both single faults and combinations.
+
+Nothing here touches wall-clock time or global randomness: the only
+entropy source is the ``random.Random`` instance passed in, which is
+what makes a campaign bit-for-bit replayable from its seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Tuple
+
+Mutator = Callable[[random.Random, bytes], bytes]
+
+
+def truncate(rng: random.Random, data: bytes) -> bytes:
+    """Cut the buffer short — the classic mid-record TCP segment loss."""
+    if not data:
+        return data
+    return data[: rng.randrange(len(data))]
+
+
+def bit_flip(rng: random.Random, data: bytes) -> bytes:
+    """Flip 1–8 random bits anywhere in the buffer."""
+    if not data:
+        return data
+    buffer = bytearray(data)
+    for _ in range(rng.randint(1, 8)):
+        position = rng.randrange(len(buffer))
+        buffer[position] ^= 1 << rng.randrange(8)
+    return bytes(buffer)
+
+
+def length_lie(rng: random.Random, data: bytes) -> bytes:
+    """Overwrite a 1/2/3-byte big-endian run with a plausible-but-wrong
+    value — the shape of every declared-length-vs-buffer bug."""
+    if not data:
+        return data
+    width = rng.choice([1, 2, 3])
+    if len(data) < width:
+        width = len(data)
+    offset = rng.randrange(len(data) - width + 1)
+    lie = rng.randrange(1 << (8 * width))
+    buffer = bytearray(data)
+    buffer[offset : offset + width] = lie.to_bytes(width, "big")
+    return bytes(buffer)
+
+
+def oversize_claim(rng: random.Random, data: bytes) -> bytes:
+    """Saturate a 1/2/3-byte run with 0xFF — a maximal length claim that
+    must trip a limit check, not an allocation."""
+    if not data:
+        return data
+    width = rng.choice([1, 2, 3])
+    if len(data) < width:
+        width = len(data)
+    offset = rng.randrange(len(data) - width + 1)
+    buffer = bytearray(data)
+    buffer[offset : offset + width] = b"\xff" * width
+    return bytes(buffer)
+
+
+def duplicate_slice(rng: random.Random, data: bytes) -> bytes:
+    """Repeat a random chunk in place — duplicated TLVs / replayed frames."""
+    if len(data) < 2:
+        return data
+    start = rng.randrange(len(data) - 1)
+    end = rng.randrange(start + 1, len(data) + 1)
+    return data[:end] + data[start:end] + data[end:]
+
+
+def reorder_slices(rng: random.Random, data: bytes) -> bytes:
+    """Swap two adjacent chunks — reordered TLVs / segments."""
+    if len(data) < 3:
+        return data
+    cut_a = rng.randrange(1, len(data) - 1)
+    cut_b = rng.randrange(cut_a + 1, len(data))
+    return data[:cut_a] + data[cut_a:cut_b][::-1] + data[cut_b:]
+
+
+def insert_garbage(rng: random.Random, data: bytes) -> bytes:
+    """Splice 1–16 random bytes at a random offset."""
+    offset = rng.randrange(len(data) + 1)
+    garbage = bytes(rng.randrange(256) for _ in range(rng.randint(1, 16)))
+    return data[:offset] + garbage + data[offset:]
+
+
+def delete_slice(rng: random.Random, data: bytes) -> bytes:
+    """Remove an interior chunk — a hole a length field no longer matches."""
+    if len(data) < 2:
+        return data
+    start = rng.randrange(len(data) - 1)
+    end = rng.randrange(start + 1, len(data) + 1)
+    return data[:start] + data[end:]
+
+
+def zero_fill(rng: random.Random, data: bytes) -> bytes:
+    """Zero a random run — nulled kinds/types and zero-length options."""
+    if not data:
+        return data
+    start = rng.randrange(len(data))
+    end = rng.randrange(start + 1, len(data) + 1)
+    buffer = bytearray(data)
+    buffer[start:end] = bytes(end - start)
+    return bytes(buffer)
+
+
+MUTATORS: List[Tuple[str, Mutator]] = [
+    ("truncate", truncate),
+    ("bit_flip", bit_flip),
+    ("length_lie", length_lie),
+    ("oversize_claim", oversize_claim),
+    ("duplicate_slice", duplicate_slice),
+    ("reorder_slices", reorder_slices),
+    ("insert_garbage", insert_garbage),
+    ("delete_slice", delete_slice),
+    ("zero_fill", zero_fill),
+]
+
+
+def mutate(rng: random.Random, data: bytes) -> Tuple[str, bytes]:
+    """Apply one (occasionally two stacked) mutators; returns (name, bytes)."""
+    name, mutator = rng.choice(MUTATORS)
+    mutated = mutator(rng, data)
+    if rng.random() < 0.25:
+        second_name, second = rng.choice(MUTATORS)
+        mutated = second(rng, mutated)
+        name = f"{name}+{second_name}"
+    return name, mutated

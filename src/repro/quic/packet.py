@@ -19,7 +19,7 @@ from typing import List, Optional, Tuple, Union
 from repro.crypto.aead import ChaCha20Poly1305
 from repro.crypto.hkdf import hkdf_expand_label, hkdf_extract
 from repro.utils.bytesio import ByteReader, ByteWriter
-from repro.utils.errors import ProtocolViolation
+from repro.utils.errors import UnknownType, decode_guard
 
 TYPE_INITIAL = 0x01
 TYPE_EARLY = 0x02
@@ -158,6 +158,11 @@ def encode_frames(frames: List[Frame]) -> bytes:
 
 
 def decode_frames(data: bytes) -> List[Frame]:
+    with decode_guard("quic.decode_frames"):
+        return _decode_frames_inner(data)
+
+
+def _decode_frames_inner(data: bytes) -> List[Frame]:
     reader = ByteReader(data)
     frames: List[Frame] = []
     while not reader.is_empty():
@@ -194,7 +199,7 @@ def decode_frames(data: bytes) -> List[Frame]:
             reason = reader.get_vec8().decode("utf-8", "replace")
             frames.append(ConnectionCloseFrame(error_code=code, reason=reason))
         else:
-            raise ProtocolViolation(f"unknown QUIC frame type {frame_type:#04x}")
+            raise UnknownType(f"unknown QUIC frame type {frame_type:#04x}")
     return frames
 
 
@@ -250,12 +255,15 @@ def seal_packet(
 
 def parse_header(data: bytes) -> Tuple[int, bytes, bytes, int, bytes, bytes]:
     """Split a packet: (type, dcid, scid, pn, header_bytes, ciphertext)."""
-    reader = ByteReader(data)
-    packet_type = reader.get_u8()
-    dcid = reader.get_vec8()
-    scid = reader.get_vec8()
-    packet_number = reader.get_u64()
-    header_len = reader.offset
+    with decode_guard("quic.parse_header"):
+        reader = ByteReader(data)
+        packet_type = reader.get_u8()
+        if packet_type not in (TYPE_INITIAL, TYPE_EARLY, TYPE_APP):
+            raise UnknownType(f"unknown QUIC packet type {packet_type:#04x}")
+        dcid = reader.get_vec8()
+        scid = reader.get_vec8()
+        packet_number = reader.get_u64()
+        header_len = reader.offset
     return (
         packet_type, dcid, scid, packet_number,
         data[:header_len], data[header_len:],

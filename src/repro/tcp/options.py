@@ -13,7 +13,7 @@ from typing import List, Tuple
 
 from repro import fastpath
 from repro.utils.bytesio import ByteReader, ByteWriter, NeedMoreData
-from repro.utils.errors import ProtocolViolation
+from repro.utils.errors import InvalidValue, ProtocolViolation, decode_guard
 
 KIND_EOL = 0
 KIND_NOP = 1
@@ -208,6 +208,11 @@ def decode_options(data: bytes) -> List[TcpOption]:
     allocation — this runs once per received segment.  Truncated
     buffers raise ``NeedMoreData`` exactly like the reader-based
     reference parser.
+
+    Fail-closed rules (both paths): a kind/length option whose length
+    byte is 0 or 1 is rejected (a zero-length option would loop the
+    scan forever), and a length that runs past the end of the option
+    block is rejected instead of silently misparsing the tail.
     """
     if not fastpath.flags["wire.cache"]:
         return _decode_options_reference(data)
@@ -226,7 +231,7 @@ def decode_options(data: bytes) -> List[TcpOption]:
         length = data[offset]
         offset += 1
         if length < 2:
-            raise ProtocolViolation(f"TCP option kind {kind} with length {length}")
+            raise InvalidValue(f"TCP option kind {kind} with length {length}")
         body = bytes(data[offset : offset + length - 2])
         if len(body) != length - 2:
             raise NeedMoreData(
@@ -250,13 +255,18 @@ def _decode_options_reference(data: bytes) -> List[TcpOption]:
             continue
         length = reader.get_u8()
         if length < 2:
-            raise ProtocolViolation(f"TCP option kind {kind} with length {length}")
+            raise InvalidValue(f"TCP option kind {kind} with length {length}")
         body = reader.get_bytes(length - 2)
         options.append(_decode_one(kind, body))
     return options
 
 
 def _decode_one(kind: int, body: bytes) -> TcpOption:
+    with decode_guard(f"TCP option kind {kind}"):
+        return _decode_one_inner(kind, body)
+
+
+def _decode_one_inner(kind: int, body: bytes) -> TcpOption:
     if kind == KIND_MSS and len(body) == 2:
         return MaximumSegmentSize(mss=int.from_bytes(body, "big"))
     if kind == KIND_WINDOW_SCALE and len(body) == 1:

@@ -33,7 +33,7 @@ from typing import List, Optional, Tuple
 from repro import fastpath
 from repro.netsim.packet import IPAddress, PROTO_TCP
 from repro.tcp.options import TcpOption, decode_options, encode_options
-from repro.utils.errors import ProtocolViolation
+from repro.utils.errors import InvalidValue, ProtocolViolation, TruncatedInput
 
 
 class Flags:
@@ -345,7 +345,7 @@ class TcpSegment:
         verify_checksum: bool = True,
     ) -> "TcpSegment":
         if len(data) < 20:
-            raise ProtocolViolation("TCP segment shorter than minimum header")
+            raise TruncatedInput("TCP segment shorter than minimum header")
         (
             src_port,
             dst_port,
@@ -359,7 +359,7 @@ class TcpSegment:
         ) = struct.unpack("!HHIIBBHHH", data[:20])
         data_offset = (offset_flags_hi >> 4) * 4
         if data_offset < 20 or data_offset > len(data):
-            raise ProtocolViolation(f"bad TCP data offset {data_offset}")
+            raise InvalidValue(f"bad TCP data offset {data_offset}")
         checksum_ok = False
         if src is not None and dst is not None:
             use_fast = fastpath.flags["wire.cache"]

@@ -18,7 +18,7 @@ from repro.tcp.connection import TcpConnection
 from repro.tcp.fastopen import FastOpenManager
 from repro.tcp.options import FastOpenCookie, find_option
 from repro.tcp.segment import Flags, TcpSegment
-from repro.utils.errors import ProtocolViolation
+from repro.utils.errors import DecodeError, ProtocolViolation
 
 _EPHEMERAL_BASE = 49152
 
@@ -99,6 +99,7 @@ class TcpStack:
         self._listeners: Dict[int, Listener] = {}
         self._next_ephemeral = _EPHEMERAL_BASE
         self.segments_dropped_checksum = 0
+        self.segments_dropped_malformed = 0
         self.rsts_sent = 0
         host.register_protocol(PROTO_TCP, self._on_datagram)
 
@@ -216,6 +217,11 @@ class TcpStack:
             segment = TcpSegment.from_bytes(
                 datagram.payload, datagram.src, datagram.dst, verify_checksum=True
             )
+        except DecodeError:
+            # Structurally invalid segment (truncated header, lying
+            # option length, bad offset): fail closed and drop it.
+            self.segments_dropped_malformed += 1
+            return
         except ProtocolViolation:
             self.segments_dropped_checksum += 1
             return

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.utils.errors import ProtocolViolation
+from repro.utils.errors import LengthMismatch, ProtocolViolation
 
 LEVEL_WARNING = 1
 LEVEL_FATAL = 2
@@ -13,6 +13,7 @@ BAD_RECORD_MAC = 20
 HANDSHAKE_FAILURE = 40
 BAD_CERTIFICATE = 42
 ILLEGAL_PARAMETER = 47
+DECODE_ERROR = 50
 DECRYPT_ERROR = 51
 PROTOCOL_VERSION = 70
 MISSING_EXTENSION = 109
@@ -25,6 +26,7 @@ _NAMES = {
     HANDSHAKE_FAILURE: "handshake_failure",
     BAD_CERTIFICATE: "bad_certificate",
     ILLEGAL_PARAMETER: "illegal_parameter",
+    DECODE_ERROR: "decode_error",
     DECRYPT_ERROR: "decrypt_error",
     PROTOCOL_VERSION: "protocol_version",
     MISSING_EXTENSION: "missing_extension",
@@ -42,7 +44,7 @@ def encode_alert(level: int, description: int) -> bytes:
 
 def decode_alert(payload: bytes):
     if len(payload) != 2:
-        raise ProtocolViolation("malformed alert record")
+        raise LengthMismatch(f"alert record must be 2 bytes, got {len(payload)}")
     return payload[0], payload[1]
 
 

@@ -12,7 +12,7 @@ from typing import List, Optional
 
 from repro.crypto.ed25519 import Ed25519PrivateKey, ed25519_verify
 from repro.utils.bytesio import ByteReader, ByteWriter
-from repro.utils.errors import ProtocolViolation
+from repro.utils.errors import InvalidValue, decode_guard
 
 
 @dataclass(frozen=True)
@@ -39,14 +39,15 @@ class Certificate:
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "Certificate":
-        outer = ByteReader(data)
-        tbs = ByteReader(outer.get_vec16())
-        subject = tbs.get_vec8().decode("utf-8")
-        public_key = tbs.get_vec8()
-        issuer = tbs.get_vec8().decode("utf-8")
-        signature = outer.get_vec8()
-        if len(public_key) != 32 or len(signature) != 64:
-            raise ProtocolViolation("malformed certificate key or signature")
+        with decode_guard("Certificate"):
+            outer = ByteReader(data)
+            tbs = ByteReader(outer.get_vec16())
+            subject = tbs.get_vec8().decode("utf-8")
+            public_key = tbs.get_vec8()
+            issuer = tbs.get_vec8().decode("utf-8")
+            signature = outer.get_vec8()
+            if len(public_key) != 32 or len(signature) != 64:
+                raise InvalidValue("malformed certificate key or signature")
         return cls(
             subject=subject, public_key=public_key, issuer=issuer, signature=signature
         )

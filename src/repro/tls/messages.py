@@ -13,7 +13,17 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.utils.bytesio import ByteReader, ByteWriter
-from repro.utils.errors import ProtocolViolation
+from repro.utils.errors import (
+    InvalidValue,
+    LengthMismatch,
+    ProtocolViolation,
+    decode_guard,
+)
+
+# A handshake message's u24 length field can claim up to 16 MiB; nothing
+# this stack legitimately sends comes near 64 KiB, so anything above is
+# rejected before a length lie can force unbounded buffering.
+MAX_HANDSHAKE_BODY = 1 << 16
 
 # Handshake message types.
 CLIENT_HELLO = 1
@@ -60,11 +70,34 @@ def _encode_extensions(extensions: Extensions) -> bytes:
 
 
 def _decode_extensions(reader: ByteReader) -> Extensions:
+    """Parse an extension block, validating every declared length.
+
+    The outer u16 length and each extension's u16 length are checked
+    against the actual buffer bounds before any slice, so a truncated or
+    length-lying extension raises a typed ``DecodeError`` instead of
+    leaking a low-level exception out of the handshake layer.
+    """
+    declared = reader.get_u16()
+    if declared > reader.remaining():
+        raise LengthMismatch(
+            f"extension block claims {declared}B, only "
+            f"{reader.remaining()}B present"
+        )
+    block = ByteReader(reader.get_bytes(declared))
     extensions: Extensions = []
-    block = ByteReader(reader.get_vec16())
     while not block.is_empty():
+        if block.remaining() < 4:
+            raise LengthMismatch(
+                f"dangling {block.remaining()}B at end of extension block"
+            )
         ext_type = block.get_u16()
-        extensions.append((ext_type, block.get_vec16()))
+        body_len = block.get_u16()
+        if body_len > block.remaining():
+            raise LengthMismatch(
+                f"extension {ext_type:#06x} claims {body_len}B, only "
+                f"{block.remaining()}B present"
+            )
+        extensions.append((ext_type, block.get_bytes(body_len)))
     return extensions
 
 
@@ -82,13 +115,34 @@ def frame_handshake(msg_type: int, body: bytes) -> bytes:
 
 
 def parse_handshake_frames(data: bytes) -> List[Tuple[int, bytes, bytes]]:
-    """Split concatenated handshake messages; returns (type, body, raw)."""
+    """Split concatenated handshake messages; returns (type, body, raw).
+
+    Each frame's declared u24 length is validated against the remaining
+    buffer (and against :data:`MAX_HANDSHAKE_BODY`) before the body is
+    sliced, so truncation and oversize claims both surface as typed
+    ``DecodeError`` subclasses.
+    """
     reader = ByteReader(data)
     frames = []
     while not reader.is_empty():
         start = reader.offset
+        if reader.remaining() < 4:
+            raise LengthMismatch(
+                f"dangling {reader.remaining()}B handshake header fragment"
+            )
         msg_type = reader.get_u8()
-        body = reader.get_vec24()
+        length = reader.get_u24()
+        if length > MAX_HANDSHAKE_BODY:
+            raise InvalidValue(
+                f"handshake message {msg_type} claims {length}B "
+                f"(limit {MAX_HANDSHAKE_BODY}B)"
+            )
+        if length > reader.remaining():
+            raise LengthMismatch(
+                f"handshake message {msg_type} claims {length}B, only "
+                f"{reader.remaining()}B present"
+            )
+        body = reader.get_bytes(length)
         raw = data[start : reader.offset]
         frames.append((msg_type, body, raw))
     return frames
@@ -125,17 +179,18 @@ class ClientHello:
 
     @classmethod
     def from_body(cls, body: bytes) -> "ClientHello":
-        reader = ByteReader(body)
-        if reader.get_u16() != LEGACY_VERSION:
-            raise ProtocolViolation("bad legacy_version in ClientHello")
-        random = reader.get_bytes(32)
-        session_id = reader.get_vec8()
-        suites_raw = ByteReader(reader.get_vec16())
-        suites = []
-        while not suites_raw.is_empty():
-            suites.append(suites_raw.get_u16())
-        reader.get_vec8()  # compression methods
-        extensions = _decode_extensions(reader)
+        with decode_guard("ClientHello"):
+            reader = ByteReader(body)
+            if reader.get_u16() != LEGACY_VERSION:
+                raise InvalidValue("bad legacy_version in ClientHello")
+            random = reader.get_bytes(32)
+            session_id = reader.get_vec8()
+            suites_raw = ByteReader(reader.get_vec16())
+            suites = []
+            while not suites_raw.is_empty():
+                suites.append(suites_raw.get_u16())
+            reader.get_vec8()  # compression methods
+            extensions = _decode_extensions(reader)
         return cls(
             random=random,
             session_id=session_id,
@@ -165,13 +220,14 @@ class ServerHello:
 
     @classmethod
     def from_body(cls, body: bytes) -> "ServerHello":
-        reader = ByteReader(body)
-        reader.get_u16()
-        random = reader.get_bytes(32)
-        session_id = reader.get_vec8()
-        cipher_suite = reader.get_u16()
-        reader.get_u8()
-        extensions = _decode_extensions(reader)
+        with decode_guard("ServerHello"):
+            reader = ByteReader(body)
+            reader.get_u16()
+            random = reader.get_bytes(32)
+            session_id = reader.get_vec8()
+            cipher_suite = reader.get_u16()
+            reader.get_u8()
+            extensions = _decode_extensions(reader)
         return cls(
             random=random,
             session_id=session_id,
@@ -196,7 +252,8 @@ class EncryptedExtensionsMsg:
 
     @classmethod
     def from_body(cls, body: bytes) -> "EncryptedExtensionsMsg":
-        return cls(extensions=_decode_extensions(ByteReader(body)))
+        with decode_guard("EncryptedExtensions"):
+            return cls(extensions=_decode_extensions(ByteReader(body)))
 
 
 @dataclass
@@ -216,11 +273,12 @@ class CertificateMsg:
 
     @classmethod
     def from_body(cls, body: bytes) -> "CertificateMsg":
-        reader = ByteReader(body)
-        reader.get_vec8()
-        entries = ByteReader(reader.get_vec24())
-        certificate_bytes = entries.get_vec24()
-        entries.get_vec16()
+        with decode_guard("Certificate"):
+            reader = ByteReader(body)
+            reader.get_vec8()
+            entries = ByteReader(reader.get_vec24())
+            certificate_bytes = entries.get_vec24()
+            entries.get_vec16()
         return cls(certificate_bytes=certificate_bytes)
 
 
@@ -239,8 +297,9 @@ class CertificateVerifyMsg:
 
     @classmethod
     def from_body(cls, body: bytes) -> "CertificateVerifyMsg":
-        reader = ByteReader(body)
-        return cls(algorithm=reader.get_u16(), signature=reader.get_vec16())
+        with decode_guard("CertificateVerify"):
+            reader = ByteReader(body)
+            return cls(algorithm=reader.get_u16(), signature=reader.get_vec16())
 
 
 @dataclass
@@ -279,7 +338,7 @@ class KeyUpdateMsg:
     @classmethod
     def from_body(cls, body: bytes) -> "KeyUpdateMsg":
         if len(body) != 1 or body[0] > 1:
-            raise ProtocolViolation("malformed KeyUpdate")
+            raise InvalidValue("malformed KeyUpdate")
         return cls(request_update=bool(body[0]))
 
 
@@ -309,16 +368,17 @@ class NewSessionTicketMsg:
 
     @classmethod
     def from_body(cls, body: bytes) -> "NewSessionTicketMsg":
-        reader = ByteReader(body)
-        lifetime = reader.get_u32()
-        age_add = reader.get_u32()
-        nonce = reader.get_vec8()
-        ticket = reader.get_vec16()
-        extensions = _decode_extensions(reader)
-        max_early = 0
-        early = get_extension(extensions, EXT_EARLY_DATA)
-        if early is not None:
-            max_early = ByteReader(early).get_u32()
+        with decode_guard("NewSessionTicket"):
+            reader = ByteReader(body)
+            lifetime = reader.get_u32()
+            age_add = reader.get_u32()
+            nonce = reader.get_vec8()
+            ticket = reader.get_vec16()
+            extensions = _decode_extensions(reader)
+            max_early = 0
+            early = get_extension(extensions, EXT_EARLY_DATA)
+            if early is not None:
+                max_early = ByteReader(early).get_u32()
         return cls(
             lifetime=lifetime,
             age_add=age_add,
@@ -342,12 +402,33 @@ def build_key_share_client(public_key: bytes) -> bytes:
 
 
 def parse_key_share_client(body: bytes) -> Optional[bytes]:
-    shares = ByteReader(ByteReader(body).get_vec16())
-    while not shares.is_empty():
-        group = shares.get_u16()
-        key = shares.get_vec16()
-        if group == GROUP_X25519:
-            return key
+    with decode_guard("key_share(ClientHello)"):
+        outer = ByteReader(body)
+        declared = outer.get_u16()
+        if declared != outer.remaining():
+            raise LengthMismatch(
+                f"key_share list claims {declared}B, {outer.remaining()}B present"
+            )
+        shares = ByteReader(outer.get_rest())
+        while not shares.is_empty():
+            if shares.remaining() < 4:
+                raise LengthMismatch(
+                    f"dangling {shares.remaining()}B key_share entry header"
+                )
+            group = shares.get_u16()
+            key_len = shares.get_u16()
+            if key_len > shares.remaining():
+                raise LengthMismatch(
+                    f"key_share entry claims {key_len}B, only "
+                    f"{shares.remaining()}B present"
+                )
+            key = shares.get_bytes(key_len)
+            if group == GROUP_X25519:
+                if len(key) != 32:
+                    raise InvalidValue(
+                        f"X25519 key share must be 32B, got {len(key)}B"
+                    )
+                return key
     return None
 
 
@@ -358,11 +439,19 @@ def build_key_share_server(public_key: bytes) -> bytes:
 
 
 def parse_key_share_server(body: bytes) -> bytes:
-    reader = ByteReader(body)
-    group = reader.get_u16()
-    if group != GROUP_X25519:
-        raise ProtocolViolation(f"unsupported key share group {group:#06x}")
-    return reader.get_vec16()
+    with decode_guard("key_share(ServerHello)"):
+        reader = ByteReader(body)
+        group = reader.get_u16()
+        if group != GROUP_X25519:
+            raise ProtocolViolation(f"unsupported key share group {group:#06x}")
+        key = reader.get_vec16()
+        if len(key) != 32:
+            raise InvalidValue(f"X25519 key share must be 32B, got {len(key)}B")
+        if not reader.is_empty():
+            raise LengthMismatch(
+                f"{reader.remaining()}B of trailing junk after key_share"
+            )
+        return key
 
 
 def build_supported_versions_client() -> bytes:
@@ -389,9 +478,27 @@ def build_server_name(name: str) -> bytes:
 
 
 def parse_server_name(body: bytes) -> str:
-    entries = ByteReader(ByteReader(body).get_vec16())
-    entries.get_u8()
-    return entries.get_vec16().decode("utf-8")
+    with decode_guard("server_name"):
+        outer = ByteReader(body)
+        declared = outer.get_u16()
+        if declared > outer.remaining():
+            raise LengthMismatch(
+                f"server_name list claims {declared}B, only "
+                f"{outer.remaining()}B present"
+            )
+        entries = ByteReader(outer.get_bytes(declared))
+        name_type = entries.get_u8()
+        if name_type != 0:
+            raise InvalidValue(f"unknown server_name type {name_type}")
+        name_len = entries.get_u16()
+        if name_len > entries.remaining():
+            raise LengthMismatch(
+                f"server_name claims {name_len}B, only "
+                f"{entries.remaining()}B present"
+            )
+        # A bad UTF-8 byte raises UnicodeDecodeError, which the guard
+        # converts into a typed InvalidValue.
+        return entries.get_bytes(name_len).decode("utf-8")
 
 
 def build_psk_offer(identity: bytes, obfuscated_age: int, binder_length: int) -> bytes:
@@ -407,13 +514,28 @@ def build_psk_offer(identity: bytes, obfuscated_age: int, binder_length: int) ->
 
 
 def parse_psk_offer(body: bytes) -> Tuple[bytes, int, bytes]:
-    reader = ByteReader(body)
-    identities = ByteReader(reader.get_vec16())
-    identity = identities.get_vec16()
-    age = identities.get_u32()
-    binders = ByteReader(reader.get_vec16())
-    binder = binders.get_vec8()
-    return identity, age, binder
+    with decode_guard("pre_shared_key"):
+        reader = ByteReader(body)
+        identities_len = reader.get_u16()
+        if identities_len > reader.remaining():
+            raise LengthMismatch(
+                f"PSK identities claim {identities_len}B, only "
+                f"{reader.remaining()}B present"
+            )
+        identities = ByteReader(reader.get_bytes(identities_len))
+        identity = identities.get_vec16()
+        age = identities.get_u32()
+        binders_len = reader.get_u16()
+        if binders_len > reader.remaining():
+            raise LengthMismatch(
+                f"PSK binders claim {binders_len}B, only "
+                f"{reader.remaining()}B present"
+            )
+        binders = ByteReader(reader.get_bytes(binders_len))
+        binder = binders.get_vec8()
+        if not binder:
+            raise InvalidValue("empty PSK binder")
+        return identity, age, binder
 
 
 def psk_binders_length(binder_length: int) -> int:

@@ -30,7 +30,7 @@ from repro.crypto import aead as _aead
 from repro.crypto.aead import ChaCha20Poly1305, TAG_LENGTH
 from repro.crypto.keyschedule import TrafficKeys
 from repro.utils.bytesio import ByteWriter
-from repro.utils.errors import CryptoError, ProtocolViolation
+from repro.utils.errors import CryptoError, InvalidValue, ProtocolViolation
 
 if _aead.HAVE_NUMPY:
     from repro.crypto.chacha20_fast import chacha20_keystream_multi
@@ -201,7 +201,7 @@ def strip_padding(inner: bytes) -> Tuple[int, bytes]:
     while end > 0 and inner[end - 1] == 0:
         end -= 1
     if end == 0:
-        raise ProtocolViolation("record with all-zero inner plaintext")
+        raise InvalidValue("record with all-zero inner plaintext")
     return inner[end - 1], inner[: end - 1]
 
 
@@ -266,7 +266,7 @@ class RecordDecoder:
             "!BHH", self._buffer, 0
         )
         if length > MAX_PLAINTEXT + 256 + TAG_LENGTH:
-            raise ProtocolViolation(f"record length {length} exceeds the limit")
+            raise InvalidValue(f"record length {length} exceeds the limit")
         if len(self._buffer) < RECORD_HEADER_LEN + length:
             return None
         body = bytes(self._buffer[RECORD_HEADER_LEN : RECORD_HEADER_LEN + length])

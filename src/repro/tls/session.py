@@ -34,7 +34,13 @@ from repro.tls.certificates import Certificate, Identity, TrustStore
 from repro.tls import messages as m
 from repro.tls.record import ContentType, RecordDecoder, RecordEncoder
 from repro.utils.bytesio import ByteReader, ByteWriter
-from repro.utils.errors import CryptoError, ProtocolViolation
+from repro.utils.errors import (
+    CryptoError,
+    DecodeError,
+    GuardLimitExceeded,
+    MessageTooLarge,
+    ProtocolViolation,
+)
 
 _CERT_VERIFY_CONTEXT_SERVER = b" " * 64 + b"TLS 1.3, server CertificateVerify" + b"\x00"
 
@@ -124,6 +130,19 @@ class TlsSession:
         self.peer_closed = False
         self.key_updates_sent = 0
         self.key_updates_received = 0
+
+        # Fail-closed accounting (the fuzzing harness and the TCPLS
+        # session's ``decode.rejected``/``guard.tripped`` counters read
+        # these).  ``max_handshake_message`` bounds a single message's
+        # declared length; ``max_handshake_buffer`` bounds the reassembly
+        # buffer so a peer cannot stall us mid-message forever while we
+        # hoard its bytes.
+        self.decode_rejected = 0
+        self.guard_tripped = 0
+        self.max_handshake_message = m.MAX_HANDSHAKE_BODY
+        self.max_handshake_buffer = 1 << 17
+        self.on_decode_rejected: Optional[Callable[[str], None]] = None
+        self.on_guard_tripped: Optional[Callable[[str], None]] = None
 
         # Events.
         self.on_handshake_complete: Optional[Callable[[], None]] = None
@@ -216,6 +235,25 @@ class TlsSession:
                     # data under keys we refused to derive).
                     continue
                 self._fatal(alerts.BAD_RECORD_MAC, "record authentication failed")
+            except GuardLimitExceeded as exc:
+                self._note_guard_trip(str(exc))
+                self._fatal(alerts.DECODE_ERROR, f"guard tripped: {exc}")
+            except DecodeError as exc:
+                # Fail closed: a malformed peer message becomes a fatal
+                # decode_error alert and connection teardown, never a
+                # stray exception through the event loop.
+                self._note_decode_rejected(str(exc))
+                self._fatal(alerts.DECODE_ERROR, f"malformed peer message: {exc}")
+
+    def _note_decode_rejected(self, detail: str) -> None:
+        self.decode_rejected += 1
+        if self.on_decode_rejected:
+            self.on_decode_rejected(detail)
+
+    def _note_guard_trip(self, detail: str) -> None:
+        self.guard_tripped += 1
+        if self.on_guard_tripped:
+            self.on_guard_tripped(detail)
 
     def _on_record(self, content_type: int, payload: bytes) -> None:
         if content_type == ContentType.HANDSHAKE:
@@ -250,8 +288,20 @@ class TlsSession:
             if len(self._handshake_buffer) < 4:
                 return
             length = int.from_bytes(self._handshake_buffer[1:4], "big")
+            if length > self.max_handshake_message:
+                # A length lie this large would have us buffer forever
+                # waiting for bytes that never come; reject it outright.
+                raise MessageTooLarge(
+                    f"handshake message {self._handshake_buffer[0]} claims "
+                    f"{length}B (limit {self.max_handshake_message}B)"
+                )
             total = 4 + length
             if len(self._handshake_buffer) < total:
+                if len(self._handshake_buffer) > self.max_handshake_buffer:
+                    raise GuardLimitExceeded(
+                        f"handshake reassembly buffer exceeds "
+                        f"{self.max_handshake_buffer}B"
+                    )
                 return
             raw = bytes(self._handshake_buffer[:total])
             del self._handshake_buffer[:total]
@@ -620,7 +670,14 @@ class TlsSession:
         the plaintext back to the TLS layer through this entry point.
         """
         self._handshake_buffer.extend(payload)
-        self._drain_handshake_messages()
+        try:
+            self._drain_handshake_messages()
+        except GuardLimitExceeded as exc:
+            self._note_guard_trip(str(exc))
+            self._fatal(alerts.DECODE_ERROR, f"guard tripped: {exc}")
+        except DecodeError as exc:
+            self._note_decode_rejected(str(exc))
+            self._fatal(alerts.DECODE_ERROR, f"malformed peer message: {exc}")
 
     # ------------------------------------------------------------------
     # Internals

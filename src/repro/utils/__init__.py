@@ -1,6 +1,29 @@
 """Shared low-level utilities: byte codecs, deterministic RNG, errors."""
 
 from repro.utils.bytesio import ByteReader, ByteWriter, NeedMoreData
-from repro.utils.errors import ReproError
+from repro.utils.errors import (
+    DecodeError,
+    GuardLimitExceeded,
+    InvalidValue,
+    LengthMismatch,
+    MessageTooLarge,
+    ReproError,
+    TruncatedInput,
+    UnknownType,
+    decode_guard,
+)
 
-__all__ = ["ByteReader", "ByteWriter", "NeedMoreData", "ReproError"]
+__all__ = [
+    "ByteReader",
+    "ByteWriter",
+    "DecodeError",
+    "GuardLimitExceeded",
+    "InvalidValue",
+    "LengthMismatch",
+    "MessageTooLarge",
+    "NeedMoreData",
+    "ReproError",
+    "TruncatedInput",
+    "UnknownType",
+    "decode_guard",
+]

@@ -12,14 +12,17 @@ from __future__ import annotations
 
 import struct
 
-from repro.utils.errors import ReproError
+from repro.utils.errors import TruncatedInput
 
 
-class NeedMoreData(ReproError):
+class NeedMoreData(TruncatedInput):
     """Raised when a reader runs past the end of its buffer.
 
     Stream parsers use this to distinguish "wait for more bytes" from a
-    genuine protocol violation.
+    structurally invalid encoding.  It subclasses
+    :class:`~repro.utils.errors.TruncatedInput` (and therefore
+    ``DecodeError`` / ``ProtocolViolation``), so a truncated buffer that
+    reaches a fail-closed boundary is rejected, never crashes.
     """
 
 

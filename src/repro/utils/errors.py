@@ -1,4 +1,19 @@
-"""Exception hierarchy shared across the reproduction."""
+"""Exception hierarchy shared across the reproduction.
+
+The decode plane follows a fail-closed contract: every wire parser in
+the repository (TCP segments and options, TLS records and handshake
+messages, TCPLS control frames, JOIN/cookie bodies, QUIC packets) may
+raise only the typed :class:`DecodeError` family on hostile or damaged
+input.  ``DecodeError`` subclasses :class:`ProtocolViolation`, so every
+pre-existing ``except ProtocolViolation`` recovery site (connection
+teardown, segment drop, handshake abort) handles the new hierarchy
+unchanged — while fuzzing harnesses can assert the tighter contract.
+"""
+
+from __future__ import annotations
+
+import struct
+from contextlib import contextmanager
 
 
 class ReproError(Exception):
@@ -15,3 +30,68 @@ class CryptoError(ReproError):
 
 class ConfigurationError(ReproError):
     """The caller configured an object inconsistently."""
+
+
+class DecodeError(ProtocolViolation):
+    """A wire parser rejected its input.
+
+    This is the *only* exception family parsers are allowed to raise on
+    malformed bytes — ``struct.error``, ``IndexError`` and friends must
+    never escape a decode path (see :func:`decode_guard`).
+    """
+
+
+class TruncatedInput(DecodeError):
+    """The buffer ended before the encoding it claims to carry."""
+
+
+class LengthMismatch(DecodeError):
+    """A declared length field disagrees with the actual buffer bounds."""
+
+
+class InvalidValue(DecodeError):
+    """A field holds a value the encoding forbids (bad enum, bad text)."""
+
+
+class UnknownType(DecodeError):
+    """A type/kind discriminator names nothing this stack implements."""
+
+
+class MessageTooLarge(DecodeError):
+    """A declared or actual size exceeds the layer's hard limit."""
+
+
+class GuardLimitExceeded(ProtocolViolation):
+    """A resource-exhaustion guard tripped (buffer cap, stream cap,
+    transcript limit, JOIN rate limit).  Subclasses ``ProtocolViolation``
+    so the same fail-closed teardown sites apply; observability layers
+    count it separately as ``guard.tripped``."""
+
+
+# Exceptions a sloppy parser might leak on attacker-shaped bytes.  A
+# ``decode_guard`` block converts all of them into typed DecodeErrors.
+_STRAY_DECODE_EXCEPTIONS = (
+    struct.error,
+    IndexError,
+    KeyError,
+    OverflowError,
+    UnicodeDecodeError,
+    ValueError,
+)
+
+
+@contextmanager
+def decode_guard(what: str):
+    """Fail-closed boundary for a parser body.
+
+    Typed decode errors pass through untouched; any stray low-level
+    exception from slicing/unpacking/str-decoding is converted into an
+    :class:`InvalidValue` naming the parser, so callers can rely on the
+    ``DecodeError``-only contract.
+    """
+    try:
+        yield
+    except DecodeError:
+        raise
+    except _STRAY_DECODE_EXCEPTIONS as exc:
+        raise InvalidValue(f"{what}: {exc}") from exc

@@ -1,0 +1,158 @@
+"""In-situ adversaries: keyless attackers against live two-path sessions.
+
+The security contract under test: an attacker on (or off) the wire
+without the TLS keys can degrade an established TCPLS session — trip
+guards, force a path failover — but can never desynchronise the
+delivered byte stream, crash an endpoint, or break exactly-once
+delivery.  Every run is a full two-path transfer checked with the
+PR 2 recovery invariants, and every attack is seeded + count-bounded
+so the whole thing replays deterministically.
+"""
+
+from repro.core.events import Event
+from repro.faults import FaultPlan
+from repro.fuzz.attackers import (
+    PayloadTamperer,
+    RstBlaster,
+    SegmentInjector,
+    junk_payloads,
+)
+
+from tests.faults.conftest import establish_paths, fault_world, run_scenario
+
+PAYLOAD = bytes(range(256)) * 2048  # 512 KiB
+
+
+def _attacked_world(seed=7, **overrides):
+    return establish_paths(fault_world(paths=2, seed=seed, rate_bps=5e6,
+                                       **overrides))
+
+
+def _client_to_server(world, attacker, path=0):
+    """Install ``attacker`` on the client->server direction of ``path``."""
+    link = world.topo.links[path]
+    link.add_transformer(world.topo.client.interfaces[f"eth{path}"], attacker)
+    return attacker
+
+
+def _server_to_client(world, attacker, path=0):
+    link = world.topo.links[path]
+    link.add_transformer(world.topo.server.interfaces[f"eth{path}"], attacker)
+    return attacker
+
+
+def test_segment_injector_rejected_and_survived():
+    """On-path injection of in-window forged segments: the victim's TCP
+    accepts the bytes (they're valid TCP), the record/AEAD layer rejects
+    them, the poisoned connection dies, the transfer completes on the
+    clean path exactly once."""
+    world = _attacked_world()
+    injector = _client_to_server(
+        world, SegmentInjector(junk_payloads(seed=3), start_after=3, every=3)
+    )
+    failures = []
+    world.server_session.on(
+        Event.CONN_FAILED, lambda **kw: failures.append(kw)
+    )
+    report, _ = run_scenario(
+        world, FaultPlan(name="segment-injection"), PAYLOAD, slack=4.0
+    )
+    report.assert_ok()
+    assert injector.injected >= 1
+    server = world.server_session
+    rejections = (
+        server._obs_decode_rejected.value + server._obs_guard_tripped.value
+    )
+    assert rejections >= 1, "injected junk was never rejected"
+    assert failures, "poisoned connection should have been torn down"
+
+
+def test_payload_tamperer_forces_failover_exactly_once():
+    """A keyless MITM rewriting genuine ciphertext desyncs the AEAD
+    sequence; the session must detect the auth-failure run, trip the
+    guard, fail the path over, and still deliver every byte once."""
+    world = _attacked_world()
+    tamperer = _client_to_server(
+        world, PayloadTamperer(count=2, start_after=4, seed=5)
+    )
+    report, _ = run_scenario(
+        world, FaultPlan(name="payload-tamper"), PAYLOAD, slack=4.0
+    )
+    report.assert_ok()
+    assert tamperer.tampered >= 1
+    server = world.server_session
+    assert (
+        server._obs_guard_tripped.value + server._obs_decode_rejected.value
+        >= 1
+    ), "tampering was never detected"
+
+
+def test_blind_rst_attack_detected_and_failed_over():
+    """Satellite 3: the classic RST injection against an established
+    TCPLS session.  With exact in-window sequence numbers (the strongest
+    off-path attacker), the victim TCP genuinely resets; the session
+    must surface the reset, fail over to the surviving path, and keep
+    the stream exactly-once."""
+    world = _attacked_world()
+    blaster = _server_to_client(
+        world, RstBlaster(count=3, start_after=4, blind=False)
+    )
+    failures = []
+    world.client.on(Event.CONN_FAILED, lambda **kw: failures.append(kw))
+    report, _ = run_scenario(
+        world, FaultPlan(name="blind-rst"), PAYLOAD, slack=4.0
+    )
+    report.assert_ok()
+    assert blaster.fired >= 1
+    assert failures, "RST should have killed a connection (reset detection)"
+    # Failover happened: the transfer finished even though a path died.
+    assert world.client.handshake_complete
+    assert not world.client.session_closed
+
+
+def test_truly_blind_rst_mostly_bounces_off():
+    """With random sequence numbers, the in-window RST check discards
+    the forgeries: the session shouldn't even notice."""
+    world = _attacked_world()
+    blaster = _server_to_client(
+        world, RstBlaster(count=4, start_after=4, blind=True, seed=9)
+    )
+    report, _ = run_scenario(
+        world, FaultPlan(name="random-rst"), PAYLOAD, slack=4.0
+    )
+    report.assert_ok()
+    assert blaster.fired >= 1
+
+
+def test_attacked_run_exports_nonzero_hardening_counters():
+    """The acceptance run: attacker traffic plus a garbage-spraying raw
+    connection, and both hardening counters land nonzero in the exported
+    telemetry."""
+    world = _attacked_world()
+    _client_to_server(world, PayloadTamperer(count=2, start_after=4, seed=5))
+
+    # A keyless peer talking straight garbage to the listener.
+    topo = world.topo
+    raw = world.client_stack.connect(
+        topo.server_addrs[1], 443, local_addr=topo.client_addrs[1]
+    )
+    raw.on_established = lambda: raw.send(b"\x16\x03\x01\xde\xad" * 40)
+
+    report, _ = run_scenario(
+        world, FaultPlan(name="counter-export"), PAYLOAD, slack=4.0
+    )
+    report.assert_ok()
+
+    session_counts = world.server_session.obs.telemetry.snapshot()
+    server_counts = world.server.obs.telemetry.snapshot().get("server", {})
+    guard_trips = session_counts.get("session.server", {}).get(
+        "guard.tripped", 0
+    ) + server_counts.get("guard.tripped", 0)
+    rejected = session_counts.get("session.server", {}).get(
+        "decode.rejected", 0
+    ) + server_counts.get("decode.rejected", 0)
+    assert guard_trips >= 1
+    assert rejected >= 1
+    # And the session's metrics() export carries them too.
+    exported = world.server_session.metrics()
+    assert exported["counters"]["session.server"]["guard.tripped"] >= 1

@@ -1,0 +1,153 @@
+"""Resource-exhaustion guards: caps trip, fail closed, and are counted."""
+
+import types
+
+import pytest
+
+from repro.core import framing
+from repro.core.framing import TType
+from repro.tls.alerts import TlsAlertError
+from repro.tls.certificates import CertificateAuthority, TrustStore
+from repro.utils.errors import GuardLimitExceeded
+
+from tests.core.conftest import World, collect_stream_data, establish
+from tests.tls.tls_pipe import make_pair
+
+from repro.netsim.scenarios import simple_duplex_network
+
+
+def _world(**overrides):
+    net, client_host, server_host, link = simple_duplex_network(delay=0.01)
+    world = World(net, client_host, server_host, **overrides)
+    world.link = link
+    return world
+
+
+def _tls_pair():
+    ca = CertificateAuthority("Guard Root", seed=b"guard")
+    identity = ca.issue_identity("server.example", seed=b"gsrv")
+    trust = TrustStore()
+    trust.add_authority(ca)
+    return make_pair(identity, trust)
+
+
+# -- TLS handshake transcript guards ---------------------------------------
+
+
+def test_oversized_handshake_declaration_is_fatal_alert():
+    pipe = _tls_pair()
+    pipe.client.start_handshake()
+    pipe.pump()
+    assert pipe.server.is_established
+    rejections = []
+    pipe.server.on_decode_rejected = rejections.append
+    # A handshake message claiming 16 MB: rejected before buffering.
+    with pytest.raises(TlsAlertError):
+        pipe.server.process_handshake_bytes(b"\x01\xff\xff\xff")
+    assert pipe.server.decode_rejected == 1
+    assert rejections and "claims" in rejections[0]
+
+
+def test_handshake_buffer_guard_trips():
+    pipe = _tls_pair()
+    pipe.client.start_handshake()
+    pipe.pump()
+    pipe.server.max_handshake_buffer = 1024
+    trips = []
+    pipe.server.on_guard_tripped = trips.append
+    # An incomplete message that keeps the reassembly buffer growing
+    # past the cap without ever completing.
+    with pytest.raises(TlsAlertError):
+        pipe.server.process_handshake_bytes(
+            b"\x01\x00\xff\xff" + b"\x00" * 2000
+        )
+    assert pipe.server.guard_tripped == 1
+    assert trips
+
+
+# -- session-level guards ---------------------------------------------------
+
+
+def test_max_streams_guard_trips_and_is_counted():
+    world = _world(max_streams=3)
+    establish(world)
+    collect_stream_data(world.server_session)
+    streams = [world.client.stream_new() for _ in range(6)]
+    world.client.streams_attach()
+    for index, stream in enumerate(streams):
+        world.client.send(stream, bytes([index]) * 64)
+    world.run(until=3.0)
+    server = world.server_session
+    # The implicit-stream guard refused the table overflow and the
+    # violation was counted (the connection it arrived on was torn down).
+    assert len(server.streams) <= 3
+    assert server._obs_guard_tripped.value >= 1
+
+
+def test_reassembly_cap_guard():
+    world = _world(max_reassembly_bytes=1_000)
+    establish(world)
+    server = world.server_session
+    conn = server.primary
+    # Far-ahead stream data (offset leaves a hole) buffers; the second
+    # chunk pushes the out-of-order buffer over the cap.
+    frame = lambda seq, offset: framing.Frame(
+        ttype=TType.STREAM_DATA,
+        seq=seq,
+        body=framing.encode_stream_data(2, offset, b"\x55" * 600),
+    )
+    server._on_stream_data_frame(conn, frame(1, 50_000))
+    with pytest.raises(GuardLimitExceeded):
+        server._on_stream_data_frame(conn, frame(2, 60_000))
+
+
+def test_plaintext_junk_cap_guard():
+    world = _world(max_plaintext_records=4)
+    establish(world)
+    server = world.server_session
+    conn = server.primary
+    from repro.tls.record import ContentType
+
+    for _ in range(4):
+        server._on_raw_record(conn, ContentType.HANDSHAKE, b"\xde\xad")
+    with pytest.raises(GuardLimitExceeded):
+        server._on_raw_record(conn, ContentType.HANDSHAKE, b"\xde\xad")
+
+
+def test_plaintext_junk_flood_fails_connection_not_process():
+    """End to end: a flood of plaintext records through the TCP stream
+    tears the connection down (counted), never crashes the simulator."""
+    world = _world(max_plaintext_records=4)
+    establish(world)
+    server = world.server_session
+    conn = server.primary
+    junk = (b"\x16\x03\x03\x00\x04\xde\xad\xbe\xef") * 10
+    server._on_tcp_data(conn, junk)
+    assert server._obs_guard_tripped.value >= 1
+    assert conn.state == "FAILED"
+
+
+def test_join_rate_limit_sliding_window():
+    world = _world(join_rate_limit=3, join_rate_window=1.0)
+    peer = types.SimpleNamespace(remote_addr="10.9.9.9")
+    server = world.server
+    assert all(server._join_allowed(peer) for _ in range(3))
+    assert not server._join_allowed(peer)
+    # Another peer has its own budget.
+    other = types.SimpleNamespace(remote_addr="10.9.9.8")
+    assert server._join_allowed(other)
+    # The window slides: after it passes, the peer may JOIN again.
+    world.sim.schedule(1.5, lambda: None)
+    world.run(until=2.0)
+    assert server._join_allowed(peer)
+    assert server._obs_guard_tripped is not None
+
+
+def test_guard_knobs_have_safe_defaults():
+    from repro.core.session import TcplsContext
+
+    context = TcplsContext()
+    assert context.max_streams >= 16
+    assert context.max_reassembly_bytes >= 1 << 20
+    assert context.max_plaintext_records >= 8
+    assert context.join_rate_limit >= 4
