@@ -1,0 +1,223 @@
+"""The AST lint engine behind ``python -m repro.analysis``.
+
+Generic linters cannot check this repository's load-bearing invariants
+(bit-for-bit DES determinism, the fail-closed ``decode_guard`` parser
+contract, fastpath/scalar parity, the central telemetry key registry),
+so this engine runs a small registry of repo-aware rules over parsed
+modules and reports typed findings.
+
+Suppression: append ``# repro: noqa-RULE`` (comma-separate several
+rules, or bare ``# repro: noqa`` for all) to the offending line.  Every
+suppression should carry a justification comment nearby — the rules are
+about invariants, not style.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from io import StringIO
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:-(?P<rules>[A-Z]+[0-9]+(?:\s*,\s*[A-Z]+[0-9]+)*))?",
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.rule} {self.message}"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass
+class Module:
+    """A parsed source file handed to every rule."""
+
+    path: Path
+    #: Path relative to the analysis root, using forward slashes.
+    relpath: str
+    source: str
+    tree: ast.AST
+    #: line number -> set of suppressed rule ids ({"*"} = all rules).
+    noqa: Dict[int, frozenset]
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        rules = self.noqa.get(line)
+        if rules is None:
+            return False
+        return "*" in rules or rule in rules
+
+
+class Rule:
+    """Base class: subclass, set the metadata, implement ``check``."""
+
+    #: Short id, e.g. ``DET001``; referenced by ``# repro: noqa-DET001``.
+    id: str = ""
+    #: One-line summary shown in listings.
+    title: str = ""
+    #: Long-form rationale for ``--explain``.
+    rationale: str = ""
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        """Yield findings for one module."""
+        return iter(())
+
+    def finalize(self, modules: Sequence[Module], root: Path) -> Iterator[Finding]:
+        """Yield cross-module findings after every module was checked."""
+        return iter(())
+
+
+def _collect_noqa(source: str) -> Dict[int, frozenset]:
+    """Map line number -> suppressed rule ids, from real comment tokens.
+
+    Tokenizing (rather than regexing raw lines) keeps a ``# repro: noqa``
+    inside a string literal from suppressing anything.
+    """
+    noqa: Dict[int, frozenset] = {}
+    try:
+        tokens = tokenize.generate_tokens(StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _NOQA_RE.search(token.string)
+            if not match:
+                continue
+            rules = match.group("rules")
+            if rules:
+                ids = frozenset(part.strip() for part in rules.split(","))
+            else:
+                ids = frozenset(("*",))
+            line = token.start[0]
+            noqa[line] = noqa.get(line, frozenset()) | ids
+    except tokenize.TokenError:
+        pass
+    return noqa
+
+
+def load_module(path: Path, root: Path) -> Optional[Module]:
+    """Parse one file; returns None for unreadable/unparseable input.
+
+    Syntax errors are not this linter's job (ruff/py_compile own them),
+    so a file that does not parse is skipped rather than crashing the
+    whole run.
+    """
+    try:
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+    except (OSError, SyntaxError, ValueError):
+        return None
+    try:
+        relpath = path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        relpath = path.as_posix()
+    return Module(
+        path=path,
+        relpath=relpath,
+        source=source,
+        tree=tree,
+        noqa=_collect_noqa(source),
+    )
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+@dataclass
+class Report:
+    """The outcome of one engine run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    rules_run: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "ok": self.ok,
+                "files_checked": self.files_checked,
+                "rules": self.rules_run,
+                "counts": self.counts(),
+                "findings": [finding.as_dict() for finding in self.findings],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    def format_human(self) -> str:
+        lines = [finding.format() for finding in self.findings]
+        summary = (
+            f"{len(self.findings)} finding(s) in {self.files_checked} file(s)"
+            if self.findings
+            else f"clean: {self.files_checked} file(s), "
+            f"{len(self.rules_run)} rule(s)"
+        )
+        lines.append(summary)
+        return "\n".join(lines)
+
+
+def run(
+    paths: Sequence[Path],
+    rules: Sequence[Rule],
+    root: Optional[Path] = None,
+) -> Report:
+    """Run ``rules`` over every ``*.py`` under ``paths``."""
+    root = root or Path.cwd()
+    report = Report(rules_run=[rule.id for rule in rules])
+    modules: List[Module] = []
+    for file_path in iter_python_files(paths):
+        module = load_module(file_path, root)
+        if module is None:
+            continue
+        modules.append(module)
+        report.files_checked += 1
+        for rule in rules:
+            for finding in rule.check(module):
+                if not module.suppressed(finding.rule, finding.line):
+                    report.findings.append(finding)
+    for rule in rules:
+        for finding in rule.finalize(modules, root):
+            module = next(
+                (m for m in modules if m.relpath == finding.path), None
+            )
+            if module is not None and module.suppressed(finding.rule, finding.line):
+                continue
+            report.findings.append(finding)
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return report

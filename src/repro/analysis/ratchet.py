@@ -1,0 +1,174 @@
+"""A mypy ratchet: typed prefixes stay clean, legacy debt only shrinks.
+
+``python -m repro.analysis.ratchet`` runs mypy over ``src/`` (config in
+``pyproject.toml``) and compares the per-prefix error counts against the
+committed budget file (``mypy_budget.json``):
+
+- a prefix with budget ``0`` (the strict surface: ``repro/analysis/``,
+  ``repro/obs/``, ``repro/netsim/engine.py``...) must stay at zero
+  errors;
+- a prefix with an integer budget may not exceed it (tighten with
+  ``--update-baseline`` after paying debt down);
+- a prefix with budget ``null`` is legacy bootstrap: errors are
+  reported but not gated.
+
+mypy is an optional tool: the container image does not ship it, so by
+default a missing mypy skips the ratchet with exit 0 (and says so).  CI
+installs mypy and passes ``--require`` so the gate is real there.  The
+parsing/budget logic itself is pure and unit-tested against canned mypy
+output, so local test runs still cover the ratchet without the tool.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+_BUDGET_FILE = Path(__file__).with_name("mypy_budget.json")
+
+#: mypy's normal-output error line: ``path:line: error: message [code]``.
+_ERROR_RE = re.compile(
+    r"^(?P<path>[^:\n]+):(?P<line>\d+)(?::\d+)?: error: (?P<message>.*)$"
+)
+
+
+def parse_mypy_output(text: str) -> List[Tuple[str, int, str]]:
+    """``(path, line, message)`` for every error line, others ignored."""
+    errors = []
+    for line in text.splitlines():
+        match = _ERROR_RE.match(line.strip())
+        if match:
+            errors.append(
+                (
+                    match.group("path").replace("\\", "/"),
+                    int(match.group("line")),
+                    match.group("message"),
+                )
+            )
+    return errors
+
+
+def count_by_prefix(
+    errors: List[Tuple[str, int, str]], prefixes: List[str]
+) -> Dict[str, int]:
+    """Count errors per budget prefix (longest prefix wins)."""
+    counts = {prefix: 0 for prefix in prefixes}
+    ordered = sorted(prefixes, key=len, reverse=True)
+    for path, _line, _message in errors:
+        for prefix in ordered:
+            if path.startswith(prefix):
+                counts[prefix] += 1
+                break
+    return counts
+
+
+def evaluate(
+    errors: List[Tuple[str, int, str]], budget: Dict[str, Optional[int]]
+) -> Tuple[bool, List[str]]:
+    """(ok, human lines) for an error list against a budget."""
+    counts = count_by_prefix(errors, list(budget))
+    ordered = sorted(budget, key=len, reverse=True)
+    unbudgeted = [
+        error
+        for error in errors
+        if not any(error[0].startswith(prefix) for prefix in ordered)
+    ]
+    lines: List[str] = []
+    ok = True
+    for prefix in sorted(budget):
+        allowed = budget[prefix]
+        actual = counts[prefix]
+        if allowed is None:
+            lines.append(f"  {prefix}: {actual} error(s) [legacy, not gated]")
+        elif actual > allowed:
+            ok = False
+            lines.append(
+                f"  {prefix}: {actual} error(s) exceeds budget {allowed} FAIL"
+            )
+        else:
+            lines.append(f"  {prefix}: {actual}/{allowed} ok")
+    if unbudgeted:
+        ok = False
+        lines.append(f"  (no budget prefix): {len(unbudgeted)} error(s) FAIL")
+        lines.extend(
+            f"    {path}:{line}: {message}"
+            for path, line, message in unbudgeted[:20]
+        )
+    return ok, lines
+
+
+def load_budget(path: Path = _BUDGET_FILE) -> Dict[str, Optional[int]]:
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def run_mypy(root: Path) -> Optional[str]:
+    """mypy's stdout, or None when the tool is unavailable."""
+    if shutil.which("mypy") is None:
+        return None
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "src"],
+        cwd=root,
+        capture_output=True,
+        text=True,
+    )
+    return proc.stdout
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.ratchet",
+        description="mypy ratchet: per-prefix error budgets that only tighten",
+    )
+    parser.add_argument(
+        "--root", type=Path, default=Path.cwd(), help="repository root"
+    )
+    parser.add_argument(
+        "--require",
+        action="store_true",
+        help="fail (exit 3) when mypy is not installed instead of skipping",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite integer budgets down to the current counts",
+    )
+    args = parser.parse_args(argv)
+
+    output = run_mypy(args.root)
+    if output is None:
+        if args.require:
+            print("mypy ratchet: mypy is not installed (--require)", file=sys.stderr)
+            return 3
+        print("mypy ratchet: mypy unavailable; ratchet skipped")
+        return 0
+
+    budget = load_budget()
+    errors = parse_mypy_output(output)
+
+    if args.update_baseline:
+        counts = count_by_prefix(errors, list(budget))
+        for prefix, allowed in budget.items():
+            if allowed is not None:
+                budget[prefix] = counts[prefix]
+        _BUDGET_FILE.write_text(
+            json.dumps(budget, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"mypy ratchet: baseline updated ({_BUDGET_FILE})")
+        return 0
+
+    ok, lines = evaluate(errors, budget)
+    print(f"mypy ratchet: {len(errors)} error(s) total")
+    for line in lines:
+        print(line)
+    print("mypy ratchet: OK" if ok else "mypy ratchet: FAIL")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,6 +11,7 @@ import random
 from typing import Callable, Optional
 
 from repro.tcp.stack import TcpStack
+from repro.utils.errors import ReproError
 from repro.tls.certificates import Identity, TrustStore
 from repro.tls.session import SessionTicketStore, TlsConfig, TlsSession
 
@@ -106,7 +107,7 @@ class TlsFileServer:
         def on_tcp_data(data: bytes) -> None:
             try:
                 tls.receive(data)
-            except Exception:
+            except ReproError:
                 # Record authentication failure: a TLS server tears the
                 # connection down rather than accept tampered data.
                 conn.abort()
@@ -167,7 +168,7 @@ class TlsFileClient:
         def on_tcp_data(data: bytes) -> None:
             try:
                 self.tls.receive(data)
-            except Exception as exc:  # record auth failures etc.
+            except ReproError as exc:  # record auth failures etc.
                 self.error = str(exc)
                 self.conn.abort()
 

@@ -16,6 +16,7 @@ from typing import List
 
 from repro.tcp.options import find_option, MaximumSegmentSize
 from repro.tcp.segment import TcpSegment
+from repro.utils.errors import DecodeError
 
 
 def compare_syns(sent: bytes, received: bytes) -> List[str]:
@@ -28,7 +29,7 @@ def compare_syns(sent: bytes, received: bytes) -> List[str]:
     try:
         sent_seg = TcpSegment.from_bytes(sent, verify_checksum=False)
         recv_seg = TcpSegment.from_bytes(received, verify_checksum=False)
-    except Exception:
+    except DecodeError:
         return ["SYN bytes unparseable after transit"]
 
     if sent_seg.src_port != recv_seg.src_port:

@@ -22,7 +22,7 @@ import struct
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.utils.errors import ReproError
+from repro.utils.errors import ReproError, decode_guard
 
 # Opcodes.
 OP_MOV = 0x01    # dst = src
@@ -81,8 +81,9 @@ class Instruction:
 
     @classmethod
     def from_bytes(cls, raw: bytes) -> "Instruction":
-        opcode, dst, src, _pad, imm = struct.unpack("!BBBBi", raw)
-        return cls(opcode=opcode, dst=dst, src=src, imm=imm)
+        with decode_guard("plugin instruction"):
+            opcode, dst, src, _pad, imm = struct.unpack("!BBBBi", raw)
+            return cls(opcode=opcode, dst=dst, src=src, imm=imm)
 
 
 class BytecodeProgram:
@@ -99,13 +100,14 @@ class BytecodeProgram:
 
     @classmethod
     def from_bytes(cls, raw: bytes) -> "BytecodeProgram":
-        if len(raw) % INSTRUCTION_SIZE:
-            raise VerificationError("bytecode length not a multiple of 8")
-        instructions = [
-            Instruction.from_bytes(raw[i : i + INSTRUCTION_SIZE])
-            for i in range(0, len(raw), INSTRUCTION_SIZE)
-        ]
-        return cls(instructions)
+        with decode_guard("plugin bytecode"):
+            if len(raw) % INSTRUCTION_SIZE:
+                raise VerificationError("bytecode length not a multiple of 8")
+            instructions = [
+                Instruction.from_bytes(raw[i : i + INSTRUCTION_SIZE])
+                for i in range(0, len(raw), INSTRUCTION_SIZE)
+            ]
+            return cls(instructions)
 
     # -- verifier ------------------------------------------------------------
 

@@ -36,6 +36,7 @@ from repro.core.reliability import ReceiveTracker, ReplayBuffer
 from repro.core.scheduler import make_scheduler
 from repro.core.streams import TcplsStream
 from repro.obs import Observability
+from repro.obs import keys as obs_keys
 from repro.tcp.connection import TcpConnection
 from repro.tcp.options import UserTimeout, decode_single_option
 from repro.tcp.stack import TcpStack
@@ -290,30 +291,48 @@ class TcplsSession:
         self.obs = context.observability or Observability(
             self.sim, enabled=context.telemetry
         )
-        component = "session.server" if is_server else "session.client"
+        component = obs_keys.session_component(is_server)
         self._obs_component = component
         telemetry = self.obs.telemetry
-        self._obs_records_sent = telemetry.counter(component, "records_sent")
-        self._obs_records_received = telemetry.counter(component, "records_received")
-        self._obs_record_bytes = telemetry.histogram(component, "record_bytes")
-        self._obs_acks_sent = telemetry.counter(component, "acks_sent")
-        self._obs_acks_received = telemetry.counter(component, "acks_received")
-        self._obs_frames_replayed = telemetry.counter(component, "frames_replayed")
-        self._obs_stream_bytes = telemetry.counter(component, "stream_bytes_received")
+        self._obs_records_sent = telemetry.counter(component, obs_keys.RECORDS_SENT)
+        self._obs_records_received = telemetry.counter(
+            component, obs_keys.RECORDS_RECEIVED
+        )
+        self._obs_record_bytes = telemetry.histogram(
+            component, obs_keys.RECORD_BYTES
+        )
+        self._obs_acks_sent = telemetry.counter(component, obs_keys.ACKS_SENT)
+        self._obs_acks_received = telemetry.counter(
+            component, obs_keys.ACKS_RECEIVED
+        )
+        self._obs_frames_replayed = telemetry.counter(
+            component, obs_keys.FRAMES_REPLAYED
+        )
+        self._obs_stream_bytes = telemetry.counter(
+            component, obs_keys.STREAM_BYTES_RECEIVED
+        )
         # Fault & recovery counters (the fault-injection test matrix and
         # the invariant checker read these).
-        self._obs_retries = telemetry.counter(component, "failover.retries")
-        self._obs_recovered = telemetry.counter(component, "failover.recovered")
-        self._obs_abandoned = telemetry.counter(component, "failover.abandoned")
-        self._obs_cookies_exhausted = telemetry.counter(
-            component, "failover.cookies_exhausted"
+        self._obs_retries = telemetry.counter(component, obs_keys.FAILOVER_RETRIES)
+        self._obs_recovered = telemetry.counter(
+            component, obs_keys.FAILOVER_RECOVERED
         )
-        self._obs_pings = telemetry.counter(component, "health.pings_sent")
+        self._obs_abandoned = telemetry.counter(
+            component, obs_keys.FAILOVER_ABANDONED
+        )
+        self._obs_cookies_exhausted = telemetry.counter(
+            component, obs_keys.FAILOVER_COOKIES_EXHAUSTED
+        )
+        self._obs_pings = telemetry.counter(component, obs_keys.HEALTH_PINGS_SENT)
         # Fail-closed wire hardening: rejected decodes and tripped
         # resource guards, per layer (the fuzz/attacker tests and the
         # BENCH export read these).
-        self._obs_decode_rejected = telemetry.counter(component, "decode.rejected")
-        self._obs_guard_tripped = telemetry.counter(component, "guard.tripped")
+        self._obs_decode_rejected = telemetry.counter(
+            component, obs_keys.DECODE_REJECTED
+        )
+        self._obs_guard_tripped = telemetry.counter(
+            component, obs_keys.GUARD_TRIPPED
+        )
         self.events.observer = self._observe_session_event
         self.events.clock = lambda: self.sim.now
         self._hs_span = None
@@ -350,7 +369,9 @@ class TcplsSession:
         timeline (correlatable with pcap timestamps) and snapshot TCP
         state on the transitions the paper's figures care about."""
         self.obs.tracer.point(self._obs_component, event, **kwargs)
-        self.obs.telemetry.counter(self._obs_component, f"event.{event}").inc()
+        self.obs.telemetry.counter(
+            self._obs_component, obs_keys.session_event(event)
+        ).inc()
         if event in self._SNAPSHOT_EVENTS:
             self.obs.tcp_log.sample(event, self.connections.values())
 
@@ -1722,8 +1743,12 @@ class TcplsServer:
             stack.sim, enabled=context.telemetry
         )
         telemetry = self.obs.telemetry
-        self._obs_decode_rejected = telemetry.counter("server", "decode.rejected")
-        self._obs_guard_tripped = telemetry.counter("server", "guard.tripped")
+        self._obs_decode_rejected = telemetry.counter(
+            obs_keys.COMP_SERVER, obs_keys.DECODE_REJECTED
+        )
+        self._obs_guard_tripped = telemetry.counter(
+            obs_keys.COMP_SERVER, obs_keys.GUARD_TRIPPED
+        )
         # Per-peer-address JOIN arrival times (sim clock), for the
         # sliding-window rate limit that throttles cookie guessing.
         self._join_times: Dict[str, List[float]] = {}
@@ -1766,7 +1791,7 @@ class TcplsServer:
                 if frames and frames[0][0] == m.CLIENT_HELLO:
                     hello = m.ClientHello.from_body(frames[0][1])
                     join_info = joinmod.extract_join(hello)
-            except Exception:
+            except DecodeError:
                 self._obs_decode_rejected.inc()
                 tcp.abort("malformed first record")
                 return

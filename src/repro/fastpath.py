@@ -46,6 +46,18 @@ FEATURES = (
     "netsim.fast",
 )
 
+#: The registered fastpath-vs-scalar cross-check test for every feature
+#: (repo-relative paths).  The FP001 lint rule enforces that each entry
+#: exists and actually references its flag, so no fast path can outlive
+#: the test that proves it bit-identical to the scalar reference.
+CROSSCHECKS: Dict[str, str] = {
+    "crypto.batch": "tests/crypto/test_fastpath_crypto.py",
+    "tls.affinity": "tests/core/test_contexts.py",
+    "wire.cache": "tests/tcp/test_fastpath_wire.py",
+    "tcp.ack": "tests/tcp/test_fastpath_wire.py",
+    "netsim.fast": "tests/netsim/test_fastpath_netsim.py",
+}
+
 _DEFAULT = os.environ.get("REPRO_FASTPATH", "1") != "0"
 _flags: Dict[str, bool] = {name: _DEFAULT for name in FEATURES}
 

@@ -34,6 +34,7 @@ from repro.netsim.middlebox import (
     _parse_tcp,
     _reserialize,
 )
+from repro.obs import keys as obs_keys
 from repro.tcp.segment import Flags, TcpSegment
 
 
@@ -156,7 +157,7 @@ class ChaosEngine:
     def observe(self, obs) -> None:
         telemetry = obs.telemetry
         self._obs_counters = {
-            kind: telemetry.counter("faults", kind)
+            kind: telemetry.counter(obs_keys.COMP_FAULTS, kind)
             for kind in (
                 KIND_FLAP, KIND_BLACKHOLE, KIND_LOSS_BURST, KIND_CORRUPT_BURST,
                 KIND_RST_STORM, KIND_STRIP_OPTIONS, KIND_NAT_REBIND,

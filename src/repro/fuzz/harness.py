@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.core import framing
+from repro.obs import keys as obs_keys
 from repro.core import join as joinmod
 from repro.core.framing import TType
 from repro.quic import packet as quicpkt
@@ -247,9 +248,13 @@ def run_campaign(
     counter_inputs = counter_rejected = counter_crashers = None
     if obs is not None:
         span = obs.tracer.span("fuzz", "campaign", seed=seed, iterations=iterations)
-        counter_inputs = obs.telemetry.counter("fuzz", "inputs")
-        counter_rejected = obs.telemetry.counter("fuzz", "rejected")
-        counter_crashers = obs.telemetry.counter("fuzz", "crashers")
+        counter_inputs = obs.telemetry.counter(obs_keys.COMP_FUZZ, obs_keys.FUZZ_INPUTS)
+        counter_rejected = obs.telemetry.counter(
+            obs_keys.COMP_FUZZ, obs_keys.FUZZ_REJECTED
+        )
+        counter_crashers = obs.telemetry.counter(
+            obs_keys.COMP_FUZZ, obs_keys.FUZZ_CRASHERS
+        )
 
     def drive(format_name: str, mutation: str, data: bytes) -> None:
         target = TARGETS[format_name]
@@ -265,7 +270,7 @@ def run_campaign(
             )
             if counter_rejected is not None:
                 counter_rejected.inc()
-        except Exception as exc:  # the contract violation we hunt
+        except Exception as exc:  # repro: noqa-SEC003 - catching everything IS the crash detector
             outcome = f"CRASH:{type(exc).__name__}"
             report.crashers.append(
                 Crasher(

@@ -24,6 +24,8 @@ import time as _time
 from typing import Callable, Optional
 
 from repro import fastpath
+from repro.obs import keys
+from repro.utils.errors import ReentrancyError
 
 
 class Event:
@@ -75,6 +77,32 @@ class Simulator:
         self._obs_events = None  # optional telemetry counter
         self._obs_rate = None  # optional events/sec gauge
         self._obs_wall = None  # optional wall-seconds gauge
+        self._event_hook: Optional[Callable[[float, int], None]] = None
+        self._shake_key: Optional[int] = None
+        self._running = False  # reentrancy sanitizer: inside run()?
+
+    def attach_event_hook(self, hook: Optional[Callable[[float, int], None]]) -> None:
+        """Observe every executed event as ``hook(time, seq)``.
+
+        Pure observation for the determinism sanitizer: the hook sees the
+        exact (time, seq) execution order and must not touch the engine.
+        """
+        self._event_hook = hook
+
+    def enable_schedule_shake(self, seed: int) -> None:
+        """Perturb equal-time tie-break order, deterministically per seed.
+
+        Replaces the insertion sequence number with a bijection of it
+        (xor + odd multiply in 32 bits), so events at the same timestamp
+        execute in a *different but reproducible* order.  Two runs under
+        the same shake seed must still match bit-for-bit; code whose
+        behaviour leaks the arbitrary tie order is flushed out by
+        comparing digests across *different* shake seeds.  Must be called
+        before anything is scheduled.
+        """
+        if self._seq or self._queue:
+            raise ValueError("schedule shake must be enabled before scheduling")
+        self._shake_key = seed & 0xFFFFFFFF
 
     def attach_observability(self, obs) -> None:
         """Mirror the processed-event count into a telemetry registry.
@@ -84,9 +112,15 @@ class Simulator:
         total seconds spent inside ``run()`` and the resulting
         events-per-second rate.
         """
-        self._obs_events = obs.telemetry.counter("engine", "events_processed")
-        self._obs_rate = obs.telemetry.gauge("engine", "events_per_second")
-        self._obs_wall = obs.telemetry.gauge("engine", "run_wall_seconds")
+        self._obs_events = obs.telemetry.counter(
+            keys.COMP_ENGINE, keys.ENGINE_EVENTS_PROCESSED
+        )
+        self._obs_rate = obs.telemetry.gauge(
+            keys.COMP_ENGINE, keys.ENGINE_EVENTS_PER_SECOND
+        )
+        self._obs_wall = obs.telemetry.gauge(
+            keys.COMP_ENGINE, keys.ENGINE_RUN_WALL_SECONDS
+        )
 
     @property
     def events_processed(self) -> int:
@@ -103,10 +137,15 @@ class Simulator:
         """Run ``callback(*args)`` after ``delay`` seconds of simulated time."""
         if delay < 0:
             raise ValueError(f"cannot schedule in the past (delay={delay})")
-        event = Event(self.now + delay, self._seq, callback, args)
+        seq = self._seq
+        if self._shake_key is not None:
+            # Deterministic bijection on 32 bits: same seed -> same shaken
+            # order, different seed -> different equal-time tie-breaks.
+            seq = ((seq ^ self._shake_key) * 0x9E3779B1) & 0xFFFFFFFF
+        event = Event(self.now + delay, seq, callback, args)
         event._owner = self
         if self._tuple_queue:
-            heapq.heappush(self._queue, (event.time, self._seq, event))
+            heapq.heappush(self._queue, (event.time, seq, event))
         else:
             heapq.heappush(self._queue, event)
         self._seq += 1
@@ -132,11 +171,18 @@ class Simulator:
         When ``until`` is given, the clock is left exactly at ``until`` even
         if the queue drained earlier, so follow-up scheduling is intuitive.
         """
+        if self._running:
+            raise ReentrancyError(
+                "Simulator.run() re-entered from inside an event handler; "
+                "schedule a continuation instead"
+            )
+        self._running = True
         processed = 0
         wall_start = _time.perf_counter()
         queue = self._queue
         heappop = heapq.heappop
         tuple_queue = self._tuple_queue
+        event_hook = self._event_hook
         try:
             while queue:
                 head = queue[0]
@@ -155,12 +201,15 @@ class Simulator:
                 heappop(queue)
                 self._live_events -= 1
                 self.now = event.time
+                if event_hook is not None:
+                    event_hook(event.time, event.seq)
                 event.callback(*event.args)
                 processed += 1
                 self._events_processed += 1
                 if self._obs_events is not None:
                     self._obs_events.inc()
         finally:
+            self._running = False
             self.run_wall_seconds += _time.perf_counter() - wall_start
             if self._obs_wall is not None:
                 self._obs_wall.set(self.run_wall_seconds)

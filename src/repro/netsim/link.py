@@ -18,6 +18,7 @@ import random
 from typing import Callable, List, Optional, Union
 
 from repro.netsim.packet import Datagram
+from repro.obs import keys as obs_keys
 
 TransformResult = Union[Datagram, None, List[Datagram]]
 Transformer = Callable[[Datagram], TransformResult]
@@ -90,12 +91,14 @@ class Link:
         """Mirror this link's counters and queue/drop events into an
         ``Observability`` hub.  Pure observation: the data path is
         unchanged whether or not a hub is attached."""
-        self._obs_component = f"link.{self.name}" if self.name else "link"
+        self._obs_component = obs_keys.link_component(self.name)
         telemetry = obs.telemetry
         self._obs_counters = {
             key: telemetry.counter(self._obs_component, key) for key in self.stats
         }
-        self._obs_queue = telemetry.histogram(self._obs_component, "queue_depth")
+        self._obs_queue = telemetry.histogram(
+            self._obs_component, obs_keys.LINK_QUEUE_DEPTH
+        )
         self._obs_tracer = obs.tracer
 
     def _obs_count(self, key: str, amount: int = 1) -> None:

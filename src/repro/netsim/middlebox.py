@@ -29,6 +29,7 @@ from repro.tcp.options import (
     TcpOption,
 )
 from repro.tcp.segment import Flags, TcpHeaderPeek, TcpSegment, patch_checksum
+from repro.utils.errors import DecodeError
 
 
 def _parse_tcp(datagram: Datagram) -> Optional[TcpSegment]:
@@ -38,7 +39,7 @@ def _parse_tcp(datagram: Datagram) -> Optional[TcpSegment]:
         return TcpSegment.from_bytes(
             datagram.payload, datagram.src, datagram.dst, verify_checksum=False
         )
-    except Exception:
+    except DecodeError:
         return None
 
 

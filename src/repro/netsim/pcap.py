@@ -142,6 +142,8 @@ def read_pcap(path: str):
     """
     with open(path, "rb") as handle:
         data = handle.read()
+    if len(data) < 24:
+        raise ValueError("not a pcap file this reader understands")
     magic, major, minor, _tz, _sig, _snap, linktype = struct.unpack(
         "!IHHiIII", data[:24]
     )
@@ -152,6 +154,8 @@ def read_pcap(path: str):
     packets = []
     offset = 24
     while offset < len(data):
+        if offset + 16 > len(data):
+            raise ValueError("truncated pcap record header")
         seconds, micros, caplen, _origlen = struct.unpack(
             "!IIII", data[offset : offset + 16]
         )

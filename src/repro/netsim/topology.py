@@ -106,8 +106,8 @@ class Network:
             )
         return graph
 
-    def _destination_networks(self, family: int):
-        networks = {}
+    def _destination_networks(self, family: int) -> dict[object, set[str]]:
+        networks: dict[object, set[str]] = {}
         for node in self.nodes.values():
             for interface in node.interfaces.values():
                 for network in interface.networks():
@@ -115,7 +115,13 @@ class Network:
                         networks.setdefault(network, set()).add(node.name)
         return networks
 
-    def _install_routes(self, node: Node, graph, destinations, family: int) -> None:
+    def _install_routes(
+        self,
+        node: Node,
+        graph,
+        destinations: dict[object, set[str]],
+        family: int,
+    ) -> None:
         try:
             paths = nx.single_source_dijkstra_path(graph, node.name, weight="weight")
         except nx.NodeNotFound:
@@ -133,9 +139,13 @@ class Network:
             if local is not None:
                 node.add_route(network, local)
                 continue
-            # Pick the nearest owner of this network.
+            # Pick the nearest owner of this network.  Owner names are a
+            # set; iterate sorted so the tie between equidistant owners
+            # breaks the same way under every PYTHONHASHSEED (route
+            # choice feeds the wire, so hash-order iteration here made
+            # whole pcaps differ across processes).
             best_path = None
-            for owner in owner_names:
+            for owner in sorted(owner_names):
                 path = paths.get(owner)
                 if path is not None and (best_path is None or len(path) < len(best_path)):
                     best_path = path

@@ -12,6 +12,7 @@ from typing import List, Optional, Tuple
 
 from repro.netsim.packet import Datagram, PROTO_TCP
 from repro.tcp.segment import TcpSegment
+from repro.utils.errors import DecodeError
 
 
 class PacketTrace:
@@ -30,7 +31,7 @@ class PacketTrace:
                     datagram.payload, verify_checksum=False
                 )
                 text = f"{datagram.src}->{datagram.dst} {segment.summary()}"
-            except Exception:
+            except DecodeError:
                 pass
         self.records.append((self.sim.now, text))
         return datagram
@@ -64,7 +65,7 @@ class ThroughputMeter:
                 segment = TcpSegment.from_bytes(datagram.payload, verify_checksum=False)
                 if segment.payload:
                     self.record(len(segment.payload))
-            except Exception:
+            except DecodeError:
                 pass
         return datagram
 

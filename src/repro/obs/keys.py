@@ -1,0 +1,153 @@
+"""Central registry of telemetry component and metric key names.
+
+Every string that names a telemetry component, counter, gauge, or
+histogram lives here.  Instrumented code imports the constant instead of
+repeating the literal, so a key can never silently fork into two
+spellings ("decode.rejected" here, "decode_rejected" there) and the
+``BENCH_*.json`` consumers can rely on one canonical vocabulary.
+
+The OBS001 lint rule (``repro.analysis``) enforces this: a string
+literal passed directly to ``Telemetry.counter``/``gauge``/``histogram``
+anywhere in ``src/`` is a finding — call sites must reference a constant
+(or a helper) from this module.
+
+Dynamic key families (per-event counters, per-fault-kind counters,
+per-link components) are produced by the helper functions below, so
+their prefixes are registered too.
+"""
+
+from __future__ import annotations
+
+# -- components ---------------------------------------------------------------
+
+COMP_SESSION_CLIENT = "session.client"
+COMP_SESSION_SERVER = "session.server"
+#: The TCPLS listener (pre-session demux, JOIN routing).
+COMP_SERVER = "server"
+COMP_ENGINE = "engine"
+COMP_FAULTS = "faults"
+COMP_FUZZ = "fuzz"
+#: Prefix for per-link components (see :func:`link_component`).
+LINK_COMPONENT_PREFIX = "link"
+
+
+def session_component(is_server: bool) -> str:
+    """The per-role session component name."""
+    return COMP_SESSION_SERVER if is_server else COMP_SESSION_CLIENT
+
+
+def link_component(name: str) -> str:
+    """Per-link component: ``link.<name>`` (bare ``link`` when unnamed)."""
+    return f"{LINK_COMPONENT_PREFIX}.{name}" if name else LINK_COMPONENT_PREFIX
+
+
+# -- session metrics ----------------------------------------------------------
+
+RECORDS_SENT = "records_sent"
+RECORDS_RECEIVED = "records_received"
+RECORD_BYTES = "record_bytes"
+ACKS_SENT = "acks_sent"
+ACKS_RECEIVED = "acks_received"
+FRAMES_REPLAYED = "frames_replayed"
+STREAM_BYTES_RECEIVED = "stream_bytes_received"
+FAILOVER_RETRIES = "failover.retries"
+FAILOVER_RECOVERED = "failover.recovered"
+FAILOVER_ABANDONED = "failover.abandoned"
+FAILOVER_COOKIES_EXHAUSTED = "failover.cookies_exhausted"
+HEALTH_PINGS_SENT = "health.pings_sent"
+#: Rejected wire decodes (fail-closed parser contract, PR 4).
+DECODE_REJECTED = "decode.rejected"
+#: Tripped resource-exhaustion guards (stream/reassembly/rate caps, PR 4).
+GUARD_TRIPPED = "guard.tripped"
+#: Prefix for per-session-event counters (see :func:`session_event`).
+SESSION_EVENT_PREFIX = "event."
+
+
+def session_event(event: str) -> str:
+    """Per-event counter key: ``event.<name>``."""
+    return f"{SESSION_EVENT_PREFIX}{event}"
+
+
+# -- engine metrics -----------------------------------------------------------
+
+ENGINE_EVENTS_PROCESSED = "events_processed"
+ENGINE_EVENTS_PER_SECOND = "events_per_second"
+ENGINE_RUN_WALL_SECONDS = "run_wall_seconds"
+
+# -- fuzz metrics -------------------------------------------------------------
+
+FUZZ_INPUTS = "inputs"
+FUZZ_REJECTED = "rejected"
+FUZZ_CRASHERS = "crashers"
+
+# -- link metrics -------------------------------------------------------------
+
+LINK_DELIVERED = "delivered"
+LINK_DROPPED_QUEUE = "dropped_queue"
+LINK_DROPPED_LOSS = "dropped_loss"
+LINK_DROPPED_DOWN = "dropped_down"
+LINK_REORDERED = "reordered"
+LINK_BYTES_DELIVERED = "bytes_delivered"
+LINK_QUEUE_DEPTH = "queue_depth"
+
+#: The per-link stat counters, in the order ``Link.stats`` reports them.
+LINK_STATS = (
+    LINK_DELIVERED,
+    LINK_DROPPED_QUEUE,
+    LINK_DROPPED_LOSS,
+    LINK_DROPPED_DOWN,
+    LINK_REORDERED,
+    LINK_BYTES_DELIVERED,
+)
+
+# -- registry -----------------------------------------------------------------
+
+#: Every statically-named metric key.
+ALL_KEYS = frozenset(
+    (
+        RECORDS_SENT,
+        RECORDS_RECEIVED,
+        RECORD_BYTES,
+        ACKS_SENT,
+        ACKS_RECEIVED,
+        FRAMES_REPLAYED,
+        STREAM_BYTES_RECEIVED,
+        FAILOVER_RETRIES,
+        FAILOVER_RECOVERED,
+        FAILOVER_ABANDONED,
+        FAILOVER_COOKIES_EXHAUSTED,
+        HEALTH_PINGS_SENT,
+        DECODE_REJECTED,
+        GUARD_TRIPPED,
+        ENGINE_EVENTS_PROCESSED,
+        ENGINE_EVENTS_PER_SECOND,
+        ENGINE_RUN_WALL_SECONDS,
+        FUZZ_INPUTS,
+        FUZZ_REJECTED,
+        FUZZ_CRASHERS,
+        LINK_QUEUE_DEPTH,
+    )
+    + LINK_STATS
+)
+
+#: Prefixes under which dynamically-derived keys are legal.
+DYNAMIC_PREFIXES = (SESSION_EVENT_PREFIX,)
+
+#: Statically-named components.
+ALL_COMPONENTS = frozenset(
+    (
+        COMP_SESSION_CLIENT,
+        COMP_SESSION_SERVER,
+        COMP_SERVER,
+        COMP_ENGINE,
+        COMP_FAULTS,
+        COMP_FUZZ,
+    )
+)
+
+
+def is_registered(name: str) -> bool:
+    """True when ``name`` is a registered key or dynamic-family member."""
+    if name in ALL_KEYS:
+        return True
+    return any(name.startswith(prefix) for prefix in DYNAMIC_PREFIXES)

@@ -19,7 +19,7 @@ from repro.tcp.congestion import NewReno
 from repro.tcp.rto import RtoEstimator
 from repro.tls.certificates import Identity, TrustStore
 from repro.tls.session import SessionTicketStore, TlsConfig, TlsSession
-from repro.utils.errors import CryptoError, ProtocolViolation
+from repro.utils.errors import CryptoError, DecodeError, ProtocolViolation
 
 _PACKET_THRESHOLD = 3  # reordering threshold for loss detection
 _MAX_ACK_RANGES = 8
@@ -335,7 +335,7 @@ class _QuicEndpointBase:
             return
         try:
             packet_type, dcid, scid, pn, header, ciphertext = qp.parse_header(data)
-        except Exception:
+        except DecodeError:
             return
         if packet_type not in self.keys:
             self._undecryptable.append((src_addr, src_port, data))
@@ -629,7 +629,7 @@ class QuicServer:
     def _on_datagram(self, src_addr, src_port: int, data: bytes) -> None:
         try:
             packet_type, dcid, scid, _pn, _header, _ct = qp.parse_header(data)
-        except Exception:
+        except DecodeError:
             return
         conn = self.connections.get(scid)
         if conn is None:

@@ -214,32 +214,33 @@ def decode_options(data: bytes) -> List[TcpOption]:
     scan forever), and a length that runs past the end of the option
     block is rejected instead of silently misparsing the tail.
     """
-    if not fastpath.flags["wire.cache"]:
-        return _decode_options_reference(data)
-    options: List[TcpOption] = []
-    offset, end = 0, len(data)
-    while offset < end:
-        kind = data[offset]
-        offset += 1
-        if kind == KIND_EOL:
-            break
-        if kind == KIND_NOP:
-            options.append(NoOperation())
-            continue
-        if offset >= end:
-            raise NeedMoreData("wanted 1 bytes, only 0 available")
-        length = data[offset]
-        offset += 1
-        if length < 2:
-            raise InvalidValue(f"TCP option kind {kind} with length {length}")
-        body = bytes(data[offset : offset + length - 2])
-        if len(body) != length - 2:
-            raise NeedMoreData(
-                f"wanted {length - 2} bytes, only {len(body)} available"
-            )
-        offset += length - 2
-        options.append(_decode_one(kind, body))
-    return options
+    with decode_guard("TCP option block"):
+        if not fastpath.flags["wire.cache"]:
+            return _decode_options_reference(data)
+        options: List[TcpOption] = []
+        offset, end = 0, len(data)
+        while offset < end:
+            kind = data[offset]
+            offset += 1
+            if kind == KIND_EOL:
+                break
+            if kind == KIND_NOP:
+                options.append(NoOperation())
+                continue
+            if offset >= end:
+                raise NeedMoreData("wanted 1 bytes, only 0 available")
+            length = data[offset]
+            offset += 1
+            if length < 2:
+                raise InvalidValue(f"TCP option kind {kind} with length {length}")
+            body = bytes(data[offset : offset + length - 2])
+            if len(body) != length - 2:
+                raise NeedMoreData(
+                    f"wanted {length - 2} bytes, only {len(body)} available"
+                )
+            offset += length - 2
+            options.append(_decode_one(kind, body))
+        return options
 
 
 def _decode_options_reference(data: bytes) -> List[TcpOption]:

@@ -33,7 +33,12 @@ from typing import List, Optional, Tuple
 from repro import fastpath
 from repro.netsim.packet import IPAddress, PROTO_TCP
 from repro.tcp.options import TcpOption, decode_options, encode_options
-from repro.utils.errors import InvalidValue, ProtocolViolation, TruncatedInput
+from repro.utils.errors import (
+    InvalidValue,
+    ProtocolViolation,
+    TruncatedInput,
+    decode_guard,
+)
 
 
 class Flags:
@@ -344,53 +349,67 @@ class TcpSegment:
         dst: IPAddress = None,
         verify_checksum: bool = True,
     ) -> "TcpSegment":
-        if len(data) < 20:
-            raise TruncatedInput("TCP segment shorter than minimum header")
-        (
-            src_port,
-            dst_port,
-            seq,
-            ack,
-            offset_flags_hi,
-            flags,
-            window,
-            checksum,
-            urgent,
-        ) = struct.unpack("!HHIIBBHHH", data[:20])
-        data_offset = (offset_flags_hi >> 4) * 4
-        if data_offset < 20 or data_offset > len(data):
-            raise InvalidValue(f"bad TCP data offset {data_offset}")
-        checksum_ok = False
-        if src is not None and dst is not None:
-            use_fast = fastpath.flags["wire.cache"]
-            if verify_checksum or use_fast:
-                if use_fast:
-                    checksum_ok = (
-                        internet_checksum_parts(
-                            _pseudo_header(src, dst, len(data)), data
+        with decode_guard("TCP segment"):
+            if len(data) < 20:
+                raise TruncatedInput("TCP segment shorter than minimum header")
+            (
+                src_port,
+                dst_port,
+                seq,
+                ack,
+                offset_flags_hi,
+                flags,
+                window,
+                checksum,
+                urgent,
+            ) = struct.unpack("!HHIIBBHHH", data[:20])
+            data_offset = (offset_flags_hi >> 4) * 4
+            if data_offset < 20 or data_offset > len(data):
+                raise InvalidValue(f"bad TCP data offset {data_offset}")
+            checksum_ok = False
+            if src is not None and dst is not None:
+                use_fast = fastpath.flags["wire.cache"]
+                if verify_checksum or use_fast:
+                    if use_fast:
+                        checksum_ok = (
+                            internet_checksum_parts(
+                                _pseudo_header(src, dst, len(data)), data
+                            )
+                            == 0
                         )
-                        == 0
-                    )
-                else:
-                    checksum_ok = (
-                        internet_checksum(
-                            _pseudo_header(src, dst, len(data)) + bytes(data)
+                    else:
+                        checksum_ok = (
+                            internet_checksum(
+                                _pseudo_header(src, dst, len(data)) + bytes(data)
+                            )
+                            == 0
                         )
-                        == 0
-                    )
-                if verify_checksum and not checksum_ok:
-                    raise ProtocolViolation("TCP checksum verification failed")
-        options = decode_options(data[20:data_offset])
-        if fastpath.flags["wire.cache"]:
-            # Receive-path construction bypasses the dataclass __init__
-            # (nine __setattr__ calls per segment) and fills the instance
-            # dict in one go.  Field values are exactly what the
-            # reference constructor below would set.  The wire cache is
-            # seeded with the original bytes only when the checksum
-            # verified, so a reserialize can never launder a corrupted
-            # checksum through the cache.
-            segment = object.__new__(cls)
-            segment.__dict__.update(
+                    if verify_checksum and not checksum_ok:
+                        raise ProtocolViolation("TCP checksum verification failed")
+            options = decode_options(data[20:data_offset])
+            if fastpath.flags["wire.cache"]:
+                # Receive-path construction bypasses the dataclass __init__
+                # (nine __setattr__ calls per segment) and fills the instance
+                # dict in one go.  Field values are exactly what the
+                # reference constructor below would set.  The wire cache is
+                # seeded with the original bytes only when the checksum
+                # verified, so a reserialize can never launder a corrupted
+                # checksum through the cache.
+                segment = object.__new__(cls)
+                segment.__dict__.update(
+                    src_port=src_port,
+                    dst_port=dst_port,
+                    seq=seq,
+                    ack=ack,
+                    flags=flags,
+                    window=window,
+                    options=options,
+                    payload=data[data_offset:],
+                    urgent=urgent,
+                    _wire=(src, dst, bytes(data)) if checksum_ok else None,
+                )
+                return segment
+            return cls(
                 src_port=src_port,
                 dst_port=dst_port,
                 seq=seq,
@@ -400,20 +419,7 @@ class TcpSegment:
                 options=options,
                 payload=data[data_offset:],
                 urgent=urgent,
-                _wire=(src, dst, bytes(data)) if checksum_ok else None,
             )
-            return segment
-        return cls(
-            src_port=src_port,
-            dst_port=dst_port,
-            seq=seq,
-            ack=ack,
-            flags=flags,
-            window=window,
-            options=options,
-            payload=data[data_offset:],
-            urgent=urgent,
-        )
 
     def summary(self) -> str:
         return (

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.utils.errors import LengthMismatch, ProtocolViolation
+from repro.utils.errors import LengthMismatch, ProtocolViolation, decode_guard
 
 LEVEL_WARNING = 1
 LEVEL_FATAL = 2
@@ -43,9 +43,10 @@ def encode_alert(level: int, description: int) -> bytes:
 
 
 def decode_alert(payload: bytes):
-    if len(payload) != 2:
-        raise LengthMismatch(f"alert record must be 2 bytes, got {len(payload)}")
-    return payload[0], payload[1]
+    with decode_guard("TLS alert"):
+        if len(payload) != 2:
+            raise LengthMismatch(f"alert record must be 2 bytes, got {len(payload)}")
+        return payload[0], payload[1]
 
 
 class TlsAlertError(ProtocolViolation):

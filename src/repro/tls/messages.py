@@ -122,30 +122,31 @@ def parse_handshake_frames(data: bytes) -> List[Tuple[int, bytes, bytes]]:
     sliced, so truncation and oversize claims both surface as typed
     ``DecodeError`` subclasses.
     """
-    reader = ByteReader(data)
-    frames = []
-    while not reader.is_empty():
-        start = reader.offset
-        if reader.remaining() < 4:
-            raise LengthMismatch(
-                f"dangling {reader.remaining()}B handshake header fragment"
-            )
-        msg_type = reader.get_u8()
-        length = reader.get_u24()
-        if length > MAX_HANDSHAKE_BODY:
-            raise InvalidValue(
-                f"handshake message {msg_type} claims {length}B "
-                f"(limit {MAX_HANDSHAKE_BODY}B)"
-            )
-        if length > reader.remaining():
-            raise LengthMismatch(
-                f"handshake message {msg_type} claims {length}B, only "
-                f"{reader.remaining()}B present"
-            )
-        body = reader.get_bytes(length)
-        raw = data[start : reader.offset]
-        frames.append((msg_type, body, raw))
-    return frames
+    with decode_guard("handshake frames"):
+        reader = ByteReader(data)
+        frames = []
+        while not reader.is_empty():
+            start = reader.offset
+            if reader.remaining() < 4:
+                raise LengthMismatch(
+                    f"dangling {reader.remaining()}B handshake header fragment"
+                )
+            msg_type = reader.get_u8()
+            length = reader.get_u24()
+            if length > MAX_HANDSHAKE_BODY:
+                raise InvalidValue(
+                    f"handshake message {msg_type} claims {length}B "
+                    f"(limit {MAX_HANDSHAKE_BODY}B)"
+                )
+            if length > reader.remaining():
+                raise LengthMismatch(
+                    f"handshake message {msg_type} claims {length}B, only "
+                    f"{reader.remaining()}B present"
+                )
+            body = reader.get_bytes(length)
+            raw = data[start : reader.offset]
+            frames.append((msg_type, body, raw))
+        return frames
 
 
 # ---------------------------------------------------------------------------
@@ -313,7 +314,8 @@ class FinishedMsg:
 
     @classmethod
     def from_body(cls, body: bytes) -> "FinishedMsg":
-        return cls(verify_data=body)
+        with decode_guard("Finished"):
+            return cls(verify_data=body)
 
 
 @dataclass
@@ -337,9 +339,10 @@ class KeyUpdateMsg:
 
     @classmethod
     def from_body(cls, body: bytes) -> "KeyUpdateMsg":
-        if len(body) != 1 or body[0] > 1:
-            raise InvalidValue("malformed KeyUpdate")
-        return cls(request_update=bool(body[0]))
+        with decode_guard("KeyUpdate"):
+            if len(body) != 1 or body[0] > 1:
+                raise InvalidValue("malformed KeyUpdate")
+            return cls(request_update=bool(body[0]))
 
 
 @dataclass

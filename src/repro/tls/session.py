@@ -617,8 +617,10 @@ class TlsSession:
         aead = ChaCha20Poly1305(self.config.ticket_key)
         try:
             return aead.decrypt(blob[:12], blob[12:], b"repro-ticket")
-        except CryptoError:
-            raise TlsAlertError(alerts.DECRYPT_ERROR, "ticket unsealing failed")
+        except CryptoError as exc:
+            raise TlsAlertError(
+                alerts.DECRYPT_ERROR, "ticket unsealing failed"
+            ) from exc
 
     # ------------------------------------------------------------------
     # Application phase
@@ -692,7 +694,7 @@ class TlsSession:
                 ContentType.ALERT,
                 alerts.encode_alert(alerts.LEVEL_FATAL, description),
             )
-        except Exception:
+        except Exception:  # repro: noqa-SEC003 - best-effort alert on a dying connection
             pass
         raise TlsAlertError(description, message)
 

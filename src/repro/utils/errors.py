@@ -61,6 +61,15 @@ class MessageTooLarge(DecodeError):
     """A declared or actual size exceeds the layer's hard limit."""
 
 
+class ReentrancyError(ReproError):
+    """An event handler re-entered ``Simulator.run`` from inside the loop.
+
+    Re-entry interleaves two drain loops over one heap: the inner call
+    advances the clock and pops events the outer loop believes are still
+    pending, corrupting the (time, seq) execution order determinism rests
+    on.  Handlers must ``schedule()`` continuations, never ``run()``."""
+
+
 class GuardLimitExceeded(ProtocolViolation):
     """A resource-exhaustion guard tripped (buffer cap, stream cap,
     transcript limit, JOIN rate limit).  Subclasses ``ProtocolViolation``

@@ -1,0 +1,11 @@
+"""A file none of the seven rules should flag."""
+
+from typing import List
+
+
+def ordered(items: List[int]) -> List[int]:
+    return sorted(set(items))
+
+
+def total(values: set) -> int:
+    return sum(values)

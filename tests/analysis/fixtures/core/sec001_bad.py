@@ -1,0 +1,5 @@
+"""SEC001 fixture: a public parser with no decode_guard."""
+
+
+def decode_header(data: bytes):
+    return data[0], data[1:]

@@ -1,0 +1,9 @@
+"""SEC002 fixture: assert used to validate untrusted input."""
+
+from repro.utils.errors import decode_guard
+
+
+def parse_frame(data: bytes):
+    with decode_guard("fixture frame"):
+        assert len(data) >= 2
+        return data[:2]

@@ -1,0 +1,12 @@
+"""DET001 fixture: wall-clock and unseeded-randomness reads."""
+
+import random
+import time
+
+
+def stamp_event():
+    return time.time()
+
+
+def jitter():
+    return random.random()

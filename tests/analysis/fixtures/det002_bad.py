@@ -1,0 +1,13 @@
+"""DET002 fixture: iteration over sets without explicit ordering."""
+
+
+def schedule_peers(peers: set):
+    order = []
+    for peer in peers:
+        order.append(peer)
+    return order
+
+
+def first_names():
+    names = {"a", "b", "c"}
+    return list(names)

@@ -1,0 +1,7 @@
+"""OBS001 fixture: literal telemetry keys at the call site."""
+
+
+def instrument(telemetry):
+    counter = telemetry.counter("fixture", "decode_rejected")
+    gauge = telemetry.gauge("fixture", "queue_depth")
+    return counter, gauge

@@ -1,0 +1,128 @@
+"""The mypy ratchet's pure parsing/budget logic (mypy itself optional)."""
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.ratchet import (
+    count_by_prefix,
+    evaluate,
+    load_budget,
+    parse_mypy_output,
+)
+
+REPO = Path(__file__).resolve().parent.parent.parent
+
+CANNED = """\
+src/repro/tcp/segment.py:10: error: Incompatible return value type  [return-value]
+src/repro/tcp/segment.py:44:17: error: Argument 1 has incompatible type  [arg-type]
+src/repro/analysis/engine.py:5: error: Missing type parameters  [type-arg]
+src/repro/netsim/link.py:3: note: See https://example invalid
+Found 3 errors in 3 files (checked 90 source files)
+"""
+
+
+def test_parse_ignores_notes_and_summary():
+    errors = parse_mypy_output(CANNED)
+    assert len(errors) == 3
+    assert errors[0] == (
+        "src/repro/tcp/segment.py",
+        10,
+        "Incompatible return value type  [return-value]",
+    )
+    # Column numbers are accepted and dropped.
+    assert errors[1][1] == 44
+
+
+def test_count_by_prefix_longest_wins():
+    errors = parse_mypy_output(CANNED)
+    counts = count_by_prefix(
+        errors, ["src/repro/", "src/repro/tcp/", "src/repro/analysis/"]
+    )
+    assert counts == {
+        "src/repro/tcp/": 2,
+        "src/repro/analysis/": 1,
+        "src/repro/": 0,
+    }
+
+
+def test_evaluate_within_budget_passes():
+    errors = parse_mypy_output(CANNED)
+    ok, lines = evaluate(
+        errors, {"src/repro/tcp/": 2, "src/repro/analysis/": 1}
+    )
+    assert ok, "\n".join(lines)
+
+
+def test_evaluate_over_budget_fails():
+    errors = parse_mypy_output(CANNED)
+    ok, lines = evaluate(
+        errors, {"src/repro/tcp/": 1, "src/repro/analysis/": 1}
+    )
+    assert not ok
+    assert any("exceeds budget" in line for line in lines)
+
+
+def test_evaluate_legacy_null_is_reported_not_gated():
+    errors = parse_mypy_output(CANNED)
+    ok, lines = evaluate(
+        errors, {"src/repro/tcp/": None, "src/repro/analysis/": None}
+    )
+    assert ok
+    assert any("legacy, not gated" in line for line in lines)
+
+
+def test_evaluate_unbudgeted_paths_fail():
+    errors = parse_mypy_output(CANNED)
+    ok, lines = evaluate(errors, {"src/repro/tcp/": 5})
+    assert not ok
+    assert any("no budget prefix" in line for line in lines)
+
+
+def test_committed_budget_keeps_analysis_strict():
+    budget = load_budget()
+    assert budget.get("src/repro/analysis/") == 0
+    assert budget.get("src/repro/obs/keys.py") == 0
+    # Every prefix names something that exists.
+    for prefix in budget:
+        assert (REPO / prefix).exists(), prefix
+
+
+def test_cli_skips_cleanly_without_mypy():
+    env_path = str(REPO / "src")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis.ratchet", "--root", str(REPO)],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+        env={"PYTHONPATH": env_path, "PATH": "/usr/bin:/bin:/usr/local/bin"},
+    )
+    if shutil.which("mypy") is None:
+        assert proc.returncode == 0
+        assert "skipped" in proc.stdout
+    else:
+        # With mypy present the gate is real; it must pass on the repo.
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+@pytest.mark.skipif(shutil.which("mypy") is None, reason="mypy not installed")
+def test_cli_require_passes_with_real_mypy():
+    env_path = str(REPO / "src")
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.analysis.ratchet",
+            "--root",
+            str(REPO),
+            "--require",
+        ],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+        env={"PYTHONPATH": env_path, "PATH": "/usr/bin:/bin:/usr/local/bin"},
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -1,0 +1,72 @@
+"""Fails-on-old-code guards for the narrowed exception handlers.
+
+SEC003 flagged several ``except Exception`` blocks that silently
+swallowed *every* failure — including programming errors — around wire
+decoding.  The fix narrows them to ``DecodeError``.  These tests pin the
+new contract: malformed input is still absorbed, but an unexpected
+internal error now propagates instead of vanishing.  Each test fails on
+the pre-fix code because the broad handler ate the injected
+``RuntimeError``.
+"""
+
+import ipaddress
+
+import pytest
+
+from repro.netsim.middlebox import _parse_tcp
+from repro.netsim.packet import PROTO_TCP, Datagram
+from repro.quic import connection as quic_connection
+from repro.quic.connection import _QuicEndpointBase
+from repro.tcp.segment import TcpSegment
+from repro.utils.errors import DecodeError
+
+
+def _datagram() -> Datagram:
+    return Datagram(
+        src=ipaddress.ip_address("10.0.0.1"),
+        dst=ipaddress.ip_address("10.0.0.2"),
+        protocol=PROTO_TCP,
+        payload=b"\x00" * 40,
+    )
+
+
+def test_middlebox_parse_absorbs_decode_errors(monkeypatch):
+    def boom(cls, *args, **kwargs):
+        raise DecodeError("truncated")
+
+    monkeypatch.setattr(TcpSegment, "from_bytes", classmethod(boom))
+    assert _parse_tcp(_datagram()) is None
+
+
+def test_middlebox_parse_propagates_internal_errors(monkeypatch):
+    def boom(cls, *args, **kwargs):
+        raise RuntimeError("bug in the parser, not bad input")
+
+    monkeypatch.setattr(TcpSegment, "from_bytes", classmethod(boom))
+    with pytest.raises(RuntimeError):
+        _parse_tcp(_datagram())
+
+
+def _quic_stub() -> _QuicEndpointBase:
+    endpoint = object.__new__(_QuicEndpointBase)
+    endpoint.closed = False
+    return endpoint
+
+
+def test_quic_datagram_absorbs_decode_errors(monkeypatch):
+    def boom(data):
+        raise DecodeError("mangled header")
+
+    monkeypatch.setattr(quic_connection.qp, "parse_header", boom)
+    _quic_stub().handle_datagram(ipaddress.ip_address("10.0.0.1"), 4433, b"junk")
+
+
+def test_quic_datagram_propagates_internal_errors(monkeypatch):
+    def boom(data):
+        raise RuntimeError("bug in header parsing, not bad input")
+
+    monkeypatch.setattr(quic_connection.qp, "parse_header", boom)
+    with pytest.raises(RuntimeError):
+        _quic_stub().handle_datagram(
+            ipaddress.ip_address("10.0.0.1"), 4433, b"junk"
+        )

@@ -136,3 +136,24 @@ def test_ordered_records_per_context_decrypt_in_sequence():
     for i, sealed in enumerate(records):
         _, _, plaintext = server.open_record(0, sealed)
         assert plaintext == f"msg{i}".encode()
+
+
+def test_tls_affinity_flag_crosscheck():
+    # The registered fastpath.CROSSCHECKS entry for "tls.affinity":
+    # trial-decryption context affinity is a lookup-order optimisation
+    # and must never change which stream a record decrypts to.
+    from repro import fastpath
+
+    outcomes = []
+    for flag in (False, True):
+        client, server = _exporter_pair()
+        for stream_id in (CONTROL_STREAM_ID, 1, 3, 5):
+            client.install(stream_id, 0, b"tok")
+            server.install(stream_id, 0, b"tok")
+        with fastpath.overridden("tls.affinity", flag):
+            opened = []
+            for stream_id in (5, 5, 1, 3, 5, CONTROL_STREAM_ID, 1):
+                sealed = _seal(client, stream_id, 0, 0x30, bytes([stream_id]))
+                opened.append(server.open_record(0, sealed))
+        outcomes.append(opened)
+    assert outcomes[0] == outcomes[1]

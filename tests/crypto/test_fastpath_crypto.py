@@ -233,3 +233,23 @@ def test_record_rekey_drops_lookahead_cache():
         scalar_state.rekey()
         sealed_scalar = scalar_state.seal(inner, aad)
     assert sealed_fast == sealed_scalar
+
+
+# ----------------------------------------------------------------------
+# FP001 cross-check registration for the "crypto.batch" flag
+# ----------------------------------------------------------------------
+
+def test_crypto_batch_flag_crosscheck():
+    # The registered fastpath.CROSSCHECKS entry for "crypto.batch": both
+    # flag states must produce byte-identical AEAD output.
+    key = _random_bytes(32)
+    nonce = _random_bytes(12)
+    aad = _random_bytes(16)
+    plaintext = _random_bytes(2048)
+    aead = ChaCha20Poly1305(key)
+    with fastpath.overridden("crypto.batch", True):
+        fast = aead.encrypt(nonce, plaintext, aad)
+    with fastpath.overridden("crypto.batch", False):
+        scalar = aead.encrypt(nonce, plaintext, aad)
+        assert aead.decrypt(nonce, fast, aad) == plaintext
+    assert fast == scalar

@@ -98,5 +98,5 @@ def test_capture_live_tcp_connection(tmp_path):
 def test_reader_rejects_garbage(tmp_path):
     path = tmp_path / "bad.pcap"
     path.write_bytes(b"not a pcap")
-    with pytest.raises(Exception):
+    with pytest.raises(ValueError):
         read_pcap(str(path))

@@ -1,0 +1,61 @@
+"""Route tie-breaks must not depend on PYTHONHASHSEED.
+
+``Network._install_routes`` picks the nearest owner of a destination
+network out of a ``set`` of node names.  Before the ``sorted()``
+tie-break the winner among equidistant owners followed str-hash
+iteration order, so the same topology routed differently in different
+processes.  This test reruns the same route computation under several
+explicit hash seeds and requires identical answers — it fails on the
+pre-fix code.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent.parent
+
+# Six routers all own the shared 10.99.0.0/24 network and all sit one
+# hop from the host, so the route for that network from the host is a
+# pure equidistant tie — exactly the case the sorted() tie-break fixes.
+_SCRIPT = """\
+import ipaddress
+from repro.netsim.topology import Network
+
+net = Network()
+h = net.add_host("h")
+for i in range(6):
+    r = net.add_router(f"r{i}")
+    hi = h.add_interface(f"eth{i}").configure_ipv4(f"10.{i}.0.1/24")
+    ri = r.add_interface("uplink").configure_ipv4(f"10.{i}.0.2/24")
+    net.connect(hi, ri)
+    r.add_interface("shared").configure_ipv4(f"10.99.0.{i + 1}/24")
+net.compute_routes()
+
+target = ipaddress.ip_network("10.99.0.0/24")
+picks = [iface.name for network, iface in h._routes if network == target]
+print(",".join(sorted(picks)) or "NO-ROUTE")
+"""
+
+
+def test_route_choice_is_stable_across_hash_seeds(tmp_path):
+    script = tmp_path / "routes.py"
+    script.write_text(_SCRIPT, encoding="utf-8")
+    answers = set()
+    for seed in ("0", "1", "7", "4242"):
+        proc = subprocess.run(
+            [sys.executable, str(script)],
+            capture_output=True,
+            text=True,
+            cwd=REPO,
+            env={
+                "PYTHONPATH": str(REPO / "src"),
+                "PYTHONHASHSEED": seed,
+                "PATH": "/usr/bin:/bin:/usr/local/bin",
+            },
+        )
+        assert proc.returncode == 0, proc.stderr
+        answer = proc.stdout.strip()
+        assert answer and answer != "NO-ROUTE"
+        answers.add(answer)
+    assert len(answers) == 1, f"route choice varied with hash seed: {answers}"

@@ -1,0 +1,49 @@
+"""The central telemetry key registry stays consistent with its users."""
+
+from repro.netsim.engine import Simulator
+from repro.netsim.link import Link
+from repro.obs import keys
+
+
+def test_link_stats_registry_matches_link_stats_dict():
+    link = Link(Simulator(), rate_bps=1e6, delay=0.001)
+    assert tuple(link.stats) == keys.LINK_STATS
+
+
+def test_session_component_helper():
+    assert keys.session_component(True) == keys.COMP_SESSION_SERVER
+    assert keys.session_component(False) == keys.COMP_SESSION_CLIENT
+
+
+def test_link_component_helper():
+    assert keys.link_component("") == keys.LINK_COMPONENT_PREFIX
+    assert keys.link_component("a--b") == "link.a--b"
+
+
+def test_session_event_helper_is_registered_family():
+    key = keys.session_event("handshake_complete")
+    assert key == "event.handshake_complete"
+    assert keys.is_registered(key)
+
+
+def test_every_static_key_is_registered():
+    for key in keys.ALL_KEYS:
+        assert keys.is_registered(key), key
+
+
+def test_unknown_key_is_not_registered():
+    assert not keys.is_registered("totally.made_up")
+    assert not keys.is_registered("")
+
+
+def test_all_keys_has_no_duplicate_spellings():
+    # frozenset dedups silently; rebuild the tuple form to detect
+    # constants that accidentally share a spelling.
+    names = [
+        value
+        for name, value in vars(keys).items()
+        if name.isupper()
+        and isinstance(value, str)
+        and not name.endswith("_PREFIX")
+    ]
+    assert len(names) == len(set(names)), sorted(names)

@@ -229,3 +229,34 @@ def test_options_over_40_bytes_rejected_both_states():
     with fastpath.scalar_baseline():
         with pytest.raises(ProtocolViolation):
             encode_options(too_many)
+
+
+# ----------------------------------------------------------------------
+# FP001 cross-check registration for the "tcp.ack" flag
+# ----------------------------------------------------------------------
+
+def test_tcp_ack_flag_crosscheck():
+    # The registered fastpath.CROSSCHECKS entry for "tcp.ack": the O(1)
+    # bytes-in-flight accounting and ordered-scoreboard ACK processing
+    # must reproduce the reference connection behaviour event-for-event,
+    # including under loss and retransmission.
+    from tests.helpers import start_sink_server, tcp_pair
+
+    outcomes = []
+    for flag in (False, True):
+        with fastpath.overridden("tcp.ack", flag):
+            net, client_tcp, server_tcp, link = tcp_pair(loss_rate=0.02, seed=42)
+            sinks = start_sink_server(server_tcp)
+            payload = bytes(i % 251 for i in range(120_000))
+            conn = client_tcp.connect("10.0.0.2", 443)
+            conn.send(payload)
+            net.sim.run(until=60.0)
+            outcomes.append(
+                (
+                    bytes(sinks[0].data),
+                    conn.stats["retransmissions"],
+                    net.sim.events_processed,
+                )
+            )
+    assert outcomes[0][0] == payload
+    assert outcomes[0] == outcomes[1]

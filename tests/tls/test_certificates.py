@@ -5,7 +5,7 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.tls.certificates import Certificate, CertificateAuthority, TrustStore
-from repro.utils.errors import ProtocolViolation
+from repro.utils.errors import DecodeError, ProtocolViolation
 
 
 def test_issue_and_verify():
@@ -68,7 +68,7 @@ def test_serialization_roundtrip():
 
 
 def test_malformed_bytes_rejected():
-    with pytest.raises(Exception):
+    with pytest.raises(DecodeError):
         Certificate.from_bytes(b"\x00\x05trash")
 
 
