@@ -69,7 +69,11 @@ class PathHealth:
     def score(self, conn) -> float:
         """Lower is better.  Usable at any time, tick or no tick."""
         stats = conn.tcp.stats
-        srtt = conn.tcp.rto.srtt or UNMEASURED_RTT
+        # Explicit unmeasured sentinel: a measured srtt of exactly 0.0
+        # (zero-delay simulated link) is a *good* path, not an unknown.
+        srtt = conn.tcp.rto.srtt
+        if srtt is None:
+            srtt = UNMEASURED_RTT
         sent = stats["segments_sent"]
         loss_ratio = self._loss_events(conn) / sent if sent else 0.0
         recent = self._loss_events(conn) - self._seen_loss_events

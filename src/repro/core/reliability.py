@@ -20,11 +20,19 @@ from typing import Iterator, List, Optional, Tuple
 
 
 class ReplayBuffer:
-    """Sender side: sequenced frames retained for possible replay."""
+    """Sender side: sequenced frames retained for possible replay.
+
+    Byte occupancy is tracked incrementally so ``pending_bytes`` is O(1):
+    the per-session memory budget reads it on every received frame, and
+    summing thousands of retained bodies per frame would be quadratic.
+    """
+
+    __slots__ = ("_next_seq", "_frames", "_pending_bytes", "highest_acked")
 
     def __init__(self) -> None:
         self._next_seq = 1  # seq 0 means "unsequenced"
         self._frames: "OrderedDict[int, Tuple[int, int, bytes]]" = OrderedDict()
+        self._pending_bytes = 0
         self.highest_acked = 0
 
     def next_seq(self) -> int:
@@ -33,13 +41,17 @@ class ReplayBuffer:
         return seq
 
     def store(self, seq: int, ttype: int, stream_id: int, body: bytes) -> None:
+        old = self._frames.get(seq)
+        if old is not None:
+            self._pending_bytes -= len(old[2])
         self._frames[seq] = (ttype, stream_id, body)
+        self._pending_bytes += len(body)
 
     def on_ack(self, cumulative_seq: int) -> int:
         """Drop frames covered by a cumulative ACK; returns frames freed."""
         freed = 0
         for seq in [s for s in self._frames if s <= cumulative_seq]:
-            del self._frames[seq]
+            self._pending_bytes -= len(self._frames.pop(seq)[2])
             freed += 1
         self.highest_acked = max(self.highest_acked, cumulative_seq)
         return freed
@@ -53,7 +65,8 @@ class ReplayBuffer:
         return len(self._frames)
 
     def pending_bytes(self) -> int:
-        return sum(len(body) for (_, _, body) in self._frames.values())
+        """Retained (unacked) body bytes — O(1), tracked incrementally."""
+        return self._pending_bytes
 
 
 class ReceiveTracker:
@@ -68,6 +81,10 @@ class ReceiveTracker:
     """
 
     DEFAULT_WINDOW = 1 << 20
+
+    # No __slots__ here: the fault-matrix TrackerAudit instruments a
+    # live tracker by rebinding ``accept`` on the instance, and there is
+    # exactly one tracker per session so the dict costs little.
 
     def __init__(self, window: int = DEFAULT_WINDOW) -> None:
         self.cumulative = 0  # every seq <= cumulative has been received

@@ -19,6 +19,18 @@ from __future__ import annotations
 from typing import List, Optional
 
 
+def _sendable(conn) -> bool:
+    """The uniform usable-set predicate every scheduler filters on.
+
+    A connection must be both established (``usable``) and have flow/
+    congestion window room (``send_room``).  Every scheduler shares this
+    definition: a zero-window connection is never a valid pick, because
+    handing it a chunk silently stalls that chunk until the window
+    reopens even when another path could have carried it.
+    """
+    return conn.usable() and conn.send_room() > 0
+
+
 class Scheduler:
     """Base: pick a connection for the next chunk of a stream."""
 
@@ -35,7 +47,7 @@ class PinnedScheduler(Scheduler):
 
     def pick(self, stream, connections: List) -> Optional[object]:
         for conn in connections:
-            if conn.conn_id == stream.conn_id and conn.usable():
+            if conn.conn_id == stream.conn_id and _sendable(conn):
                 return conn
         return None
 
@@ -57,7 +69,7 @@ class RoundRobinScheduler(Scheduler):
         self._last_conn_id: Optional[int] = None
 
     def pick(self, stream, connections: List) -> Optional[object]:
-        usable = [conn for conn in connections if conn.usable()]
+        usable = [conn for conn in connections if _sendable(conn)]
         if not usable:
             return None
         chosen = None
@@ -86,7 +98,7 @@ class CwndAwareScheduler(Scheduler):
 
     def pick(self, stream, connections: List) -> Optional[object]:
         best = None
-        best_room = -1
+        best_room = 0
         for conn in connections:
             if not conn.usable():
                 continue
@@ -94,8 +106,6 @@ class CwndAwareScheduler(Scheduler):
             if room > best_room:
                 best = conn
                 best_room = room
-        if best is None or best_room <= 0:
-            return None
         return best
 
 
@@ -105,9 +115,14 @@ class LowestRttScheduler(Scheduler):
     name = "lowest_rtt"
 
     def pick(self, stream, connections: List) -> Optional[object]:
+        # An unmeasured path (srtt is None) sorts last; a *measured*
+        # zero RTT is a legitimate fast path and must sort first, so no
+        # falsy-zero coercion here.
         usable = sorted(
-            (conn for conn in connections if conn.usable() and conn.send_room() > 0),
-            key=lambda conn: conn.tcp.rto.srtt or 1e9,
+            (conn for conn in connections if _sendable(conn)),
+            key=lambda conn: (
+                1e9 if conn.tcp.rto.srtt is None else conn.tcp.rto.srtt
+            ),
         )
         return usable[0] if usable else None
 
@@ -127,14 +142,14 @@ class HealthAwareScheduler(Scheduler):
         best = None
         best_score = None
         for conn in connections:
-            if not conn.usable() or conn.send_room() <= 0:
+            if not _sendable(conn):
                 continue
             health = getattr(conn, "health", None)
-            score = (
-                health.score(conn)
-                if health is not None
-                else (conn.tcp.rto.srtt or 1e9)
-            )
+            if health is not None:
+                score = health.score(conn)
+            else:
+                srtt = conn.tcp.rto.srtt
+                score = 1e9 if srtt is None else srtt
             if best_score is None or score < best_score:
                 best = conn
                 best_score = score

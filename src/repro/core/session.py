@@ -120,8 +120,13 @@ class TcplsContext:
     # post-establishment plaintext junk (injected non-APPDATA records)
     # a connection tolerates before it is torn down; the JOIN knobs
     # rate-limit cookie-guessing against the server per peer address.
+    # ``max_session_memory`` caps the *session-wide* buffered-byte
+    # footprint — every stream's reassembly buffer plus the failover
+    # replay buffer — so one session cannot hoard a scale run's memory
+    # even while each individual stream stays under its own cap.
     max_streams: int = 64
     max_reassembly_bytes: int = 4 << 20
+    max_session_memory: int = 16 << 20
     max_plaintext_records: int = 32
     join_rate_limit: int = 8
     join_rate_window: float = 1.0
@@ -149,7 +154,27 @@ class TcplsContext:
 
 
 class TcplsConnection:
-    """One TCP connection inside a TCPLS session."""
+    """One TCP connection inside a TCPLS session.
+
+    ``__slots__``-packed: thousands of concurrent sessions mean
+    thousands of these plus their per-frame attribute reads; slots cut
+    the per-instance dict and keep the hot fields in fixed offsets.
+    """
+
+    __slots__ = (
+        "session",
+        "conn_id",
+        "tcp",
+        "state",
+        "is_primary",
+        "token",
+        "decoder",
+        "bytes_delivered",
+        "records_received",
+        "auth_failure_run",
+        "plaintext_junk",
+        "health",
+    )
 
     CONNECTING = "CONNECTING"
     TLS_HANDSHAKE = "TLS_HANDSHAKE"
@@ -332,6 +357,9 @@ class TcplsSession:
         )
         self._obs_guard_tripped = telemetry.counter(
             component, obs_keys.GUARD_TRIPPED
+        )
+        self._obs_memory = telemetry.gauge(
+            component, obs_keys.SESSION_MEMORY_BYTES
         )
         self.events.observer = self._observe_session_event
         self.events.clock = lambda: self.sim.now
@@ -794,9 +822,37 @@ class TcplsSession:
 
     def send(self, stream_id: int, data: bytes) -> int:
         stream = self.streams[stream_id]
+        if (
+            self.session_memory_bytes() + len(data)
+            > self.context.max_session_memory
+        ):
+            # Fail closed toward the application: queueing past the
+            # session budget would let one slow peer pin unbounded local
+            # memory.  The caller sees backpressure as an exception
+            # instead of the farm seeing an OOM.
+            self._obs_guard_tripped.inc()
+            raise GuardLimitExceeded(
+                f"session memory budget "
+                f"({self.context.max_session_memory}B) exhausted; "
+                f"refusing {len(data)}B write to stream {stream_id}"
+            )
         stream.queue(data)
+        self._obs_memory.set(self.session_memory_bytes())
         self._pump()
         return len(data)
+
+    def session_memory_bytes(self) -> int:
+        """Buffered bytes this session currently pins.
+
+        Counts every stream's send queue and out-of-order reassembly
+        buffer plus the failover replay buffer — the three stores whose
+        growth is driven by the peer (or a slow path) rather than by us.
+        All three are O(1) reads.
+        """
+        total = self.replay.pending_bytes()
+        for stream in self.streams.values():
+            total += len(stream.send_buffer) + stream.reassembly_bytes()
+        return total
 
     def stream_close(self, stream_id: int) -> None:
         stream = self.streams.get(stream_id)
@@ -1091,10 +1147,22 @@ class TcplsSession:
                 f"stream {stream_id} reassembly buffer over "
                 f"{self.context.max_reassembly_bytes}B"
             )
+        if (
+            self.session_memory_bytes() + len(data)
+            > self.context.max_session_memory
+        ):
+            # Session-wide budget: many streams each under their own cap
+            # can still sum to a hoard; fail the connection, not the
+            # process.
+            raise GuardLimitExceeded(
+                f"session buffered memory over "
+                f"{self.context.max_session_memory}B"
+            )
         self.delivery_log.append((self.sim.now, conn.conn_id, len(data)))
         conn.bytes_delivered += len(data)
         self._obs_stream_bytes.inc(len(data))
         stream.on_segment(offset, data, fin)
+        self._obs_memory.set(self.session_memory_bytes())
 
     def _on_stream_open_frame(self, conn: TcplsConnection, frame: framing.Frame) -> None:
         stream_id, pinned_conn = framing.decode_stream_open(frame.body)
@@ -1844,3 +1912,18 @@ class TcplsServer:
             if session.connection_id == connection_id:
                 return session
         return None
+
+    def reap_closed(self) -> int:
+        """Drop closed sessions from the routing list; returns the count.
+
+        ``sessions`` otherwise grows for the listener's whole lifetime,
+        which a server-farm churn run turns into both a leak and an
+        ever-slower linear ``_find_session`` JOIN lookup.  Closed
+        sessions can never be joined again (their connection id died
+        with them), so reaping is invisible to the protocol.
+        """
+        alive = [s for s in self.sessions if not s.session_closed]
+        reaped = len(self.sessions) - len(alive)
+        if reaped:
+            self.sessions = alive
+        return reaped

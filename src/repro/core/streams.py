@@ -16,7 +16,31 @@ CONTROL_STREAM_ID = 0
 
 
 class TcplsStream:
-    """One datastream's endpoint state."""
+    """One datastream's endpoint state.
+
+    ``__slots__``-packed: a server-farm run holds thousands of sessions
+    with several streams each, and dict-backed instances cost ~3x the
+    memory and dirty more cache lines on the per-frame hot path.
+    """
+
+    __slots__ = (
+        "stream_id",
+        "conn_id",
+        "attached",
+        "send_buffer",
+        "send_offset",
+        "fin_pending",
+        "fin_sent",
+        "bytes_sent",
+        "recv_next",
+        "_segments",
+        "_buffered",
+        "fin_offset",
+        "remote_closed",
+        "bytes_received",
+        "on_data",
+        "on_fin",
+    )
 
     def __init__(self, stream_id: int, conn_id: int) -> None:
         self.stream_id = stream_id

@@ -44,6 +44,10 @@ FEATURES = (
     # Lazy fixed-header peeks in middleboxes plus host address / route
     # lookup caches (netsim/middlebox.py, netsim/node.py).
     "netsim.fast",
+    # Hierarchical timer wheel replacing the engine's global event heap
+    # (netsim/timerwheel.py, netsim/engine.py): O(1) inserts and
+    # bucket-local ordering for many-session timer churn.
+    "netsim.wheel",
 )
 
 #: The registered fastpath-vs-scalar cross-check test for every feature
@@ -56,6 +60,7 @@ CROSSCHECKS: Dict[str, str] = {
     "wire.cache": "tests/tcp/test_fastpath_wire.py",
     "tcp.ack": "tests/tcp/test_fastpath_wire.py",
     "netsim.fast": "tests/netsim/test_fastpath_netsim.py",
+    "netsim.wheel": "tests/netsim/test_timerwheel.py",
 }
 
 _DEFAULT = os.environ.get("REPRO_FASTPATH", "1") != "0"

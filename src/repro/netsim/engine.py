@@ -24,6 +24,7 @@ import time as _time
 from typing import Callable, Optional
 
 from repro import fastpath
+from repro.netsim.timerwheel import TimerWheel
 from repro.obs import keys
 from repro.utils.errors import ReentrancyError
 
@@ -42,11 +43,18 @@ class Event:
         self._owner: Optional["Simulator"] = None
 
     def cancel(self) -> None:
-        """Prevent the callback from running; safe to call more than once."""
+        """Prevent the callback from running; safe to call more than once.
+
+        Also safe after the event already fired or was discarded: the
+        engine clears ``_owner`` when it consumes the event, so a late
+        cancel (a stale RTO handle kept across teardown, say) cannot
+        decrement the live-event counter a second time.
+        """
         if not self.cancelled:
             self.cancelled = True
             if self._owner is not None:
                 self._owner._live_events -= 1
+                self._owner = None
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -62,13 +70,17 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        # Heap entry format, fixed for the simulator's lifetime: the
-        # netsim.fast path stores (time, seq, event) tuples so ordering
-        # uses C-level tuple comparison; the reference path stores the
-        # ``Event`` objects themselves and orders via ``Event.__lt__``
-        # exactly as the pre-fast-path engine did.  Both produce the
-        # identical (time, seq) execution order.
+        # Pending-event store, fixed for the simulator's lifetime: with
+        # netsim.wheel on it is a hierarchical ``TimerWheel``; otherwise
+        # a heap — the netsim.fast path stores (time, seq, event) tuples
+        # so ordering uses C-level tuple comparison, and the reference
+        # path stores the ``Event`` objects themselves and orders via
+        # ``Event.__lt__`` exactly as the pre-fast-path engine did.  All
+        # three produce the identical (time, seq) execution order.
         self._tuple_queue = fastpath.flags["netsim.fast"]
+        self._wheel: Optional[TimerWheel] = (
+            TimerWheel() if fastpath.flags["netsim.wheel"] else None
+        )
         self._queue: list = []
         self._seq = 0
         self._events_processed = 0
@@ -100,7 +112,7 @@ class Simulator:
         comparing digests across *different* shake seeds.  Must be called
         before anything is scheduled.
         """
-        if self._seq or self._queue:
+        if self._seq or self._queue or (self._wheel is not None and self._wheel):
             raise ValueError("schedule shake must be enabled before scheduling")
         self._shake_key = seed & 0xFFFFFFFF
 
@@ -144,7 +156,9 @@ class Simulator:
             seq = ((seq ^ self._shake_key) * 0x9E3779B1) & 0xFFFFFFFF
         event = Event(self.now + delay, seq, callback, args)
         event._owner = self
-        if self._tuple_queue:
+        if self._wheel is not None:
+            self._wheel.push(event.time, seq, event)
+        elif self._tuple_queue:
             heapq.heappush(self._queue, (event.time, seq, event))
         else:
             heapq.heappush(self._queue, event)
@@ -180,34 +194,64 @@ class Simulator:
         processed = 0
         wall_start = _time.perf_counter()
         queue = self._queue
+        wheel = self._wheel
         heappop = heapq.heappop
         tuple_queue = self._tuple_queue
         event_hook = self._event_hook
         try:
-            while queue:
-                head = queue[0]
-                event = head[2] if tuple_queue else head
-                if until is not None and event.time > until:
-                    break
-                if event.cancelled:
+            if wheel is not None:
+                while wheel:
+                    event = wheel.peek()
+                    if until is not None and event.time > until:
+                        break
+                    if event.cancelled:
+                        wheel.pop()
+                        continue
+                    # Check the cap BEFORE popping: the event that trips it
+                    # must stay queued so a follow-up run() resumes without
+                    # losing it.
+                    if processed >= max_events:
+                        raise RuntimeError(
+                            f"simulation exceeded {max_events} events; likely a loop"
+                        )
+                    wheel.pop()
+                    event._owner = None
+                    self._live_events -= 1
+                    self.now = event.time
+                    if event_hook is not None:
+                        event_hook(event.time, event.seq)
+                    event.callback(*event.args)
+                    processed += 1
+                    self._events_processed += 1
+                    if self._obs_events is not None:
+                        self._obs_events.inc()
+            else:
+                while queue:
+                    head = queue[0]
+                    event = head[2] if tuple_queue else head
+                    if until is not None and event.time > until:
+                        break
+                    if event.cancelled:
+                        heappop(queue)
+                        continue
+                    # Check the cap BEFORE popping: the event that trips it
+                    # must stay queued so a follow-up run() resumes without
+                    # losing it.
+                    if processed >= max_events:
+                        raise RuntimeError(
+                            f"simulation exceeded {max_events} events; likely a loop"
+                        )
                     heappop(queue)
-                    continue
-                # Check the cap BEFORE popping: the event that trips it must
-                # stay queued so a follow-up run() resumes without losing it.
-                if processed >= max_events:
-                    raise RuntimeError(
-                        f"simulation exceeded {max_events} events; likely a loop"
-                    )
-                heappop(queue)
-                self._live_events -= 1
-                self.now = event.time
-                if event_hook is not None:
-                    event_hook(event.time, event.seq)
-                event.callback(*event.args)
-                processed += 1
-                self._events_processed += 1
-                if self._obs_events is not None:
-                    self._obs_events.inc()
+                    event._owner = None
+                    self._live_events -= 1
+                    self.now = event.time
+                    if event_hook is not None:
+                        event_hook(event.time, event.seq)
+                    event.callback(*event.args)
+                    processed += 1
+                    self._events_processed += 1
+                    if self._obs_events is not None:
+                        self._obs_events.inc()
         finally:
             self._running = False
             self.run_wall_seconds += _time.perf_counter() - wall_start

@@ -1,0 +1,227 @@
+"""Hierarchical timer wheel for the discrete-event engine.
+
+At a handful of sessions the engine's binary heap is unbeatable; at
+thousands of concurrent TCPLS sessions the heap holds tens of thousands
+of timers (every ACK cancels and re-arms an RTO, every session keeps
+delayed-ACK and health timers) and each push/pop pays ``O(log n)``
+comparisons against the whole population.  The timer wheel replaces the
+single heap with fixed-width time buckets so an insert is O(1) and a pop
+only ever sorts the handful of events sharing one bucket.
+
+Design (hashed hierarchical wheel, Varghese & Lauck):
+
+- Level ``i`` has ``SLOTS`` (256) buckets of width ``W0 * SLOTS**i``
+  seconds.  ``W0`` is ``2**-12`` s (~244 us), chosen as a power of two so
+  tick arithmetic between levels is an exact bit shift: the level-0 tick
+  of an event is ``floor(time * 4096)`` and the level-``i`` tick is that
+  value shifted right by ``8*i`` bits.  Spans: level 0 covers 62.5 ms,
+  level 1 covers 16 s, level 2 covers 4096 s; anything later sits in an
+  unsorted overflow list until the wheels drain and rebase onto it.
+- Each level owns a half-open tick window.  Level 0 holds every pending
+  event with tick in ``[cursor0, cursor1 << 8)``, level 1 holds
+  ``[cursor1 << 8, cursor2 << 16)``, level 2 holds ticks below
+  ``limit2 << 16``.  Cascading a level-``i`` bucket extends the
+  level-``i-1`` window by exactly one bucket, so every window stays at
+  most ``SLOTS`` wide and a slot index mod 256 is unambiguous.  Pushes
+  route by comparing the event tick against those boundaries — the same
+  arithmetic the bucket scans use, so an event can never be filed where
+  a scan would misread its tick.
+- Events inside a bucket are unordered.  When the level-0 cursor reaches
+  a bucket its events move into a small "ready" heap ordered by
+  ``(time, seq)`` — exactly the engine's global ordering contract, so
+  the wheel's execution order is **bit-identical** to the reference
+  heap's (the ``netsim.wheel`` cross-check tests and the churn-matrix
+  pcap digests enforce this).  Bucketing by ``floor`` is order-safe:
+  floor of a monotone function is monotone, so ``t_a < t_b`` can never
+  place ``a`` in a later bucket than ``b``.  Pushes at or below the last
+  collected tick (e.g. an event scheduled for "now" from inside a
+  callback) go straight into the ready heap, which restores exact order.
+- Cancelled events are discarded lazily when popped, same as the heap
+  path; live-event accounting stays in the :class:`Simulator`.
+
+The wheel is a fast path in the PR 3 sense: enabled by the
+``netsim.wheel`` flag, with the heap kept as the cross-check oracle
+(``fastpath.CROSSCHECKS['netsim.wheel']``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List
+
+#: Buckets per level; ``TICK_SHIFT`` bits index one level.
+SLOTS = 256
+TICK_SHIFT = 8
+_MASK = SLOTS - 1
+#: Level-0 bucket width is ``2**-RESOLUTION_BITS`` seconds (~244 us).
+RESOLUTION_BITS = 12
+_TICK_SCALE = float(1 << RESOLUTION_BITS)
+#: Wheel levels before the overflow list (level 2 spans 4096 s).
+LEVELS = 3
+_TOP_SHIFT = TICK_SHIFT * (LEVELS - 1)
+
+
+class TimerWheel:
+    """Bucketed pending-event store with heap-identical pop order.
+
+    Entries are ``(time, seq, event)`` tuples, the same shape the tuple
+    heap uses, so the ready heap's C-level tuple comparison reproduces
+    the ``(time, seq)`` tie-break exactly.
+    """
+
+    __slots__ = (
+        "_ready",
+        "_levels",
+        "_counts",
+        "_cursor",
+        "_collected_tick",
+        "_limit2",
+        "_overflow",
+        "_len",
+    )
+
+    def __init__(self) -> None:
+        # Events already known to be next in line, ordered (time, seq).
+        self._ready: List[tuple] = []
+        self._levels = [[[] for _ in range(SLOTS)] for _ in range(LEVELS)]
+        self._counts = [0] * LEVELS
+        # _cursor[i] is the first level-i tick not yet cascaded/collected.
+        # Windows (level-0 ticks): level 0 owns [cursor0, cursor1 << 8),
+        # level 1 owns [cursor1 << 8, cursor2 << 16), level 2 owns up to
+        # limit2 << 16; later ticks overflow.
+        self._cursor = [0] * LEVELS
+        # Highest level-0 tick whose bucket has been merged into _ready
+        # (== cursor0 - 1 between operations); pushes at or before it go
+        # straight to the ready heap.
+        self._collected_tick = -1
+        self._limit2 = SLOTS
+        self._overflow: List[tuple] = []
+        self._len = 0
+
+    def __len__(self) -> int:
+        return self._len
+
+    # -- insertion ---------------------------------------------------------
+
+    def push(self, time: float, seq: int, event) -> None:
+        entry = (time, seq, event)
+        self._len += 1
+        tick = int(time * _TICK_SCALE)
+        if tick <= self._collected_tick:
+            heapq.heappush(self._ready, entry)
+        elif tick < self._cursor[1] << TICK_SHIFT:
+            self._levels[0][tick & _MASK].append(entry)
+            self._counts[0] += 1
+        elif tick < self._cursor[2] << (2 * TICK_SHIFT):
+            self._levels[1][(tick >> TICK_SHIFT) & _MASK].append(entry)
+            self._counts[1] += 1
+        elif (tick >> (2 * TICK_SHIFT)) < self._limit2:
+            self._levels[2][(tick >> (2 * TICK_SHIFT)) & _MASK].append(entry)
+            self._counts[2] += 1
+        else:
+            self._overflow.append(entry)
+
+    # -- extraction --------------------------------------------------------
+
+    def peek(self):
+        """The next event in (time, seq) order, or None; does not remove."""
+        if not self._ready and not self._advance():
+            return None
+        return self._ready[0][2]
+
+    def pop(self):
+        """Remove and return the next event in (time, seq) order."""
+        if not self._ready and not self._advance():
+            raise IndexError("pop from an empty TimerWheel")
+        self._len -= 1
+        return heapq.heappop(self._ready)[2]
+
+    # -- internal: advance cursors until _ready has something --------------
+
+    def _advance(self) -> bool:
+        """Move buckets toward _ready; True when _ready is non-empty.
+
+        Always collects the earliest occupied level-0 bucket before
+        cascading the next higher-level bucket, so collection order is
+        globally tick-monotone; within the collected bucket the ready
+        heap supplies the (time, seq) order.
+        """
+        while True:
+            if self._counts[0]:
+                cursor = self._cursor[0]
+                buckets = self._levels[0]
+                for offset in range(SLOTS):
+                    tick = cursor + offset
+                    bucket = buckets[tick & _MASK]
+                    if bucket:
+                        for entry in bucket:
+                            heapq.heappush(self._ready, entry)
+                        self._counts[0] -= len(bucket)
+                        del bucket[:]
+                        self._collected_tick = tick
+                        self._cursor[0] = tick + 1
+                        return True
+                raise AssertionError("timer wheel level-0 count drift")
+            if self._cascade(1):
+                continue
+            if self._cascade(2):
+                continue
+            if self._overflow:
+                self._refill_from_overflow()
+                continue
+            return False
+
+    def _cascade(self, level: int) -> bool:
+        """Scatter the next occupied level-``level`` bucket one level down."""
+        if not self._counts[level]:
+            return False
+        cursor = self._cursor[level]
+        buckets = self._levels[level]
+        below = level - 1
+        shift = TICK_SHIFT * below
+        for offset in range(SLOTS):
+            tick = cursor + offset
+            bucket = buckets[tick & _MASK]
+            if not bucket:
+                continue
+            # Extend the child window to this bucket's child tick range
+            # before filing entries into it.
+            if self._cursor[below] < tick << TICK_SHIFT:
+                self._cursor[below] = tick << TICK_SHIFT
+                if below == 0:
+                    self._collected_tick = self._cursor[0] - 1
+            child_buckets = self._levels[below]
+            for entry in bucket:
+                child_tick = int(entry[0] * _TICK_SCALE) >> shift
+                child_buckets[child_tick & _MASK].append(entry)
+            moved = len(bucket)
+            self._counts[level] -= moved
+            self._counts[below] += moved
+            del bucket[:]
+            self._cursor[level] = tick + 1
+            return True
+        raise AssertionError(f"timer wheel level-{level} count drift")
+
+    def _refill_from_overflow(self) -> None:
+        """Rebase the wheels onto the earliest overflow event.
+
+        Only reached when every wheel level is empty, so snapping all
+        cursors forward cannot strand an earlier pending event.
+        Overflow events still beyond the new top-level window stay in
+        the list for the next refill.
+        """
+        base2 = min(int(e[0] * _TICK_SCALE) for e in self._overflow) >> _TOP_SHIFT
+        self._cursor[2] = base2
+        self._cursor[1] = base2 << TICK_SHIFT
+        self._cursor[0] = base2 << (2 * TICK_SHIFT)
+        self._collected_tick = self._cursor[0] - 1
+        self._limit2 = base2 + SLOTS
+        remaining: List[tuple] = []
+        for entry in self._overflow:
+            tick2 = int(entry[0] * _TICK_SCALE) >> _TOP_SHIFT
+            if tick2 < self._limit2:
+                self._levels[2][tick2 & _MASK].append(entry)
+                self._counts[2] += 1
+            else:
+                remaining.append(entry)
+        self._overflow = remaining

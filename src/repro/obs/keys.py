@@ -27,6 +27,8 @@ COMP_SERVER = "server"
 COMP_ENGINE = "engine"
 COMP_FAULTS = "faults"
 COMP_FUZZ = "fuzz"
+#: The scale-run session pool/dispatcher (repro.scale).
+COMP_POOL = "scale.pool"
 #: Prefix for per-link components (see :func:`link_component`).
 LINK_COMPONENT_PREFIX = "link"
 
@@ -59,6 +61,9 @@ HEALTH_PINGS_SENT = "health.pings_sent"
 DECODE_REJECTED = "decode.rejected"
 #: Tripped resource-exhaustion guards (stream/reassembly/rate caps, PR 4).
 GUARD_TRIPPED = "guard.tripped"
+#: Gauge: bytes currently pinned by the session's send/reassembly/replay
+#: buffers (the stores the per-session memory budget governs).
+SESSION_MEMORY_BYTES = "memory.buffered_bytes"
 #: Prefix for per-session-event counters (see :func:`session_event`).
 SESSION_EVENT_PREFIX = "event."
 
@@ -67,6 +72,14 @@ def session_event(event: str) -> str:
     """Per-event counter key: ``event.<name>``."""
     return f"{SESSION_EVENT_PREFIX}{event}"
 
+
+# -- scale pool metrics -------------------------------------------------------
+
+POOL_DIALS = "dials"
+POOL_REUSED = "reused"
+POOL_RETIRED = "retired"
+POOL_ACTIVE = "active"
+POOL_FAILED = "failed"
 
 # -- engine metrics -----------------------------------------------------------
 
@@ -119,6 +132,12 @@ ALL_KEYS = frozenset(
         HEALTH_PINGS_SENT,
         DECODE_REJECTED,
         GUARD_TRIPPED,
+        SESSION_MEMORY_BYTES,
+        POOL_DIALS,
+        POOL_REUSED,
+        POOL_RETIRED,
+        POOL_ACTIVE,
+        POOL_FAILED,
         ENGINE_EVENTS_PROCESSED,
         ENGINE_EVENTS_PER_SECOND,
         ENGINE_RUN_WALL_SECONDS,
@@ -142,6 +161,7 @@ ALL_COMPONENTS = frozenset(
         COMP_ENGINE,
         COMP_FAULTS,
         COMP_FUZZ,
+        COMP_POOL,
     )
 )
 

@@ -60,7 +60,7 @@ def sample_tcp(tcp, now: Optional[float] = None) -> TcpInfo:
         state=tcp.state,
         cwnd=tcp.cc.window(),
         ssthresh=tcp.cc.ssthresh,
-        srtt=tcp.rto.srtt,
+        srtt=tcp.rto.srtt if tcp.rto.srtt is not None else 0.0,
         rttvar=tcp.rto.rttvar,
         rto=tcp.rto.rto,
         mss=tcp.effective_mss(),

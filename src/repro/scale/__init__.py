@@ -1,0 +1,26 @@
+"""Server-farm scale: session pooling and load generation.
+
+The paper's deployment story (section 4, "TCPLS as a server-side
+library") implies one process terminating thousands of concurrent TCPLS
+sessions.  This package provides the two halves of that scenario on top
+of the deterministic simulator:
+
+- :mod:`repro.scale.pool` — a scored connection pool / dispatcher that
+  reuses, retires, and warms TCPLS client sessions across multiple
+  listeners (health- and RTT-weighted scoring, wear limits);
+- :mod:`repro.scale.loadgen` — a seeded arrival/departure churn
+  generator that ramps thousands of sessions up and down against a
+  multi-listener server farm and records per-request TTFB.
+"""
+
+from repro.scale.pool import PoolConfig, PooledSession, SessionPool
+from repro.scale.loadgen import ScaleConfig, ScaleResult, run_scale
+
+__all__ = [
+    "PoolConfig",
+    "PooledSession",
+    "SessionPool",
+    "ScaleConfig",
+    "ScaleResult",
+    "run_scale",
+]

@@ -1,0 +1,436 @@
+"""Seeded arrival/departure churn against a multi-listener TCPLS farm.
+
+The scenario the scale benchmark and the churn-matrix test share:
+
+- one server host running ``config.listeners`` TCPLS listeners on one
+  TCP stack (ports 443, 444, ...), each interface-connected to
+  ``config.client_hosts`` client hosts over fat low-delay links;
+- a :class:`~repro.scale.pool.SessionPool` on the client side dialling
+  sessions across the listeners;
+- **wave A**: ``config.sessions`` users arrive (seeded spacing across
+  ``arrival_span``), each acquiring a pooled session, running one
+  request/response, then *holding* the session — so at ramp end the
+  whole pool is concurrently open — before releasing it back;
+- **wave B**: ``reuse_fraction * sessions`` late users arrive after the
+  hold period and are served from the now-idle pool (exercising the
+  reuse path), then the pool drains and every session closes.
+
+Everything is driven off ``random.Random(config.seed)`` and the
+simulated clock, so a double run is digest-identical — the churn-matrix
+test leans on that, with and without the timer-wheel fast path, and
+with a fault plan flapping client links mid-ramp.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.events import Event
+from repro.utils.errors import ReproError
+from repro.core.session import TcplsContext, TcplsServer, TcplsSession
+from repro.netsim.topology import Network
+from repro.obs.hub import Observability
+from repro.scale.pool import PoolConfig, PooledSession, SessionPool
+from repro.tcp.stack import TcpStack
+from repro.tls.certificates import CertificateAuthority, TrustStore
+from repro.tls.session import SessionTicketStore
+
+#: Environment switch the CI smoke job sets: shrink the run to ~200
+#: sessions so the scale scenario stays a quick check.
+QUICK_ENV = "REPRO_SCALE_QUICK"
+_QUICK_SESSIONS = 200
+
+
+@dataclass
+class ScaleConfig:
+    """One scale run's shape.  Defaults model the full benchmark."""
+
+    #: Peak concurrent sessions (wave A size = pool capacity).
+    sessions: int = 1000
+    #: Wave B arrivals, as a fraction of ``sessions`` (reuse traffic).
+    reuse_fraction: float = 0.25
+    #: TCPLS listeners on the server (ports 443, 444, ...).
+    listeners: int = 2
+    #: Client hosts sharing the dial load (each gets its own link).
+    client_hosts: int = 4
+    #: Seconds of simulated time over which wave A arrivals spread.
+    arrival_span: float = 2.0
+    #: How long each wave-A user holds its session after the response.
+    hold_time: float = 0.5
+    request_bytes: int = 512
+    response_bytes: int = 2048
+    link_rate_bps: float = 1e9
+    link_delay: float = 0.002
+    queue_packets: int = 512
+    seed: int = 1
+    #: Pool maintenance sweep period (also reaps server session lists).
+    maintain_interval: float = 0.25
+    #: Per-request give-up deadline (covers fault-plan runs where a
+    #: request's session dies mid-flap and failover cannot save it).
+    request_timeout: float = 30.0
+    pool: PoolConfig = field(default_factory=PoolConfig)
+
+    @classmethod
+    def from_env(cls, **overrides) -> "ScaleConfig":
+        """Full-size config, shrunk when ``REPRO_SCALE_QUICK`` is set."""
+        config = cls(**overrides)
+        if os.environ.get(QUICK_ENV):
+            config.sessions = min(config.sessions, _QUICK_SESSIONS)
+        return config
+
+
+@dataclass
+class ScaleResult:
+    """What one run produced (simulated-clock quantities only)."""
+
+    sessions: int
+    requests_started: int = 0
+    requests_completed: int = 0
+    requests_failed: int = 0
+    peak_concurrent: int = 0
+    #: Per-request time-to-first-response-byte, simulated seconds.
+    ttfb: List[float] = field(default_factory=list)
+    sim_time: float = 0.0
+    events_processed: int = 0
+    live_events: int = -1
+    pool_stats: Dict[str, int] = field(default_factory=dict)
+    server_sessions_reaped: int = 0
+
+
+class _Request:
+    """One user's request lifecycle."""
+
+    __slots__ = ("index", "started_at", "ttfb", "received", "entry",
+                 "stream_id", "departs", "done", "timeout_event")
+
+    def __init__(self, index: int, started_at: float, departs: bool) -> None:
+        self.index = index
+        self.started_at = started_at
+        self.ttfb: Optional[float] = None
+        self.received = 0
+        self.entry: Optional[PooledSession] = None
+        self.stream_id: Optional[int] = None
+        self.departs = departs
+        self.done = False
+        self.timeout_event = None
+
+
+class ScaleWorld:
+    """The constructed farm: network, listeners, pool, and churn driver."""
+
+    def __init__(self, config: ScaleConfig,
+                 observability: Optional[Observability] = None) -> None:
+        self.config = config
+        self.net = Network()
+        self.sim = self.net.sim
+        self.rng = random.Random(config.seed)
+        self.obs = observability or Observability(self.sim, enabled=True)
+
+        server_host = self.net.add_host("server")
+        self.client_stacks: List[TcpStack] = []
+        self.client_dests: List[str] = []
+        self.links = []
+        for i in range(config.client_hosts):
+            client_host = self.net.add_host(f"client{i}")
+            c_if = client_host.add_interface("eth0").configure_ipv4(
+                f"10.0.{i}.1/24"
+            )
+            s_if = server_host.add_interface(f"eth{i}").configure_ipv4(
+                f"10.0.{i}.2/24"
+            )
+            self.links.append(
+                self.net.connect(
+                    c_if,
+                    s_if,
+                    rate_bps=config.link_rate_bps,
+                    delay=config.link_delay,
+                    queue_packets=config.queue_packets,
+                    seed=config.seed + i,
+                )
+            )
+            self.client_stacks.append(TcpStack(client_host, seed=config.seed + i))
+            self.client_dests.append(f"10.0.{i}.2")
+        self.net.compute_routes()
+
+        ca = CertificateAuthority("Repro Root", seed=b"root")
+        identity = ca.issue_identity("farm.example", seed=b"farm")
+        trust = TrustStore()
+        trust.add_authority(ca)
+
+        # One shared hub on the server side keeps the farm's telemetry
+        # in one registry; client sessions run with telemetry off — a
+        # thousand per-session hubs would dominate the run's memory.
+        server_ctx = TcplsContext(
+            identity=identity,
+            seed=config.seed + 1000,
+            observability=self.obs,
+        )
+        self.client_ctx = TcplsContext(
+            trust_store=trust,
+            server_name="farm.example",
+            ticket_store=SessionTicketStore(),
+            seed=config.seed,
+            telemetry=False,
+        )
+
+        server_stack = TcpStack(server_host, seed=config.seed + 2000)
+        self.servers: List[TcplsServer] = []
+        self._server_sessions: List[TcplsSession] = []
+        for i in range(config.listeners):
+            self.servers.append(
+                TcplsServer(
+                    server_ctx,
+                    server_stack,
+                    port=443 + i,
+                    on_session=self._on_server_session,
+                )
+            )
+
+        # Listener targets are (client-rotation-independent) port
+        # choices; the dial closure rotates client hosts itself.
+        self.pool = SessionPool(
+            self.sim,
+            self._dial,
+            listeners=[443 + i for i in range(config.listeners)],
+            config=config.pool,
+            observability=self.obs,
+        )
+        self._dial_rotation = 0
+
+        self.result = ScaleResult(sessions=config.sessions)
+        self._open_sessions = 0
+        self._users_pending = 0
+        self._finished = False
+        self._server_rx: Dict[Tuple[int, int], int] = {}
+        self._inflight: Dict[Tuple[int, int], _Request] = {}
+
+    # -- server side -------------------------------------------------------
+
+    def _on_server_session(self, session: TcplsSession) -> None:
+        self._server_sessions.append(session)
+        key_base = id(session)
+
+        def on_data(stream_id: int, data: bytes) -> None:
+            key = (key_base, stream_id)
+            got = self._server_rx.get(key, 0) + len(data)
+            self._server_rx[key] = got
+            if got >= self.config.request_bytes:
+                del self._server_rx[key]
+                session.send(stream_id, b"R" * self.config.response_bytes)
+
+        session.on_stream_data = on_data
+
+    # -- client side -------------------------------------------------------
+
+    def _dial(self, port: int) -> TcplsSession:
+        i = self._dial_rotation % len(self.client_stacks)
+        self._dial_rotation += 1
+        session = TcplsSession(self.client_ctx, self.client_stacks[i])
+        session.connect(self.client_dests[i], port=port)
+        session.handshake()
+
+        def on_handshake(**kwargs) -> None:
+            self._open_sessions += 1
+            if self._open_sessions > self.result.peak_concurrent:
+                self.result.peak_concurrent = self._open_sessions
+
+        def on_closed(**kwargs) -> None:
+            if session.handshake_complete:
+                self._open_sessions -= 1
+
+        session.events.on(Event.HANDSHAKE_DONE, on_handshake)
+        session.events.on(Event.SESSION_CLOSED, on_closed)
+        session.on_stream_data = self._make_client_handler(session)
+        return session
+
+    def _make_client_handler(self, session: TcplsSession):
+        def on_data(stream_id: int, data: bytes) -> None:
+            request = self._inflight.get((id(session), stream_id))
+            if request is None:
+                return
+            if request.ttfb is None:
+                request.ttfb = self.sim.now - request.started_at
+                self.result.ttfb.append(request.ttfb)
+            request.received += len(data)
+            if request.received >= self.config.response_bytes:
+                self._complete(request)
+
+        return on_data
+
+    # -- churn driver ------------------------------------------------------
+
+    def start(self) -> None:
+        """Schedule both arrival waves and the maintenance tick."""
+        config = self.config
+        arrivals: List[Tuple[float, bool]] = []
+        # Wave A: seeded spacing across the ramp; holds, then departs.
+        step = config.arrival_span / max(config.sessions, 1)
+        t = 0.0
+        for _ in range(config.sessions):
+            t += self.rng.uniform(0.2, 1.8) * step
+            arrivals.append((t, True))
+        # Wave B: reuse traffic after every wave-A hold has released.
+        wave_b = int(config.sessions * config.reuse_fraction)
+        wave_b_start = config.arrival_span + config.hold_time
+        t = wave_b_start
+        for _ in range(wave_b):
+            t += self.rng.uniform(0.2, 1.8) * step
+            arrivals.append((t, False))
+
+        self._users_pending = len(arrivals)
+        for when, departs in arrivals:
+            self._schedule_arrival(when, departs)
+        self._maintain_tick()
+
+    def _schedule_arrival(self, when: float, departs: bool) -> None:
+        index = self.result.requests_started
+        self.result.requests_started += 1
+
+        def arrive() -> None:
+            request = _Request(index, self.sim.now, departs)
+            request.timeout_event = self.sim.schedule(
+                self.config.request_timeout, lambda: self._timeout(request)
+            )
+            self.pool.acquire(lambda entry: self._on_acquired(request, entry))
+
+        self.sim.schedule(when, arrive)
+
+    def _on_acquired(self, request: _Request, entry: PooledSession) -> None:
+        session = entry.session
+        request.entry = entry
+        # Re-anchor TTFB at acquire time for reused sessions?  No: TTFB
+        # is user-perceived, so it keeps including any wait for a dial.
+        try:
+            stream_id = session.stream_new()
+            session.streams_attach()
+            request.stream_id = stream_id
+            self._inflight[(id(session), stream_id)] = request
+            session.send(stream_id, b"Q" * self.config.request_bytes)
+        except (ReproError, RuntimeError):
+            # Guard trip or a send on a session that died between the
+            # pool's choice and our write: count it, free the slot.
+            self._fail(request)
+
+    def _complete(self, request: _Request) -> None:
+        if request.done:
+            return
+        request.done = True
+        if request.timeout_event is not None:
+            request.timeout_event.cancel()
+        entry = request.entry
+        session = entry.session
+        self._inflight.pop((id(session), request.stream_id), None)
+        if request.stream_id is not None:
+            try:
+                session.stream_close(request.stream_id)
+            except (ReproError, RuntimeError):
+                pass  # session already torn down; nothing to close
+        self.result.requests_completed += 1
+        if request.departs:
+            # Hold the session (still checked out) through the end of
+            # the plateau — every wave-A session must be concurrently
+            # open at ramp end, so departures are anchored to one
+            # absolute instant (plus jitter to stagger the close storm),
+            # not to each user's own completion time.
+            plateau_end = self.config.arrival_span + self.config.hold_time
+            delay = max(plateau_end - self.sim.now, 0.0)
+            delay += 0.05 * self.config.hold_time * self.rng.random()
+            self.sim.schedule(delay, lambda: self._depart(request))
+        else:
+            self._depart(request)
+
+    def _fail(self, request: _Request) -> None:
+        if request.done:
+            return
+        request.done = True
+        if request.timeout_event is not None:
+            request.timeout_event.cancel()
+        if request.entry is not None:
+            self._inflight.pop(
+                (id(request.entry.session), request.stream_id), None
+            )
+        self.result.requests_failed += 1
+        if request.entry is not None:
+            self.pool.release(request.entry, failed=True)
+        self._user_done()
+
+    def _timeout(self, request: _Request) -> None:
+        # Fires only when the response never arrived: a request stuck
+        # waiting in the pool keeps waiting (holds always release), but
+        # one whose session died unrecoverably is written off here.
+        if not request.done and request.entry is not None:
+            self._fail(request)
+        elif not request.done:
+            # Still queued in the pool with no session: give up too.
+            request.done = True
+            self.result.requests_failed += 1
+            self._user_done()
+
+    def _depart(self, request: _Request) -> None:
+        self.pool.release(request.entry)
+        self._user_done()
+
+    def _user_done(self) -> None:
+        self._users_pending -= 1
+        if self._users_pending == 0:
+            self._finish()
+
+    def _maintain_tick(self) -> None:
+        if self._finished:
+            return
+        self.pool.maintain()
+        for server in self.servers:
+            self.result.server_sessions_reaped += server.reap_closed()
+        self.sim.schedule(self.config.maintain_interval, self._maintain_tick)
+
+    def _finish(self) -> None:
+        self._finished = True
+        self.pool.drain()
+        for server in self.servers:
+            self.result.server_sessions_reaped += server.reap_closed()
+
+    # -- results -----------------------------------------------------------
+
+    def finalize(self) -> ScaleResult:
+        result = self.result
+        # The drain's close handshakes finish only once the clock runs
+        # dry, so the last reap happens here, not in ``_finish``.
+        for server in self.servers:
+            result.server_sessions_reaped += server.reap_closed()
+        result.sim_time = self.sim.now
+        result.events_processed = self.sim.events_processed
+        result.live_events = self.sim.pending_events()
+        result.pool_stats = self.pool.stats()
+        return result
+
+
+def run_scale(
+    config: Optional[ScaleConfig] = None,
+    observability: Optional[Observability] = None,
+    fault_plan=None,
+    until: Optional[float] = None,
+    on_world: Optional[Callable[[ScaleWorld], None]] = None,
+) -> ScaleResult:
+    """Build the farm, run the churn to completion, return the result.
+
+    ``fault_plan`` (a :class:`repro.faults.plan.FaultPlan`) is applied
+    against the per-client-host links (path *i* = client ``i``'s link).
+    ``on_world`` runs after construction but before the clock starts —
+    the determinism probe hooks in there.
+    """
+    config = config or ScaleConfig()
+    if config.pool.max_sessions < config.sessions:
+        config.pool.max_sessions = config.sessions
+    world = ScaleWorld(config, observability=observability)
+    if on_world is not None:
+        on_world(world)
+    if fault_plan is not None:
+        from repro.faults.chaos import ChaosEngine
+
+        ChaosEngine(world.sim, world.links).apply(fault_plan)
+    world.start()
+    world.sim.run(until=until)
+    return world.finalize()

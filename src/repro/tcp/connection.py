@@ -615,7 +615,10 @@ class TcpConnection:
                     self._retransmit_earliest()
         self.delivered_bytes += acked_bytes
         if acked_bytes and self._recovery_point is None:
-            self.cc.on_ack(acked_bytes, self.rto.srtt, self.sim.now)
+            srtt = self.rto.srtt
+            self.cc.on_ack(
+                acked_bytes, srtt if srtt is not None else 0.0, self.sim.now
+            )
         self._arm_rto()
         if acked_bytes and self.on_send_progress:
             self.on_send_progress()

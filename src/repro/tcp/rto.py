@@ -2,14 +2,36 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 class RtoEstimator:
     """Maintains SRTT/RTTVAR and the retransmission timeout.
 
+    ``srtt`` is ``None`` until the first sample arrives — an explicit
+    "unmeasured" sentinel rather than 0.0, because a measured RTT of
+    zero is a legal value in the simulator (two stacks on the same
+    zero-delay link) and consumers like the RTT-weighted schedulers must
+    be able to tell "blazingly fast" from "never measured".
+
     ``min_rto`` defaults to 200 ms, the Linux floor rather than RFC
     6298's conservative 1 s, because the simulated topologies have
     LAN-to-WAN scale RTTs.
+
+    One of these exists per TCP connection, so at server-farm scale the
+    class is ``__slots__``-packed.
     """
+
+    __slots__ = (
+        "srtt",
+        "rttvar",
+        "rto",
+        "min_rto",
+        "max_rto",
+        "_alpha",
+        "_beta",
+        "samples",
+    )
 
     def __init__(
         self,
@@ -19,14 +41,13 @@ class RtoEstimator:
         alpha: float = 1 / 8,
         beta: float = 1 / 4,
     ) -> None:
-        self.srtt: float = 0.0
+        self.srtt: Optional[float] = None
         self.rttvar: float = 0.0
         self.rto: float = initial_rto
         self.min_rto = min_rto
         self.max_rto = max_rto
         self._alpha = alpha
         self._beta = beta
-        self._has_sample = False
         self.samples = 0
 
     def on_measurement(self, rtt: float) -> None:
@@ -34,10 +55,9 @@ class RtoEstimator:
         if rtt < 0:
             raise ValueError("negative RTT sample")
         self.samples += 1
-        if not self._has_sample:
+        if self.srtt is None:
             self.srtt = rtt
             self.rttvar = rtt / 2
-            self._has_sample = True
         else:
             self.rttvar = (1 - self._beta) * self.rttvar + self._beta * abs(
                 self.srtt - rtt

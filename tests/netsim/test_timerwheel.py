@@ -1,0 +1,300 @@
+"""Cross-check oracle for the ``netsim.wheel`` fast path.
+
+The hierarchical timer wheel must execute events in the *exact* order
+the reference heap does — same (time, seq) sequence, bit for bit — under
+every workload shape the engine sees at scale: dense ties, cancellations,
+re-entrant scheduling, far-future timers that land in higher wheel
+levels or the overflow list, and mass cancel/re-arm churn like 10k RTO
+timers being torn down.  Registered as ``fastpath.CROSSCHECKS
+['netsim.wheel']``.
+"""
+
+import random
+
+import pytest
+
+from repro import fastpath
+from repro.netsim.engine import Simulator
+from repro.netsim.timerwheel import (
+    LEVELS,
+    RESOLUTION_BITS,
+    SLOTS,
+    TICK_SHIFT,
+    TimerWheel,
+)
+
+WHEEL_SPAN = (SLOTS ** LEVELS) / float(1 << RESOLUTION_BITS)  # 4096 s
+
+
+def _wheel_sim():
+    with fastpath.overridden("netsim.wheel", True):
+        return Simulator()
+
+
+def _heap_sim():
+    with fastpath.overridden("netsim.wheel", False):
+        return Simulator()
+
+
+def _run_workload(sim, build):
+    """Drive ``build(sim, log)`` and return the executed (time, seq) trace
+    plus the callback-visible order."""
+    trace = []
+    sim.attach_event_hook(lambda time, seq: trace.append((time, seq)))
+    log = []
+    build(sim, log)
+    sim.run_until_idle()
+    return trace, log
+
+
+def _assert_wheel_matches_heap(build):
+    wheel_trace, wheel_log = _run_workload(_wheel_sim(), build)
+    heap_trace, heap_log = _run_workload(_heap_sim(), build)
+    assert wheel_trace == heap_trace
+    assert wheel_log == heap_log
+    assert wheel_trace  # the workload actually ran something
+
+
+# ----------------------------------------------------------------------
+# Order equivalence: wheel vs heap
+# ----------------------------------------------------------------------
+
+def test_basic_order_ties_and_cancel():
+    def build(sim, log):
+        sim.schedule(0.2, log.append, "c")
+        sim.schedule(0.1, log.append, "a")
+        sim.schedule(0.1, log.append, "b")  # tie: insertion order wins
+        doomed = sim.schedule(0.15, log.append, "never")
+        doomed.cancel()
+        doomed.cancel()
+
+        def reentrant():
+            log.append("r1")
+            sim.schedule(0.0, log.append, "r2")  # same-instant follow-up
+
+        sim.schedule(0.3, reentrant)
+
+    _assert_wheel_matches_heap(build)
+
+
+def test_same_bucket_ties_resolved_by_seq():
+    # Many events inside one ~244us level-0 bucket: the wheel's ready
+    # heap must reproduce the insertion-seq tie-break.
+    def build(sim, log):
+        for i in range(50):
+            sim.schedule(1e-5, log.append, i)
+        for i in range(50, 100):
+            sim.schedule(1.2e-5, log.append, i)
+
+    _assert_wheel_matches_heap(build)
+
+
+@pytest.mark.parametrize("seed", [1, 7, 42])
+def test_randomized_schedule_cancel_churn(seed):
+    """Seeded storm of schedules, cancels (before and after fire), and
+    re-entrant re-arms across all wheel levels."""
+
+    def build(sim, log):
+        rng = random.Random(seed)
+        handles = []
+
+        def fire(tag):
+            log.append(tag)
+            # Re-entrant churn: sometimes re-arm, sometimes cancel a
+            # random outstanding handle (which may already have fired —
+            # exactly the stale-RTO-handle shape).
+            roll = rng.random()
+            if roll < 0.3:
+                handles.append(sim.schedule(rng.random() * 0.5, fire, tag + 10_000))
+            elif roll < 0.5 and handles:
+                handles[rng.randrange(len(handles))].cancel()
+
+        for i in range(400):
+            # Mix of sub-bucket, level-0, level-1 and level-2 horizons.
+            delay = rng.choice(
+                [
+                    rng.random() * 1e-4,
+                    rng.random() * 0.05,
+                    rng.random() * 10.0,
+                    rng.random() * 300.0,
+                ]
+            )
+            handles.append(sim.schedule(delay, fire, i))
+        for _ in range(80):
+            handles[rng.randrange(len(handles))].cancel()
+
+    _assert_wheel_matches_heap(build)
+
+
+def test_far_future_overflow_and_rebase():
+    # Beyond the level-2 span (4096 s) events sit in the overflow list;
+    # the wheel must rebase onto them once nearer work drains, and a
+    # second overflow generation must rebase again.
+    def build(sim, log):
+        sim.schedule(0.01, log.append, "near")
+        sim.schedule(WHEEL_SPAN + 5.0, log.append, "far-a")
+        sim.schedule(WHEEL_SPAN + 1.0, log.append, "far-b")
+        sim.schedule(3 * WHEEL_SPAN + 2.0, log.append, "farther")
+
+        def late_push():
+            log.append("mid")
+            # Scheduled once the wheel has advanced: lands relative to
+            # the rebased cursors.
+            sim.schedule(1.0, log.append, "mid+1")
+
+        sim.schedule(WHEEL_SPAN + 2.0, late_push)
+
+    _assert_wheel_matches_heap(build)
+
+
+def test_schedule_shake_identical_under_wheel():
+    # The shake bijection permutes tie-break seqs; the wheel must honour
+    # the shaken order exactly as the heap does.
+    def build_with_shake(sim, log):
+        sim.enable_schedule_shake(1234)
+        for i in range(64):
+            sim.schedule(0.25, log.append, i)  # all tied
+
+    _assert_wheel_matches_heap(build_with_shake)
+
+
+def test_run_until_boundary_preserves_pending():
+    # Breaking on `until` must leave later events queued, then resume in
+    # order — the wheel peeks without popping.
+    for make in (_wheel_sim, _heap_sim):
+        sim = make()
+        log = []
+        sim.schedule(0.1, log.append, "a")
+        sim.schedule(0.9, log.append, "b")
+        sim.run(until=0.5)
+        assert log == ["a"]
+        assert sim.now == 0.5
+        assert sim.pending_events() == 1
+        sim.run_until_idle()
+        assert log == ["a", "b"]
+        assert sim.pending_events() == 0
+
+
+def test_max_events_cap_resumable_under_wheel():
+    sim = _wheel_sim()
+    log = []
+    for i in range(10):
+        sim.schedule(0.01 * (i + 1), log.append, i)
+    with pytest.raises(RuntimeError):
+        sim.run(max_events=3)
+    assert log == [0, 1, 2]
+    sim.run_until_idle()
+    assert log == list(range(10))
+    assert sim.pending_events() == 0
+
+
+# ----------------------------------------------------------------------
+# Live-event accounting under churn (the bug class this PR fixes)
+# ----------------------------------------------------------------------
+
+def test_cancel_after_fire_does_not_corrupt_live_count():
+    # A handle kept after its event executed (stale RTO timer handle
+    # surviving connection teardown) used to decrement _live_events a
+    # second time, driving the counter negative at scale.
+    for make in (_wheel_sim, _heap_sim):
+        sim = make()
+        fired = sim.schedule(0.1, lambda: None)
+        keeper = sim.schedule(0.5, lambda: None)
+        sim.run(until=0.2)
+        assert sim.pending_events() == 1
+        fired.cancel()  # late cancel of an already-fired event
+        fired.cancel()
+        assert sim.pending_events() == 1
+        sim.run_until_idle()
+        assert keeper.cancelled is False
+        assert sim.pending_events() == 0
+
+
+def test_cancel_twice_counts_once():
+    for make in (_wheel_sim, _heap_sim):
+        sim = make()
+        event = sim.schedule(0.1, lambda: None)
+        sim.schedule(0.2, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim.pending_events() == 1
+        sim.run_until_idle()
+        assert sim.pending_events() == 0
+
+
+def test_mass_cancel_rearm_drains_to_zero():
+    # 5k timers armed, half cancelled and re-armed (RTO churn shape):
+    # after draining, the O(1) live counter must read exactly zero.
+    for make in (_wheel_sim, _heap_sim):
+        sim = make()
+        rng = random.Random(99)
+        handles = [
+            sim.schedule(rng.random() * 2.0, lambda: None) for _ in range(5000)
+        ]
+        for handle in rng.sample(handles, 2500):
+            handle.cancel()
+            sim.schedule(rng.random() * 2.0, lambda: None)
+        assert sim.pending_events() == 5000
+        sim.run_until_idle()
+        assert sim.pending_events() == 0
+
+
+# ----------------------------------------------------------------------
+# TimerWheel unit behaviour
+# ----------------------------------------------------------------------
+
+def test_wheel_pop_order_random_ticks():
+    rng = random.Random(5)
+    wheel = TimerWheel()
+    entries = []
+    for seq in range(2000):
+        time = rng.choice(
+            [rng.random() * 1e-3, rng.random(), rng.random() * 100, rng.random() * 9000]
+        )
+        entries.append((time, seq))
+        wheel.push(time, seq, (time, seq))
+    assert len(wheel) == 2000
+    popped = [wheel.pop() for _ in range(2000)]
+    assert popped == sorted(entries)
+    assert len(wheel) == 0
+    assert wheel.peek() is None
+    with pytest.raises(IndexError):
+        wheel.pop()
+
+
+def test_wheel_interleaved_push_pop():
+    # Pops interleaved with pushes near the cursor: late pushes at or
+    # before the collected tick must still come out in global order.
+    wheel = TimerWheel()
+    wheel.push(0.5, 0, "a")
+    wheel.push(0.5000001, 1, "b")  # same level-0 bucket as "a"
+    assert wheel.pop() == "a"
+    wheel.push(0.5000002, 2, "c")  # bucket already collected -> ready heap
+    assert wheel.pop() == "b"
+    assert wheel.pop() == "c"
+
+
+def test_wheel_level_boundaries():
+    # Events straddling exact level boundaries (62.5 ms, 16 s, 4096 s).
+    w0 = 1.0 / (1 << RESOLUTION_BITS)
+    boundaries = [
+        w0 * (SLOTS - 1),
+        w0 * SLOTS,
+        w0 * (SLOTS ** 2 - 1),
+        w0 * SLOTS ** 2,
+        w0 * (SLOTS ** LEVELS - 1),
+        w0 * SLOTS ** LEVELS,
+        w0 * SLOTS ** LEVELS + 1.0,
+    ]
+    wheel = TimerWheel()
+    for seq, time in enumerate(boundaries):
+        wheel.push(time, seq, seq)
+    assert [wheel.pop() for _ in range(len(boundaries))] == list(
+        range(len(boundaries))
+    )
+
+
+def test_flag_registered_with_crosscheck():
+    assert "netsim.wheel" in fastpath.FEATURES
+    assert fastpath.CROSSCHECKS["netsim.wheel"] == "tests/netsim/test_timerwheel.py"
+    assert TICK_SHIFT * LEVELS <= 32  # tick arithmetic stays in small ints

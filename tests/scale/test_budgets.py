@@ -1,0 +1,99 @@
+"""Per-session memory budgets: fail-closed caps on buffered bytes.
+
+The per-stream reassembly cap (PR 4) bounds one stream; these tests
+cover the *session-wide* budget added for server-farm scale: many
+streams each under their own cap must not sum to a hoard, and a sender
+whose replay buffer outruns the peer's ACKs must be refused before the
+process swells.
+"""
+
+import pytest
+
+from repro.core import framing
+from repro.core.framing import TType
+from repro.core.reliability import ReplayBuffer
+from repro.netsim.scenarios import simple_duplex_network
+from repro.utils.errors import GuardLimitExceeded
+
+from tests.core.conftest import World, collect_stream_data, establish
+
+
+def _world(**overrides):
+    net, client_host, server_host, link = simple_duplex_network(delay=0.01)
+    world = World(net, client_host, server_host, **overrides)
+    world.link = link
+    return world
+
+
+def _stream_frame(seq, stream_id, offset, size):
+    return framing.Frame(
+        ttype=TType.STREAM_DATA,
+        seq=seq,
+        body=framing.encode_stream_data(stream_id, offset, b"\x55" * size),
+    )
+
+
+def test_recv_budget_trips_across_streams_each_under_stream_cap():
+    # Per-stream cap 1500 B, session budget 2000 B.  Four streams each
+    # park 600 out-of-order bytes: every stream stays under its own cap,
+    # but the fourth pushes the session total to 2400 > 2000.
+    world = _world(max_reassembly_bytes=1_500, max_session_memory=2_000)
+    establish(world)
+    server = world.server_session
+    conn = server.primary
+    for i, stream_id in enumerate((2, 4, 6)):
+        server._on_stream_data_frame(
+            conn, _stream_frame(i + 1, stream_id, 50_000, 600)
+        )
+    assert server.session_memory_bytes() == 1_800
+    with pytest.raises(GuardLimitExceeded, match="session buffered memory"):
+        server._on_stream_data_frame(conn, _stream_frame(4, 8, 50_000, 600))
+
+
+def test_send_budget_refuses_oversized_queue():
+    world = _world(max_session_memory=1_000)
+    establish(world)
+    stream = world.client.stream_new()
+    world.client.streams_attach()
+    with pytest.raises(GuardLimitExceeded, match="session memory budget"):
+        world.client.send(stream, b"\xaa" * 2_000)
+    assert world.client._obs_guard_tripped.value >= 1
+
+
+def test_session_memory_drains_back_to_zero_after_clean_exchange():
+    world = _world()
+    establish(world)
+    received, _fins = collect_stream_data(world.server_session)
+    stream = world.client.stream_new()
+    world.client.streams_attach()
+    world.client.send(stream, b"payload " * 4_000)
+    # Mid-flight the replay buffer holds unacked frames...
+    assert world.client.session_memory_bytes() > 0
+    world.run(until=5.0)
+    # ...and once the peer's TCPLS ACKs cover them, the budget drains.
+    assert bytes(received[stream]) == b"payload " * 4_000
+    assert world.client.session_memory_bytes() == 0
+    assert world.server_session.session_memory_bytes() == 0
+
+
+def test_replay_buffer_tracks_pending_bytes_incrementally():
+    replay = ReplayBuffer()
+    replay.store(1, 0x10, 1, b"a" * 100)
+    replay.store(2, 0x10, 1, b"b" * 50)
+    assert replay.pending_bytes() == 150
+    replay.store(2, 0x10, 1, b"c" * 80)  # overwrite replaces, not adds
+    assert replay.pending_bytes() == 180
+    assert replay.on_ack(1) == 1
+    assert replay.pending_bytes() == 80
+    assert replay.on_ack(2) == 1
+    assert replay.pending_bytes() == 0
+
+
+def test_budget_defaults_are_sane():
+    from repro.core.session import TcplsContext
+
+    context = TcplsContext()
+    # The session budget must dominate the per-stream cap, or a single
+    # legal stream could trip the session guard.
+    assert context.max_session_memory >= context.max_reassembly_bytes
+    assert context.max_session_memory >= 1 << 20
