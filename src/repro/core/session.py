@@ -43,6 +43,7 @@ from repro.tcp.stack import TcpStack
 from repro.tls import messages as m
 from repro.tls.certificates import Identity, TrustStore
 from repro.tls.record import ContentType, RecordDecoder, record_header
+from repro.tls.replay import AntiReplayRegister
 from repro.tls.session import SessionTicketStore, TlsConfig, TlsSession
 from repro.utils.bytesio import ByteWriter
 from repro.utils.errors import (
@@ -70,6 +71,15 @@ class TcplsContext:
     ticket_store: Optional[SessionTicketStore] = None
     ticket_key: bytes = b"\x00" * 32
     send_tickets: int = 2
+    # Resumption hardening.  ``ticket_lifetime`` is sealed into every
+    # issued ticket and enforced on both ends (the TLS layer reads the
+    # simulator clock, wired in by the session).  ``zero_rtt_anti_replay``
+    # sizes the server's bounded 0-RTT strike register (0 disables it);
+    # ``anti_replay`` lets several servers share one register — a
+    # TcplsServer builds its own when left None.
+    ticket_lifetime: int = 7200
+    zero_rtt_anti_replay: int = 4096
+    anti_replay: Optional[AntiReplayRegister] = None
 
     # TCPLS behaviour.
     congestion: str = "reno"
@@ -361,6 +371,23 @@ class TcplsSession:
         self._obs_memory = telemetry.gauge(
             component, obs_keys.SESSION_MEMORY_BYTES
         )
+        # Resumption outcomes (the recovery benchmark reads these to
+        # compute the 0-RTT acceptance rate across a key rotation).
+        self._obs_psk_accepted = telemetry.counter(
+            component, obs_keys.RESUMPTION_PSK_ACCEPTED
+        )
+        self._obs_psk_declined = telemetry.counter(
+            component, obs_keys.RESUMPTION_PSK_DECLINED
+        )
+        self._obs_early_accepted = telemetry.counter(
+            component, obs_keys.RESUMPTION_EARLY_ACCEPTED
+        )
+        self._obs_early_rejected = telemetry.counter(
+            component, obs_keys.RESUMPTION_EARLY_REJECTED
+        )
+        self._obs_replay_rejected = telemetry.counter(
+            component, obs_keys.RESUMPTION_REPLAY_REJECTED
+        )
         self.events.observer = self._observe_session_event
         self.events.clock = lambda: self.sim.now
         self._hs_span = None
@@ -546,6 +573,7 @@ class TcplsSession:
                 (joinmod.EXT_TCPLS, joinmod.build_tcpls_marker())
             ],
             rng=random.Random(self.rng.randrange(1 << 30)),
+            clock=lambda: self.sim.now,
         )
         self.tls = TlsSession(
             tls_config, is_server=False, transport_write=conn.tcp.send
@@ -594,6 +622,7 @@ class TcplsSession:
                 (joinmod.EXT_TCPLS, joinmod.build_tcpls_marker())
             ],
             rng=random.Random(self.rng.randrange(1 << 30)),
+            clock=lambda: self.sim.now,
         )
         self.tls = TlsSession(tls_config, is_server=False, transport_write=write)
         self._wire_tls_guards(self.tls)
@@ -642,8 +671,11 @@ class TcplsSession:
             identity=self.context.identity,
             ticket_key=self.context.ticket_key,
             send_tickets=self.context.send_tickets,
+            ticket_lifetime=self.context.ticket_lifetime,
+            anti_replay=self.context.anti_replay,
             extra_encrypted_extensions=[(joinmod.EXT_TCPLS, params.to_bytes())],
             rng=random.Random(self.rng.randrange(1 << 30)),
+            clock=lambda: self.sim.now,
         )
         self.tls = TlsSession(tls_config, is_server=True, transport_write=tcp.send)
         self._wire_tls_guards(self.tls)
@@ -664,6 +696,18 @@ class TcplsSession:
         if self._hs_span is not None:
             self._hs_span.end()
             self._hs_span = None
+        # Resumption outcome counters, from the TLS layer's flags.
+        if self.tls.psk_offered:
+            if self.tls.used_psk:
+                self._obs_psk_accepted.inc()
+            else:
+                self._obs_psk_declined.inc()
+        if self.tls.early_data_accepted:
+            self._obs_early_accepted.inc()
+        elif self.tls.early_data_sent or self.tls.early_replay_rejected:
+            self._obs_early_rejected.inc()
+        if self.tls.early_replay_rejected:
+            self._obs_replay_rejected.inc()
         # Post-handshake TLS records (tickets, key updates) feed the
         # same record-size histogram as TCPLS frames.
         self.tls.encoder.on_record_encrypted = self._obs_record_bytes.observe
@@ -867,6 +911,30 @@ class TcplsSession:
         for stream_id in list(self.streams):
             self.stream_close(stream_id)
         self._pump()
+
+    def crash(self) -> None:
+        """Crash-model teardown: the owning process died.
+
+        Nothing goes on the wire (no close_notify, no FIN, no RST at the
+        instant of death) and no session events fire — there is no
+        process left to send or observe them.  Timers are cancelled so
+        the corpse cannot act, and every TCP connection vanishes from
+        the stack; the peer learns of the death from the RSTs the
+        still-running stack sends for its now-unknown connections.
+        """
+        self.session_closed = True
+        self._closing = True
+        if self._ack_flush_event is not None:
+            self._ack_flush_event.cancel()
+            self._ack_flush_event = None
+        if self._health_timer is not None:
+            self._health_timer.cancel()
+            self._health_timer = None
+        self._reconnect = None
+        for conn in list(self.connections.values()):
+            conn.state = TcplsConnection.CLOSED
+            conn.tcp.vanish()
+        self.connections.clear()
 
     # ------------------------------------------------------------------
     # The send pump
@@ -1805,6 +1873,26 @@ class TcplsServer:
         self.on_session = on_session
         self.sessions: List[TcplsSession] = []
         self._session_seed = context.seed
+        self._fast_open = fast_open
+        self.crashed = False
+        # Connections sniffed but not yet routed to a session — tracked
+        # so a crash can vanish them too (their closures die with us).
+        # A list, not a set: crash() iterates it, and arrival order is
+        # the only deterministic order these objects have.
+        self._pending: List[TcpConnection] = []
+        # Server-side 0-RTT anti-replay, shared across every session this
+        # listener accepts (a per-session register would defeat itself:
+        # each replayed flight lands in a *new* session).
+        if (
+            context.anti_replay is None
+            and context.identity is not None
+            and context.zero_rtt_anti_replay > 0
+        ):
+            context.anti_replay = AntiReplayRegister(
+                capacity=context.zero_rtt_anti_replay,
+                clock=lambda: stack.sim.now,
+                window=float(context.ticket_lifetime),
+            )
         # Listener-level hardening counters: rejects that happen before
         # any session exists (garbage first flights, JOIN floods).
         self.obs = context.observability or Observability(
@@ -1833,6 +1921,7 @@ class TcplsServer:
         decoder = RecordDecoder()
         sniffed = bytearray()
         done = {"routed": False}
+        self._pending.append(tcp)
 
         def on_first_data(data: bytes) -> None:
             if done["routed"]:
@@ -1842,10 +1931,14 @@ class TcplsServer:
             try:
                 for outer_type, body in decoder.raw_records():
                     done["routed"] = True
+                    if tcp in self._pending:
+                        self._pending.remove(tcp)
                     self._route(tcp, outer_type, body, bytes(sniffed))
                     return
             except ProtocolViolation:
                 done["routed"] = True
+                if tcp in self._pending:
+                    self._pending.remove(tcp)
                 self._obs_decode_rejected.inc()
                 tcp.abort("not a TLS record stream")
 
@@ -1912,6 +2005,48 @@ class TcplsServer:
             if session.connection_id == connection_id:
                 return session
         return None
+
+    # -- crash / restart ---------------------------------------------------
+
+    def crash(self) -> None:
+        """The server process dies: listener gone, every session gone.
+
+        In-flight sessions vanish silently (no alerts, no FINs — see
+        ``TcplsSession.crash``); the TCP stack itself survives, so the
+        next segment a client sends to a dead connection draws an RST,
+        and new SYNs are refused until ``relisten``.  Idempotent.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        for session in self.sessions:
+            if not session.session_closed:
+                session.crash()
+        self.sessions.clear()
+        self._join_times.clear()
+        for tcp in list(self._pending):
+            tcp.vanish()
+        self._pending.clear()
+        self.stack.unlisten(self.port)
+
+    def relisten(self) -> None:
+        """Come back after a crash: bind the listener again.
+
+        Session state is *not* restored — that is the point of the
+        crash model.  Resumption state survives only as much as the
+        ticket key does: restart with the same ``context.ticket_key``
+        and clients resume with their cached tickets; rotate it first
+        and every presented ticket is declined into a full handshake.
+        """
+        if not self.crashed:
+            return
+        self.crashed = False
+        self.stack.listen(
+            self.port,
+            self._on_tcp_connection,
+            fast_open=self._fast_open,
+            congestion=self.context.congestion,
+        )
 
     def reap_closed(self) -> int:
         """Drop closed sessions from the routing list; returns the count.

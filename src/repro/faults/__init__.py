@@ -1,40 +1,51 @@
 """Fault injection and recovery invariants for TCPLS scenarios.
 
-Three pieces, used together in ``tests/faults``:
+Four pieces, used together in ``tests/faults``:
 
 * :mod:`repro.faults.plan` — declarative, seedable fault schedules
   (:class:`FaultPlan` / :class:`Fault`);
 * :mod:`repro.faults.chaos` — :class:`ChaosEngine`, which executes a
-  plan against live :class:`~repro.netsim.link.Link` objects on the
-  simulator clock;
+  plan against live :class:`~repro.netsim.link.Link` objects (and
+  :class:`ServerEndpoint` targets) on the simulator clock;
+* :mod:`repro.faults.endpoint` — :class:`ServerEndpoint`, the crashable
+  server-process wrapper behind the ``server_crash`` / ``server_restart``
+  / ``ticket_key_rotation`` fault kinds;
 * :mod:`repro.faults.invariants` — :func:`check_invariants` and the
   live recorders that prove the session honoured its robustness
   contract (no loss, no dup, in-order, bounded recovery) under the plan.
 """
 
 from repro.faults.chaos import Blackhole, ChaosEngine, NatRebinder, RstStorm
+from repro.faults.endpoint import ServerEndpoint, rotated_key
 from repro.faults.invariants import (
     DeliveryRecorder,
     InvariantReport,
     TrackerAudit,
     check_invariants,
+    check_reconnect_storm,
     max_recovery_time,
+    max_storm_recovery_time,
     recovery_spans,
 )
-from repro.faults.plan import ALL_KINDS, Fault, FaultPlan
+from repro.faults.plan import ALL_KINDS, ENDPOINT_KINDS, Fault, FaultPlan
 
 __all__ = [
     "ALL_KINDS",
     "Blackhole",
     "ChaosEngine",
     "DeliveryRecorder",
+    "ENDPOINT_KINDS",
     "Fault",
     "FaultPlan",
     "InvariantReport",
     "NatRebinder",
     "RstStorm",
+    "ServerEndpoint",
     "TrackerAudit",
     "check_invariants",
+    "check_reconnect_storm",
     "max_recovery_time",
+    "max_storm_recovery_time",
     "recovery_spans",
+    "rotated_key",
 ]

@@ -24,7 +24,10 @@ from repro.faults.plan import (
     KIND_LOSS_BURST,
     KIND_NAT_REBIND,
     KIND_RST_STORM,
+    KIND_SERVER_CRASH,
+    KIND_SERVER_RESTART,
     KIND_STRIP_OPTIONS,
+    KIND_TICKET_KEY_ROTATION,
     Fault,
     FaultPlan,
 )
@@ -135,12 +138,16 @@ class ChaosEngine:
     to every hop).  Faults with ``path=None`` hit all paths.
     """
 
-    def __init__(self, sim, paths: Sequence, obs=None) -> None:
+    def __init__(self, sim, paths: Sequence, obs=None, endpoints=None) -> None:
         self.sim = sim
         self.paths: List[list] = [
             list(entry) if isinstance(entry, (list, tuple)) else [entry]
             for entry in paths
         ]
+        # Endpoint-fault targets (ServerEndpoint instances).  For
+        # endpoint kinds, ``fault.path`` indexes this list instead of
+        # ``paths`` (None = every endpoint).
+        self.endpoints: List = list(endpoints) if endpoints else []
         # Chronological record of every action taken: (time, kind, path,
         # phase) where phase is "start"/"end" ("fire" for instant faults).
         self.log: list = []
@@ -150,6 +157,9 @@ class ChaosEngine:
         # must watch traffic *before* the rebind instant to know which
         # flows to kill, so arming happens at apply() time.
         self._rebinders: dict = {}
+        # Transformers currently installed by windowed faults, so
+        # teardown() can remove stragglers when a run ends mid-window.
+        self._installed: list = []
         self._obs_counters = None
         if obs is not None:
             self.observe(obs)
@@ -161,6 +171,8 @@ class ChaosEngine:
             for kind in (
                 KIND_FLAP, KIND_BLACKHOLE, KIND_LOSS_BURST, KIND_CORRUPT_BURST,
                 KIND_RST_STORM, KIND_STRIP_OPTIONS, KIND_NAT_REBIND,
+                KIND_SERVER_CRASH, KIND_SERVER_RESTART,
+                KIND_TICKET_KEY_ROTATION,
             )
         }
 
@@ -177,6 +189,10 @@ class ChaosEngine:
                 max(0.0, fault.at - self.sim.now), self._start, fault
             )
 
+    _INSTANT_KINDS = frozenset(
+        (KIND_NAT_REBIND, KIND_SERVER_CRASH, KIND_TICKET_KEY_ROTATION)
+    )
+
     def _start(self, fault: Fault) -> None:
         handler = {
             KIND_FLAP: self._start_flap,
@@ -186,8 +202,11 @@ class ChaosEngine:
             KIND_STRIP_OPTIONS: self._start_install,
             KIND_LOSS_BURST: self._start_loss,
             KIND_NAT_REBIND: self._fire_nat_rebind,
+            KIND_SERVER_CRASH: self._fire_server_crash,
+            KIND_SERVER_RESTART: self._start_server_restart,
+            KIND_TICKET_KEY_ROTATION: self._fire_rotation,
         }[fault.kind]
-        self._note(fault, "start" if fault.kind != KIND_NAT_REBIND else "fire")
+        self._note(fault, "fire" if fault.kind in self._INSTANT_KINDS else "start")
         if self._obs_counters is not None:
             self._obs_counters[fault.kind].inc()
         handler(fault)
@@ -239,11 +258,15 @@ class ChaosEngine:
             transformer = self._FACTORIES[fault.kind](fault.params)
             link.add_transformer(link.endpoint(direction), transformer)
             installed.append((link, direction, transformer))
+        self._installed.extend(installed)
         self.sim.schedule(fault.duration, self._end_install, fault, installed)
 
     def _end_install(self, fault: Fault, installed: list) -> None:
-        for link, direction, transformer in installed:
+        for entry in installed:
+            link, direction, transformer = entry
             link.remove_transformer(link.endpoint(direction), transformer)
+            if entry in self._installed:
+                self._installed.remove(entry)
         self._note(fault, "end")
 
     def _start_loss(self, fault: Fault) -> None:
@@ -272,11 +295,91 @@ class ChaosEngine:
         for link, direction in self._targets(fault):
             self._arm_rebinder(link, direction).rebind()
 
+    # -- endpoint handlers -------------------------------------------------
+
+    def _endpoints_for(self, fault: Fault) -> list:
+        if not self.endpoints:
+            raise ValueError(
+                f"fault kind {fault.kind!r} needs ChaosEngine(endpoints=...)"
+            )
+        if fault.path is None:
+            return list(self.endpoints)
+        return [self.endpoints[fault.path]]
+
+    def _fire_server_crash(self, fault: Fault) -> None:
+        for endpoint in self._endpoints_for(fault):
+            endpoint.crash()
+
+    def _start_server_restart(self, fault: Fault) -> None:
+        targets = self._endpoints_for(fault)
+        for endpoint in targets:
+            endpoint.crash()
+        self.sim.schedule(fault.duration, self._end_server_restart, fault, targets)
+
+    def _end_server_restart(self, fault: Fault, targets: list) -> None:
+        rotate = bool(fault.params.get("rotate_keys", False))
+        for endpoint in targets:
+            endpoint.restart(rotate_keys=rotate)
+        self._note(fault, "end")
+
+    def _fire_rotation(self, fault: Fault) -> None:
+        for endpoint in self._endpoints_for(fault):
+            endpoint.rotate_ticket_key()
+
+    # -- teardown ----------------------------------------------------------
+
+    def teardown(self) -> None:
+        """Restore the world after a run ends mid-fault.
+
+        Guarantees: no transformer installed by a windowed fault is left
+        on any link, loss rates are back at their pre-burst values, NAT
+        rebinders are disarmed, and crashed endpoints are restarted
+        (without key rotation — teardown repairs, it does not mutate
+        policy).  Idempotent; every repair is logged as a "teardown"
+        phase so post-run analysis can tell repairs from plan actions.
+        """
+        for entry in list(self._installed):
+            link, direction, transformer = entry
+            link.remove_transformer(link.endpoint(direction), transformer)
+            self.log.append((self.sim.now, "transformer", None, "teardown"))
+        self._installed.clear()
+        for link_id in list(self._saved_loss):
+            # The links dict keys by id(); find the live object via paths.
+            for path in self.paths:
+                for link in path:
+                    if id(link) == link_id:
+                        link.loss_rate = self._saved_loss.pop(link_id)
+                        self.log.append(
+                            (self.sim.now, "loss_rate", None, "teardown")
+                        )
+                        break
+            self._saved_loss.pop(link_id, None)
+        for (link_id, direction), rebinder in list(self._rebinders.items()):
+            for path in self.paths:
+                for link in path:
+                    if id(link) == link_id:
+                        link.remove_transformer(
+                            link.endpoint(direction), rebinder
+                        )
+                        self.log.append(
+                            (self.sim.now, "nat_rebinder", None, "teardown")
+                        )
+                        break
+        self._rebinders.clear()
+        for index, endpoint in enumerate(self.endpoints):
+            if endpoint.crashed:
+                endpoint.restart()
+                self.log.append(
+                    (self.sim.now, KIND_SERVER_RESTART, index, "teardown")
+                )
+
     # -- introspection -----------------------------------------------------
 
     def describe(self) -> dict:
         return {
             "paths": len(self.paths),
+            "endpoints": len(self.endpoints),
             "actions": len(self.log),
             "rebinders": len(self._rebinders),
+            "installed": len(self._installed),
         }

@@ -1,0 +1,93 @@
+"""Endpoint fault targets: the server process, not the network.
+
+The link-level fault vocabulary (flap, blackhole, RST storm...) never
+kills the *endpoint* — yet TCPLS's whole pitch is surviving events that
+tear a layered stack down.  :class:`ServerEndpoint` wraps one or more
+:class:`~repro.core.session.TcplsServer` listeners that live and die
+together (one "process"), giving the ChaosEngine three operations:
+
+- ``crash()``      — listeners and in-flight sessions vanish silently;
+- ``restart()``    — come back, optionally with rotated ticket keys;
+- ``rotate_ticket_key()`` — invalidate outstanding resumption tickets
+  without downtime (the routine key-hygiene event every farm performs).
+
+The TCP stack itself survives a crash (the kernel outlives the process),
+so clients discover the death from RSTs, not timeouts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, List
+
+_ROTATION_LABEL = b"repro-ticket-rotation"
+
+
+def rotated_key(key: bytes) -> bytes:
+    """The deterministic successor of a ticket key.
+
+    A hash chain rather than fresh randomness: two runs of the same
+    scenario rotate to the identical key, which the determinism
+    sanitizer's double-run digest requires.
+    """
+    return hashlib.sha256(key + _ROTATION_LABEL).digest()
+
+
+class ServerEndpoint:
+    """One crashable server process: a group of TcplsServer listeners.
+
+    All listeners in the group share their contexts' ticket keys' fate:
+    ``rotate_ticket_key`` rotates every distinct context exactly once
+    (several listeners usually share one context object).
+    """
+
+    def __init__(self, servers: Iterable, name: str = "") -> None:
+        self.servers: List = list(servers)
+        if not self.servers:
+            raise ValueError("a ServerEndpoint needs at least one server")
+        self.name = name
+        self.crashes = 0
+        self.restarts = 0
+        self.rotations = 0
+
+    @property
+    def crashed(self) -> bool:
+        return any(server.crashed for server in self.servers)
+
+    def _contexts(self) -> List:
+        seen: List = []
+        for server in self.servers:
+            if not any(ctx is server.context for ctx in seen):
+                seen.append(server.context)
+        return seen
+
+    def crash(self) -> None:
+        if self.crashed:
+            return
+        self.crashes += 1
+        for server in self.servers:
+            server.crash()
+
+    def restart(self, rotate_keys: bool = False) -> None:
+        if rotate_keys:
+            self.rotate_ticket_key()
+        if not self.crashed:
+            return
+        self.restarts += 1
+        for server in self.servers:
+            server.relisten()
+
+    def rotate_ticket_key(self) -> None:
+        self.rotations += 1
+        for ctx in self._contexts():
+            ctx.ticket_key = rotated_key(ctx.ticket_key)
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "servers": len(self.servers),
+            "crashed": self.crashed,
+            "crashes": self.crashes,
+            "restarts": self.restarts,
+            "rotations": self.rotations,
+        }

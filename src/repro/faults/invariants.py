@@ -258,3 +258,83 @@ def _common_prefix(a: bytes, b: bytes) -> int:
         if a[index] != b[index]:
             return index
     return limit
+
+
+# -- reconnect storms ---------------------------------------------------------
+
+
+def max_storm_recovery_time(pool_config, *, outage: float,
+                            detect_delay: float, slack: float = 1.0) -> float:
+    """Recovery-time objective for a reconnect storm through a restart.
+
+    Worst case for one client: it learns of the crash ``detect_delay``
+    seconds after the crash instant (its next send drawing an RST), then
+    its unluckiest redial lands *just* before the listener returns — so
+    it waits out the remaining ``outage`` — and its final redial sits
+    behind one full, maximally-jittered backoff cap.  ``slack`` absorbs
+    the successful handshake plus request/response RTTs.
+
+    Duck-typed on the pool config's ``redial_backoff_*`` fields so this
+    module stays import-independent of :mod:`repro.scale`.
+    """
+    worst_backoff = pool_config.redial_backoff_max * (
+        1.0 + pool_config.redial_backoff_jitter
+    )
+    return detect_delay + outage + worst_backoff + slack
+
+
+def check_reconnect_storm(*, crash_at: float, bound: float,
+                          clients: int, recovered_at: Dict[int, float],
+                          sent: Dict[int, int], applied: Dict[int, int],
+                          failed: int = 0) -> InvariantReport:
+    """The reconnect-storm contract after a server crash/restart.
+
+    * every one of ``clients`` re-establishes: ``recovered_at`` holds a
+      post-crash recovery instant per client id;
+    * each recovery lands within ``bound`` seconds of ``crash_at`` (the
+      recovery-time objective from :func:`max_storm_recovery_time`);
+    * exactly-once across the restart boundary: every request id in
+      ``sent`` was applied exactly once (``applied`` counts per rid), and
+      nothing was applied that was never sent;
+    * no request failed permanently (``failed`` is the count of requests
+      whose retry budget ran out).
+    """
+    report = InvariantReport()
+    report.details["clients"] = clients
+    report.details["bound"] = bound
+    for client in range(clients):
+        when = recovered_at.get(client)
+        if when is None:
+            report.violations.append(
+                f"client {client} never re-established after the crash"
+            )
+            continue
+        took = when - crash_at
+        if took > bound:
+            report.violations.append(
+                f"client {client} recovered in {took:.3f}s "
+                f"(> RTO bound {bound:.3f}s)"
+            )
+    for rid, count in sorted(applied.items()):
+        if rid not in sent:
+            report.violations.append(
+                f"request {rid:#x} applied but never sent (phantom)"
+            )
+        elif count != 1:
+            report.violations.append(
+                f"request {rid:#x} applied {count} times (exactly-once broken)"
+            )
+    for rid in sorted(sent):
+        if applied.get(rid, 0) == 0:
+            report.violations.append(
+                f"request {rid:#x} sent but never applied (lost)"
+            )
+    if failed:
+        report.violations.append(
+            f"{failed} requests failed permanently during the storm"
+        )
+    times = sorted(when - crash_at for when in recovered_at.values())
+    if times:
+        report.details["ttr_max"] = times[-1]
+        report.details["ttr_p50"] = times[len(times) // 2]
+    return report

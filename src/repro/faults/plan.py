@@ -27,6 +27,13 @@ KIND_RST_STORM = "rst_storm"         # forge RSTs for live flows
 KIND_STRIP_OPTIONS = "strip_options"  # middlebox churn: option stripper appears
 KIND_NAT_REBIND = "nat_rebind"       # NAT forgets its mappings
 
+# Endpoint faults: the *server process* fails, not the network.  For
+# these, ``path`` indexes the engine's endpoint list (None = every
+# endpoint) and ``direction`` is unused.
+KIND_SERVER_CRASH = "server_crash"   # listener + in-flight sessions die
+KIND_SERVER_RESTART = "server_restart"  # crash, back up after `duration`
+KIND_TICKET_KEY_ROTATION = "ticket_key_rotation"  # resumption keys rotate
+
 ALL_KINDS = (
     KIND_FLAP,
     KIND_BLACKHOLE,
@@ -35,10 +42,22 @@ ALL_KINDS = (
     KIND_RST_STORM,
     KIND_STRIP_OPTIONS,
     KIND_NAT_REBIND,
+    KIND_SERVER_CRASH,
+    KIND_SERVER_RESTART,
+    KIND_TICKET_KEY_ROTATION,
+)
+
+#: The endpoint-fault subset (need the engine's ``endpoints`` list).
+ENDPOINT_KINDS = frozenset(
+    (KIND_SERVER_CRASH, KIND_SERVER_RESTART, KIND_TICKET_KEY_ROTATION)
 )
 
 # Kinds that occupy a time window (duration matters).
-WINDOWED_KINDS = frozenset(ALL_KINDS) - {KIND_NAT_REBIND}
+WINDOWED_KINDS = frozenset(ALL_KINDS) - {
+    KIND_NAT_REBIND,
+    KIND_SERVER_CRASH,
+    KIND_TICKET_KEY_ROTATION,
+}
 
 
 @dataclass
@@ -134,6 +153,26 @@ class FaultPlan:
 
     def nat_rebind(self, at: float, path: Optional[int] = None) -> "FaultPlan":
         return self.add(Fault(KIND_NAT_REBIND, at, path=path))
+
+    def server_crash(self, at: float, path: Optional[int] = None) -> "FaultPlan":
+        """The server process dies and stays dead (``path`` = endpoint)."""
+        return self.add(Fault(KIND_SERVER_CRASH, at, path=path))
+
+    def server_restart(self, at: float, duration: float,
+                       rotate_keys: bool = False,
+                       path: Optional[int] = None) -> "FaultPlan":
+        """Crash at ``at``, come back after ``duration`` — with the same
+        ticket keys, or (``rotate_keys=True``) rotated ones so every
+        outstanding resumption ticket is declined on redial."""
+        return self.add(
+            Fault(KIND_SERVER_RESTART, at, duration, path,
+                  params={"rotate_keys": bool(rotate_keys)})
+        )
+
+    def ticket_key_rotation(self, at: float,
+                            path: Optional[int] = None) -> "FaultPlan":
+        """Rotate the server's ticket key mid-flight, no downtime."""
+        return self.add(Fault(KIND_TICKET_KEY_ROTATION, at, path=path))
 
     # -- composition / introspection --------------------------------------
 

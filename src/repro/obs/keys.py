@@ -29,6 +29,8 @@ COMP_FAULTS = "faults"
 COMP_FUZZ = "fuzz"
 #: The scale-run session pool/dispatcher (repro.scale).
 COMP_POOL = "scale.pool"
+#: The reconnect-storm recovery driver (repro.scale.recovery).
+COMP_RECOVERY = "scale.recovery"
 #: Prefix for per-link components (see :func:`link_component`).
 LINK_COMPONENT_PREFIX = "link"
 
@@ -64,6 +66,13 @@ GUARD_TRIPPED = "guard.tripped"
 #: Gauge: bytes currently pinned by the session's send/reassembly/replay
 #: buffers (the stores the per-session memory budget governs).
 SESSION_MEMORY_BYTES = "memory.buffered_bytes"
+#: Resumption outcomes (the recovery benchmark's 0-RTT acceptance rate).
+RESUMPTION_PSK_ACCEPTED = "resumption.psk_accepted"
+RESUMPTION_PSK_DECLINED = "resumption.psk_declined"
+RESUMPTION_EARLY_ACCEPTED = "resumption.early_accepted"
+RESUMPTION_EARLY_REJECTED = "resumption.early_rejected"
+#: 0-RTT refused by the anti-replay strike register specifically.
+RESUMPTION_REPLAY_REJECTED = "resumption.replay_rejected"
 #: Prefix for per-session-event counters (see :func:`session_event`).
 SESSION_EVENT_PREFIX = "event."
 
@@ -80,6 +89,15 @@ POOL_REUSED = "reused"
 POOL_RETIRED = "retired"
 POOL_ACTIVE = "active"
 POOL_FAILED = "failed"
+#: Backoff-delayed redials after a failed dial (reconnect storms).
+POOL_REDIALS = "redials"
+
+# -- recovery metrics ---------------------------------------------------------
+
+#: Sessions re-established after a server crash.
+RECOVERY_RECONNECTS = "reconnects"
+#: Histogram: seconds from crash to a client's first recovered response.
+RECOVERY_TTR = "time_to_recover"
 
 # -- engine metrics -----------------------------------------------------------
 
@@ -133,11 +151,19 @@ ALL_KEYS = frozenset(
         DECODE_REJECTED,
         GUARD_TRIPPED,
         SESSION_MEMORY_BYTES,
+        RESUMPTION_PSK_ACCEPTED,
+        RESUMPTION_PSK_DECLINED,
+        RESUMPTION_EARLY_ACCEPTED,
+        RESUMPTION_EARLY_REJECTED,
+        RESUMPTION_REPLAY_REJECTED,
         POOL_DIALS,
         POOL_REUSED,
         POOL_RETIRED,
         POOL_ACTIVE,
         POOL_FAILED,
+        POOL_REDIALS,
+        RECOVERY_RECONNECTS,
+        RECOVERY_TTR,
         ENGINE_EVENTS_PROCESSED,
         ENGINE_EVENTS_PER_SECOND,
         ENGINE_RUN_WALL_SECONDS,
@@ -162,6 +188,7 @@ ALL_COMPONENTS = frozenset(
         COMP_FAULTS,
         COMP_FUZZ,
         COMP_POOL,
+        COMP_RECOVERY,
     )
 )
 

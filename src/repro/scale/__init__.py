@@ -10,17 +10,31 @@ of the deterministic simulator:
   listeners (health- and RTT-weighted scoring, wear limits);
 - :mod:`repro.scale.loadgen` — a seeded arrival/departure churn
   generator that ramps thousands of sessions up and down against a
-  multi-listener server farm and records per-request TTFB.
+  multi-listener server farm and records per-request TTFB;
+- :mod:`repro.scale.recovery` — the crash-restart reconnect storm: the
+  farm dies mid-load, every client redials through jittered backoff,
+  and the run is checked against the recovery-time objective and the
+  exactly-once-across-restart invariant.
 """
 
 from repro.scale.pool import PoolConfig, PooledSession, SessionPool
 from repro.scale.loadgen import ScaleConfig, ScaleResult, run_scale
+from repro.scale.recovery import (
+    RecoveryConfig,
+    RecoveryResult,
+    RecoveryWorld,
+    run_recovery,
+)
 
 __all__ = [
     "PoolConfig",
     "PooledSession",
+    "RecoveryConfig",
+    "RecoveryResult",
+    "RecoveryWorld",
     "SessionPool",
     "ScaleConfig",
     "ScaleResult",
     "run_scale",
+    "run_recovery",
 ]

@@ -26,6 +26,7 @@ in creation order and breaks ties by entry id.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -63,6 +64,20 @@ class PoolConfig:
     max_score: float = 0.0
     #: ``maintain()`` dials until this many sessions are ready/connecting.
     warm_target: int = 0
+
+    # Redial backoff after a failed dial.  0 base keeps the legacy
+    # behaviour (immediate synchronous redial — fine for isolated
+    # failures, catastrophic in a reconnect storm where N clients
+    # hammer a dead listener in lockstep).  With a positive base, retry
+    # ``i`` waits ``min(base * 2**(i-1), max) * (1 + jitter * U[0,1))``
+    # seconds; the jitter decorrelates the storm so redials spread out
+    # instead of arriving as one synchronized thundering herd.
+    redial_backoff_base: float = 0.0
+    redial_backoff_max: float = 2.0
+    redial_backoff_jitter: float = 0.1
+    #: Give up re-dialling for a failure after this many attempts;
+    #: 0 = keep trying while demand remains.
+    redial_max_retries: int = 0
 
 
 class ListenerStats:
@@ -109,10 +124,11 @@ class PooledSession:
         "uses",
         "dialed_at",
         "ready_at",
+        "dial_attempt",
     )
 
     def __init__(self, entry_id: int, session, listener: ListenerStats,
-                 dialed_at: float) -> None:
+                 dialed_at: float, dial_attempt: int = 1) -> None:
         self.entry_id = entry_id
         self.session = session
         self.listener = listener
@@ -121,6 +137,7 @@ class PooledSession:
         self.uses = 0        # lifetime acquisitions
         self.dialed_at = dialed_at
         self.ready_at: Optional[float] = None
+        self.dial_attempt = dial_attempt  # 1 = first try, 2+ = redials
 
     def path_score(self) -> float:
         """Best usable path's health score, or unusable."""
@@ -172,6 +189,7 @@ class SessionPool:
         listeners: Sequence[object],
         config: Optional[PoolConfig] = None,
         observability: Optional[Observability] = None,
+        seed: int = 0,
     ) -> None:
         if not listeners:
             raise ValueError("SessionPool needs at least one listener")
@@ -183,17 +201,23 @@ class SessionPool:
         self._waiters: List[Callable[[PooledSession], None]] = []
         self._next_entry_id = 0
         self._draining = False
+        # Backoff jitter source: seeded, so a storm replays identically
+        # under the determinism sanitizer.
+        self._rng = random.Random(seed)
 
         # Plain-int mirror of the telemetry counters, so ``stats()``
         # works even when the caller runs with telemetry disabled (the
         # registry hands back null instruments in that mode).
-        self.counts = {"dials": 0, "reused": 0, "retired": 0, "failed": 0}
+        self.counts = {
+            "dials": 0, "reused": 0, "retired": 0, "failed": 0, "redials": 0,
+        }
         obs = observability or Observability(sim, enabled=False)
         telemetry = obs.telemetry
         self._obs_dials = telemetry.counter(obs_keys.COMP_POOL, obs_keys.POOL_DIALS)
         self._obs_reused = telemetry.counter(obs_keys.COMP_POOL, obs_keys.POOL_REUSED)
         self._obs_retired = telemetry.counter(obs_keys.COMP_POOL, obs_keys.POOL_RETIRED)
         self._obs_failed = telemetry.counter(obs_keys.COMP_POOL, obs_keys.POOL_FAILED)
+        self._obs_redials = telemetry.counter(obs_keys.COMP_POOL, obs_keys.POOL_REDIALS)
         self._obs_active = telemetry.gauge(obs_keys.COMP_POOL, obs_keys.POOL_ACTIVE)
 
     # -- introspection -----------------------------------------------------
@@ -314,7 +338,7 @@ class SessionPool:
             self._obs_reused.inc()
         callback(entry)
 
-    def _dial(self) -> None:
+    def _dial(self, attempt: int = 1) -> None:
         pick = min(
             range(len(self.listeners)),
             key=lambda i: (self.listeners[i].score(), i),
@@ -325,7 +349,8 @@ class SessionPool:
         self._obs_dials.inc()
         session = self._dial_fn(listener.target)
         entry = PooledSession(
-            self._next_entry_id, session, listener, self.sim.now
+            self._next_entry_id, session, listener, self.sim.now,
+            dial_attempt=attempt,
         )
         self._next_entry_id += 1
         self.entries.append(entry)
@@ -361,12 +386,36 @@ class SessionPool:
         self.retire(entry)
         # Keep demand covered: the waiter that triggered this dial still
         # needs a session.
+        if not (
+            self._waiters
+            and not self._draining
+            and self.open_count() < self.config.max_sessions
+        ):
+            return
+        config = self.config
+        if config.redial_backoff_base <= 0.0:
+            # Legacy immediate redial.
+            self._dial(entry.dial_attempt + 1)
+            return
+        attempt = entry.dial_attempt
+        if config.redial_max_retries and attempt >= config.redial_max_retries:
+            return
+        delay = min(
+            config.redial_backoff_base * 2 ** (attempt - 1),
+            config.redial_backoff_max,
+        ) * (1.0 + config.redial_backoff_jitter * self._rng.random())
+        self.counts["redials"] += 1
+        self._obs_redials.inc()
+        self.sim.schedule(delay, self._redial, attempt + 1)
+
+    def _redial(self, attempt: int) -> None:
+        # Demand may have evaporated (or been served) during the backoff.
         if (
             self._waiters
             and not self._draining
             and self.open_count() < self.config.max_sessions
         ):
-            self._dial()
+            self._dial(attempt)
 
     def _serve_waiters(self) -> None:
         while self._waiters:

@@ -812,6 +812,28 @@ class TcpConnection:
             2 * self.stack.msl, self._enter_closed, None
         )
 
+    def vanish(self) -> None:
+        """Crash-model teardown: the owning process died mid-flight.
+
+        No FIN, no RST, no callbacks — the connection simply ceases to
+        exist, exactly like kernel state torn down with its process.
+        The peer discovers the death only when its next segment draws an
+        RST from the stack (which, having forgotten us, answers unknown
+        connections per RFC 793).  Pending timers are cancelled so a
+        crashed endpoint cannot fire retransmits from beyond the grave.
+        """
+        self.on_data = None
+        self.on_established = None
+        self.on_close = None
+        self.on_reset = None
+        self.on_error = None
+        self.on_send_progress = None
+        if self._delayed_ack_event is not None:
+            self._delayed_ack_event.cancel()
+            self._delayed_ack_event = None
+        self._send_queue.clear()
+        self._enter_closed(notify_error=None)
+
     def _enter_closed(self, notify_error: Optional[str]) -> None:
         already_closed = self.state == CLOSED
         self.state = CLOSED

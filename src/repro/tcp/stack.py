@@ -124,6 +124,16 @@ class TcpStack:
         self._listeners[port] = listener
         return listener
 
+    def unlisten(self, port: int) -> None:
+        """Drop the listener on ``port`` (no-op when absent).
+
+        Models the listening socket dying with its process: later SYNs
+        to the port draw an RST (connection refused) from
+        ``_on_datagram``'s fall-through, which is exactly what makes a
+        crashed server's clients fail fast instead of timing out.
+        """
+        self._listeners.pop(port, None)
+
     def connect(
         self,
         remote_addr,

@@ -1,0 +1,94 @@
+"""Server-side 0-RTT anti-replay: a bounded single-use strike register.
+
+RFC 8446 section 8 leaves 0-RTT replay protection to the server.  Our
+tickets are stateless (self-encrypted), so nothing stops an attacker
+from replaying a captured ClientHello + early-data flight verbatim: the
+ticket unseals, the binder verifies, and without a register the early
+data would be accepted twice.  The register remembers the PSK binder of
+every ClientHello whose early data was accepted — a replayed flight
+carries the *same* binder (it is an HMAC over the same bytes), so a
+second sighting is a replay by construction.
+
+The register is deliberately bounded and **fails closed**: when the
+window is full, new binders are *rejected* (the handshake continues but
+early data falls back to 1-RTT) rather than evicting old strikes — an
+attacker must never be able to flush the register by flooding it.
+Entries expire after ``window`` seconds (a binder older than the ticket
+lifetime cannot validate anyway), which is what keeps a long-running
+server from rejecting forever once it has seen ``capacity`` flights.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+
+class AntiReplayRegister:
+    """Single-use strike register for 0-RTT binders.
+
+    ``observe(binder)`` returns True exactly once per binder value while
+    the register has room; False means "reject early data" — either the
+    binder was already seen (replay) or the register is full (fail
+    closed).  A ``clock`` enables time-based expiry of old strikes.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 4096,
+        window: float = 7200.0,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("anti-replay capacity must be positive")
+        self.capacity = capacity
+        self.window = window
+        self.clock = clock
+        # Insertion-ordered (dict semantics): oldest strikes first, so
+        # expiry pruning pops from the front.
+        self._seen: Dict[bytes, float] = {}
+        self.accepted = 0
+        self.replays = 0
+        self.overflow_rejections = 0
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+    def _now(self) -> float:
+        return self.clock() if self.clock is not None else 0.0
+
+    def _prune(self, now: float) -> None:
+        if self.clock is None:
+            return
+        horizon = now - self.window
+        stale = [b for b, t in self._seen.items() if t <= horizon]
+        for binder in stale:
+            del self._seen[binder]
+
+    def observe(self, binder: bytes) -> bool:
+        """Register a binder; True = first sighting, accept early data."""
+        binder = bytes(binder)
+        now = self._now()
+        self._prune(now)
+        if binder in self._seen:
+            self.replays += 1
+            return False
+        if len(self._seen) >= self.capacity:
+            # Fail closed: refusing 0-RTT costs the client one round
+            # trip; evicting a strike could cost it a replayed request.
+            self.overflow_rejections += 1
+            return False
+        self._seen[binder] = now
+        self.accepted += 1
+        return True
+
+    def clear(self) -> None:
+        self._seen.clear()
+
+    def describe(self) -> dict:
+        return {
+            "size": len(self._seen),
+            "capacity": self.capacity,
+            "accepted": self.accepted,
+            "replays": self.replays,
+            "overflow_rejections": self.overflow_rejections,
+        }

@@ -33,6 +33,7 @@ from repro.tls.alerts import TlsAlertError
 from repro.tls.certificates import Certificate, Identity, TrustStore
 from repro.tls import messages as m
 from repro.tls.record import ContentType, RecordDecoder, RecordEncoder
+from repro.tls.replay import AntiReplayRegister
 from repro.utils.bytesio import ByteReader, ByteWriter
 from repro.utils.errors import (
     CryptoError,
@@ -44,36 +45,128 @@ from repro.utils.errors import (
 
 _CERT_VERIFY_CONTEXT_SERVER = b" " * 64 + b"TLS 1.3, server CertificateVerify" + b"\x00"
 
+#: Sealed-ticket plaintext layout: PSK(32) + issued-at-ms(8) + lifetime-s(4).
+_TICKET_PLAINTEXT_LEN = 32 + 8 + 4
+
+
+class _TicketDecline(Exception):
+    """A presented ticket we cannot (or will not) resume from.
+
+    Raised internally by the server's ticket unsealing/validation.  It is
+    *not* an attack signal: a ticket sealed under a rotated key, an
+    expired ticket, or a blob from a different deployment are all normal
+    operational events — the handshake continues as a full 1-RTT
+    handshake rather than dying with a fatal alert.  (A *valid* ticket
+    with a wrong binder stays fatal; see ``_server_handle_client_hello``.)
+    """
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
 
 @dataclass
 class ClientTicket:
-    """A resumption ticket as cached by the client."""
+    """A resumption ticket as cached by the client.
+
+    ``issued_at`` is the client's clock when the ticket arrived (-1 when
+    the session has no clock: no client-side expiry is enforced then);
+    ``lifetime`` is the server-advertised ticket_lifetime in seconds.
+    """
 
     server_name: str
     identity: bytes
     psk: bytes
     max_early_data: int
     age_add: int
+    issued_at: float = -1.0
+    lifetime: int = 0
 
 
 class SessionTicketStore:
-    """Client-side cache of resumption tickets, keyed by server name."""
+    """Client-side cache of resumption tickets, keyed by server name.
 
-    def __init__(self) -> None:
+    Tickets are handed out oldest-first (single-use, FIFO — the oldest
+    ticket dies first anyway), expired tickets are skipped and evicted on
+    the way out, and the whole store is bounded: past ``max_tickets`` the
+    oldest ticket of the least-recently-used server name is evicted, so
+    a long soak run dialling many farms cannot grow the cache without
+    bound.
+
+    ``early_expiry`` is a safety factor on the advertised lifetime: a
+    ticket is treated as dead after ``lifetime * early_expiry`` seconds,
+    so the client never presents a ticket moments before its server-side
+    death (clock skew + flight time would turn that into a guaranteed
+    full-handshake fallback).
+    """
+
+    def __init__(
+        self,
+        max_tickets: int = 256,
+        clock: Optional[Callable[[], float]] = None,
+        early_expiry: float = 0.9,
+    ) -> None:
+        # dict ordering doubles as the LRU list: least-recently-used
+        # server name first (every add/take re-appends its name).
         self._tickets: Dict[str, List[ClientTicket]] = {}
+        self.max_tickets = max_tickets
+        self.clock = clock
+        self.early_expiry = early_expiry
+        self.expired_evicted = 0
+        self.lru_evicted = 0
+
+    def _touch(self, server_name: str) -> None:
+        queue = self._tickets.pop(server_name, None)
+        if queue is not None:
+            self._tickets[server_name] = queue
+
+    def _expired(self, ticket: ClientTicket, now: Optional[float]) -> bool:
+        if now is None or ticket.lifetime <= 0 or ticket.issued_at < 0:
+            return False
+        return now >= ticket.issued_at + ticket.lifetime * self.early_expiry
 
     def add(self, ticket: ClientTicket) -> None:
         self._tickets.setdefault(ticket.server_name, []).append(ticket)
+        self._touch(ticket.server_name)
+        while self.max_tickets and self.total_count() > self.max_tickets:
+            lru_name = next(iter(self._tickets))
+            queue = self._tickets[lru_name]
+            queue.pop(0)
+            self.lru_evicted += 1
+            if not queue:
+                del self._tickets[lru_name]
 
-    def take(self, server_name: str) -> Optional[ClientTicket]:
-        """Pop one ticket (tickets are single-use against replay)."""
+    def take(
+        self, server_name: str, now: Optional[float] = None
+    ) -> Optional[ClientTicket]:
+        """Pop the oldest still-fresh ticket (single-use against replay).
+
+        Expired tickets encountered on the way are evicted, not
+        returned — presenting one would only buy a guaranteed decline.
+        """
+        if now is None and self.clock is not None:
+            now = self.clock()
         queue = self._tickets.get(server_name)
         if not queue:
             return None
-        return queue.pop(0)
+        self._touch(server_name)
+        taken: Optional[ClientTicket] = None
+        while queue:
+            ticket = queue.pop(0)
+            if self._expired(ticket, now):
+                self.expired_evicted += 1
+                continue
+            taken = ticket
+            break
+        if not queue:
+            self._tickets.pop(server_name, None)
+        return taken
 
     def count(self, server_name: str) -> int:
         return len(self._tickets.get(server_name, []))
+
+    def total_count(self) -> int:
+        return sum(len(queue) for queue in self._tickets.values())
 
 
 @dataclass
@@ -85,6 +178,8 @@ class TlsConfig:
     ticket_key: bytes = b"\x00" * 32
     send_tickets: int = 1
     max_early_data: int = 1 << 16
+    ticket_lifetime: int = 7200
+    anti_replay: Optional[AntiReplayRegister] = None
     extra_encrypted_extensions: List[Tuple[int, bytes]] = field(default_factory=list)
 
     # Client side.
@@ -93,8 +188,11 @@ class TlsConfig:
     ticket_store: Optional[SessionTicketStore] = None
     extra_client_extensions: List[Tuple[int, bytes]] = field(default_factory=list)
 
-    # Shared.
+    # Shared.  ``clock`` enables ticket lifetime enforcement (issue
+    # stamping on the server, early expiry on the client); without it
+    # tickets never expire, preserving the pre-clock behaviour.
     rng: random.Random = field(default_factory=lambda: random.Random(0))
+    clock: Optional[Callable[[], float]] = None
 
 
 class TlsSession:
@@ -124,6 +222,18 @@ class TlsSession:
         self._pending_early_data = b""
         self._skipping_early_data = False
         self._psk_ticket: Optional[ClientTicket] = None
+        self._sent_client_hello = b""
+        self._early_data_limit = 0
+        # Resumption outcome accounting (read by the TCPLS session's
+        # telemetry and by tests).  ``psk_offered`` is set on both ends;
+        # ``psk_declined`` on the client when it fell back to a full
+        # handshake; ``psk_decline_reason`` on the server explains *why*
+        # it declined ("unseal", "expired", ...); ``early_replay_rejected``
+        # marks 0-RTT refused by the anti-replay register specifically.
+        self.psk_offered = False
+        self.psk_declined = False
+        self.psk_decline_reason: Optional[str] = None
+        self.early_replay_rejected = False
         self.peer_certificate: Optional[Certificate] = None
         self.peer_client_hello_extensions: List[Tuple[int, bytes]] = []
         self.peer_encrypted_extensions: List[Tuple[int, bytes]] = []
@@ -173,11 +283,14 @@ class TlsSession:
 
         ticket = None
         if self.config.ticket_store is not None and self.config.server_name:
-            ticket = self.config.ticket_store.take(self.config.server_name)
+            now = self.config.clock() if self.config.clock is not None else None
+            ticket = self.config.ticket_store.take(self.config.server_name, now=now)
         if early_data and ticket is None:
             raise ProtocolViolation("0-RTT requires a resumption ticket")
         if ticket is not None:
             self._psk_ticket = ticket
+            self.psk_offered = True
+            self._early_data_limit = ticket.max_early_data
             if early_data:
                 extensions.append((m.EXT_EARLY_DATA, b""))
             # pre_shared_key must be the last extension (RFC 8446 4.2.11).
@@ -197,6 +310,9 @@ class TlsSession:
         if ticket is not None:
             self.keys = KeySchedule(psk=ticket.psk)
             raw = self._patch_binder(raw, ticket.psk)
+        # Kept verbatim so a PSK decline can replay the transcript into a
+        # fresh (PSK-less) key schedule without re-sending the hello.
+        self._sent_client_hello = raw
         self.keys.update_transcript(raw)
         self._send_record(ContentType.HANDSHAKE, raw)
         self.state = "WAIT_SH"
@@ -207,6 +323,33 @@ class TlsSession:
             self._send_record(ContentType.APPLICATION_DATA, early_data)
             self.early_data_sent = True
             self._pending_early_data = early_data
+
+    def send_early_data(self, data: bytes) -> None:
+        """Stream more 0-RTT data while the handshake is still in flight.
+
+        Only valid after ``start_handshake(early_data=...)`` and before
+        the handshake completes.  The bytes ride under the early traffic
+        key; if the server rejects 0-RTT (or declines the PSK entirely)
+        every early byte — including these — is replayed under 1-RTT keys
+        once established, so data queued behind early data is never lost.
+        """
+        if self.is_server:
+            raise RuntimeError("send_early_data is client-only")
+        if not self.early_data_sent:
+            raise ProtocolViolation("no 0-RTT flight open; use send()")
+        if self.is_established:
+            raise ProtocolViolation("handshake complete; use send()")
+        if (
+            self._early_data_limit
+            and len(self._pending_early_data) + len(data) > self._early_data_limit
+        ):
+            raise GuardLimitExceeded(
+                "early data exceeds the ticket's max_early_data "
+                f"({self._early_data_limit} bytes)"
+            )
+        if data:
+            self._send_record(ContentType.APPLICATION_DATA, data)
+            self._pending_early_data += data
 
     def _patch_binder(self, raw_client_hello: bytes, psk: bytes) -> bytes:
         """Fill in the PSK binder over the truncated ClientHello."""
@@ -359,11 +502,18 @@ class TlsSession:
         if selected_psk is not None and self._psk_ticket is not None:
             self.used_psk = True
         elif self._psk_ticket is not None:
-            # The server declined our PSK.  A full fallback would need the
-            # key schedule restarted mid-flight; our server instead rejects
-            # invalid PSKs with a fatal alert, so a declining ServerHello
-            # is a protocol violation in this stack (DESIGN.md section 5).
-            raise TlsAlertError(alerts.HANDSHAKE_FAILURE, "server declined PSK")
+            # The server declined our PSK — a ticket sealed under a
+            # rotated key, expired, or from another deployment.  That is
+            # an operational event, not an attack: restart the key
+            # schedule without the PSK, replay our ClientHello into the
+            # fresh transcript, and continue as a full 1-RTT handshake.
+            # Any early data we sent was implicitly rejected; it is
+            # replayed under 1-RTT keys at Finished time, so nothing the
+            # application queued behind 0-RTT is dropped.
+            self.psk_declined = True
+            self._psk_ticket = None
+            self.keys = KeySchedule()
+            self.keys.update_transcript(self._sent_client_hello)
         key_share = m.get_extension(hello.extensions, m.EXT_KEY_SHARE)
         if key_share is None:
             raise TlsAlertError(alerts.MISSING_EXTENSION, "no key_share in ServerHello")
@@ -433,12 +583,15 @@ class TlsSession:
 
     def _client_handle_ticket(self, msg: m.NewSessionTicketMsg) -> None:
         psk = KeySchedule.resumption_psk(self.keys.resumption_master_secret, msg.nonce)
+        issued_at = self.config.clock() if self.config.clock is not None else -1.0
         ticket = ClientTicket(
             server_name=self.config.server_name,
             identity=msg.ticket,
             psk=psk,
             max_early_data=msg.max_early_data,
             age_add=msg.age_add,
+            issued_at=issued_at,
+            lifetime=msg.lifetime,
         )
         if self.config.ticket_store is not None:
             self.config.ticket_store.add(ticket)
@@ -479,17 +632,37 @@ class TlsSession:
 
         # PSK / 0-RTT processing.
         psk: bytes = b""
+        binder = b""
         psk_body = m.get_extension(hello.extensions, m.EXT_PRE_SHARED_KEY)
         early_requested = (
             m.get_extension(hello.extensions, m.EXT_EARLY_DATA) is not None
         )
         if psk_body is not None:
+            self.psk_offered = True
             identity, _age, binder = m.parse_psk_offer(psk_body)
-            psk = self._unseal_ticket(identity)
-            truncated = raw[: -m.psk_binders_length(len(binder))]
-            if not _hmac.compare_digest(_compute_binder(psk, truncated), binder):
-                raise TlsAlertError(alerts.DECRYPT_ERROR, "PSK binder mismatch")
-            self.used_psk = True
+            try:
+                psk, issued_at, lifetime = self._unseal_ticket(identity)
+            except _TicketDecline as exc:
+                # Unsealing failure is *expected* after a ticket-key
+                # rotation or restart with fresh keys: decline the PSK
+                # and continue as a full handshake.  The client falls
+                # back (see _client_handle_server_hello) instead of
+                # paying a torn-down connection.
+                self.psk_decline_reason = exc.reason
+                psk = b""
+            else:
+                truncated = raw[: -m.psk_binders_length(len(binder))]
+                if not _hmac.compare_digest(_compute_binder(psk, truncated), binder):
+                    # A ticket that unseals under *our* key but whose
+                    # binder does not match its PSK is an active attack
+                    # (a spliced or tampered offer), not a stale cache —
+                    # this path stays fatal.
+                    raise TlsAlertError(alerts.DECRYPT_ERROR, "PSK binder mismatch")
+                if self._ticket_expired(issued_at, lifetime):
+                    self.psk_decline_reason = "expired"
+                    psk = b""
+                else:
+                    self.used_psk = True
 
         self.keys = KeySchedule(psk=psk)
         self.keys.update_transcript(raw)
@@ -497,6 +670,16 @@ class TlsSession:
         accept_early = (
             early_requested and self.used_psk and self.config.max_early_data > 0
         )
+        if accept_early and self.config.anti_replay is not None:
+            # RFC 8446 section 8: the binder is the replay key — a
+            # replayed flight carries the identical binder.  On a second
+            # sighting (or a full register: fail closed) refuse the early
+            # data but keep the PSK resumption; the replayed flight
+            # cannot complete the handshake anyway without the client's
+            # live Finished.
+            if not self.config.anti_replay.observe(binder):
+                accept_early = False
+                self.early_replay_rejected = True
 
         self._ecdh = X25519PrivateKey(self._random_bytes(32))
         extensions: List[Tuple[int, bytes]] = [
@@ -594,9 +777,10 @@ class TlsSession:
     def _send_new_session_ticket(self) -> None:
         nonce = self._random_bytes(8)
         psk = KeySchedule.resumption_psk(self.keys.resumption_master_secret, nonce)
-        ticket_blob = self._seal_ticket(psk)
+        lifetime = self.config.ticket_lifetime
+        ticket_blob = self._seal_ticket(psk, lifetime)
         msg = m.NewSessionTicketMsg(
-            lifetime=7200,
+            lifetime=lifetime,
             age_add=int.from_bytes(self._random_bytes(4), "big"),
             nonce=nonce,
             ticket=ticket_blob,
@@ -605,22 +789,49 @@ class TlsSession:
         raw = msg.to_bytes()
         self._send_record(ContentType.HANDSHAKE, raw)
 
-    def _seal_ticket(self, psk: bytes) -> bytes:
-        """Stateless ticket: AEAD-seal the PSK under the server ticket key."""
+    def _seal_ticket(self, psk: bytes, lifetime: int) -> bytes:
+        """Stateless ticket: AEAD-seal PSK + issue time + lifetime.
+
+        The issue timestamp rides *inside* the sealed blob so the server
+        enforces its own lifetime without trusting the client's clock;
+        without a configured clock it seals 0 and expiry is disabled.
+        """
+        issued = self.config.clock() if self.config.clock is not None else 0.0
+        plaintext = (
+            psk
+            + int(max(issued, 0.0) * 1000).to_bytes(8, "big")
+            + int(lifetime).to_bytes(4, "big")
+        )
         nonce = self._random_bytes(12)
         aead = ChaCha20Poly1305(self.config.ticket_key)
-        return nonce + aead.encrypt(nonce, psk, b"repro-ticket")
+        return nonce + aead.encrypt(nonce, plaintext, b"repro-ticket")
 
-    def _unseal_ticket(self, blob: bytes) -> bytes:
+    def _unseal_ticket(self, blob: bytes) -> Tuple[bytes, float, int]:
+        """Open a presented ticket; ``_TicketDecline`` on any failure.
+
+        Declines (never fatal alerts): a blob too short to carry the
+        AEAD envelope, an authentication failure (rotated or foreign
+        ticket key), or a plaintext of the wrong shape (older sealing
+        format).  Returns ``(psk, issued_at_seconds, lifetime_seconds)``.
+        """
         if len(blob) < 12 + 16:
-            raise TlsAlertError(alerts.DECRYPT_ERROR, "ticket too short")
+            raise _TicketDecline("short")
         aead = ChaCha20Poly1305(self.config.ticket_key)
         try:
-            return aead.decrypt(blob[:12], blob[12:], b"repro-ticket")
+            plaintext = aead.decrypt(blob[:12], blob[12:], b"repro-ticket")
         except CryptoError as exc:
-            raise TlsAlertError(
-                alerts.DECRYPT_ERROR, "ticket unsealing failed"
-            ) from exc
+            raise _TicketDecline("unseal") from exc
+        if len(plaintext) != _TICKET_PLAINTEXT_LEN:
+            raise _TicketDecline("format")
+        psk = plaintext[:32]
+        issued_at = int.from_bytes(plaintext[32:40], "big") / 1000.0
+        lifetime = int.from_bytes(plaintext[40:44], "big")
+        return psk, issued_at, lifetime
+
+    def _ticket_expired(self, issued_at: float, lifetime: int) -> bool:
+        if lifetime <= 0 or self.config.clock is None:
+            return False
+        return self.config.clock() > issued_at + lifetime
 
     # ------------------------------------------------------------------
     # Application phase

@@ -1,0 +1,185 @@
+"""Endpoint faults: server crash, restart, and ticket-key rotation.
+
+The crash model: the *process* dies (listeners and session state vanish
+silently — no close_notify, no FIN), while the kernel's TCP stack
+survives and answers later segments for the dead connections with RSTs.
+Clients therefore learn of the death the moment they touch the
+connection, not after a timeout.
+"""
+
+import pytest
+
+from repro.core.events import Event
+from repro.core.session import TcplsSession
+from repro.faults import ChaosEngine, FaultPlan, ServerEndpoint, rotated_key
+from repro.netsim.scenarios import simple_duplex_network
+
+from tests.core.conftest import World
+
+
+def _world(**overrides):
+    net, client_host, server_host, link = simple_duplex_network(delay=0.005)
+    world = World(net, client_host, server_host, **overrides)
+    world.link = link
+    return world
+
+
+def _establish(world, until=1.0):
+    world.client.connect("10.0.0.2")
+    world.client.handshake()
+    world.run(until=until)
+    assert world.client.handshake_complete
+    return world
+
+
+def _events_since(session, when):
+    return [
+        event for t, event, _kw in session.events.timeline if t > when
+    ]
+
+
+def test_crash_is_silent_until_the_client_touches_the_connection():
+    world = _establish(_world())
+    endpoint = ServerEndpoint([world.server])
+    victim = world.server_session
+    crash_time = world.sim.now
+    endpoint.crash()
+    assert endpoint.crashed
+    assert world.server.crashed
+    assert world.server.sessions == []
+    assert victim.session_closed
+    # Nothing on the wire: the client hears absolutely nothing.
+    world.run(until=crash_time + 1.0)
+    assert _events_since(world.client, crash_time) == []
+    # First touch draws the kernel's RST -> immediate CONN_FAILED.
+    stream = world.client.stream_new()
+    world.client.streams_attach()
+    world.client.send(stream, b"hello?")
+    world.run(until=crash_time + 1.5)
+    assert Event.CONN_FAILED in _events_since(world.client, crash_time)
+
+
+def test_new_dials_fail_fast_while_crashed():
+    world = _establish(_world())
+    ServerEndpoint([world.server]).crash()
+    start = world.sim.now
+    failed = []
+    client2 = TcplsSession(world.client_ctx, world.client_stack)
+    client2.events.on(
+        Event.CONN_FAILED, lambda **kw: failed.append(world.sim.now)
+    )
+    client2.connect("10.0.0.2")
+    client2.handshake()
+    world.run(until=start + 1.0)
+    assert not client2.handshake_complete
+    # The SYN drew an RST: detection took round trips, not timeouts.
+    assert failed and failed[0] - start < 0.1
+
+
+def test_restart_serves_again_and_resumes_cached_tickets():
+    world = _establish(_world())
+    endpoint = ServerEndpoint([world.server])
+    endpoint.crash()
+    endpoint.restart()
+    assert not endpoint.crashed
+    assert endpoint.restarts == 1
+    client2 = TcplsSession(world.client_ctx, world.client_stack)
+    client2.connect("10.0.0.2")
+    client2.handshake()
+    world.run(until=world.sim.now + 1.0)
+    assert client2.handshake_complete
+    # Same ticket keys: the pre-crash ticket still resumes.
+    assert client2.tls.used_psk
+
+
+def test_restart_with_rotated_keys_declines_resumption_gracefully():
+    world = _establish(_world())
+    endpoint = ServerEndpoint([world.server])
+    endpoint.crash()
+    endpoint.restart(rotate_keys=True)
+    assert endpoint.rotations == 1
+    client2 = TcplsSession(world.client_ctx, world.client_stack)
+    client2.connect("10.0.0.2")
+    client2.handshake()
+    world.run(until=world.sim.now + 1.0)
+    # The stale ticket must cost a round of certificates, not the
+    # connection: full handshake, no alert, session usable.
+    assert client2.handshake_complete
+    assert not client2.tls.used_psk
+    assert client2.tls.psk_declined
+    assert world.server_sessions[-1].tls.psk_decline_reason == "unseal"
+
+
+def test_rotation_without_downtime_only_affects_new_tickets():
+    world = _establish(_world())
+    endpoint = ServerEndpoint([world.server])
+    before = world.server_ctx.ticket_key
+    endpoint.rotate_ticket_key()
+    assert world.server_ctx.ticket_key == rotated_key(before)
+    # The established session keeps running across the rotation.
+    stream = world.client.stream_new()
+    world.client.streams_attach()
+    world.client.send(stream, b"still alive")
+    world.run(until=world.sim.now + 0.5)
+    assert world.server_session.streams[stream].bytes_received == 11
+
+
+def test_rotated_key_is_a_deterministic_hash_chain():
+    key = b"\x01" * 32
+    assert rotated_key(key) == rotated_key(key)
+    assert rotated_key(key) != key
+    assert rotated_key(rotated_key(key)) != rotated_key(key)
+    assert len(rotated_key(key)) == 32
+
+
+def test_chaos_engine_executes_server_restart_window():
+    world = _establish(_world())
+    endpoint = ServerEndpoint([world.server], name="srv")
+    engine = ChaosEngine(world.sim, [world.link], endpoints=[endpoint])
+    engine.apply(FaultPlan().server_restart(1.5, 0.5, rotate_keys=True))
+    world.run(until=1.8)
+    assert endpoint.crashed
+    world.run(until=3.0)
+    assert not endpoint.crashed
+    assert endpoint.rotations == 1  # restart rotated before relistening
+    phases = [
+        phase for _t, kind, _p, phase in engine.log
+        if kind == "server_restart"
+    ]
+    assert phases == ["start", "end"]
+
+
+def test_chaos_engine_teardown_restarts_a_crashed_endpoint():
+    world = _establish(_world())
+    endpoint = ServerEndpoint([world.server])
+    engine = ChaosEngine(world.sim, [world.link], endpoints=[endpoint])
+    engine.apply(FaultPlan().server_crash(1.5))
+    world.run(until=2.0)
+    assert endpoint.crashed
+    engine.teardown()
+    assert not endpoint.crashed
+    # Teardown restores service but never rotates keys behind the
+    # scenario's back.
+    assert endpoint.rotations == 0
+    engine.teardown()  # idempotent
+    assert endpoint.restarts == 1
+
+
+def test_chaos_engine_ticket_key_rotation_fault():
+    world = _establish(_world())
+    endpoint = ServerEndpoint([world.server])
+    before = world.server_ctx.ticket_key
+    engine = ChaosEngine(world.sim, [world.link], endpoints=[endpoint])
+    engine.apply(FaultPlan().ticket_key_rotation(1.2))
+    world.run(until=1.5)
+    assert world.server_ctx.ticket_key == rotated_key(before)
+    assert endpoint.rotations == 1
+    assert not endpoint.crashed  # rotation is a zero-downtime fault
+
+
+def test_endpoint_faults_require_endpoint_targets():
+    world = _establish(_world())
+    engine = ChaosEngine(world.sim, [world.link])  # no endpoints wired
+    engine.apply(FaultPlan().server_crash(1.2))
+    with pytest.raises(ValueError):
+        world.run(until=1.5)

@@ -30,9 +30,12 @@ def test_builders_cover_every_kind():
         .rst_storm(5.0, 0.5)
         .strip_options(6.0, 0.5, kinds=(30,))
         .nat_rebind(7.0)
+        .server_crash(8.0)
+        .server_restart(9.0, 1.0, rotate_keys=True)
+        .ticket_key_rotation(10.0)
     )
     assert sorted({fault.kind for fault in plan}) == sorted(ALL_KINDS)
-    assert plan.horizon() == 7.0
+    assert plan.horizon() == 10.0
     assert all(
         fault.duration == 0.0
         for fault in plan

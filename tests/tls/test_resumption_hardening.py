@@ -1,0 +1,213 @@
+"""Hardened resumption: key rotation, anti-replay, mid-send rejection.
+
+The disaster-recovery contract for the resumption path:
+
+- a ticket sealed under a rotated-away key is *declined into a full
+  handshake* — never a fatal alert, never lost app data;
+- a 0-RTT binder is accepted exactly once (RFC 8446 §8 strike
+  register), and the register fails closed to 1-RTT when full;
+- expired tickets are declined server-side regardless of what the
+  client's clock believes;
+- early data queued behind a rejected 0-RTT flight is replayed under
+  1-RTT keys exactly once.
+"""
+
+import pytest
+
+from repro.faults.endpoint import rotated_key
+from repro.tls.replay import AntiReplayRegister
+from repro.tls.session import SessionTicketStore
+from repro.utils.errors import GuardLimitExceeded
+
+from tests.tls.tls_pipe import make_pair
+
+
+def _earn_ticket(server_identity, trust_store, store, **kwargs):
+    pipe = make_pair(server_identity, trust_store, client_tickets=store, **kwargs)
+    pipe.client.start_handshake()
+    pipe.pump()
+    assert store.count("server.example") >= 1
+    return pipe
+
+
+def _duplicate_next_ticket(store):
+    ticket = store.take("server.example")
+    store.add(ticket)
+    store.add(ticket)
+    return ticket
+
+
+KEY_A = b"\x07" * 32
+
+
+def test_ticket_sealed_under_rotated_away_key_degrades_gracefully(
+    server_identity, trust_store
+):
+    store = SessionTicketStore()
+    _earn_ticket(
+        server_identity, trust_store, store,
+        server_kwargs={"ticket_key": KEY_A},
+    )
+    # The server restarted with rotated keys; the cached ticket is now
+    # undecryptable.  That is routine operations, not an attack: the
+    # handshake must fall back to certificates and still complete.
+    pipe2 = make_pair(
+        server_identity, trust_store, client_tickets=store, seed=42,
+        server_kwargs={"ticket_key": rotated_key(KEY_A)},
+    )
+    app = bytearray()
+    pipe2.server.on_application_data = app.extend
+    pipe2.client.start_handshake(early_data=b"queued behind 0-RTT")
+    pipe2.pump()
+    assert pipe2.client.is_established
+    assert pipe2.client.psk_declined
+    assert not pipe2.server.used_psk
+    assert pipe2.server.psk_decline_reason == "unseal"
+    assert pipe2.client.peer_certificate is not None
+    # The early data was not lost: replayed under 1-RTT keys.
+    assert not pipe2.client.early_data_accepted
+    assert bytes(app) == b"queued behind 0-RTT"
+
+
+def test_same_binder_accepted_exactly_once(server_identity, trust_store):
+    store = SessionTicketStore()
+    _earn_ticket(server_identity, trust_store, store)
+    _duplicate_next_ticket(store)
+    register = AntiReplayRegister(capacity=64)
+    # Identical seeds + identical ticket => byte-identical ClientHello,
+    # hence the same binder — a faithful wire-level 0-RTT replay.
+    first = make_pair(
+        server_identity, trust_store, client_tickets=store, seed=42,
+        server_kwargs={"anti_replay": register},
+    )
+    first.client.start_handshake(early_data=b"GET /once")
+    first.pump()
+    assert first.client.early_data_accepted
+    assert len(register) == 1
+
+    replay = make_pair(
+        server_identity, trust_store, client_tickets=store, seed=42,
+        server_kwargs={"anti_replay": register},
+    )
+    early = bytearray()
+    app = bytearray()
+    replay.server.on_early_data = early.extend
+    replay.server.on_application_data = app.extend
+    replay.client.start_handshake(early_data=b"GET /once")
+    replay.pump()
+    # The PSK itself is still good — only the 0-RTT flight is refused.
+    assert replay.client.is_established
+    assert replay.server.used_psk
+    assert not replay.client.early_data_accepted
+    assert replay.server.early_replay_rejected
+    assert register.replays == 1
+    # Nothing delivered twice: zero early bytes, one 1-RTT replay.
+    assert bytes(early) == b""
+    assert bytes(app) == b"GET /once"
+
+
+def test_full_strike_register_fails_closed(server_identity, trust_store):
+    store = SessionTicketStore()
+    _earn_ticket(server_identity, trust_store, store, send_tickets=2)
+    register = AntiReplayRegister(capacity=1)
+    first = make_pair(
+        server_identity, trust_store, client_tickets=store, seed=42,
+        server_kwargs={"anti_replay": register},
+    )
+    first.client.start_handshake(early_data=b"fills the register")
+    first.pump()
+    assert first.client.early_data_accepted
+
+    # Register is full.  An unseen binder must NOT evict a strike (that
+    # would re-open the replay window) — 0-RTT is refused instead.
+    second = make_pair(
+        server_identity, trust_store, client_tickets=store, seed=43,
+        server_kwargs={"anti_replay": register},
+    )
+    app = bytearray()
+    second.server.on_application_data = app.extend
+    second.client.start_handshake(early_data=b"overflow")
+    second.pump()
+    assert second.client.is_established
+    assert second.server.used_psk
+    assert not second.client.early_data_accepted
+    assert register.overflow_rejections == 1
+    assert bytes(app) == b"overflow"
+
+
+def test_expired_ticket_declined_server_side(server_identity, trust_store):
+    now = {"t": 0.0}
+    clock = lambda: now["t"]
+    store = SessionTicketStore()  # no client clock: client-side expiry off
+    _earn_ticket(
+        server_identity, trust_store, store,
+        server_kwargs={"ticket_lifetime": 10, "clock": clock},
+    )
+    now["t"] = 100.0  # way past the 10s lifetime
+    pipe2 = make_pair(
+        server_identity, trust_store, client_tickets=store, seed=9,
+        server_kwargs={"ticket_lifetime": 10, "clock": clock},
+    )
+    pipe2.client.start_handshake()
+    pipe2.pump()
+    assert pipe2.client.is_established
+    assert not pipe2.server.used_psk
+    assert pipe2.server.psk_decline_reason == "expired"
+    assert pipe2.client.peer_certificate is not None
+
+
+def test_early_data_rejected_mid_send_is_replayed_exactly_once(
+    server_identity, trust_store
+):
+    store = SessionTicketStore()
+    _earn_ticket(server_identity, trust_store, store)
+    # The resumption server has 0-RTT disabled: the flight the client is
+    # mid-way through streaming gets rejected wholesale.
+    pipe2 = make_pair(
+        server_identity, trust_store, client_tickets=store, seed=42,
+        max_early_data=0,
+    )
+    early = bytearray()
+    app = bytearray()
+    pipe2.server.on_early_data = early.extend
+    pipe2.server.on_application_data = app.extend
+    pipe2.client.start_handshake(early_data=b"part-1|")
+    pipe2.client.send_early_data(b"part-2|")
+    pipe2.client.send_early_data(b"part-3")
+    pipe2.pump()
+    assert pipe2.client.is_established
+    assert not pipe2.client.early_data_accepted
+    # Every early byte — including the mid-send ones — arrived exactly
+    # once, under 1-RTT keys.
+    assert bytes(early) == b""
+    assert bytes(app) == b"part-1|part-2|part-3"
+
+
+def test_accepted_early_data_with_mid_send_chunks(server_identity, trust_store):
+    store = SessionTicketStore()
+    _earn_ticket(server_identity, trust_store, store)
+    pipe2 = make_pair(server_identity, trust_store, client_tickets=store, seed=42)
+    early = bytearray()
+    app = bytearray()
+    pipe2.server.on_early_data = early.extend
+    pipe2.server.on_application_data = app.extend
+    pipe2.client.start_handshake(early_data=b"a|")
+    pipe2.client.send_early_data(b"b")
+    pipe2.pump()
+    assert pipe2.client.early_data_accepted
+    assert bytes(early) == b"a|b"
+    assert bytes(app) == b""  # accepted flight is not replayed
+
+
+def test_send_early_data_enforces_ticket_limit(server_identity, trust_store):
+    store = SessionTicketStore()
+    _earn_ticket(
+        server_identity, trust_store, store, max_early_data=8,
+    )
+    pipe2 = make_pair(
+        server_identity, trust_store, client_tickets=store, seed=42,
+        max_early_data=8,
+    )
+    pipe2.client.start_handshake(early_data=b"12345678")
+    with pytest.raises(GuardLimitExceeded):
+        pipe2.client.send_early_data(b"9")

@@ -1,0 +1,90 @@
+"""SessionTicketStore ordering, expiry, and bounded-growth eviction."""
+
+from repro.tls.session import ClientTicket, SessionTicketStore
+
+
+def _ticket(name="server.example", tag=b"t", issued_at=-1.0, lifetime=0):
+    return ClientTicket(
+        server_name=name,
+        identity=tag,
+        psk=b"\x11" * 32,
+        max_early_data=1 << 14,
+        age_add=0,
+        issued_at=issued_at,
+        lifetime=lifetime,
+    )
+
+
+def test_take_pops_oldest_first():
+    # Regression: the store used to hand out the *newest* ticket, so the
+    # oldest one sat in the cache until it expired server-side and every
+    # eventual use of it bought a guaranteed PSK decline.
+    store = SessionTicketStore()
+    store.add(_ticket(tag=b"old"))
+    store.add(_ticket(tag=b"new"))
+    assert store.take("server.example").identity == b"old"
+    assert store.take("server.example").identity == b"new"
+    assert store.take("server.example") is None
+
+
+def test_take_skips_and_evicts_expired():
+    store = SessionTicketStore()
+    store.add(_ticket(tag=b"dead", issued_at=0.0, lifetime=10))
+    store.add(_ticket(tag=b"fresh", issued_at=100.0, lifetime=10))
+    taken = store.take("server.example", now=105.0)
+    assert taken.identity == b"fresh"
+    assert store.expired_evicted == 1
+    assert store.count("server.example") == 0  # nothing left behind
+
+
+def test_early_expiry_margin():
+    # A ticket at 90% of its advertised lifetime is already treated as
+    # dead: presenting it would race the server-side expiry.
+    store = SessionTicketStore(early_expiry=0.9)
+    store.add(_ticket(issued_at=0.0, lifetime=100))
+    assert store.take("server.example", now=89.0) is not None
+    store.add(_ticket(issued_at=0.0, lifetime=100))
+    assert store.take("server.example", now=90.0) is None
+    assert store.expired_evicted == 1
+
+
+def test_store_clock_is_used_when_no_explicit_now():
+    now = {"t": 0.0}
+    store = SessionTicketStore(clock=lambda: now["t"])
+    store.add(_ticket(issued_at=0.0, lifetime=10))
+    now["t"] = 50.0
+    assert store.take("server.example") is None
+    assert store.expired_evicted == 1
+
+
+def test_no_clock_means_no_client_side_expiry():
+    store = SessionTicketStore()
+    store.add(_ticket(issued_at=0.0, lifetime=1))
+    assert store.take("server.example") is not None
+
+
+def test_lru_cap_evicts_oldest_ticket_of_coldest_server():
+    store = SessionTicketStore(max_tickets=4)
+    for tag in (b"a1", b"a2"):
+        store.add(_ticket(name="a.example", tag=tag))
+    for tag in (b"b1", b"b2"):
+        store.add(_ticket(name="b.example", tag=tag))
+    # Touch a.example so b.example becomes the LRU name.
+    assert store.take("a.example").identity == b"a1"
+    store.add(_ticket(name="c.example", tag=b"c1"))
+    store.add(_ticket(name="c.example", tag=b"c2"))
+    store.add(_ticket(name="c.example", tag=b"c3"))
+    # Two evictions, both from b.example (the coldest), oldest first.
+    assert store.lru_evicted == 2
+    assert store.count("b.example") == 0
+    assert store.count("a.example") == 1
+    assert store.count("c.example") == 3
+    assert store.total_count() == 4
+
+
+def test_total_count_spans_servers():
+    store = SessionTicketStore()
+    store.add(_ticket(name="a.example"))
+    store.add(_ticket(name="b.example"))
+    assert store.total_count() == 2
+    assert store.count("a.example") == 1

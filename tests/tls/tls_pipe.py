@@ -43,6 +43,8 @@ def make_pair(
     send_tickets=1,
     max_early_data=1 << 16,
     seed=7,
+    server_kwargs=None,
+    client_kwargs=None,
 ):
     pipe = Pipe()
     server_config = TlsConfig(
@@ -51,6 +53,7 @@ def make_pair(
         max_early_data=max_early_data,
         extra_encrypted_extensions=list(server_extra_ee),
         rng=random.Random(seed),
+        **(server_kwargs or {}),
     )
     client_config = TlsConfig(
         trust_store=trust_store,
@@ -58,6 +61,7 @@ def make_pair(
         ticket_store=client_tickets,
         extra_client_extensions=list(client_extra_ch),
         rng=random.Random(seed + 1),
+        **(client_kwargs or {}),
     )
     pipe.server = TlsSession(server_config, is_server=True, transport_write=pipe.server_write)
     pipe.client = TlsSession(client_config, is_server=False, transport_write=pipe.client_write)
