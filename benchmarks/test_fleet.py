@@ -1,0 +1,153 @@
+"""FL1: sharded fleet scale-out — throughput vs worker count.
+
+One fixed scenario set (``CELLS`` independent TCPLS cells: bulk
+transfers plus server-farm churn) runs at 1, 2, 4, and 8 workers.  For
+every worker count the fleet reports aggregate **events/sec** and
+**sessions/sec** over parent wall-clock time, the scaling-efficiency
+curve relative to the single-process leg, and the merged determinism
+digests.  Acceptance:
+
+- every leg's merged event-stream digest equals the single-process
+  digest (the merge invariant, end to end);
+- on machines with >= 4 cores, the 4-worker leg clears 2.5x the
+  single-process aggregate events/sec (the scale-out claim — gated on
+  core count because scaling cannot exceed the hardware).
+
+Exported to ``BENCH_fleet.json``: the per-worker-count series, the
+efficiency curve, and the merged top-10 hot-function profile (each
+shard profiles under its own cProfile; tables merge at the barrier).
+
+Set ``REPRO_FLEET_QUICK=1`` (the CI fleet-smoke job does) for a small
+cell set at 1/2 workers.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro import fastpath
+from repro.fleet import make_cells, run_fleet
+from repro.obs import collect_metrics, write_metrics_json
+
+from conftest import METRICS_DIR, report
+
+QUICK = os.environ.get("REPRO_FLEET_QUICK", "") not in ("", "0")
+CELLS = 8 if QUICK else 32
+WORKER_COUNTS = (1, 2) if QUICK else (1, 2, 4, 8)
+_SCALING_WORKERS = 4
+_SCALING_FLOOR = 2.5
+
+_FLEET_JSON = os.path.join(METRICS_DIR, "BENCH_fleet.json")
+
+_BULK_PARAMS = {"payload_bytes": 30_000, "until": 4.0}
+_CHURN_PARAMS = {"sessions": 20, "client_hosts": 2}
+
+
+def _cell_set():
+    """3/4 bulk transfers, 1/4 churn farms — one fixed workload."""
+    bulk = make_cells(
+        (CELLS * 3) // 4, base_seed=421, kind="bulk", params=_BULK_PARAMS
+    )
+    churn = make_cells(
+        CELLS - len(bulk), base_seed=422, kind="churn", params=_CHURN_PARAMS
+    )
+    for offset, cell in enumerate(churn):
+        cell.index = len(bulk) + offset
+    return bulk + churn
+
+
+def test_fleet_scaling(once):
+    cells = _cell_set()
+    legs = {}
+
+    def run():
+        for workers in WORKER_COUNTS:
+            legs[workers] = run_fleet(cells, workers=workers, profile=True)
+        return legs
+
+    once(run)
+    single = legs[1]
+
+    # -- acceptance --------------------------------------------------------
+    for workers, result in legs.items():
+        assert result.event_digest == single.event_digest, (
+            f"{workers}-worker merged event digest diverged"
+        )
+        assert result.pcap_digest == single.pcap_digest, (
+            f"{workers}-worker merged pcap digest diverged"
+        )
+        assert result.total_events == single.total_events
+        assert result.total_sessions == single.total_sessions
+        assert result.hot_functions, "standing profiling produced no table"
+
+    cores = os.cpu_count() or 1
+    speedups = {
+        workers: legs[workers].events_per_second / single.events_per_second
+        for workers in WORKER_COUNTS
+    }
+    if _SCALING_WORKERS in legs and cores >= _SCALING_WORKERS:
+        assert speedups[_SCALING_WORKERS] >= _SCALING_FLOOR, (
+            f"4-worker aggregate events/sec only {speedups[_SCALING_WORKERS]:.2f}x "
+            f"single-process (floor {_SCALING_FLOOR}x on {cores} cores)"
+        )
+
+    series = []
+    for workers in WORKER_COUNTS:
+        result = legs[workers]
+        series.append(
+            {
+                "workers": workers,
+                "events_per_sec": result.events_per_second,
+                "sessions_per_sec": result.sessions_per_second,
+                "wall_seconds": result.wall_seconds,
+                "speedup": speedups[workers],
+                "efficiency": speedups[workers] / workers,
+                "shard_wall_seconds": [
+                    shard.wall_seconds for shard in result.shards
+                ],
+            }
+        )
+
+    lines = [
+        f"mode:               {'quick' if QUICK else 'full'}"
+        f" ({CELLS} cells, {cores} cores)",
+        f"digest (all legs)   {single.event_digest[:16]}...  "
+        f"pcap {single.pcap_digest[:16]}...",
+        f"total events        {single.total_events:,}"
+        f"  sessions {single.total_sessions}",
+    ]
+    for row in series:
+        lines.append(
+            f"workers={row['workers']:<2d} {row['events_per_sec']:>12,.0f} ev/s"
+            f"  {row['sessions_per_sec']:>8,.1f} sess/s"
+            f"  speedup {row['speedup']:.2f}x"
+            f"  efficiency {row['efficiency']:.2f}"
+        )
+    top = legs[max(WORKER_COUNTS)].hot_functions[:3]
+    for row in top:
+        lines.append(
+            f"hot: {row['function']}  tottime {row['tottime_s']:.3f}s"
+            f"  calls {row['calls']}"
+        )
+    report("FL1: sharded fleet scaling (merged-digest verified)", lines)
+
+    payload = collect_metrics(
+        title="FL1 sharded fleet scaling",
+        extra={
+            "quick_mode": QUICK,
+            "cells": CELLS,
+            "cores": cores,
+            "fastpath_flags": fastpath.all_enabled(),
+            "event_digest": single.event_digest,
+            "pcap_digest": single.pcap_digest,
+            "total_events": single.total_events,
+            "total_sessions": single.total_sessions,
+            "scaling": series,
+            "fleet_profiling_top_functions": legs[
+                max(WORKER_COUNTS)
+            ].hot_functions,
+            "fleet": legs[max(WORKER_COUNTS)].to_metrics(),
+        },
+    )
+    write_metrics_json(_FLEET_JSON, payload)
+    print(f"[metrics] {_FLEET_JSON}")

@@ -48,6 +48,11 @@ FEATURES = (
     # (netsim/timerwheel.py, netsim/engine.py): O(1) inserts and
     # bucket-local ordering for many-session timer churn.
     "netsim.wheel",
+    # Vectorized link queue service: TCP send bursts travel as one batch
+    # down Interface.send_batch -> Link.transmit_batch, where numpy
+    # computes the chained service times for the whole burst
+    # (netsim/link.py, netsim/node.py, tcp/connection.py).
+    "netsim.vectorq",
 )
 
 #: The registered fastpath-vs-scalar cross-check test for every feature
@@ -61,6 +66,7 @@ CROSSCHECKS: Dict[str, str] = {
     "tcp.ack": "tests/tcp/test_fastpath_wire.py",
     "netsim.fast": "tests/netsim/test_fastpath_netsim.py",
     "netsim.wheel": "tests/netsim/test_timerwheel.py",
+    "netsim.vectorq": "tests/netsim/test_vectorq.py",
 }
 
 _DEFAULT = os.environ.get("REPRO_FASTPATH", "1") != "0"

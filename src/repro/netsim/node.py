@@ -67,6 +67,12 @@ class Interface:
             return
         self.link.transmit(self, datagram)
 
+    def send_batch(self, datagrams) -> None:
+        """Burst form of :meth:`send` (the ``netsim.vectorq`` path)."""
+        if not self.up or self.link is None:
+            return
+        self.link.transmit_batch(self, datagrams)
+
     def deliver(self, datagram: Datagram) -> None:
         if self.up:
             self.node.receive(datagram, self)
@@ -198,6 +204,19 @@ class Node:
         if out is None:
             return False
         out.send(datagram)
+        return True
+
+    def send_ip_batch(self, datagrams) -> bool:
+        """Originate a burst sharing one destination (``netsim.vectorq``).
+
+        The route is resolved once for the burst — callers guarantee all
+        datagrams share ``dst``, which is what makes the burst a single
+        link-direction enqueue sequence downstream.
+        """
+        out = self.lookup_route(datagrams[0].dst)
+        if out is None:
+            return False
+        out.send_batch(datagrams)
         return True
 
     def local_deliver(self, datagram: Datagram, interface: Interface) -> None:

@@ -31,6 +31,8 @@ COMP_FUZZ = "fuzz"
 COMP_POOL = "scale.pool"
 #: The reconnect-storm recovery driver (repro.scale.recovery).
 COMP_RECOVERY = "scale.recovery"
+#: The sharded fleet runner (repro.fleet).
+COMP_FLEET = "fleet"
 #: Prefix for per-link components (see :func:`link_component`).
 LINK_COMPONENT_PREFIX = "link"
 
@@ -99,6 +101,19 @@ RECOVERY_RECONNECTS = "reconnects"
 #: Histogram: seconds from crash to a client's first recovered response.
 RECOVERY_TTR = "time_to_recover"
 
+# -- fleet metrics ------------------------------------------------------------
+
+#: Scenario cells executed across all shards.
+FLEET_CELLS = "cells"
+#: Worker shards launched for the run.
+FLEET_SHARDS = "shards"
+#: Simulator events processed, summed across all shard worlds.
+FLEET_EVENTS = "events"
+#: TCPLS sessions driven to completion, summed across all shard worlds.
+FLEET_SESSIONS = "sessions"
+#: Histogram: per-shard wall-clock seconds (barrier skew diagnosis).
+FLEET_SHARD_WALL_SECONDS = "shard_wall_seconds"
+
 # -- engine metrics -----------------------------------------------------------
 
 ENGINE_EVENTS_PROCESSED = "events_processed"
@@ -164,6 +179,11 @@ ALL_KEYS = frozenset(
         POOL_REDIALS,
         RECOVERY_RECONNECTS,
         RECOVERY_TTR,
+        FLEET_CELLS,
+        FLEET_SHARDS,
+        FLEET_EVENTS,
+        FLEET_SESSIONS,
+        FLEET_SHARD_WALL_SECONDS,
         ENGINE_EVENTS_PROCESSED,
         ENGINE_EVENTS_PER_SECOND,
         ENGINE_RUN_WALL_SECONDS,
@@ -189,6 +209,7 @@ ALL_COMPONENTS = frozenset(
         COMP_FUZZ,
         COMP_POOL,
         COMP_RECOVERY,
+        COMP_FLEET,
     )
 )
 

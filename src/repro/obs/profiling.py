@@ -12,13 +12,30 @@ the benchmark conftest writes) as::
 
     "profiling": {"wall_seconds": {"crypto": 1.23, ...},
                   "sections": {"crypto": 42, ...}}
+
+Like the telemetry registry, timers are mergeable across processes:
+``state()`` is picklable and ``SubsystemTimers.merge()`` sums any number
+of states, so a sharded fleet run reports one combined per-subsystem
+wall-time table.
+
+The second half of this module is the **standing function profiler**:
+a thin wrapper over ``cProfile`` that reduces a profile to its top-N
+hottest functions (a flamegraph's first column) as plain dicts, plus a
+process-wide active-profiler registry.  The benchmark conftest arms one
+profiler per benchmark and ``collect_metrics`` folds the resulting
+top-10 hot-function list into every ``BENCH_*.json``; the fleet runner
+arms one per shard and merges the per-shard tables.  Profiling reads
+the wall clock only — it never touches simulated behaviour, so a
+profiled run stays digest-identical to an unprofiled one.
 """
 
 from __future__ import annotations
 
+import cProfile
+import pstats
 from contextlib import contextmanager
 from time import perf_counter
-from typing import Dict, Iterator
+from typing import Dict, Iterable, Iterator, List, Optional
 
 
 class SubsystemTimers:
@@ -58,3 +75,149 @@ class SubsystemTimers:
             "wall_seconds": dict(self._seconds),
             "sections": dict(self._sections),
         }
+
+    def state(self) -> dict:
+        """Picklable state; same shape as :meth:`snapshot`."""
+        return self.snapshot()
+
+    @classmethod
+    def merge(cls, states: Iterable[dict]) -> "SubsystemTimers":
+        """Sum any number of ``state()`` documents into one timer set.
+
+        Wall time and section counts both add: four shards that each
+        spent 2s inside "netsim" did spend 8 CPU-seconds there, which is
+        the quantity the profiling table reports.
+        """
+        merged = cls(enabled=True)
+        for state in states:
+            for name, seconds in state.get("wall_seconds", {}).items():
+                merged._seconds[name] = merged._seconds.get(name, 0.0) + seconds
+            for name, sections in state.get("sections", {}).items():
+                merged._sections[name] = merged._sections.get(name, 0) + sections
+        return merged
+
+
+# ---------------------------------------------------------------------------
+# Standing function profiler (cProfile -> top-N hot functions)
+# ---------------------------------------------------------------------------
+
+#: How many hot functions the standing profiling pass publishes.
+TOP_FUNCTIONS = 10
+
+#: Path fragments trimmed from function locations so the table reads as
+#: repo-relative (and stays stable across checkouts and CI runners).
+_TRIM_MARKERS = ("/src/repro/", "/repro/", "/site-packages/", "/lib/python")
+
+#: The process-wide active profiler (armed by the benchmark conftest or
+#: a fleet shard).  Exactly one cProfile can collect per thread, so the
+#: registry lets nested scopes (a fleet run inside a profiled benchmark)
+#: suspend and restore the outer profiler instead of fighting over the
+#: C-level hook.
+_active_profile: Optional[cProfile.Profile] = None
+
+
+def activate_profile(profile: cProfile.Profile) -> None:
+    """Register (and enable) the process's standing profiler."""
+    global _active_profile
+    _active_profile = profile
+    profile.enable()
+
+
+def deactivate_profile(profile: cProfile.Profile) -> None:
+    """Disable ``profile`` and clear the registry if it was active."""
+    global _active_profile
+    profile.disable()
+    if _active_profile is profile:
+        _active_profile = None
+
+
+def active_profile() -> Optional[cProfile.Profile]:
+    """The currently armed standing profiler, if any."""
+    return _active_profile
+
+
+@contextmanager
+def exclusive_profile(profile: cProfile.Profile) -> Iterator[None]:
+    """Collect into ``profile`` alone, suspending any armed profiler.
+
+    Used by the fleet runner's inline (single-process) mode: the
+    benchmark conftest's standing profiler is paused while the shard
+    profiler runs, then resumed, so both end up with disjoint,
+    well-formed profiles instead of a corrupted shared hook.
+    """
+    global _active_profile
+    suspended = _active_profile
+    if suspended is not None:
+        suspended.disable()
+    _active_profile = None
+    profile.enable()
+    try:
+        yield
+    finally:
+        profile.disable()
+        if suspended is not None:
+            suspended.enable()
+        _active_profile = suspended
+
+
+def _trim_location(filename: str) -> str:
+    for marker in _TRIM_MARKERS:
+        index = filename.find(marker)
+        if index >= 0:
+            return filename[index + 1 :]
+    return filename
+
+
+def hot_functions(
+    profile: cProfile.Profile, limit: int = TOP_FUNCTIONS
+) -> List[dict]:
+    """The ``limit`` hottest functions by own (tottime) wall seconds.
+
+    Each entry is a plain dict — ``function`` ("path:line(name)"),
+    ``calls``, ``tottime_s``, ``cumtime_s`` — ready for JSON export or
+    cross-process merging via :func:`merge_hot_functions`.
+    """
+    stats = pstats.Stats(profile)
+    rows: List[dict] = []
+    for (filename, line, name), (
+        _primitive_calls,
+        ncalls,
+        tottime,
+        cumtime,
+        _callers,
+    ) in stats.stats.items():  # type: ignore[attr-defined]
+        rows.append(
+            {
+                "function": f"{_trim_location(filename)}:{line}({name})",
+                "calls": ncalls,
+                "tottime_s": tottime,
+                "cumtime_s": cumtime,
+            }
+        )
+    rows.sort(key=lambda row: (-row["tottime_s"], row["function"]))
+    return rows[:limit]
+
+
+def merge_hot_functions(
+    tables: Iterable[List[dict]], limit: int = TOP_FUNCTIONS
+) -> List[dict]:
+    """Combine per-shard hot-function tables into one ranked top-N.
+
+    Rows are keyed by the function label; calls and times sum, and the
+    result is re-ranked by total own time.  Feeding each shard's top-K
+    (K > N) keeps the merged top-N exact for functions hot in any shard.
+    """
+    combined: Dict[str, dict] = {}
+    for table in tables:
+        for row in table:
+            entry = combined.get(row["function"])
+            if entry is None:
+                combined[row["function"]] = dict(row)
+            else:
+                entry["calls"] += row["calls"]
+                entry["tottime_s"] += row["tottime_s"]
+                entry["cumtime_s"] += row["cumtime_s"]
+    rows = sorted(
+        combined.values(), key=lambda row: (-row["tottime_s"], row["function"])
+    )
+    return rows[:limit]

@@ -865,6 +865,16 @@ class TcpConnection:
             return
         mss = self.effective_mss()
         burst = 0
+        # netsim.vectorq: the burst's segments are fully decided by the
+        # window checks below before anything reaches the wire, so the
+        # fast path serializes them all, ships one batch to the link
+        # (which computes the queue service times for the whole burst in
+        # numpy), and arms the RTO once.  Window/SWS decisions, packet
+        # bytes, and delivery times are identical to the per-segment
+        # path; only internal event sequence numbering differs, which the
+        # cross-check test pins down via pcap-digest equality.
+        batching = fastpath.flags["netsim.vectorq"]
+        raw_batch: List[bytes] = []
         while self._send_queue:
             if burst >= _MAX_BURST_SEGMENTS:
                 break  # ACK clocking resumes the send (burst avoidance)
@@ -883,11 +893,23 @@ class TcpConnection:
                 break
             chunk = bytes(self._send_queue[:chunk_len])
             del self._send_queue[:chunk_len]
-            self._send_data_segment(chunk)
+            if batching:
+                raw_batch.append(self._prepare_data_segment(chunk))
+            else:
+                self._send_data_segment(chunk)
             burst += 1
+        if raw_batch:
+            if len(raw_batch) == 1:
+                self._transmit_raw(raw_batch[0])
+            else:
+                self.stack.send_raw_batch(self, raw_batch)
+            self._arm_rto()
         self._maybe_send_fin()
 
-    def _send_data_segment(self, chunk: bytes) -> None:
+    def _prepare_data_segment(self, chunk: bytes) -> bytes:
+        """Sequence/in-flight bookkeeping and serialization for one data
+        segment, without transmitting — the burst path ships the returned
+        wire bytes in one batch."""
         seq = self.snd_nxt
         segment = self._make_segment(
             flags=Flags.ACK | Flags.PSH, seq=seq, payload=chunk
@@ -899,7 +921,11 @@ class TcpConnection:
         if self._first_unacked_time is None:
             self._first_unacked_time = self.sim.now
         self.stats["bytes_sent"] += len(chunk)
-        self._transmit(segment)
+        self.stats["segments_sent"] += 1
+        return segment.to_bytes(self.local_addr, self.remote_addr)
+
+    def _send_data_segment(self, chunk: bytes) -> None:
+        self._transmit_raw(self._prepare_data_segment(chunk))
         self._arm_rto()
 
     def _maybe_send_fin(self) -> None:

@@ -199,6 +199,22 @@ class TcpStack:
         )
         self.host.send_ip(datagram)
 
+    def send_raw_batch(self, conn: TcpConnection, raw_segments) -> None:
+        """Burst form of :meth:`send_raw` (the ``netsim.vectorq`` path).
+
+        All segments belong to one connection, so they share a
+        destination and the whole burst reaches the outgoing link as a
+        single batched enqueue.
+        """
+        src = conn.local_addr
+        dst = conn.remote_addr
+        self.host.send_ip_batch(
+            [
+                Datagram(src=src, dst=dst, protocol=PROTO_TCP, payload=raw)
+                for raw in raw_segments
+            ]
+        )
+
     def connection_count(self) -> int:
         return len(self._connections)
 

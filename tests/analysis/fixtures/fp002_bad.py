@@ -1,0 +1,15 @@
+"""FP002 fixture: a shard-boundary module with an undeclared class."""
+
+PICKLE_BOUNDARY = ("DeclaredSpec",)
+
+
+class DeclaredSpec:
+    """Listed in the boundary declaration — fine."""
+
+    pass
+
+
+class UndeclaredResult:
+    """Crosses the boundary but was never declared — FP002 finding."""
+
+    pass

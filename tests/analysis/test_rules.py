@@ -1,4 +1,4 @@
-"""The lint engine and the seven repo-aware rules."""
+"""The lint engine and the eight repo-aware rules."""
 
 import json
 import subprocess
@@ -20,6 +20,7 @@ EXPECTED = {
     "SEC002": FIXTURES / "core" / "sec002_bad.py",
     "SEC003": FIXTURES / "sec003_bad.py",
     "FP001": FIXTURES / "fp001_bad.py",
+    "FP002": FIXTURES / "fp002_bad.py",
     "OBS001": FIXTURES / "obs001_bad.py",
 }
 
@@ -179,6 +180,49 @@ def test_det002_infers_dict_of_sets_values(tmp_path):
     assert [f.rule for f in report.findings] == ["DET002"]
 
 
+def test_fp002_fully_declared_boundary_module_is_clean(tmp_path):
+    mod = tmp_path / "mod.py"
+    mod.write_text(
+        'PICKLE_BOUNDARY = ("Spec", "Result")\n'
+        "\n"
+        "class Spec:\n"
+        "    pass\n"
+        "\n"
+        "class Result:\n"
+        "    pass\n",
+        encoding="utf-8",
+    )
+    report = run([mod], default_rules(), root=tmp_path)
+    assert not [f for f in report.findings if f.rule == "FP002"]
+
+
+def test_fp002_rejects_dynamic_boundary_declaration(tmp_path):
+    mod = tmp_path / "mod.py"
+    mod.write_text(
+        "NAMES = ['Spec']\n"
+        "PICKLE_BOUNDARY = tuple(NAMES)\n"
+        "\n"
+        "class Spec:\n"
+        "    pass\n",
+        encoding="utf-8",
+    )
+    report = run([mod], default_rules(), root=tmp_path)
+    findings = [f for f in report.findings if f.rule == "FP002"]
+    assert findings and "dynamic" in findings[0].message
+
+
+def test_fp002_registry_covers_live_boundary_and_vectorq():
+    """The live repo's boundary classes and the vectorized queue path
+    all have existing, name-referencing cross-check tests."""
+    from repro import fleet
+
+    for name in tuple(fleet.PICKLE_BOUNDARY) + ("netsim.vectorq",):
+        test_path = fleet.CROSSCHECKS[name]
+        full = REPO / test_path
+        assert full.exists(), test_path
+        assert name in full.read_text(encoding="utf-8")
+
+
 # ----------------------------------------------------------------------
 # CLI surface
 # ----------------------------------------------------------------------
@@ -221,7 +265,7 @@ def test_cli_explain_unknown_rule_is_usage_error():
     assert proc.returncode == 2
 
 
-def test_cli_list_rules_names_all_seven():
+def test_cli_list_rules_names_all_eight():
     proc = _cli("--list-rules")
     assert proc.returncode == 0
     for rule_id in EXPECTED:

@@ -1,0 +1,146 @@
+"""Determinism under sharding: the merge invariant, adversarially.
+
+The fleet's claim is that a merged N-shard run is digest-verifiable
+against the single-process run of the same scenario set.  These tests
+run one cell set at 1, 2, and 4 shards and require identical merged
+event-stream and pcap digests — on the plain workload, under a
+scripted fault plan, under schedule shake, and for the merged pcap
+*file* bytes.
+"""
+
+import os
+
+import pytest
+
+from repro import fastpath
+from repro.fleet import make_cells, partition_cells, run_fleet
+from repro.netsim.pcap import pcap_file_digest, read_pcap
+
+SHARD_COUNTS = (1, 2, 4)
+
+_BULK = {"payload_bytes": 6000, "until": 3.0}
+
+
+def _digests(cells, workers):
+    result = run_fleet(cells, workers=workers, profile=False)
+    return result.event_digest, result.pcap_digest
+
+
+def test_partition_is_contiguous_and_balanced():
+    cells = make_cells(10, base_seed=1)
+    blocks = partition_cells(cells, 4)
+    assert [len(block) for block in blocks] == [3, 3, 2, 2]
+    flat = [cell.index for block in blocks for cell in block]
+    assert flat == list(range(10))
+
+
+def test_partition_caps_shards_at_cell_count():
+    cells = make_cells(2, base_seed=1)
+    assert len(partition_cells(cells, 8)) == 2
+
+
+def test_merged_digests_invariant_across_shard_counts():
+    cells = make_cells(4, base_seed=42, kind="bulk", params=_BULK)
+    reference = _digests(cells, workers=1)
+    for workers in SHARD_COUNTS[1:]:
+        assert _digests(cells, workers) == reference
+
+
+def test_merged_digests_invariant_under_fault_plan():
+    params = dict(_BULK, flap_at=0.9, flap_duration=0.05)
+    cells = make_cells(4, base_seed=7, kind="bulk", params=params)
+    reference = _digests(cells, workers=1)
+    for workers in SHARD_COUNTS[1:]:
+        assert _digests(cells, workers) == reference
+
+
+def test_merged_digests_invariant_under_schedule_shake():
+    cells = make_cells(4, base_seed=11, kind="bulk", params=_BULK, shake_seed=13)
+    reference = _digests(cells, workers=1)
+    for workers in SHARD_COUNTS[1:]:
+        assert _digests(cells, workers) == reference
+
+
+def test_merged_digests_invariant_for_churn_cells():
+    cells = make_cells(
+        2, base_seed=5, kind="churn", params={"sessions": 8, "client_hosts": 2}
+    )
+    reference = _digests(cells, workers=1)
+    assert _digests(cells, workers=2) == reference
+
+
+def test_fleet_digest_independent_of_vectorq_pcap_side():
+    """The wire bytes (pcap digest) must not depend on the vectorized
+    queue path; the fleet is the end-to-end consumer of that claim."""
+    cells = make_cells(2, base_seed=3, kind="bulk", params=_BULK)
+    with fastpath.overridden("netsim.vectorq", False):
+        scalar = run_fleet(cells, workers=1, profile=False)
+    with fastpath.overridden("netsim.vectorq", True):
+        vector = run_fleet(cells, workers=1, profile=False)
+    assert vector.pcap_digest == scalar.pcap_digest
+
+
+def test_merged_pcap_file_invariant_across_shard_counts(tmp_path):
+    def run_with_pcaps(workers):
+        pcap_dir = tmp_path / f"w{workers}"
+        os.makedirs(pcap_dir, exist_ok=True)
+        cells = make_cells(
+            4, base_seed=42, kind="bulk", params=_BULK, pcap_dir=str(pcap_dir)
+        )
+        merged = str(pcap_dir / "merged.pcap")
+        return run_fleet(
+            cells, workers=workers, profile=False, merge_pcap_path=merged
+        )
+
+    reference = run_with_pcaps(1)
+    assert reference.merged_pcap_file_digest is not None
+    assert (
+        pcap_file_digest(reference.merged_pcap_path)
+        == reference.merged_pcap_file_digest
+    )
+    packets = read_pcap(reference.merged_pcap_path)
+    assert len(packets) == reference.total_packets
+    for workers in SHARD_COUNTS[1:]:
+        result = run_with_pcaps(workers)
+        assert result.merged_pcap_file_digest == reference.merged_pcap_file_digest
+
+
+def test_cell_results_come_back_in_cell_index_order():
+    cells = make_cells(5, base_seed=2, kind="bulk", params=_BULK)
+    result = run_fleet(cells, workers=3, profile=False)
+    assert [cell.index for cell in result.cells] == list(range(5))
+
+
+def test_fleet_totals_and_telemetry_merge():
+    cells = make_cells(3, base_seed=9, kind="bulk", params=_BULK)
+    result = run_fleet(cells, workers=2, profile=False)
+    assert result.total_events == sum(cell.events for cell in result.cells)
+    assert result.total_sessions == 3
+    snapshot = result.telemetry.snapshot()
+    assert snapshot["fleet"]["cells"] == 3
+    assert snapshot["fleet"]["events"] == result.total_events
+    assert snapshot["fleet"]["shards"] == 2
+    assert snapshot["fleet"]["shard_wall_seconds"]["count"] == 2
+    assert result.timers_state["sections"]["fleet.cell"] == 3
+
+
+def test_fleet_profiling_produces_merged_top_functions():
+    cells = make_cells(2, base_seed=4, kind="bulk", params=_BULK)
+    result = run_fleet(cells, workers=2, profile=True)
+    assert result.hot_functions
+    assert len(result.hot_functions) <= 10
+    top = result.hot_functions[0]
+    assert set(top) == {"function", "calls", "tottime_s", "cumtime_s"}
+    assert top["tottime_s"] > 0
+
+
+def test_unknown_cell_kind_is_rejected():
+    from repro.fleet import CellSpec, run_cell
+
+    with pytest.raises(ValueError, match="unknown cell kind"):
+        run_cell(CellSpec(index=0, kind="nope"))
+
+
+def test_empty_cell_list_is_rejected():
+    with pytest.raises(ValueError):
+        run_fleet([], workers=2)

@@ -1,0 +1,94 @@
+"""The pcap merge utility: shard-major concatenation, stable digests."""
+
+import hashlib
+
+import pytest
+
+from repro.netsim.packet import Datagram, parse_address
+from repro.netsim.pcap import (
+    PcapWriter,
+    merge_pcaps,
+    pcap_file_digest,
+    read_pcap,
+    serialize_ip,
+)
+
+
+class _Clock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+
+def _write_trace(path, payloads, start=0.0):
+    clock = _Clock(start)
+    with PcapWriter(str(path), clock) as writer:
+        for i, payload in enumerate(payloads):
+            clock.now = start + i * 0.001
+            writer.write(
+                Datagram(
+                    src=parse_address("10.0.0.1"),
+                    dst=parse_address("10.0.0.2"),
+                    protocol=253,
+                    payload=payload,
+                )
+            )
+    return str(path)
+
+
+def test_merge_concatenates_in_given_order(tmp_path):
+    a = _write_trace(tmp_path / "a.pcap", [b"aa", b"ab"], start=0.0)
+    b = _write_trace(tmp_path / "b.pcap", [b"bb"], start=10.0)
+    out, digest = merge_pcaps([a, b], str(tmp_path / "merged.pcap"))
+    packets = read_pcap(out)
+    assert len(packets) == 3
+    # Shard-major order: a's records first (even though interleaving by
+    # timestamp would be possible, ordering must not depend on time).
+    payloads = [wire[-2:] for _, wire in packets]
+    assert payloads == [b"aa", b"ab", b"bb"]
+    assert digest == pcap_file_digest(out)
+
+
+def test_merge_digest_depends_on_order(tmp_path):
+    a = _write_trace(tmp_path / "a.pcap", [b"aa"])
+    b = _write_trace(tmp_path / "b.pcap", [b"bb"])
+    _, forward = merge_pcaps([a, b], str(tmp_path / "f.pcap"))
+    _, backward = merge_pcaps([b, a], str(tmp_path / "r.pcap"))
+    assert forward != backward
+
+
+def test_single_input_merge_digest_equals_file_digest(tmp_path):
+    """A one-shard fleet and a single-process run hash identically."""
+    a = _write_trace(tmp_path / "a.pcap", [b"aa", b"ab"])
+    _, digest = merge_pcaps([a], str(tmp_path / "merged.pcap"))
+    assert digest == pcap_file_digest(a)
+
+
+def test_merge_digest_covers_record_stream_exactly(tmp_path):
+    a = _write_trace(tmp_path / "a.pcap", [b"xy"])
+    with open(a, "rb") as handle:
+        records = handle.read()[24:]
+    _, digest = merge_pcaps([a], str(tmp_path / "m.pcap"))
+    assert digest == hashlib.sha256(records).hexdigest()
+
+
+def test_merge_rejects_non_pcap_input(tmp_path):
+    junk = tmp_path / "junk.pcap"
+    junk.write_bytes(b"not a pcap at all")
+    with pytest.raises(ValueError):
+        merge_pcaps([str(junk)], str(tmp_path / "m.pcap"))
+
+
+def test_merged_file_round_trips_through_reader(tmp_path):
+    a = _write_trace(tmp_path / "a.pcap", [b"aa"], start=1.5)
+    out, _ = merge_pcaps([a], str(tmp_path / "m.pcap"))
+    packets = read_pcap(out)
+    assert packets[0][0] == pytest.approx(1.5)
+    datagram = Datagram(
+        src=parse_address("10.0.0.1"),
+        dst=parse_address("10.0.0.2"),
+        protocol=253,
+        payload=b"aa",
+    )
+    # The wire bytes survive byte-for-byte (modulo the packet id the
+    # writer captured at write time).
+    assert len(packets[0][1]) == len(serialize_ip(datagram))

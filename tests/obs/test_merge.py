@@ -1,0 +1,190 @@
+"""Mergeable telemetry/timer snapshots and the standing profiler."""
+
+import cProfile
+
+import pytest
+
+from repro.obs import collect_metrics
+from repro.obs.profiling import (
+    SubsystemTimers,
+    activate_profile,
+    active_profile,
+    deactivate_profile,
+    exclusive_profile,
+    hot_functions,
+    merge_hot_functions,
+)
+from repro.obs.telemetry import Histogram, Telemetry
+
+
+def _registry(counter=0, gauge=0, observations=()):
+    telemetry = Telemetry(enabled=True)
+    telemetry.counter("comp", "hits").inc(counter)
+    telemetry.gauge("comp", "depth").set(gauge)
+    for value in observations:
+        telemetry.histogram("comp", "sizes").observe(value)
+    return telemetry
+
+
+# ----------------------------------------------------------------------
+# Telemetry.merge
+# ----------------------------------------------------------------------
+
+def test_counters_sum_across_states():
+    merged = Telemetry.merge(
+        [_registry(counter=3).export_state(), _registry(counter=4).export_state()]
+    )
+    assert merged.snapshot()["comp"]["hits"] == 7
+
+
+def test_gauges_keep_the_maximum():
+    merged = Telemetry.merge(
+        [_registry(gauge=9).export_state(), _registry(gauge=2).export_state()]
+    )
+    assert merged.snapshot()["comp"]["depth"] == 9
+
+
+def test_histograms_combine_bucketwise():
+    merged = Telemetry.merge(
+        [
+            _registry(observations=[1, 100]).export_state(),
+            _registry(observations=[50]).export_state(),
+        ]
+    )
+    summary = merged.snapshot()["comp"]["sizes"]
+    assert summary["count"] == 3
+    assert summary["sum"] == 151
+    assert summary["min"] == 1
+    assert summary["max"] == 100
+
+    reference = _registry(observations=[1, 100, 50]).snapshot()["comp"]["sizes"]
+    assert summary == reference
+
+
+def test_merge_of_merged_state_is_associative():
+    states = [
+        _registry(counter=1, observations=[2]).export_state(),
+        _registry(counter=2, observations=[4]).export_state(),
+        _registry(counter=4, observations=[8]).export_state(),
+    ]
+    pairwise = Telemetry.merge(
+        [Telemetry.merge(states[:2]).export_state(), states[2]]
+    )
+    flat = Telemetry.merge(states)
+    assert pairwise.snapshot() == flat.snapshot()
+
+
+def test_histogram_combine_rejects_mismatched_bounds():
+    ours = Histogram(bounds=(1.0, 2.0))
+    theirs = Histogram(bounds=(1.0, 4.0))
+    theirs.observe(3)
+    with pytest.raises(ValueError):
+        ours.combine(theirs.state())
+
+
+def test_histogram_state_round_trips():
+    histogram = Histogram()
+    for value in (1, 5, 5000):
+        histogram.observe(value)
+    clone = Histogram.from_state(histogram.state())
+    assert clone.summary() == histogram.summary()
+    assert clone.state() == histogram.state()
+
+
+def test_merge_handles_disjoint_instruments():
+    a = Telemetry(enabled=True)
+    a.counter("left", "only").inc(2)
+    b = Telemetry(enabled=True)
+    b.gauge("right", "only").set(5)
+    merged = Telemetry.merge([a.export_state(), b.export_state()])
+    snapshot = merged.snapshot()
+    assert snapshot["left"]["only"] == 2
+    assert snapshot["right"]["only"] == 5
+
+
+# ----------------------------------------------------------------------
+# SubsystemTimers.merge
+# ----------------------------------------------------------------------
+
+def test_timer_states_sum():
+    a = SubsystemTimers()
+    a.add("crypto", 1.5)
+    b = SubsystemTimers()
+    b.add("crypto", 0.5)
+    b.add("tcp", 2.0)
+    merged = SubsystemTimers.merge([a.state(), b.state()])
+    assert merged.seconds("crypto") == 2.0
+    assert merged.seconds("tcp") == 2.0
+    assert merged.snapshot()["sections"] == {"crypto": 2, "tcp": 1}
+
+
+# ----------------------------------------------------------------------
+# Standing profiler
+# ----------------------------------------------------------------------
+
+def _busy():
+    return sum(i * i for i in range(20_000))
+
+
+def test_hot_functions_reports_ranked_rows():
+    profile = cProfile.Profile()
+    profile.enable()
+    _busy()
+    profile.disable()
+    rows = hot_functions(profile, limit=5)
+    assert rows
+    assert len(rows) <= 5
+    assert all(
+        set(row) == {"function", "calls", "tottime_s", "cumtime_s"}
+        for row in rows
+    )
+    times = [row["tottime_s"] for row in rows]
+    assert times == sorted(times, reverse=True)
+
+
+def test_merge_hot_functions_sums_and_reranks():
+    table_a = [
+        {"function": "f", "calls": 1, "tottime_s": 0.1, "cumtime_s": 0.1},
+        {"function": "g", "calls": 1, "tottime_s": 0.5, "cumtime_s": 0.5},
+    ]
+    table_b = [
+        {"function": "f", "calls": 3, "tottime_s": 0.9, "cumtime_s": 0.9},
+    ]
+    merged = merge_hot_functions([table_a, table_b])
+    assert merged[0]["function"] == "f"
+    assert merged[0]["calls"] == 4
+    assert merged[0]["tottime_s"] == pytest.approx(1.0)
+    assert merged[1]["function"] == "g"
+
+
+def test_active_profile_registry_and_exclusive_suspension():
+    outer = cProfile.Profile()
+    activate_profile(outer)
+    try:
+        assert active_profile() is outer
+        inner = cProfile.Profile()
+        with exclusive_profile(inner):
+            assert active_profile() is None
+            _busy()
+        assert active_profile() is outer
+        assert hot_functions(inner)
+    finally:
+        deactivate_profile(outer)
+    assert active_profile() is None
+
+
+def test_collect_metrics_includes_profiling_when_armed():
+    profile = cProfile.Profile()
+    activate_profile(profile)
+    try:
+        _busy()
+        metrics = collect_metrics(title="t")
+        assert "profiling" in metrics
+        top = metrics["profiling"]["top_functions"]
+        assert top and len(top) <= 10
+        # Reading the table must leave the standing profiler running.
+        metrics_again = collect_metrics(title="t2")
+        assert "profiling" in metrics_again
+    finally:
+        deactivate_profile(profile)
+    assert "profiling" not in collect_metrics(title="t3")
