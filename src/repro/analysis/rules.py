@@ -1,6 +1,6 @@
 """The repo-aware rule catalogue.
 
-Eight rules, each protecting an invariant the reproduction's claims
+Nine rules, each protecting an invariant the reproduction's claims
 rest on (see DESIGN.md section 4f for the full rationale catalogue):
 
 ========  ==============================================================
@@ -20,6 +20,8 @@ FP002     Every object crossing the fleet's shard boundary is declared
           in ``PICKLE_BOUNDARY`` and has a registered pickle
           round-trip test (``repro.fleet.CROSSCHECKS``).
 OBS001    Telemetry key strings come from ``repro.obs.keys``.
+REL001    Every overload shed/reject path increments a registered
+          ``overload.*`` telemetry key.
 ========  ==============================================================
 """
 
@@ -930,6 +932,111 @@ itself."""
 
 
 # ---------------------------------------------------------------------------
+# REL001 — overload shed/reject paths are counted
+# ---------------------------------------------------------------------------
+
+class Rel001OverloadTelemetry(Rule):
+    id = "REL001"
+    title = "every overload shed/reject path increments a registered overload.* key"
+    rationale = """\
+The O1 benchmark's pass criterion is not just "goodput stays flat" but
+"the excess was *actively refused*, with nonzero, deterministic
+shed/reject counts" — silent drops and counted rejections are
+indistinguishable from the outside, and only the counted kind can be
+asserted on, trended in CI, and reconciled against the client-side
+view.  A rejection branch someone adds without a counter quietly
+breaks that reconciliation: the admission totals stop adding up to the
+offered load and every overload invariant downstream goes soft.
+
+The rule requires every shed/reject function in ``repro.overload``
+(names starting ``reject*``/``shed*``; plain getters like
+``shed_count`` are exempt) to increment a telemetry counter — a
+``.inc(`` call in its body, or delegation to a module-local function
+that has one.  ``finalize`` audits the other half of the contract:
+every ``OVERLOAD_*`` constant in ``repro.obs.keys`` must be registered
+in ``ALL_KEYS``, so the incremented keys actually exist in the
+exported vocabulary."""
+
+    _NAME_RE = re.compile(r"^_?(reject|shed)")
+    _EXEMPT_RE = re.compile(r"count$")
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        if "repro/overload/" not in module.relpath:
+            return
+        inc_providers: Set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.FunctionDef) and self._contains_inc(node):
+                inc_providers.add(node.name)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.FunctionDef):
+                continue
+            name = node.name
+            if not self._NAME_RE.match(name) or self._EXEMPT_RE.search(name):
+                continue
+            if name in inc_providers:
+                continue
+            if self._calls_any(node, inc_providers):
+                continue
+            yield Finding(
+                rule=self.id,
+                path=module.relpath,
+                line=node.lineno,
+                col=node.col_offset,
+                message=f"shed/reject path {name}() never increments an "
+                "overload.* telemetry counter; uncounted refusals cannot "
+                "be reconciled against offered load",
+            )
+
+    @staticmethod
+    def _contains_inc(node: ast.FunctionDef) -> bool:
+        for sub in ast.walk(node):
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr == "inc"
+            ):
+                return True
+        return False
+
+    @staticmethod
+    def _calls_any(node: ast.FunctionDef, providers: Set[str]) -> bool:
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Call):
+                continue
+            func = sub.func
+            callee = (
+                func.attr if isinstance(func, ast.Attribute)
+                else func.id if isinstance(func, ast.Name)
+                else None
+            )
+            if callee in providers:
+                return True
+        return False
+
+    def finalize(self, modules: Sequence[Module], root: Path) -> Iterator[Finding]:
+        # Registry completeness is only checkable from the repo root.
+        keys_src = root / "src" / "repro" / "obs" / "keys.py"
+        if not keys_src.exists():
+            return
+        from repro.obs import keys as obs_keys
+
+        registered = set(obs_keys.ALL_KEYS)
+        for name in sorted(vars(obs_keys)):
+            if not name.startswith("OVERLOAD_"):
+                continue
+            value = getattr(obs_keys, name)
+            if value not in registered:
+                yield Finding(
+                    rule=self.id,
+                    path="src/repro/obs/keys.py",
+                    line=1,
+                    col=0,
+                    message=f"overload key {name} ({value!r}) is not "
+                    "registered in ALL_KEYS",
+                )
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 
@@ -944,6 +1051,7 @@ def default_rules() -> List[Rule]:
         Fp001FastpathRegistry(),
         Fp002ShardBoundary(),
         Obs001TelemetryKeys(),
+        Rel001OverloadTelemetry(),
     ]
 
 

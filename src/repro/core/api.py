@@ -90,23 +90,15 @@ def tcpls_send(session: TcplsSession, stream_id: int, data: bytes) -> int:
 
 def tcpls_receive(session: TcplsSession, stream_id: int) -> bytes:
     """Drain received data for one stream (poll-style alternative to the
-    ``on_stream_data`` callback)."""
-    buffer = getattr(session, "_receive_buffers", None)
-    if buffer is None:
-        buffer = {}
-        session._receive_buffers = buffer
+    ``on_stream_data`` callback).
 
-        original = session.on_stream_data
-
-        def collector(sid: int, data: bytes) -> None:
-            buffer.setdefault(sid, bytearray()).extend(data)
-            if original:
-                original(sid, data)
-
-        session.on_stream_data = collector
-    data = bytes(buffer.get(stream_id, b""))
-    buffer[stream_id] = bytearray()
-    return data
+    Backed by the session's bounded per-stream app-read queue: with no
+    delivery callback installed, in-order bytes park there (counted
+    against the stream's receive window), and draining them here returns
+    flow-control credit to the peer.  A caller that stops draining
+    backpressures the sender instead of growing an unbounded collector.
+    """
+    return session.recv_data(stream_id)
 
 
 def tcpls_stream_close(session: TcplsSession, stream_id: int) -> None:

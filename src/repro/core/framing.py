@@ -59,6 +59,7 @@ class TType:
     PING = 0x3B
     ADDRESS_ADVERT = 0x3C
     ADDRESS_REMOVE = 0x3D
+    WINDOW_UPDATE = 0x3E
 
     RELIABLE = {
         STREAM_DATA,
@@ -72,6 +73,7 @@ class TType:
         SESSION_CLOSE,
         ADDRESS_ADVERT,
         ADDRESS_REMOVE,
+        WINDOW_UPDATE,
     }
 
 
@@ -178,6 +180,23 @@ def encode_stream_close(stream_id: int, final_offset: int) -> bytes:
 
 @_armored
 def decode_stream_close(body: bytes) -> Tuple[int, int]:
+    reader = ByteReader(body)
+    return reader.get_u32(), reader.get_u64()
+
+
+def encode_window_update(stream_id: int, max_offset: int) -> bytes:
+    """Flow-control credit grant: the receiver permits stream bytes up
+    to absolute offset ``max_offset``.  Grants are cumulative — a stale
+    (smaller) limit never revokes credit, so replayed grants after a
+    failover are harmless."""
+    writer = ByteWriter()
+    writer.put_u32(stream_id)
+    writer.put_u64(max_offset)
+    return writer.getvalue()
+
+
+@_armored
+def decode_window_update(body: bytes) -> Tuple[int, int]:
     reader = ByteReader(body)
     return reader.get_u32(), reader.get_u64()
 

@@ -34,7 +34,7 @@ from repro.core.health import PathHealth, best_path
 from repro.core.record_sizing import RecordSizer, TOTAL_OVERHEAD
 from repro.core.reliability import ReceiveTracker, ReplayBuffer
 from repro.core.scheduler import make_scheduler
-from repro.core.streams import TcplsStream
+from repro.core.streams import DEFAULT_STREAM_WINDOW, TcplsStream
 from repro.obs import Observability
 from repro.obs import keys as obs_keys
 from repro.tcp.connection import TcpConnection
@@ -51,6 +51,7 @@ from repro.utils.errors import (
     GuardLimitExceeded,
     ProtocolViolation,
     UnknownType,
+    WouldBlock,
 )
 
 # Per-process session counter mixed into each session's RNG: one server
@@ -80,6 +81,10 @@ class TcplsContext:
     ticket_lifetime: int = 7200
     zero_rtt_anti_replay: int = 4096
     anti_replay: Optional[AntiReplayRegister] = None
+    # Overload retry coupon (client side): a sealed coupon a server
+    # handed out when it refused this client under pressure, presented
+    # in the redial's ClientHello for cheap-class admission.
+    retry_coupon: bytes = b""
 
     # TCPLS behaviour.
     congestion: str = "reno"
@@ -140,6 +145,21 @@ class TcplsContext:
     max_plaintext_records: int = 32
     join_rate_limit: int = 8
     join_rate_window: float = 1.0
+
+    # Per-stream flow control (PR 9).  ``stream_recv_window`` is the
+    # credit this endpoint grants a peer per stream: in-order bytes the
+    # application has not consumed plus reassembly backlog may never
+    # exceed it, and a compliant sender stalls instead of overrunning.
+    # The default equals ``DEFAULT_STREAM_WINDOW`` so symmetric contexts
+    # agree on the initial credit without a handshake extension.
+    # ``stream_send_buffer`` bounds the *local* unsent backlog per
+    # stream: 0 keeps the legacy queue-everything behaviour (still
+    # capped by ``max_session_memory``); a positive value makes
+    # ``send()`` raise ``WouldBlock`` instead of queueing past it, with
+    # ``Event.STREAM_WRITABLE`` fired once the backlog drains below
+    # half the limit.
+    stream_recv_window: int = DEFAULT_STREAM_WINDOW
+    stream_send_buffer: int = 0
 
     # Path health monitor.  ``health_interval > 0`` arms a periodic tick
     # that refreshes per-path loss scores and sends a heartbeat PING on
@@ -222,9 +242,15 @@ class TcplsConnection:
         )
 
     def send_room(self) -> int:
-        """Free sending capacity: window minus flight minus queued bytes."""
+        """Free sending capacity: window minus flight minus queued bytes.
+
+        Clamped at zero: queued bytes can exceed the window after a
+        congestion-window collapse, and a negative value skews the
+        round-robin scheduler's capacity comparisons.
+        """
         info_window = min(self.tcp.cc.window(), self.tcp.snd_wnd)
-        return info_window - self.tcp.bytes_in_flight() - self.tcp.send_queue_length()
+        room = info_window - self.tcp.bytes_in_flight() - self.tcp.send_queue_length()
+        return max(0, room)
 
     def path_score(self) -> float:
         """Health score (lower is better) for scheduler/failover choice."""
@@ -387,6 +413,26 @@ class TcplsSession:
         )
         self._obs_replay_rejected = telemetry.counter(
             component, obs_keys.RESUMPTION_REPLAY_REJECTED
+        )
+        # Per-stream flow control (the overload tests and O1 benchmark
+        # read these to prove backpressure engaged).
+        self._obs_flow_would_block = telemetry.counter(
+            component, obs_keys.FLOW_WOULD_BLOCK
+        )
+        self._obs_flow_stalls = telemetry.counter(
+            component, obs_keys.FLOW_STALLS
+        )
+        self._obs_flow_writable = telemetry.counter(
+            component, obs_keys.FLOW_WRITABLE
+        )
+        self._obs_flow_updates_sent = telemetry.counter(
+            component, obs_keys.FLOW_WINDOW_UPDATES_SENT
+        )
+        self._obs_flow_updates_received = telemetry.counter(
+            component, obs_keys.FLOW_WINDOW_UPDATES_RECEIVED
+        )
+        self._obs_flow_violations = telemetry.counter(
+            component, obs_keys.FLOW_VIOLATIONS
         )
         self.events.observer = self._observe_session_event
         self.events.clock = lambda: self.sim.now
@@ -558,6 +604,15 @@ class TcplsSession:
         tls.on_decode_rejected = lambda _why: self._obs_decode_rejected.inc()
         tls.on_guard_tripped = lambda _why: self._obs_guard_tripped.inc()
 
+    def _client_extensions(self) -> List[Tuple[int, bytes]]:
+        """ClientHello extensions: the TCPLS marker, plus a retry coupon
+        when a refusing server handed one out (cheap-class admission on
+        the redial)."""
+        extensions = [(joinmod.EXT_TCPLS, joinmod.build_tcpls_marker())]
+        if self.context.retry_coupon:
+            extensions.append((m.EXT_TCPLS_COUPON, self.context.retry_coupon))
+        return extensions
+
     def _start_tls_client(self, conn: TcplsConnection, early_data: bytes) -> None:
         conn.is_primary = True
         self.primary = conn
@@ -569,9 +624,7 @@ class TcplsSession:
             trust_store=self.context.trust_store,
             server_name=self.context.server_name,
             ticket_store=self.context.ticket_store,
-            extra_client_extensions=[
-                (joinmod.EXT_TCPLS, joinmod.build_tcpls_marker())
-            ],
+            extra_client_extensions=self._client_extensions(),
             rng=random.Random(self.rng.randrange(1 << 30)),
             clock=lambda: self.sim.now,
         )
@@ -618,9 +671,7 @@ class TcplsSession:
             trust_store=self.context.trust_store,
             server_name=self.context.server_name,
             ticket_store=self.context.ticket_store,
-            extra_client_extensions=[
-                (joinmod.EXT_TCPLS, joinmod.build_tcpls_marker())
-            ],
+            extra_client_extensions=self._client_extensions(),
             rng=random.Random(self.rng.randrange(1 << 30)),
             clock=lambda: self.sim.now,
         )
@@ -825,7 +876,10 @@ class TcplsSession:
         conn = self._resolve_conn(conn_id)
         stream_id = self._next_stream_id
         self._next_stream_id += 2
-        stream = TcplsStream(stream_id, conn.conn_id)
+        stream = TcplsStream(
+            stream_id, conn.conn_id,
+            recv_window=self.context.stream_recv_window,
+        )
         self._wire_stream(stream)
         self.streams[stream_id] = stream
         return stream_id
@@ -866,6 +920,14 @@ class TcplsSession:
 
     def send(self, stream_id: int, data: bytes) -> int:
         stream = self.streams[stream_id]
+        limit = self.context.stream_send_buffer
+        if limit > 0 and len(stream.send_buffer) + len(data) > limit:
+            # Typed backpressure: the peer has not granted enough credit
+            # to drain the local queue.  Nothing is queued; the caller
+            # waits for Event.STREAM_WRITABLE and retries.
+            stream.writable_blocked = True
+            self._obs_flow_would_block.inc()
+            raise WouldBlock(stream_id, len(stream.send_buffer), limit)
         if (
             self.session_memory_bytes() + len(data)
             > self.context.max_session_memory
@@ -888,15 +950,38 @@ class TcplsSession:
     def session_memory_bytes(self) -> int:
         """Buffered bytes this session currently pins.
 
-        Counts every stream's send queue and out-of-order reassembly
-        buffer plus the failover replay buffer — the three stores whose
-        growth is driven by the peer (or a slow path) rather than by us.
-        All three are O(1) reads.
+        Counts every stream's send queue, out-of-order reassembly
+        buffer, and delivered-but-unread app-read queue, plus the
+        failover replay buffer — the stores whose growth is driven by
+        the peer (or a slow consumer) rather than by us.  All are O(1)
+        reads.
         """
         total = self.replay.pending_bytes()
         for stream in self.streams.values():
-            total += len(stream.send_buffer) + stream.reassembly_bytes()
+            total += (
+                len(stream.send_buffer)
+                + stream.reassembly_bytes()
+                + stream.app_buffered()
+            )
         return total
+
+    def recv_data(self, stream_id: int, max_bytes: Optional[int] = None) -> bytes:
+        """Pull delivered stream bytes from the app-read queue.
+
+        Only meaningful when no ``on_stream_data`` callback consumes
+        data at delivery time.  Draining the queue returns flow-control
+        credit to the peer (a WINDOW_UPDATE grant once a quarter of the
+        window has been consumed), so a reader that stops calling this
+        backpressures the sender instead of growing our memory.
+        """
+        stream = self.streams.get(stream_id)
+        if stream is None:
+            return b""
+        data = stream.read(max_bytes)
+        if data:
+            self._obs_memory.set(self.session_memory_bytes())
+            self._maybe_grant_credit(stream)
+        return data
 
     def stream_close(self, stream_id: int) -> None:
         stream = self.streams.get(stream_id)
@@ -955,6 +1040,14 @@ class TcplsSession:
             for stream in list(self.streams.values()):
                 if not stream.attached or not stream.has_pending_data():
                     continue
+                if stream.send_buffer and stream.send_credit() <= 0:
+                    # Out of flow-control credit: the peer's receive
+                    # window is exhausted.  Blocked here, not dropped —
+                    # a WINDOW_UPDATE grant re-pumps.
+                    if not stream.stalled:
+                        stream.stalled = True
+                        self._obs_flow_stalls.inc()
+                    continue
                 conn = self.scheduler.pick(stream, conns)
                 if conn is None or conn.send_room() <= TOTAL_OVERHEAD:
                     continue
@@ -964,8 +1057,25 @@ class TcplsSession:
                     continue
                 offset, data, fin = taken
                 self._send_stream_chunk(stream, conn, offset, data, fin)
+                self._maybe_writable(stream)
                 progress = True
         self._maybe_session_close()
+
+    def _maybe_writable(self, stream: TcplsStream) -> None:
+        """Fire STREAM_WRITABLE once a blocked stream's backlog drains.
+
+        Hysteresis at half the send-buffer limit: the event means a
+        retried ``send()`` of reasonable size will succeed, not that a
+        single byte of headroom appeared.
+        """
+        if not stream.writable_blocked:
+            return
+        limit = self.context.stream_send_buffer
+        if limit > 0 and len(stream.send_buffer) > limit // 2:
+            return
+        stream.writable_blocked = False
+        self._obs_flow_writable.inc()
+        self.events.emit(Event.STREAM_WRITABLE, stream_id=stream.stream_id)
 
     def _send_stream_chunk(
         self,
@@ -1196,6 +1306,7 @@ class TcplsSession:
             TType.SESSION_CLOSE: self._on_session_close_frame,
             TType.ADDRESS_ADVERT: self._on_address_advert_frame,
             TType.ADDRESS_REMOVE: self._on_address_remove_frame,
+            TType.WINDOW_UPDATE: self._on_window_update_frame,
             TType.PING: lambda c, f: self._flush_ack(),
         }.get(frame.ttype)
         if handler is None:
@@ -1205,6 +1316,18 @@ class TcplsSession:
     def _on_stream_data_frame(self, conn: TcplsConnection, frame: framing.Frame) -> None:
         stream_id, offset, fin, data = framing.decode_stream_data(frame.body)
         stream = self._ensure_stream(stream_id, conn)
+        if data and offset + len(data) > max(
+            stream.granted_limit, DEFAULT_STREAM_WINDOW
+        ):
+            # Flow-control violation: the peer wrote past every grant we
+            # ever issued (tolerating the protocol-default initial
+            # window, so asymmetric configurations converge rather than
+            # abort).  A compliant sender can never hit this.
+            self._obs_flow_violations.inc()
+            raise GuardLimitExceeded(
+                f"stream {stream_id} data past flow-control limit "
+                f"{stream.granted_limit}"
+            )
         if (
             stream.reassembly_bytes() + len(data)
             > self.context.max_reassembly_bytes
@@ -1247,7 +1370,10 @@ class TcplsSession:
                     f"stream table full ({self.context.max_streams}); "
                     f"refusing stream {stream_id}"
                 )
-            stream = TcplsStream(stream_id, conn.conn_id)
+            stream = TcplsStream(
+                stream_id, conn.conn_id,
+                recv_window=self.context.stream_recv_window,
+            )
             stream.attached = True
             self._wire_stream(stream)
             self.streams[stream_id] = stream
@@ -1346,7 +1472,54 @@ class TcplsSession:
 
     def _deliver_stream_data(self, stream: TcplsStream, data: bytes) -> None:
         if self.on_stream_data:
+            # Callback delivery is consumption: the application took the
+            # bytes, so credit flows back to the peer immediately.
             self.on_stream_data(stream.stream_id, data)
+            self._maybe_grant_credit(stream)
+        else:
+            # Pull mode: park delivered bytes in the bounded app-read
+            # queue.  No credit is returned until ``recv_data()`` drains
+            # it — a reader that stops reading stalls the sender at one
+            # receive window instead of growing this buffer forever.
+            stream.read_buffer.extend(data)
+
+    # -- flow control ------------------------------------------------------
+
+    def _maybe_grant_credit(self, stream: TcplsStream) -> None:
+        """Send a WINDOW_UPDATE once a quarter-window of credit freed.
+
+        Grants are batched (a grant per delivered record would double
+        control traffic) and cumulative: the new absolute limit is
+        consumed-offset + window, and the receiver of the grant takes
+        the max with what it already holds, so replays are harmless.
+        """
+        if not self.handshake_complete or self.session_closed:
+            return
+        window = self.context.stream_recv_window
+        new_limit = stream.consumed_offset() + window
+        if new_limit - stream.granted_limit < max(1, window // 4):
+            return
+        stream.granted_limit = new_limit
+        seq = self.replay.next_seq()
+        body = framing.encode_window_update(stream.stream_id, new_limit)
+        self.replay.store(seq, TType.WINDOW_UPDATE, stream.stream_id, body)
+        self._send_control(TType.WINDOW_UPDATE, body, seq)
+        self._obs_flow_updates_sent.inc()
+
+    def _on_window_update_frame(
+        self, conn: TcplsConnection, frame: framing.Frame
+    ) -> None:
+        stream_id, max_offset = framing.decode_window_update(frame.body)
+        stream = self.streams.get(stream_id)
+        self._obs_flow_updates_received.inc()
+        if stream is None:
+            return
+        if max_offset <= stream.send_limit:
+            return  # stale or replayed grant: credit never shrinks
+        stream.send_limit = max_offset
+        stream.stalled = False
+        self._pump()
+        self._maybe_writable(stream)
 
     def _on_stream_fin(self, stream: TcplsStream) -> None:
         if self.on_stream_fin:
@@ -1866,11 +2039,22 @@ class TcplsServer:
         port: int = 443,
         on_session: Optional[Callable[[TcplsSession], None]] = None,
         fast_open: bool = True,
+        admission=None,
+        on_reject: Optional[Callable] = None,
     ) -> None:
         self.context = context
         self.stack = stack
         self.port = port
         self.on_session = on_session
+        # Optional overload protection (repro.overload): an
+        # AdmissionController shared across the farm's listeners.  When
+        # present it gates every accept (queue cap) and every first
+        # record (cost-aware policy + handshake pacer) and tracks
+        # admitted sessions against the global memory budget.
+        # ``on_reject(decision)`` lets the harness observe refusals and
+        # deliver retry coupons.
+        self.admission = admission
+        self.on_reject = on_reject
         self.sessions: List[TcplsSession] = []
         self._session_seed = context.seed
         self._fast_open = fast_open
@@ -1916,6 +2100,13 @@ class TcplsServer:
         )
 
     def _on_tcp_connection(self, tcp: TcpConnection) -> None:
+        if self.admission is not None and not self.admission.admit_connection(
+            len(self._pending)
+        ):
+            # Accept queue full: refuse before buffering a single
+            # record — the cheapest possible rejection.
+            tcp.abort("accept queue full")
+            return
         # Buffer until the first record (a ClientHello) is complete, then
         # decide: new session, or JOIN onto an existing one.
         decoder = RecordDecoder()
@@ -1946,6 +2137,7 @@ class TcplsServer:
 
     def _route(self, tcp, outer_type: int, body: bytes, all_bytes: bytes) -> None:
         join_info = None
+        hello = None
         if outer_type == ContentType.HANDSHAKE:
             try:
                 frames = m.parse_handshake_frames(body)
@@ -1955,6 +2147,13 @@ class TcplsServer:
             except DecodeError:
                 self._obs_decode_rejected.inc()
                 tcp.abort("malformed first record")
+                return
+        if self.admission is not None:
+            decision = self.admission.admit_hello(hello, join_info)
+            if not decision.admitted:
+                if self.on_reject:
+                    self.on_reject(decision)
+                tcp.abort(f"overloaded ({decision.reason})")
                 return
         if join_info is not None:
             if not self._join_allowed(tcp):
@@ -1973,6 +2172,8 @@ class TcplsServer:
         session_context = self.context
         session = TcplsSession(session_context, self.stack, is_server=True)
         self.sessions.append(session)
+        if self.admission is not None:
+            self.admission.track(session)
         if self.on_session:
             self.on_session(session)
         session.accept_primary(tcp, all_bytes)

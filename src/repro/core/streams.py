@@ -14,6 +14,13 @@ from typing import Callable, Dict, Optional
 
 CONTROL_STREAM_ID = 0
 
+# Protocol-default per-stream receive window.  A sender assumes this
+# much initial credit before the first WINDOW_UPDATE arrives; receivers
+# tolerate overshoot up to this bound even when configured with a
+# smaller window, so asymmetric configurations converge instead of
+# aborting (peers with symmetric contexts are exact from byte 0).
+DEFAULT_STREAM_WINDOW = 4 << 20
+
 
 class TcplsStream:
     """One datastream's endpoint state.
@@ -40,9 +47,19 @@ class TcplsStream:
         "bytes_received",
         "on_data",
         "on_fin",
+        "send_limit",
+        "stalled",
+        "writable_blocked",
+        "granted_limit",
+        "read_buffer",
     )
 
-    def __init__(self, stream_id: int, conn_id: int) -> None:
+    def __init__(
+        self,
+        stream_id: int,
+        conn_id: int,
+        recv_window: int = DEFAULT_STREAM_WINDOW,
+    ) -> None:
         self.stream_id = stream_id
         self.conn_id = conn_id  # the connection the stream is pinned to
         self.attached = False
@@ -53,6 +70,12 @@ class TcplsStream:
         self.fin_pending = False
         self.fin_sent = False
         self.bytes_sent = 0
+        # Flow-control credit: absolute max offset the peer permits.
+        # Starts at the local window on the symmetric-context assumption;
+        # WINDOW_UPDATE grants only ever raise it (cumulative max).
+        self.send_limit = recv_window
+        self.stalled = False  # pending data blocked on zero credit
+        self.writable_blocked = False  # send() raised WouldBlock
 
         # Receiver state.
         self.recv_next = 0  # next in-order offset expected
@@ -61,6 +84,11 @@ class TcplsStream:
         self.fin_offset: Optional[int] = None
         self.remote_closed = False
         self.bytes_received = 0
+        # Receiver-side flow control: credit granted to the peer so far
+        # (absolute offset) and the delivered-but-unread app-read queue
+        # used when no delivery callback consumes data immediately.
+        self.granted_limit = recv_window
+        self.read_buffer = bytearray()
 
         # Delivery callback: set by the session/application.
         self.on_data: Optional[Callable[[bytes], None]] = None
@@ -74,11 +102,19 @@ class TcplsStream:
         self.send_buffer.extend(data)
 
     def take_chunk(self, max_bytes: int) -> Optional[tuple]:
-        """Pop up to ``max_bytes`` for transmission; returns (offset, data, fin)."""
+        """Pop up to ``max_bytes`` for transmission; returns (offset, data, fin).
+
+        Clamped by the peer's flow-control credit: never advances
+        ``send_offset`` past ``send_limit``.  A bare FIN carries no bytes
+        and needs no credit.
+        """
         if not self.send_buffer:
             if self.fin_pending and not self.fin_sent:
                 self.fin_sent = True
                 return (self.send_offset, b"", True)
+            return None
+        max_bytes = min(max_bytes, self.send_limit - self.send_offset)
+        if max_bytes <= 0:
             return None
         chunk = bytes(self.send_buffer[:max_bytes])
         del self.send_buffer[:max_bytes]
@@ -95,6 +131,10 @@ class TcplsStream:
 
     def has_pending_data(self) -> bool:
         return bool(self.send_buffer) or (self.fin_pending and not self.fin_sent)
+
+    def send_credit(self) -> int:
+        """Bytes of flow-control credit remaining on this stream."""
+        return max(0, self.send_limit - self.send_offset)
 
     # -- receiver ------------------------------------------------------------------
 
@@ -144,6 +184,29 @@ class TcplsStream:
     def reassembly_bytes(self) -> int:
         """Out-of-order bytes currently buffered awaiting reassembly."""
         return self._buffered
+
+    def app_buffered(self) -> int:
+        """Delivered-but-unread bytes sitting in the app-read queue."""
+        return len(self.read_buffer)
+
+    def consumed_offset(self) -> int:
+        """Absolute offset the application has consumed up to.
+
+        With a delivery callback, delivery *is* consumption; in pull
+        mode, in-order bytes parked in ``read_buffer`` are delivered but
+        not yet consumed and earn the peer no new credit.
+        """
+        return self.recv_next - len(self.read_buffer)
+
+    def read(self, max_bytes: Optional[int] = None) -> bytes:
+        """Drain up to ``max_bytes`` from the app-read queue."""
+        if max_bytes is None or max_bytes >= len(self.read_buffer):
+            data = bytes(self.read_buffer)
+            self.read_buffer.clear()
+        else:
+            data = bytes(self.read_buffer[:max_bytes])
+            del self.read_buffer[:max_bytes]
+        return data
 
     def fully_closed(self) -> bool:
         return self.fin_sent and self.remote_closed

@@ -19,13 +19,16 @@ from typing import Iterable, List, Optional, Sequence
 
 from repro.faults.plan import (
     KIND_BLACKHOLE,
+    KIND_CLIENT_STAMPEDE,
     KIND_CORRUPT_BURST,
     KIND_FLAP,
     KIND_LOSS_BURST,
+    KIND_MEMORY_PRESSURE,
     KIND_NAT_REBIND,
     KIND_RST_STORM,
     KIND_SERVER_CRASH,
     KIND_SERVER_RESTART,
+    KIND_SLOW_READER,
     KIND_STRIP_OPTIONS,
     KIND_TICKET_KEY_ROTATION,
     Fault,
@@ -138,7 +141,8 @@ class ChaosEngine:
     to every hop).  Faults with ``path=None`` hit all paths.
     """
 
-    def __init__(self, sim, paths: Sequence, obs=None, endpoints=None) -> None:
+    def __init__(self, sim, paths: Sequence, obs=None, endpoints=None,
+                 workloads=None) -> None:
         self.sim = sim
         self.paths: List[list] = [
             list(entry) if isinstance(entry, (list, tuple)) else [entry]
@@ -148,6 +152,14 @@ class ChaosEngine:
         # endpoint kinds, ``fault.path`` indexes this list instead of
         # ``paths`` (None = every endpoint).
         self.endpoints: List = list(endpoints) if endpoints else []
+        # Workload-fault targets: objects speaking the chaos workload
+        # protocol (``stampede``/``slow_reader_start``/``slow_reader_end``/
+        # ``memory_pressure_start``/``memory_pressure_end``).  For
+        # workload kinds, ``fault.path`` indexes this list (None = all).
+        self.workloads: List = list(workloads) if workloads else []
+        # Workload windows currently open, for teardown mid-window:
+        # (workload, kind) entries.
+        self._workload_open: list = []
         # Chronological record of every action taken: (time, kind, path,
         # phase) where phase is "start"/"end" ("fire" for instant faults).
         self.log: list = []
@@ -172,7 +184,8 @@ class ChaosEngine:
                 KIND_FLAP, KIND_BLACKHOLE, KIND_LOSS_BURST, KIND_CORRUPT_BURST,
                 KIND_RST_STORM, KIND_STRIP_OPTIONS, KIND_NAT_REBIND,
                 KIND_SERVER_CRASH, KIND_SERVER_RESTART,
-                KIND_TICKET_KEY_ROTATION,
+                KIND_TICKET_KEY_ROTATION, KIND_CLIENT_STAMPEDE,
+                KIND_SLOW_READER, KIND_MEMORY_PRESSURE,
             )
         }
 
@@ -190,7 +203,8 @@ class ChaosEngine:
             )
 
     _INSTANT_KINDS = frozenset(
-        (KIND_NAT_REBIND, KIND_SERVER_CRASH, KIND_TICKET_KEY_ROTATION)
+        (KIND_NAT_REBIND, KIND_SERVER_CRASH, KIND_TICKET_KEY_ROTATION,
+         KIND_CLIENT_STAMPEDE)
     )
 
     def _start(self, fault: Fault) -> None:
@@ -205,6 +219,9 @@ class ChaosEngine:
             KIND_SERVER_CRASH: self._fire_server_crash,
             KIND_SERVER_RESTART: self._start_server_restart,
             KIND_TICKET_KEY_ROTATION: self._fire_rotation,
+            KIND_CLIENT_STAMPEDE: self._fire_stampede,
+            KIND_SLOW_READER: self._start_slow_reader,
+            KIND_MEMORY_PRESSURE: self._start_memory_pressure,
         }[fault.kind]
         self._note(fault, "fire" if fault.kind in self._INSTANT_KINDS else "start")
         if self._obs_counters is not None:
@@ -326,6 +343,51 @@ class ChaosEngine:
         for endpoint in self._endpoints_for(fault):
             endpoint.rotate_ticket_key()
 
+    # -- workload handlers -------------------------------------------------
+
+    def _workloads_for(self, fault: Fault) -> list:
+        if not self.workloads:
+            raise ValueError(
+                f"fault kind {fault.kind!r} needs ChaosEngine(workloads=...)"
+            )
+        if fault.path is None:
+            return list(self.workloads)
+        return [self.workloads[fault.path]]
+
+    def _fire_stampede(self, fault: Fault) -> None:
+        count = int(fault.params.get("count", 20))
+        for workload in self._workloads_for(fault):
+            workload.stampede(count)
+
+    def _start_slow_reader(self, fault: Fault) -> None:
+        targets = self._workloads_for(fault)
+        for workload in targets:
+            workload.slow_reader_start()
+            self._workload_open.append((workload, KIND_SLOW_READER))
+        self.sim.schedule(fault.duration, self._end_slow_reader, fault, targets)
+
+    def _end_slow_reader(self, fault: Fault, targets: list) -> None:
+        for workload in targets:
+            workload.slow_reader_end()
+            self._workload_open.remove((workload, KIND_SLOW_READER))
+        self._note(fault, "end")
+
+    def _start_memory_pressure(self, fault: Fault) -> None:
+        factor = float(fault.params.get("factor", 0.25))
+        targets = self._workloads_for(fault)
+        for workload in targets:
+            workload.memory_pressure_start(factor)
+            self._workload_open.append((workload, KIND_MEMORY_PRESSURE))
+        self.sim.schedule(
+            fault.duration, self._end_memory_pressure, fault, targets
+        )
+
+    def _end_memory_pressure(self, fault: Fault, targets: list) -> None:
+        for workload in targets:
+            workload.memory_pressure_end()
+            self._workload_open.remove((workload, KIND_MEMORY_PRESSURE))
+        self._note(fault, "end")
+
     # -- teardown ----------------------------------------------------------
 
     def teardown(self) -> None:
@@ -372,6 +434,13 @@ class ChaosEngine:
                 self.log.append(
                     (self.sim.now, KIND_SERVER_RESTART, index, "teardown")
                 )
+        for workload, kind in list(self._workload_open):
+            if kind == KIND_SLOW_READER:
+                workload.slow_reader_end()
+            else:
+                workload.memory_pressure_end()
+            self.log.append((self.sim.now, kind, None, "teardown"))
+        self._workload_open.clear()
 
     # -- introspection -----------------------------------------------------
 
@@ -379,6 +448,7 @@ class ChaosEngine:
         return {
             "paths": len(self.paths),
             "endpoints": len(self.endpoints),
+            "workloads": len(self.workloads),
             "actions": len(self.log),
             "rebinders": len(self._rebinders),
             "installed": len(self._installed),

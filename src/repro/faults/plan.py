@@ -34,6 +34,15 @@ KIND_SERVER_CRASH = "server_crash"   # listener + in-flight sessions die
 KIND_SERVER_RESTART = "server_restart"  # crash, back up after `duration`
 KIND_TICKET_KEY_ROTATION = "ticket_key_rotation"  # resumption keys rotate
 
+# Workload faults: the *offered load* misbehaves, not the network or the
+# process.  ``path`` indexes the engine's workload list (None = every
+# workload); targets speak the chaos workload protocol
+# (``stampede``/``slow_reader_start``/... — see
+# :class:`repro.overload.world.OverloadWorld`).
+KIND_CLIENT_STAMPEDE = "client_stampede"  # a clump of arrivals at once
+KIND_SLOW_READER = "slow_reader"          # clients stop draining streams
+KIND_MEMORY_PRESSURE = "memory_pressure"  # the global budget shrinks
+
 ALL_KINDS = (
     KIND_FLAP,
     KIND_BLACKHOLE,
@@ -45,6 +54,9 @@ ALL_KINDS = (
     KIND_SERVER_CRASH,
     KIND_SERVER_RESTART,
     KIND_TICKET_KEY_ROTATION,
+    KIND_CLIENT_STAMPEDE,
+    KIND_SLOW_READER,
+    KIND_MEMORY_PRESSURE,
 )
 
 #: The endpoint-fault subset (need the engine's ``endpoints`` list).
@@ -52,11 +64,17 @@ ENDPOINT_KINDS = frozenset(
     (KIND_SERVER_CRASH, KIND_SERVER_RESTART, KIND_TICKET_KEY_ROTATION)
 )
 
+#: The workload-fault subset (need the engine's ``workloads`` list).
+WORKLOAD_KINDS = frozenset(
+    (KIND_CLIENT_STAMPEDE, KIND_SLOW_READER, KIND_MEMORY_PRESSURE)
+)
+
 # Kinds that occupy a time window (duration matters).
 WINDOWED_KINDS = frozenset(ALL_KINDS) - {
     KIND_NAT_REBIND,
     KIND_SERVER_CRASH,
     KIND_TICKET_KEY_ROTATION,
+    KIND_CLIENT_STAMPEDE,
 }
 
 
@@ -173,6 +191,31 @@ class FaultPlan:
                             path: Optional[int] = None) -> "FaultPlan":
         """Rotate the server's ticket key mid-flight, no downtime."""
         return self.add(Fault(KIND_TICKET_KEY_ROTATION, at, path=path))
+
+    def client_stampede(self, at: float, count: int = 20,
+                        path: Optional[int] = None) -> "FaultPlan":
+        """``count`` extra arrivals land at once (``path`` = workload)."""
+        return self.add(
+            Fault(KIND_CLIENT_STAMPEDE, at, path=path,
+                  params={"count": int(count)})
+        )
+
+    def slow_reader(self, at: float, duration: float,
+                    path: Optional[int] = None) -> "FaultPlan":
+        """Arrivals during the window stop draining their streams; they
+        resume (and catch up) when the window closes."""
+        return self.add(Fault(KIND_SLOW_READER, at, duration, path))
+
+    def memory_pressure(self, at: float, duration: float,
+                        factor: float = 0.25,
+                        path: Optional[int] = None) -> "FaultPlan":
+        """Squeeze the shedder's global budget to ``factor`` of nominal
+        for the window — the deterministic way to force the overload
+        state machine through DEGRADED and SHEDDING."""
+        return self.add(
+            Fault(KIND_MEMORY_PRESSURE, at, duration, path,
+                  params={"factor": float(factor)})
+        )
 
     # -- composition / introspection --------------------------------------
 

@@ -10,17 +10,20 @@ digests depend only on its spec — not on which process, which shard, or
 which position in the batch ran it.  That per-cell isolation is the
 first leg of the fleet's merge invariant.
 
-Two cell kinds ship:
+Three cell kinds ship:
 
 - ``bulk`` — one TCPLS client/server pair over a duplex link moving a
   seeded payload across two streams (the smoke-scenario shape,
   parameterized);
 - ``churn`` — a small ``repro.scale`` server-farm run (session pool,
-  arrivals/departures) for many-session workloads.
+  arrivals/departures) for many-session workloads;
+- ``overload`` — an open-loop ``repro.overload`` storm against an
+  admission-gated listener, with optional scripted workload faults
+  (``stampede_at``/``slow_at``/``mem_at``...).
 
-Both accept an optional scripted link flap (``params["flap_at"]`` /
+All accept an optional scripted link flap (``params["flap_at"]`` /
 ``params["flap_duration"]``) so the determinism-under-sharding tests
-cover the fault path, and both honour ``spec.shake_seed`` and
+cover the fault path, and all honour ``spec.shake_seed`` and
 ``spec.pcap_path``.
 """
 
@@ -161,9 +164,73 @@ def _run_churn(spec: CellSpec, probe: DeterminismProbe) -> int:
     return result.requests_completed
 
 
+def _overload_plan(params: dict):
+    """Scripted overload faults (plus any link flap), or None."""
+    from repro.faults.plan import FaultPlan
+
+    plan = _fault_plan(params)
+    extra = FaultPlan(name="fleet-overload")
+    if "stampede_at" in params:
+        extra.client_stampede(
+            float(params["stampede_at"]),
+            count=int(params.get("stampede_count", 10)),
+        )
+    if "slow_at" in params:
+        extra.slow_reader(
+            float(params["slow_at"]),
+            float(params.get("slow_duration", 0.5)),
+        )
+    if "mem_at" in params:
+        extra.memory_pressure(
+            float(params["mem_at"]),
+            float(params.get("mem_duration", 0.5)),
+            factor=float(params.get("mem_factor", 0.1)),
+        )
+    if not len(extra):
+        return plan
+    return extra if plan is None else plan + extra
+
+
+def _run_overload(spec: CellSpec, probe: DeterminismProbe) -> int:
+    from repro.overload.world import OverloadConfig, run_overload
+
+    params = spec.params
+    config = OverloadConfig(
+        capacity_rate=float(params.get("capacity_rate", 20.0)),
+        offered_multiplier=float(params.get("offered_multiplier", 2.0)),
+        duration=float(params.get("duration", 1.5)),
+        client_hosts=int(params.get("client_hosts", 2)),
+        seed=spec.seed & 0x7FFFFFFF,
+    )
+    writer_holder: list = []
+
+    def on_world(world) -> None:
+        probe.watch(world.sim)
+        for link in world.links:
+            probe.tap(link, link.endpoint(0))
+            probe.tap(link, link.endpoint(1))
+        if spec.pcap_path:
+            writer = PcapWriter(spec.pcap_path, world.sim)
+            writer_holder.append(writer)
+            for link in world.links:
+                link.add_transformer(link.endpoint(0), writer)
+                link.add_transformer(link.endpoint(1), writer)
+
+    result = run_overload(
+        config,
+        fault_plan=_overload_plan(params),
+        until=params.get("until"),
+        on_world=on_world,
+    )
+    for writer in writer_holder:
+        writer.close()
+    return result.completed
+
+
 _KINDS: Dict[str, Callable[[CellSpec, DeterminismProbe], int]] = {
     "bulk": _run_bulk,
     "churn": _run_churn,
+    "overload": _run_overload,
 }
 
 CELL_KINDS: Tuple[str, ...] = tuple(sorted(_KINDS))

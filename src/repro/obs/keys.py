@@ -33,6 +33,8 @@ COMP_POOL = "scale.pool"
 COMP_RECOVERY = "scale.recovery"
 #: The sharded fleet runner (repro.fleet).
 COMP_FLEET = "fleet"
+#: Admission control / load shedding (repro.overload).
+COMP_OVERLOAD = "overload"
 #: Prefix for per-link components (see :func:`link_component`).
 LINK_COMPONENT_PREFIX = "link"
 
@@ -75,6 +77,14 @@ RESUMPTION_EARLY_ACCEPTED = "resumption.early_accepted"
 RESUMPTION_EARLY_REJECTED = "resumption.early_rejected"
 #: 0-RTT refused by the anti-replay strike register specifically.
 RESUMPTION_REPLAY_REJECTED = "resumption.replay_rejected"
+#: Per-stream flow control (credit windows, PR 9).
+FLOW_WOULD_BLOCK = "flow.would_block"
+FLOW_STALLS = "flow.stalls"
+FLOW_WRITABLE = "flow.writable"
+FLOW_WINDOW_UPDATES_SENT = "flow.window_updates_sent"
+FLOW_WINDOW_UPDATES_RECEIVED = "flow.window_updates_received"
+#: A peer wrote past the credit it was granted (fail-closed).
+FLOW_VIOLATIONS = "flow.violations"
 #: Prefix for per-session-event counters (see :func:`session_event`).
 SESSION_EVENT_PREFIX = "event."
 
@@ -113,6 +123,31 @@ FLEET_EVENTS = "events"
 FLEET_SESSIONS = "sessions"
 #: Histogram: per-shard wall-clock seconds (barrier skew diagnosis).
 FLEET_SHARD_WALL_SECONDS = "shard_wall_seconds"
+
+# -- overload metrics ---------------------------------------------------------
+# Every shed/reject code path in ``repro.overload`` must increment one
+# of these (enforced by the REL001 lint rule).
+
+#: Connections admitted at full handshake cost.
+OVERLOAD_ADMITTED = "overload.admitted"
+#: Connections admitted on the cheap path (resumption, JOIN, coupon).
+OVERLOAD_ADMITTED_CHEAP = "overload.admitted_cheap"
+#: Connections rejected because the accept queue was full.
+OVERLOAD_REJECTED_QUEUE = "overload.rejected_queue"
+#: Full handshakes rejected by the handshake-CPU token bucket.
+OVERLOAD_REJECTED_PACER = "overload.rejected_pacer"
+#: Connections rejected by the DEGRADED/SHEDDING admission policy.
+OVERLOAD_REJECTED_STATE = "overload.rejected_state"
+#: Sessions dropped by deadline-based load shedding.
+OVERLOAD_SHED_SESSIONS = "overload.shed_sessions"
+#: Retry coupons minted for rejected clients.
+OVERLOAD_COUPONS_MINTED = "overload.coupons_minted"
+#: Valid retry coupons honoured on a redial.
+OVERLOAD_COUPONS_ACCEPTED = "overload.coupons_accepted"
+#: Gauge: shedder state (0 NORMAL, 1 DEGRADED, 2 SHEDDING).
+OVERLOAD_STATE = "overload.state"
+#: Gauge: bytes tracked against the global memory budget.
+OVERLOAD_MEMORY_BYTES = "overload.memory_bytes"
 
 # -- engine metrics -----------------------------------------------------------
 
@@ -171,6 +206,22 @@ ALL_KEYS = frozenset(
         RESUMPTION_EARLY_ACCEPTED,
         RESUMPTION_EARLY_REJECTED,
         RESUMPTION_REPLAY_REJECTED,
+        FLOW_WOULD_BLOCK,
+        FLOW_STALLS,
+        FLOW_WRITABLE,
+        FLOW_WINDOW_UPDATES_SENT,
+        FLOW_WINDOW_UPDATES_RECEIVED,
+        FLOW_VIOLATIONS,
+        OVERLOAD_ADMITTED,
+        OVERLOAD_ADMITTED_CHEAP,
+        OVERLOAD_REJECTED_QUEUE,
+        OVERLOAD_REJECTED_PACER,
+        OVERLOAD_REJECTED_STATE,
+        OVERLOAD_SHED_SESSIONS,
+        OVERLOAD_COUPONS_MINTED,
+        OVERLOAD_COUPONS_ACCEPTED,
+        OVERLOAD_STATE,
+        OVERLOAD_MEMORY_BYTES,
         POOL_DIALS,
         POOL_REUSED,
         POOL_RETIRED,
@@ -210,6 +261,7 @@ ALL_COMPONENTS = frozenset(
         COMP_POOL,
         COMP_RECOVERY,
         COMP_FLEET,
+        COMP_OVERLOAD,
     )
 )
 

@@ -1,0 +1,282 @@
+"""Cost-aware admission control for a TCPLS listener under overload.
+
+Three gates, cheapest first:
+
+1. **Accept-queue cap** — connections sniffed but not yet routed are
+   bounded; past the cap a SYN-stamping stampede is refused before we
+   buffer a single record.
+2. **State policy** — while the shedder reports DEGRADED, new *full*
+   handshakes are refused (they are the expensive thing) but cheap
+   classes (resumption, JOIN, retry-coupon) still land; in SHEDDING
+   everything new is refused.
+3. **Token-bucket pacer** — handshake CPU is the scarce resource, so
+   admissions draw tokens proportional to their cost: a full handshake
+   pays 1.0, a resumption ~a tenth (one HMAC + no certificate chain),
+   a JOIN even less.  The bucket rate *is* the capacity the O1
+   benchmark sweeps offered load against.
+
+Refused full handshakes get a sealed retry coupon
+(:mod:`repro.overload.coupons`): the redial presents it in the
+ClientHello and classifies as cheap — clients that already waited are
+preferred over fresh arrivals, which keeps the goodput curve flat past
+saturation instead of collapsing into redial storms.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.obs import Observability
+from repro.obs import keys as obs_keys
+from repro.overload.coupons import (
+    EXT_TCPLS_COUPON,
+    mint_coupon,
+    verify_coupon,
+)
+from repro.overload.shedding import (
+    STATE_DEGRADED,
+    STATE_SHEDDING,
+    LoadShedder,
+)
+from repro.tls import messages as m
+
+#: Admission classes, cheapest to dearest.
+KIND_JOIN = "join"
+KIND_RESUMPTION = "resumption"
+KIND_COUPON = "coupon"
+KIND_FULL = "full"
+
+
+@dataclass
+class AdmissionConfig:
+    """Knobs for one listener group's admission policy."""
+
+    #: Max connections sniffed-but-unrouted across the group.
+    accept_queue: int = 64
+    #: Token-bucket rate: full handshakes per second the farm can chew.
+    handshake_rate: float = 200.0
+    #: Bucket depth: tolerated burst above the sustained rate.
+    handshake_burst: float = 20.0
+    #: Token cost per admission class.
+    full_cost: float = 1.0
+    resumption_cost: float = 0.1
+    join_cost: float = 0.05
+    coupon_cost: float = 0.1
+    #: Global memory budget across every admitted session.
+    global_memory_budget: int = 64 << 20
+    degraded_watermark: float = 0.7
+    shed_watermark: float = 0.9
+    recover_watermark: float = 0.5
+    #: Seconds from admission to shed-eligibility deadline.
+    session_deadline: float = 30.0
+    #: Retry-coupon sealing key and validity window.
+    coupon_key: bytes = b"repro-overload-coupon-key"
+    coupon_lifetime: float = 5.0
+    seed: int = 0
+
+
+@dataclass
+class Decision:
+    """One admission verdict."""
+
+    admitted: bool
+    kind: str
+    reason: str = ""
+    #: Sealed retry coupon for a refused full handshake.
+    coupon: bytes = b""
+
+
+class TokenBucket:
+    """Sim-clock token bucket with lazy refill (no standing timer)."""
+
+    __slots__ = ("clock", "rate", "burst", "tokens", "_last")
+
+    def __init__(self, clock, rate: float, burst: float) -> None:
+        self.clock = clock
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self._last = clock()
+
+    def _refill(self) -> None:
+        now = self.clock()
+        if now > self._last:
+            self.tokens = min(self.burst, self.tokens + (now - self._last) * self.rate)
+            self._last = now
+
+    def take(self, cost: float) -> bool:
+        self._refill()
+        if self.tokens >= cost:
+            self.tokens -= cost
+            return True
+        return False
+
+    def available(self) -> float:
+        self._refill()
+        return self.tokens
+
+
+def classify_hello(hello: Optional["m.ClientHello"]) -> str:
+    """Cheap-vs-dear classification from the parsed ClientHello.
+
+    A PSK offer means resumption: no certificate chain, no signature —
+    roughly an order of magnitude cheaper for the server, which is why
+    admission prefers it under pressure.  Anything unparseable is a
+    full handshake (pessimal class, fail-closed).
+    """
+    if hello is None:
+        return KIND_FULL
+    if m.get_extension(hello.extensions, m.EXT_PRE_SHARED_KEY) is not None:
+        return KIND_RESUMPTION
+    return KIND_FULL
+
+
+class AdmissionController:
+    """Admission policy + shedding for a group of TCPLS listeners.
+
+    One controller is shared by every listener of a farm so the accept
+    queue, the pacer, and the memory budget are *global* — per-listener
+    controllers would let an attacker multiply the budget by the
+    listener count.
+    """
+
+    def __init__(
+        self,
+        sim,
+        config: Optional[AdmissionConfig] = None,
+        observability: Optional[Observability] = None,
+    ) -> None:
+        self.sim = sim
+        self.config = config or AdmissionConfig()
+        self.obs = observability or Observability(sim, enabled=True)
+        self.rng = random.Random(self.config.seed)
+        self.bucket = TokenBucket(
+            lambda: sim.now,
+            self.config.handshake_rate,
+            self.config.handshake_burst,
+        )
+        self.shedder = LoadShedder(
+            self.config.global_memory_budget,
+            degraded_watermark=self.config.degraded_watermark,
+            shed_watermark=self.config.shed_watermark,
+            recover_watermark=self.config.recover_watermark,
+            session_deadline=self.config.session_deadline,
+            observability=self.obs,
+        )
+        telemetry = self.obs.telemetry
+        self._obs_admitted = telemetry.counter(
+            obs_keys.COMP_OVERLOAD, obs_keys.OVERLOAD_ADMITTED
+        )
+        self._obs_admitted_cheap = telemetry.counter(
+            obs_keys.COMP_OVERLOAD, obs_keys.OVERLOAD_ADMITTED_CHEAP
+        )
+        self._obs_rejected_queue = telemetry.counter(
+            obs_keys.COMP_OVERLOAD, obs_keys.OVERLOAD_REJECTED_QUEUE
+        )
+        self._obs_rejected_pacer = telemetry.counter(
+            obs_keys.COMP_OVERLOAD, obs_keys.OVERLOAD_REJECTED_PACER
+        )
+        self._obs_rejected_state = telemetry.counter(
+            obs_keys.COMP_OVERLOAD, obs_keys.OVERLOAD_REJECTED_STATE
+        )
+        self._obs_coupons_minted = telemetry.counter(
+            obs_keys.COMP_OVERLOAD, obs_keys.OVERLOAD_COUPONS_MINTED
+        )
+        self._obs_coupons_accepted = telemetry.counter(
+            obs_keys.COMP_OVERLOAD, obs_keys.OVERLOAD_COUPONS_ACCEPTED
+        )
+
+    # -- gates -------------------------------------------------------------
+
+    def admit_connection(self, pending_depth: int) -> bool:
+        """Gate 1, at SYN-accept time: bounded accept queue."""
+        if pending_depth >= self.config.accept_queue:
+            return self.reject_queue()
+        return True
+
+    def admit_hello(self, hello, join_info) -> Decision:
+        """Gates 2+3, at first-record time: policy + pacer.
+
+        ``hello`` is the parsed ClientHello (or None when the first
+        record was not parseable as one); ``join_info`` is non-None for
+        JOINs onto existing sessions.
+        """
+        now = self.sim.now
+        state = self.shedder.observe(now)
+        if join_info is not None:
+            kind = KIND_JOIN
+        else:
+            kind = classify_hello(hello)
+            if kind == KIND_FULL and hello is not None:
+                blob = m.get_extension(hello.extensions, EXT_TCPLS_COUPON)
+                if blob is not None and verify_coupon(
+                    self.config.coupon_key, blob, now,
+                    self.config.coupon_lifetime,
+                ):
+                    kind = KIND_COUPON
+                    self._obs_coupons_accepted.inc()
+        if state == STATE_SHEDDING:
+            return self.reject_state(kind, state)
+        if state == STATE_DEGRADED and kind == KIND_FULL:
+            return self.reject_state(kind, state)
+        cost = {
+            KIND_FULL: self.config.full_cost,
+            KIND_RESUMPTION: self.config.resumption_cost,
+            KIND_JOIN: self.config.join_cost,
+            KIND_COUPON: self.config.coupon_cost,
+        }[kind]
+        if not self.bucket.take(cost):
+            return self.reject_pacer(kind)
+        if kind == KIND_FULL:
+            self._obs_admitted.inc()
+        else:
+            self._obs_admitted_cheap.inc()
+        return Decision(True, kind)
+
+    # -- rejection paths (REL001: each increments an overload.* key) -------
+
+    def reject_queue(self) -> bool:
+        """Refuse at the accept queue (pre-sniff, cheapest reject)."""
+        self._obs_rejected_queue.inc()
+        return False
+
+    def reject_pacer(self, kind: str) -> Decision:
+        """Refuse for lack of handshake tokens; coupon the full class."""
+        self._obs_rejected_pacer.inc()
+        return Decision(False, kind, reason="pacer", coupon=self._coupon(kind))
+
+    def reject_state(self, kind: str, state: str) -> Decision:
+        """Refuse by DEGRADED/SHEDDING policy; coupon the full class."""
+        self._obs_rejected_state.inc()
+        return Decision(False, kind, reason=state, coupon=self._coupon(kind))
+
+    def _coupon(self, kind: str) -> bytes:
+        if kind != KIND_FULL:
+            return b""
+        self._obs_coupons_minted.inc()
+        return mint_coupon(self.config.coupon_key, self.sim.now, self.rng)
+
+    # -- session tracking --------------------------------------------------
+
+    def track(self, session) -> None:
+        """Register a freshly admitted session with the shedder."""
+        self.shedder.track(session, self.sim.now)
+
+    def maintain(self) -> str:
+        """Periodic budget sweep (the world's tick calls this)."""
+        return self.shedder.observe(self.sim.now)
+
+    def counts(self) -> dict:
+        """Plain-int snapshot for results/benchmarks."""
+        return {
+            "admitted": self._obs_admitted.value,
+            "admitted_cheap": self._obs_admitted_cheap.value,
+            "rejected_queue": self._obs_rejected_queue.value,
+            "rejected_pacer": self._obs_rejected_pacer.value,
+            "rejected_state": self._obs_rejected_state.value,
+            "shed_sessions": self.shedder.shed_count(),
+            "coupons_minted": self._obs_coupons_minted.value,
+            "coupons_accepted": self._obs_coupons_accepted.value,
+        }

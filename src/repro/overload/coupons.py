@@ -1,0 +1,65 @@
+"""Retry coupons: the reject-with-cookie half of admission control.
+
+A server turning a full handshake away under pressure mints a sealed
+coupon; the client presents it in the ClientHello of its redial (the
+``EXT_TCPLS_COUPON`` extension, next to the TCPLS marker) and is
+admitted on the cheap path — it already paid the wait once.  Coupons
+are HMAC-sealed over an issue timestamp and a random nonce, verified
+against the server's own clock with a short lifetime, so they cannot be
+minted by clients, hoarded across an overload episode, or replayed
+usefully at scale (each admit still pays the cheap token cost).
+
+Delivery rides the rejection path out-of-band of TLS (the overload
+world hands the coupon to the redial directly); an in-band
+HelloRetryRequest-style carrier would change the handshake state
+machine and is out of scope here.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import random
+import struct
+
+from repro.tls.messages import EXT_TCPLS_COUPON
+from repro.utils.errors import DecodeError, decode_guard
+
+__all__ = ["EXT_TCPLS_COUPON", "mint_coupon", "verify_coupon", "COUPON_LEN"]
+
+_MAC_LEN = 16
+_BODY_LEN = 8 + 8  # issued-at f64 + nonce u64
+COUPON_LEN = _BODY_LEN + _MAC_LEN
+
+
+def _seal(key: bytes, body: bytes) -> bytes:
+    return hmac.new(key, body, hashlib.sha256).digest()[:_MAC_LEN]
+
+
+def mint_coupon(key: bytes, now: float, rng: random.Random) -> bytes:
+    """Mint a sealed retry coupon stamped with the server's clock."""
+    body = struct.pack(">dQ", now, rng.getrandbits(64))
+    return body + _seal(key, body)
+
+
+def verify_coupon(key: bytes, blob: bytes, now: float, lifetime: float) -> bool:
+    """True when ``blob`` is an unexpired coupon sealed under ``key``.
+
+    Fail-closed: malformed, truncated, tampered, future-stamped, and
+    expired coupons are all just ``False`` — a bad coupon downgrades
+    the client to the full-handshake admission class, it never aborts
+    the connection.
+    """
+    try:
+        with decode_guard("verify_coupon"):
+            if len(blob) != COUPON_LEN:
+                return False
+            body, mac = blob[:_BODY_LEN], blob[_BODY_LEN:]
+            if not hmac.compare_digest(_seal(key, body), mac):
+                return False
+            issued_at = struct.unpack(">dQ", body)[0]
+            if issued_at > now:
+                return False
+            return now - issued_at <= lifetime
+    except DecodeError:
+        return False

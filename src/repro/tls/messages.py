@@ -50,6 +50,10 @@ EXT_KEY_SHARE = 51
 # "the client indicates its willingness to use TCPLS with a transport
 # parameter in the ClientHello").
 EXT_TCPLS = 0xFF5C
+# Overload retry coupon (repro.overload): a server that refused this
+# client under pressure sealed a coupon; the redial presents it here
+# for cheap-class admission.  0xFF5D is the TCPLS JOIN extension.
+EXT_TCPLS_COUPON = 0xFF5E
 
 TLS13 = 0x0304
 LEGACY_VERSION = 0x0303

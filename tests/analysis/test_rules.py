@@ -1,4 +1,4 @@
-"""The lint engine and the eight repo-aware rules."""
+"""The lint engine and the nine repo-aware rules."""
 
 import json
 import subprocess
@@ -22,6 +22,7 @@ EXPECTED = {
     "FP001": FIXTURES / "fp001_bad.py",
     "FP002": FIXTURES / "fp002_bad.py",
     "OBS001": FIXTURES / "obs001_bad.py",
+    "REL001": FIXTURES / "repro" / "overload" / "rel001_bad.py",
 }
 
 
@@ -33,6 +34,14 @@ def _rules_hit(path: Path) -> set:
 @pytest.mark.parametrize("rule_id", sorted(EXPECTED))
 def test_each_fixture_trips_its_rule(rule_id):
     assert rule_id in _rules_hit(EXPECTED[rule_id])
+
+
+def test_rel001_flags_each_uncounted_path_and_exempts_getters():
+    report = run([EXPECTED["REL001"]], default_rules(), root=REPO)
+    flagged = [f.message for f in report.findings if f.rule == "REL001"]
+    assert any("reject_overload()" in message for message in flagged)
+    assert any("shed_oldest()" in message for message in flagged)
+    assert not any("shed_count" in message for message in flagged)
 
 
 def test_clean_fixture_stays_clean():

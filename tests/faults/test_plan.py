@@ -33,6 +33,9 @@ def test_builders_cover_every_kind():
         .server_crash(8.0)
         .server_restart(9.0, 1.0, rotate_keys=True)
         .ticket_key_rotation(10.0)
+        .client_stampede(10.0, count=5)
+        .slow_reader(9.0, 1.0)
+        .memory_pressure(8.0, 2.0, factor=0.1)
     )
     assert sorted({fault.kind for fault in plan}) == sorted(ALL_KINDS)
     assert plan.horizon() == 10.0

@@ -69,6 +69,28 @@ def test_merged_digests_invariant_for_churn_cells():
     assert _digests(cells, workers=2) == reference
 
 
+def test_merged_digests_invariant_for_overload_cells():
+    """Overload cells (open-loop storm + workload faults through the
+    shedder's whole state machine) must merge digest-identically at
+    1, 2, and 4 shards like every other cell kind."""
+    params = {
+        "capacity_rate": 8.0,
+        "offered_multiplier": 2.0,
+        "duration": 1.0,
+        "stampede_at": 0.3,
+        "stampede_count": 4,
+        "slow_at": 0.2,
+        "slow_duration": 0.4,
+        "mem_at": 0.5,
+        "mem_duration": 0.4,
+        "mem_factor": 0.1,
+    }
+    cells = make_cells(4, base_seed=17, kind="overload", params=params)
+    reference = _digests(cells, workers=1)
+    for workers in SHARD_COUNTS[1:]:
+        assert _digests(cells, workers) == reference
+
+
 def test_fleet_digest_independent_of_vectorq_pcap_side():
     """The wire bytes (pcap digest) must not depend on the vectorized
     queue path; the fleet is the end-to-end consumer of that claim."""

@@ -1,0 +1,28 @@
+"""Fixtures for the overload suite: small-window worlds and stub clocks."""
+
+from repro.netsim.scenarios import simple_duplex_network
+
+from tests.core.conftest import World
+
+
+def make_world(seed=1, **overrides):
+    """A duplex client/server world; ``overrides`` patch both contexts.
+
+    The overload tests run with deliberately tiny stream windows so
+    flow-control stalls happen within a few packets instead of a few
+    megabytes.
+    """
+    net, client_host, server_host, link = simple_duplex_network(delay=0.01)
+    world = World(net, client_host, server_host, seed=seed, **overrides)
+    world.link = link
+    return world
+
+
+class FakeClock:
+    """Settable stand-in for the simulator in pure-policy unit tests."""
+
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def advance(self, dt):
+        self.now += dt

@@ -1,0 +1,118 @@
+"""Overload world integration: conservation, determinism, fault wiring.
+
+The heavyweight sweep lives in ``benchmarks/test_overload.py`` (O1);
+these are the quick structural checks CI's overload-smoke job runs on
+every push.
+"""
+
+from repro.analysis import reset_process_globals
+from repro.faults.plan import FaultPlan
+from repro.overload import OverloadConfig, run_overload
+
+
+def _small_config(**overrides):
+    defaults = dict(
+        capacity_rate=10.0,
+        offered_multiplier=2.0,
+        duration=1.0,
+        client_hosts=2,
+        seed=1,
+    )
+    defaults.update(overrides)
+    return OverloadConfig(**defaults)
+
+
+def _digest(result):
+    return (
+        result.offered,
+        result.completed,
+        result.failed,
+        result.rejected,
+        result.retried,
+        tuple(sorted(result.counts.items())),
+        tuple(result.transitions),
+        result.events_processed,
+        tuple(round(value, 9) for value in result.latencies),
+    )
+
+
+def test_under_capacity_serves_everything():
+    reset_process_globals()
+    result = run_overload(_small_config(offered_multiplier=0.5))
+    assert result.offered >= 1
+    assert result.completed == result.offered
+    assert result.failed == 0 and result.rejected == 0
+    assert result.live_events == 0
+
+
+def test_every_arrival_accounted_exactly_once():
+    reset_process_globals()
+    result = run_overload(_small_config(offered_multiplier=4.0))
+    assert result.completed + result.failed + result.rejected == result.offered
+    counts = result.counts
+    # Past saturation the pacer actively refused work (coupon redials
+    # may recover most of it, but the refusals themselves are counted).
+    assert counts["rejected_pacer"] + counts["rejected_state"] > 0
+    assert result.live_events == 0
+
+
+def test_double_run_is_digest_identical():
+    reset_process_globals()
+    first = run_overload(_small_config())
+    reset_process_globals()
+    second = run_overload(_small_config())
+    assert _digest(first) == _digest(second)
+
+
+def test_seed_changes_the_run():
+    reset_process_globals()
+    first = run_overload(_small_config())
+    reset_process_globals()
+    other = run_overload(_small_config(seed=2))
+    assert _digest(first) != _digest(other)
+
+
+def test_workload_faults_drive_the_state_machine():
+    plan = (
+        FaultPlan(name="overload-mix")
+        .client_stampede(0.6, count=15)
+        .slow_reader(0.4, 1.0)
+        .memory_pressure(1.2, 0.8, factor=0.05)
+    )
+    config = _small_config(
+        capacity_rate=20.0, offered_multiplier=2.0, duration=2.0
+    )
+    reset_process_globals()
+    result = run_overload(config, fault_plan=plan)
+    # Conservation still holds with every workload fault active.
+    assert result.completed + result.failed + result.rejected == result.offered
+    # Memory pressure on slow readers forced real shedding...
+    assert result.counts["shed_sessions"] > 0
+    # ...and the admission state machine both degraded and recovered.
+    assert any(to == "shedding" for _t, _frm, to in result.transitions)
+    assert any(to == "normal" for _t, _frm, to in result.transitions)
+    assert result.counts["rejected_state"] > 0
+    assert result.live_events == 0
+
+
+def test_workload_faults_without_workload_raise():
+    import pytest
+    from repro.faults.chaos import ChaosEngine
+    from repro.netsim.scenarios import simple_duplex_network
+
+    net, _client, _server, link = simple_duplex_network()
+    engine = ChaosEngine(net.sim, [link])  # no workloads registered
+    engine.apply(FaultPlan().client_stampede(0.5, count=3))
+    with pytest.raises(ValueError, match="workloads"):
+        net.sim.run(until=1.0)
+
+
+def test_coupon_retries_recover_rejected_clients():
+    reset_process_globals()
+    result = run_overload(
+        _small_config(capacity_rate=20.0, offered_multiplier=4.0, duration=1.5)
+    )
+    # Saturation minted coupons and at least one redial used one.
+    assert result.counts["coupons_minted"] > 0
+    assert result.retried > 0
+    assert result.counts["coupons_accepted"] > 0
