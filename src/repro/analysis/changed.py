@@ -1,0 +1,109 @@
+"""Git-diff-aware file selection for ``--changed-only`` runs.
+
+For pre-commit latency the linter only needs to look at what changed —
+*unless* the whole-program layer would see different facts.  The
+decision is made with the symbol table's import graph:
+
+1. Collect changed ``*.py`` files from ``git diff`` (worktree +
+   index) plus untracked files.
+2. If no changed file lives under the analysis scope, there is nothing
+   to do.
+3. If any changed module is imported — transitively — by a module in
+   the wire scope (``tcp``/``tls``/``core``/``quic``), a changed helper
+   could sit on a tainted interprocedural path, so the run falls back
+   to the full repo.  Otherwise only the changed files (and the files
+   that import them, so cross-module rules see their direct consumers)
+   are linted.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+from typing import List, Optional, Sequence, Set
+
+from repro.analysis.callgraph import SymbolTable, module_dotted_name
+from repro.analysis.engine import Module
+
+_WIRE_SEGMENTS = frozenset(("tcp", "tls", "core", "quic"))
+
+
+def git_changed_files(root: Path) -> Optional[List[Path]]:
+    """Changed + untracked ``*.py`` files, or None when git is unusable."""
+    try:
+        proc = subprocess.run(
+            ["git", "-C", str(root), "diff", "--name-only", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=30,
+        )
+        untracked = subprocess.run(
+            [
+                "git", "-C", str(root), "ls-files",
+                "--others", "--exclude-standard",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=30,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if proc.returncode != 0 or untracked.returncode != 0:
+        return None
+    names = proc.stdout.splitlines() + untracked.stdout.splitlines()
+    return [
+        root / name.strip()
+        for name in sorted(set(names))
+        if name.strip().endswith(".py")
+    ]
+
+
+def _is_wire_module(dotted: str) -> bool:
+    return bool(_WIRE_SEGMENTS.intersection(dotted.split(".")))
+
+
+def reverse_importers(table: SymbolTable, targets: Set[str]) -> Set[str]:
+    """Modules that (transitively) import any of ``targets``."""
+    importers: Set[str] = set()
+    changed = True
+    wanted = set(targets)
+    while changed:
+        changed = False
+        for mod_name in sorted(table.modules):
+            if mod_name in importers or mod_name in wanted:
+                continue
+            if table.imports_of(mod_name) & (wanted | importers):
+                importers.add(mod_name)
+                changed = True
+    return importers
+
+
+def select_changed(
+    modules: Sequence[Module],
+    table: SymbolTable,
+    changed_files: Sequence[Path],
+) -> Optional[List[Module]]:
+    """The modules a changed-only run should lint.
+
+    Returns None to request a full-repo run (a changed module is
+    reachable from the wire scope through imports); returns a possibly
+    empty list otherwise.
+    """
+    changed_resolved = {path.resolve() for path in changed_files}
+    changed_modules = [
+        module for module in modules
+        if module.path.resolve() in changed_resolved
+    ]
+    if not changed_modules:
+        return []
+    changed_names = {
+        module_dotted_name(module.relpath) for module in changed_modules
+    }
+    importers = reverse_importers(table, changed_names)
+    if any(_is_wire_module(name) for name in changed_names | importers):
+        return None
+    keep = changed_names | importers
+    return [
+        module for module in modules
+        if module_dotted_name(module.relpath) in keep
+    ]

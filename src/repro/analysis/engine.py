@@ -62,6 +62,8 @@ class Module:
     tree: ast.AST
     #: line number -> set of suppressed rule ids ({"*"} = all rules).
     noqa: Dict[int, frozenset]
+    #: rule id (or "*") -> number of waiver comments naming it.
+    waiver_tally: Dict[str, int] = field(default_factory=dict)
 
     def suppressed(self, rule: str, line: int) -> bool:
         rules = self.noqa.get(line)
@@ -116,12 +118,50 @@ def _collect_noqa(source: str) -> Dict[int, frozenset]:
     return noqa
 
 
+#: Statement types whose waivers spread across their whole line extent.
+#: Compound statements (``if``/``for``/``def``...) are excluded — a
+#: waiver on their header must not blanket their entire body.
+_SIMPLE_STMTS = (
+    ast.Assign, ast.AnnAssign, ast.AugAssign, ast.Expr, ast.Return,
+    ast.Raise, ast.Assert, ast.Delete, ast.Import, ast.ImportFrom,
+    ast.Global, ast.Nonlocal, ast.Pass, ast.Break, ast.Continue,
+)
+
+
+def _spread_noqa(tree: ast.AST, noqa: Dict[int, frozenset]) -> Dict[int, frozenset]:
+    """Extend waivers across multi-line simple statements.
+
+    A ``# repro: noqa-RULE`` on any physical line of a wrapped call or
+    assignment suppresses findings anchored to any other line of that
+    same statement — rules anchor findings to whichever AST node they
+    walked, which is rarely the line the trailing comment landed on.
+    """
+    if not noqa:
+        return noqa
+    spread = dict(noqa)
+    for node in ast.walk(tree):
+        if not isinstance(node, _SIMPLE_STMTS):
+            continue
+        end = getattr(node, "end_lineno", None)
+        if end is None or end <= node.lineno:
+            continue
+        lines = range(node.lineno, end + 1)
+        combined = frozenset().union(
+            *(noqa.get(line, frozenset()) for line in lines)
+        )
+        if not combined:
+            continue
+        for line in lines:
+            spread[line] = spread.get(line, frozenset()) | combined
+    return spread
+
+
 def load_module(path: Path, root: Path) -> Optional[Module]:
     """Parse one file; returns None for unreadable/unparseable input.
 
     Syntax errors are not this linter's job (ruff/py_compile own them),
     so a file that does not parse is skipped rather than crashing the
-    whole run.
+    whole run (the skip is still counted and reported).
     """
     try:
         source = path.read_text(encoding="utf-8")
@@ -132,12 +172,18 @@ def load_module(path: Path, root: Path) -> Optional[Module]:
         relpath = path.resolve().relative_to(root.resolve()).as_posix()
     except ValueError:
         relpath = path.as_posix()
+    noqa = _collect_noqa(source)
+    tally: Dict[str, int] = {}
+    for ids in noqa.values():
+        for rule_id in sorted(ids):
+            tally[rule_id] = tally.get(rule_id, 0) + 1
     return Module(
         path=path,
         relpath=relpath,
         source=source,
         tree=tree,
-        noqa=_collect_noqa(source),
+        noqa=_spread_noqa(tree, noqa),
+        waiver_tally=tally,
     )
 
 
@@ -156,10 +202,16 @@ class Report:
     findings: List[Finding] = field(default_factory=list)
     files_checked: int = 0
     rules_run: List[str] = field(default_factory=list)
+    #: Files that failed to read/parse (reported, not silently dropped).
+    files_skipped: List[str] = field(default_factory=list)
+    #: rule id -> "<rule> in check(<relpath>): <error>" for crashed rules.
+    rule_errors: Dict[str, str] = field(default_factory=dict)
+    #: rule id (or "*") -> count of ``# repro: noqa`` waivers in scope.
+    waivers: Dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
-        return not self.findings
+        return not self.findings and not self.rule_errors
 
     def counts(self) -> Dict[str, int]:
         counts: Dict[str, int] = {}
@@ -172,8 +224,11 @@ class Report:
             {
                 "ok": self.ok,
                 "files_checked": self.files_checked,
+                "files_skipped": sorted(self.files_skipped),
                 "rules": self.rules_run,
+                "rule_errors": self.rule_errors,
                 "counts": self.counts(),
+                "waivers": self.waivers,
                 "findings": [finding.as_dict() for finding in self.findings],
             },
             indent=2,
@@ -182,12 +237,21 @@ class Report:
 
     def format_human(self) -> str:
         lines = [finding.format() for finding in self.findings]
+        for rule_id in sorted(self.rule_errors):
+            lines.append(f"error: {self.rule_errors[rule_id]}")
+        if self.files_skipped:
+            lines.append(
+                f"skipped {len(self.files_skipped)} unparseable file(s): "
+                + ", ".join(sorted(self.files_skipped))
+            )
         summary = (
             f"{len(self.findings)} finding(s) in {self.files_checked} file(s)"
             if self.findings
             else f"clean: {self.files_checked} file(s), "
             f"{len(self.rules_run)} rule(s)"
         )
+        if self.waivers:
+            summary += f", {sum(self.waivers.values())} waiver(s)"
         lines.append(summary)
         return "\n".join(lines)
 
@@ -204,15 +268,45 @@ def run(
     for file_path in iter_python_files(paths):
         module = load_module(file_path, root)
         if module is None:
+            try:
+                skipped = file_path.resolve().relative_to(
+                    root.resolve()
+                ).as_posix()
+            except ValueError:
+                skipped = file_path.as_posix()
+            report.files_skipped.append(skipped)
             continue
         modules.append(module)
         report.files_checked += 1
+        for rule_id, count in module.waiver_tally.items():
+            report.waivers[rule_id] = report.waivers.get(rule_id, 0) + count
         for rule in rules:
-            for finding in rule.check(module):
+            if rule.id in report.rule_errors:
+                continue
+            try:
+                findings = list(rule.check(module))
+            # Crash isolation: one broken rule must not take down the
+            # others' findings.
+            except Exception as exc:  # repro: noqa-SEC003 - isolation
+                report.rule_errors[rule.id] = (
+                    f"{rule.id} crashed in check({module.relpath}): {exc!r}"
+                )
+                continue
+            for finding in findings:
                 if not module.suppressed(finding.rule, finding.line):
                     report.findings.append(finding)
     for rule in rules:
-        for finding in rule.finalize(modules, root):
+        if rule.id in report.rule_errors:
+            continue
+        try:
+            finalized = list(rule.finalize(modules, root))
+        # Crash isolation, as above.
+        except Exception as exc:  # repro: noqa-SEC003 - isolation
+            report.rule_errors[rule.id] = (
+                f"{rule.id} crashed in finalize(): {exc!r}"
+            )
+            continue
+        for finding in finalized:
             module = next(
                 (m for m in modules if m.relpath == finding.path), None
             )

@@ -1,6 +1,6 @@
 """The repo-aware rule catalogue.
 
-Nine rules, each protecting an invariant the reproduction's claims
+Twelve rules, each protecting an invariant the reproduction's claims
 rest on (see DESIGN.md section 4f for the full rationale catalogue):
 
 ========  ==============================================================
@@ -22,7 +22,18 @@ FP002     Every object crossing the fleet's shard boundary is declared
 OBS001    Telemetry key strings come from ``repro.obs.keys``.
 REL001    Every overload shed/reject path increments a registered
           ``overload.*`` telemetry key.
+TAINT001  No wire-derived integer reaches an allocation size, range
+          bound, repetition factor, timer delay, or resource attribute
+          without a dominating bounds check (interprocedural).
+TAINT002  No wire-derived bytes reach pickle/exec/eval/RNG-seed/
+          telemetry-key sinks (interprocedural).
+API001    Flag-gated fastpath/scalar call pairs have matching
+          signatures and a cross-check that exercises the fast callee.
 ========  ==============================================================
+
+The TAINT/API rules run on the whole-program layer: a symbol table and
+call graph (``repro.analysis.callgraph``) plus a forward taint fixpoint
+(``repro.analysis.taint``), shared and memoized per run.
 """
 
 from __future__ import annotations
@@ -1037,6 +1048,268 @@ exported vocabulary."""
 
 
 # ---------------------------------------------------------------------------
+# TAINT001 / TAINT002 — interprocedural wire-taint flows
+# ---------------------------------------------------------------------------
+
+class _TaintRuleBase(Rule):
+    """Shared finalize: run the whole-program pass, emit my family."""
+
+    #: Which sink kinds belong to this rule (see ``taint.INT_SINKS``).
+    _sink_kinds: frozenset = frozenset()
+
+    def finalize(self, modules: Sequence[Module], root: Path) -> Iterator[Finding]:
+        from repro.analysis.taint import analyze_program
+
+        _table, _graph, result = analyze_program(modules)
+        for hit in result.sinks:
+            if hit.sink not in self._sink_kinds:
+                continue
+            yield Finding(
+                rule=self.id,
+                path=hit.module.relpath,
+                line=hit.line,
+                col=hit.col,
+                message=f"{hit.detail}; tainted by {hit.origin}",
+            )
+
+
+class Taint001UnboundedWireInteger(_TaintRuleBase):
+    id = "TAINT001"
+    title = "wire-derived integers must be bounds-checked before use"
+    rationale = """\
+A length/offset/timeout field decoded under `decode_guard` parses
+safely — but the *value* is still attacker-chosen, and PR 5's per-module
+checks cannot see it flow through helper calls into another module.
+This rule seeds taint at every decoder (`decode_guard` bodies, guard-
+decorated parsers, `from_bytes` constructors, fuzz mutators), propagates
+it forward through assignments, calls/returns, attribute stores on
+protocol objects, and container packing, and reports any path where the
+value reaches an allocation size (`bytes(n)`), a `range()` bound, a
+sequence repetition factor, a timer delay (a parameter named
+`delay`/`timeout`/`seconds`/... resolved via the call graph), or a
+resource-governing attribute store (`*cwnd`, `*limit`, `*window`,
+`*timeout`, ...) without a dominating bounds check.
+
+A flow is considered guarded by: a `min(...)` wrap, a width-reducing
+`x % cap` / `x & mask`, or any earlier `if`/`while`/`assert` test
+naming the value in the same function.  `max(...)` is a floor, not a
+cap, and does not count — that is exactly how the plugin-cwnd bug
+slipped through."""
+
+    def __init__(self) -> None:
+        from repro.analysis.taint import INT_SINKS
+
+        self._sink_kinds = INT_SINKS
+
+
+class Taint002WireDataSink(_TaintRuleBase):
+    id = "TAINT002"
+    title = "wire-derived data must not reach interpreter/state sinks"
+    rationale = """\
+Some sinks are unsafe for attacker bytes at *any* value: `pickle.loads`
+and `marshal.loads` execute reduction callables, `exec`/`eval`/`compile`
+are code injection, seeding a `random.Random` from wire data lets a
+peer steer "random" simulation decisions, and interpolating wire bytes
+into a telemetry key explodes key cardinality and corrupts dashboards.
+FP002 already polices the fleet's declared pickle boundary per-module;
+this rule follows the bytes interprocedurally, so a decode in `tls/`
+that funnels into a `pickle.loads` three calls away in `fleet/` is
+still caught."""
+
+    def __init__(self) -> None:
+        from repro.analysis.taint import DATA_SINKS
+
+        self._sink_kinds = DATA_SINKS
+
+
+# ---------------------------------------------------------------------------
+# API001 — fastpath/scalar pair contracts via the call graph
+# ---------------------------------------------------------------------------
+
+class Api001FastpathPairContract(Rule):
+    id = "API001"
+    title = "fastpath/scalar pairs must match signatures and be cross-checked"
+    rationale = """\
+FP001 checks flag hygiene by name convention: the flag exists and its
+registered test file mentions the flag.  This rule checks the *pair*
+semantics via the call graph: at every gate of the form
+
+    if fastpath.enabled("x"): return fast(...)
+    return scalar(...)
+
+(or the ternary / branch-assignment equivalents), the fast and scalar
+callees must (a) be two distinct functions — both branches calling the
+same function is a dead fast path, (b) have matching positional
+signatures — a drifted parameter list means the cross-check test cannot
+be exercising both paths with the same inputs, and (c) the flag's
+registered cross-check test must reference the fast callee by name, so
+renaming the fast function without updating the equivalence test is
+caught."""
+
+    def finalize(self, modules: Sequence[Module], root: Path) -> Iterator[Finding]:
+        from repro import fastpath
+        from repro.analysis.callgraph import CallResolver, SymbolTable
+        from repro.analysis.taint import analyze_program
+
+        table, _graph, _result = analyze_program(modules)
+        crosschecks = getattr(fastpath, "CROSSCHECKS", {})
+        check_registry = (root / "src" / "repro" / "fastpath.py").exists()
+        for qualname in sorted(table.functions):
+            info = table.functions[qualname]
+            resolver = CallResolver(table, info)
+            for gate in _find_fastpath_gates(info.node):
+                flag, fast_call, slow_call = gate
+                fast = _sole_callee(resolver, fast_call)
+                slow = _sole_callee(resolver, slow_call)
+                if fast is None or slow is None:
+                    continue
+                line = fast_call.lineno
+                col = fast_call.col_offset
+                if fast.qualname == slow.qualname:
+                    yield Finding(
+                        rule=self.id,
+                        path=info.module.relpath,
+                        line=line,
+                        col=col,
+                        message=f"both branches of the {flag!r} gate call "
+                        f"{fast.name}(); the fast path is dead",
+                    )
+                    continue
+                fast_params = tuple(fast.positional_params())
+                slow_params = tuple(slow.positional_params())
+                if fast_params != slow_params:
+                    yield Finding(
+                        rule=self.id,
+                        path=info.module.relpath,
+                        line=line,
+                        col=col,
+                        message=f"{flag!r} gate pair has drifted signatures: "
+                        f"{fast.name}({', '.join(fast_params)}) vs "
+                        f"{slow.name}({', '.join(slow_params)})",
+                    )
+                test_path = crosschecks.get(flag)
+                if not check_registry or test_path is None:
+                    continue  # flag registry itself is FP001's business
+                full = root / test_path
+                if full.exists() and fast.name not in full.read_text(
+                    encoding="utf-8"
+                ):
+                    yield Finding(
+                        rule=self.id,
+                        path=info.module.relpath,
+                        line=line,
+                        col=col,
+                        message=f"cross-check test {test_path!r} for "
+                        f"{flag!r} never references the fast callee "
+                        f"{fast.name}()",
+                    )
+
+
+def _gate_flag(test: ast.AST) -> Optional[str]:
+    """Extract the flag literal from a fastpath gate test expression."""
+    for node in ast.walk(test):
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "enabled"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "fastpath"
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                return node.args[0].value
+        if isinstance(node, ast.Subscript):
+            value = node.value
+            if (
+                isinstance(value, ast.Attribute)
+                and value.attr == "flags"
+                and isinstance(value.value, ast.Name)
+                and value.value.id == "fastpath"
+                and isinstance(node.slice, ast.Constant)
+                and isinstance(node.slice.value, str)
+            ):
+                return node.slice.value
+    return None
+
+
+def _only_call(node: ast.AST) -> Optional[ast.Call]:
+    """The expression's sole top-level call, unwrapping trivial casts."""
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in (
+            "int", "float", "bytes", "list", "tuple"
+        ) and len(node.args) == 1:
+            return _only_call(node.args[0])
+        return node
+    return None
+
+
+def _find_fastpath_gates(
+    fn: ast.AST,
+) -> Iterator[Tuple[str, ast.Call, ast.Call]]:
+    """Yield (flag, fast call, scalar call) for recognized gate shapes."""
+    for node in ast.walk(fn):
+        # Shape 1: `if <gate>: return fast(...)` ... `return scalar(...)`
+        # where the next return after the If (same block) is the scalar.
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            bodies = [node.body]
+        elif isinstance(node, (ast.If, ast.For, ast.While, ast.With)):
+            bodies = [getattr(node, "body", []), getattr(node, "orelse", [])]
+        else:
+            bodies = []
+        for body in bodies:
+            for index, stmt in enumerate(body):
+                if not isinstance(stmt, ast.If):
+                    continue
+                flag = _gate_flag(stmt.test)
+                if flag is None:
+                    continue
+                fast_ret = (
+                    stmt.body[0]
+                    if len(stmt.body) == 1
+                    and isinstance(stmt.body[0], ast.Return)
+                    else None
+                )
+                if fast_ret is None or fast_ret.value is None:
+                    continue
+                fast_call = _only_call(fast_ret.value)
+                if fast_call is None:
+                    continue
+                slow_call = None
+                if stmt.orelse and isinstance(stmt.orelse[0], ast.Return):
+                    slow_stmt = stmt.orelse[0]
+                    if slow_stmt.value is not None:
+                        slow_call = _only_call(slow_stmt.value)
+                elif index + 1 < len(body) and isinstance(
+                    body[index + 1], ast.Return
+                ):
+                    nxt = body[index + 1]
+                    if nxt.value is not None:
+                        slow_call = _only_call(nxt.value)
+                if slow_call is not None:
+                    yield flag, fast_call, slow_call
+        # Shape 2: ternary `fast(...) if <gate> else scalar(...)`.
+        if isinstance(node, ast.IfExp):
+            flag = _gate_flag(node.test)
+            if flag is None:
+                continue
+            fast_call = _only_call(node.body)
+            slow_call = _only_call(node.orelse)
+            if fast_call is not None and slow_call is not None:
+                yield flag, fast_call, slow_call
+
+
+def _sole_callee(resolver, call: ast.Call):
+    """Resolve a gate branch call to exactly one known function."""
+    callees, via_fallback = resolver.resolve(call)
+    if via_fallback or len(callees) != 1:
+        return None
+    return callees[0]
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 
@@ -1052,6 +1325,9 @@ def default_rules() -> List[Rule]:
         Fp002ShardBoundary(),
         Obs001TelemetryKeys(),
         Rel001OverloadTelemetry(),
+        Taint001UnboundedWireInteger(),
+        Taint002WireDataSink(),
+        Api001FastpathPairContract(),
     ]
 
 

@@ -1,0 +1,88 @@
+"""SARIF 2.1.0 serialization for analysis reports.
+
+SARIF (Static Analysis Results Interchange Format) is what GitHub
+code scanning ingests: uploading the output of ``--sarif`` from CI
+turns findings into per-line PR annotations instead of a log to dig
+through.  Only the small stable core of the format is emitted — tool
+metadata with one ``reportingDescriptor`` per rule, and one ``result``
+per finding with a physical location.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.analysis.engine import Report, Rule
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def to_sarif(report: Report, rules: Sequence[Rule]) -> str:
+    """Render a report as a SARIF 2.1.0 JSON document."""
+    descriptors: List[Dict[str, object]] = []
+    rule_index: Dict[str, int] = {}
+    for rule in rules:
+        rule_index[rule.id] = len(descriptors)
+        descriptors.append(
+            {
+                "id": rule.id,
+                "name": rule.id,
+                "shortDescription": {"text": rule.title},
+                "fullDescription": {"text": rule.rationale.strip()},
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+    results: List[Dict[str, object]] = []
+    for finding in report.findings:
+        result: Dict[str, object] = {
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path,
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": max(finding.line, 1),
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if finding.rule in rule_index:
+            result["ruleIndex"] = rule_index[finding.rule]
+        results.append(result)
+    invocation: Dict[str, object] = {
+        "executionSuccessful": not report.rule_errors,
+    }
+    if report.rule_errors:
+        invocation["toolExecutionNotifications"] = [
+            {"level": "error", "message": {"text": text}}
+            for _rule_id, text in sorted(report.rule_errors.items())
+        ]
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.analysis",
+                        "rules": descriptors,
+                    }
+                },
+                "invocations": [invocation],
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

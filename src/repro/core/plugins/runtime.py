@@ -29,6 +29,12 @@ EVENT_TIMEOUT = 2
 _SSTHRESH_SLOT = 15
 _INFINITE = 1 << 53
 
+#: Upper bound on plugin-driven window state.  The verifier proves the
+#: bytecode is structurally safe, but the *values* it computes are still
+#: peer-chosen: an unbounded cwnd/ssthresh would let a malicious plugin
+#: disable congestion control entirely.
+MAX_PLUGIN_WINDOW = float(16 * 1024 * 1024)
+
 
 class BytecodeCongestionControl(CongestionControl):
     """A congestion controller whose policy is plugin bytecode."""
@@ -42,10 +48,10 @@ class BytecodeCongestionControl(CongestionControl):
     def _invoke(self, event: int, arg: int) -> None:
         ssthresh = int(self.ssthresh) if self.ssthresh != float("inf") else _INFINITE
         new_cwnd = self.vm.run(event, arg, int(self.cwnd), self.mss, ssthresh)
-        self.cwnd = float(max(new_cwnd, self.mss))
+        self.cwnd = float(min(max(new_cwnd, self.mss), MAX_PLUGIN_WINDOW))
         stored = self.vm.memory[_SSTHRESH_SLOT]
         if stored > 0:
-            self.ssthresh = float(stored)
+            self.ssthresh = float(min(stored, MAX_PLUGIN_WINDOW))
 
     def on_ack(self, acked_bytes: int, rtt: float, now: float) -> None:
         self._invoke(EVENT_ACK, acked_bytes)

@@ -38,7 +38,11 @@ from repro.core.streams import DEFAULT_STREAM_WINDOW, TcplsStream
 from repro.obs import Observability
 from repro.obs import keys as obs_keys
 from repro.tcp.connection import TcpConnection
-from repro.tcp.options import UserTimeout, decode_single_option
+from repro.tcp.options import (
+    MAX_USER_TIMEOUT_SECONDS,
+    UserTimeout,
+    decode_single_option,
+)
 from repro.tcp.stack import TcpStack
 from repro.tls import messages as m
 from repro.tls.certificates import Identity, TrustStore
@@ -1407,8 +1411,13 @@ class TcplsSession:
             else self._active_conns()
         )
         if isinstance(option, UserTimeout):
+            # The option arrives over the secure channel but its value is
+            # still peer-chosen: clamp to local policy before it becomes a
+            # timer, or a peer could pin connection state for ~23 days.
             for target in targets:
-                target.tcp.set_user_timeout(option.timeout_seconds())
+                target.tcp.set_user_timeout(
+                    min(option.timeout_seconds(), MAX_USER_TIMEOUT_SECONDS)
+                )
         self.events.emit(
             Event.TCP_OPTION_RECEIVED,
             kind=kind,

@@ -31,6 +31,7 @@ from repro.netsim.packet import Datagram, PROTO_TCP, IPAddress
 from repro.tcp import seqnum
 from repro.tcp.congestion import CongestionControl, make as make_cc
 from repro.tcp.options import (
+    MAX_USER_TIMEOUT_SECONDS,
     FastOpenCookie,
     MaximumSegmentSize,
     SackBlocks,
@@ -62,6 +63,9 @@ _MAX_SYN_RETRIES = 6
 _MAX_BURST_SEGMENTS = 10
 _WINDOW_SCALE_SHIFT = 7
 _DEFAULT_RECEIVE_WINDOW = 1 << 20  # 1 MiB
+# Cap on congestion state carried across a controller swap; the old
+# controller may be plugin-driven and its window peer-influenced.
+_MAX_PRESERVED_WINDOW = float(16 * 1024 * 1024)
 
 
 @dataclass
@@ -278,9 +282,17 @@ class TcpConnection:
         self.user_timeout = seconds
 
     def set_congestion_control(self, cc: CongestionControl) -> None:
-        """Swap the congestion controller, preserving the current window."""
-        cc.cwnd = max(self.cc.cwnd, cc.mss)
-        cc.ssthresh = self.cc.ssthresh
+        """Swap the congestion controller, preserving the current window.
+
+        The outgoing controller may be plugin-driven, so the preserved
+        state is clamped: an absurd cwnd must not survive the swap into
+        a fresh controller.
+        """
+        cc.cwnd = min(max(self.cc.cwnd, cc.mss), _MAX_PRESERVED_WINDOW)
+        preserved_ssthresh = self.cc.ssthresh
+        if preserved_ssthresh != float("inf"):
+            preserved_ssthresh = min(preserved_ssthresh, _MAX_PRESERVED_WINDOW)
+        cc.ssthresh = preserved_ssthresh
         self.cc = cc
 
     def pause_reading(self) -> None:
@@ -1203,7 +1215,12 @@ class TcpConnection:
         self.sack_enabled = find_option(syn.options, SackPermitted) is not None
         uto_option = find_option(syn.options, UserTimeout)
         if uto_option is not None:
-            self.user_timeout = uto_option.timeout_seconds()
+            # Peer-advertised, so subject to the same local policy cap
+            # as the secure-channel path: RFC 5482 lets the wire format
+            # claim ~23 days.
+            self.user_timeout = min(
+                uto_option.timeout_seconds(), MAX_USER_TIMEOUT_SECONDS
+            )
 
     def _ts_now(self) -> int:
         return int(self.sim.now * 1000) & 0xFFFFFFFF

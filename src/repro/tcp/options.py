@@ -105,6 +105,14 @@ class Timestamps(TcpOption):
         )
 
 
+#: Local policy cap on a peer-advertised user timeout (RFC 5482 §4.1
+#: requires honoring local limits).  The wire format can express up to
+#: 32767 minutes (~23 days); accepting that verbatim lets a peer pin
+#: connection state nearly forever, so anything above an hour is
+#: clamped at the point the option is applied.
+MAX_USER_TIMEOUT_SECONDS = 3600.0
+
+
 @dataclass(frozen=True)
 class UserTimeout(TcpOption):
     """TCP User Timeout option (RFC 5482): granularity flag + 15-bit value.

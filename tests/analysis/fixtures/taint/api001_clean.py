@@ -1,0 +1,22 @@
+"""Clean corpus: a well-formed fastpath/scalar gate.
+
+The pair shares a signature, the branches call distinct functions, and
+the names match the functions the ``crypto.batch`` cross-check test
+actually exercises — API001 must report nothing.
+"""
+
+from repro import fastpath
+
+
+def poly1305_mac_fast(otk: bytes, data: bytes) -> bytes:
+    return otk[:16]
+
+
+def poly1305_mac(otk: bytes, data: bytes) -> bytes:
+    return otk[:16]
+
+
+def mac(otk: bytes, data: bytes) -> bytes:
+    if fastpath.enabled("crypto.batch"):
+        return poly1305_mac_fast(otk, data)
+    return poly1305_mac(otk, data)

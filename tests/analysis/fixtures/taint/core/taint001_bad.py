@@ -1,0 +1,66 @@
+"""Planted TAINT001 violations: unguarded wire-derived integers."""
+
+from repro.utils.errors import decode_guard
+
+
+class Reader:
+    """A minimal byte reader so the call graph stays inside the fixture."""
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    def get_u16(self) -> int:
+        value = int.from_bytes(self.data[self.pos : self.pos + 2], "big")
+        self.pos += 2
+        return value
+
+    def get_u32(self) -> int:
+        value = int.from_bytes(self.data[self.pos : self.pos + 4], "big")
+        self.pos += 4
+        return value
+
+
+def decode_header(data: bytes):
+    with decode_guard("fixture header"):
+        size = int.from_bytes(data[0:4], "big")
+        count = int.from_bytes(data[4:6], "big")
+        return size, count
+
+
+def alloc_from_wire(data: bytes) -> bytearray:
+    size, count = decode_header(data)
+    return bytearray(size)  # planted: tainted allocation size
+
+
+def decode_body(data: bytes) -> bytes:
+    with decode_guard("fixture body"):
+        return data[2:]
+
+
+def loop_from_wire(data: bytes) -> int:
+    reader = Reader(decode_body(data))
+    count = reader.get_u16()
+    total = 0
+    for step in range(count):  # planted: tainted range bound
+        total += step
+    return total
+
+
+def schedule_from_wire(sim, data: bytes) -> None:
+    size, count = decode_header(data)
+    sim.call_later(size, None)  # planted: tainted timer delay
+
+
+def padding_from_wire(data: bytes) -> bytes:
+    size, count = decode_header(data)
+    return b"\x00" * size  # planted: tainted repetition factor
+
+
+class FlowState:
+    def __init__(self) -> None:
+        self.granted_limit = 0
+
+    def apply(self, data: bytes) -> None:
+        size, count = decode_header(data)
+        self.granted_limit = size  # planted: tainted resource store

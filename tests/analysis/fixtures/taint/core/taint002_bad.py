@@ -1,0 +1,31 @@
+"""Planted TAINT002 violations: wire bytes reaching interpreter sinks."""
+
+import pickle
+import random
+
+from repro.utils.errors import decode_guard
+
+
+def decode_blob(data: bytes) -> bytes:
+    with decode_guard("fixture blob"):
+        return data[4:]
+
+
+def load_state(data: bytes):
+    blob = decode_blob(data)
+    return pickle.loads(blob)  # planted: wire bytes into pickle
+
+
+def seeded_rng(data: bytes):
+    blob = decode_blob(data)
+    return random.Random(blob)  # planted: wire bytes seeding an RNG
+
+
+def run_expression(data: bytes):
+    blob = decode_blob(data)
+    return eval(blob)  # planted: wire bytes into eval
+
+
+def emit_metric(obs, data: bytes) -> None:
+    blob = decode_blob(data)
+    obs.counter(f"peer.{blob}.seen")  # planted: wire bytes in a key

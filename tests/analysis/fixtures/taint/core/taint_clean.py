@@ -1,0 +1,52 @@
+"""Clean corpus: wire-derived values used with proper guards.
+
+Every flow here mirrors a planted violation from the bad fixtures but
+with a dominating bounds check, a ``min()`` cap, or a width-reducing
+mask — the taint rules must report nothing.
+"""
+
+from repro.utils.errors import decode_guard
+
+MAX_BUFFER = 4096
+MAX_DELAY = 60.0
+
+
+def decode_header(data: bytes):
+    with decode_guard("fixture header"):
+        size = int.from_bytes(data[0:4], "big")
+        count = int.from_bytes(data[4:6], "big")
+        return size, count
+
+
+def alloc_capped(data: bytes) -> bytearray:
+    size, count = decode_header(data)
+    return bytearray(min(size, MAX_BUFFER))  # min() caps the size
+
+
+def alloc_checked(data: bytes) -> bytearray:
+    size, count = decode_header(data)
+    if size > MAX_BUFFER:
+        raise ValueError("size exceeds local limit")
+    return bytearray(size)  # dominated by the check above
+
+
+def loop_masked(data: bytes) -> int:
+    size, count = decode_header(data)
+    total = 0
+    for step in range(count % 64):  # width-reduced by the mask
+        total += step
+    return total
+
+
+def schedule_capped(sim, data: bytes) -> None:
+    size, count = decode_header(data)
+    sim.call_later(min(size, MAX_DELAY), None)
+
+
+class FlowState:
+    def __init__(self) -> None:
+        self.granted_limit = 0
+
+    def apply(self, data: bytes) -> None:
+        size, count = decode_header(data)
+        self.granted_limit = min(size, MAX_BUFFER)

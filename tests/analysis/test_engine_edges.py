@@ -1,0 +1,250 @@
+"""Engine edge cases: skips, waiver spreading, crash isolation, output modes."""
+
+import json
+from pathlib import Path
+
+from repro.analysis.callgraph import SymbolTable
+from repro.analysis.changed import select_changed
+from repro.analysis.engine import (
+    Finding,
+    Rule,
+    iter_python_files,
+    load_module,
+    run,
+)
+from repro.analysis.rules import default_rules, rule_by_id
+from repro.analysis.sarif import to_sarif
+
+REPO = Path(__file__).resolve().parent.parent.parent
+
+
+# ----------------------------------------------------------------------
+# Unparseable input
+# ----------------------------------------------------------------------
+
+def test_syntax_error_file_is_skipped_not_fatal(tmp_path):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def oops(:\n    pass\n", encoding="utf-8")
+    fine = tmp_path / "fine.py"
+    fine.write_text("import time\nNOW = time.time()\n", encoding="utf-8")
+    report = run([tmp_path], default_rules(), root=tmp_path)
+    assert report.files_skipped == ["broken.py"]
+    # The parseable sibling was still linted.
+    assert any(f.rule == "DET001" for f in report.findings)
+    assert "unparseable" in report.format_human()
+    assert json.loads(report.to_json())["files_skipped"] == ["broken.py"]
+
+
+# ----------------------------------------------------------------------
+# Waivers on multi-line statements
+# ----------------------------------------------------------------------
+
+def test_noqa_spreads_across_a_wrapped_statement(tmp_path):
+    mod = tmp_path / "mod.py"
+    mod.write_text(
+        "import time\n"
+        "\n"
+        "def stamp():\n"
+        "    return (  # repro: noqa-DET001 - wall-clock label only\n"
+        "        time.time()\n"
+        "    )\n",
+        encoding="utf-8",
+    )
+    report = run([mod], default_rules(), root=tmp_path)
+    assert not [f for f in report.findings if f.rule == "DET001"]
+    assert report.waivers.get("DET001") == 1
+
+
+def test_noqa_on_compound_header_does_not_blanket_the_body(tmp_path):
+    mod = tmp_path / "mod.py"
+    mod.write_text(
+        "import time\n"
+        "\n"
+        "def stamp():  # repro: noqa-DET001\n"
+        "    return time.time()\n",
+        encoding="utf-8",
+    )
+    report = run([mod], default_rules(), root=tmp_path)
+    assert [f.rule for f in report.findings] == ["DET001"]
+
+
+def test_waiver_debt_is_tallied_per_rule(tmp_path):
+    mod = tmp_path / "mod.py"
+    mod.write_text(
+        "import time\n"
+        "\n"
+        "A = time.time()  # repro: noqa-DET001 - a\n"
+        "B = time.time()  # repro: noqa-DET001 - b\n"
+        "C = 0  # repro: noqa\n",
+        encoding="utf-8",
+    )
+    report = run([mod], default_rules(), root=tmp_path)
+    assert report.waivers == {"DET001": 2, "*": 1}
+    assert "3 waiver(s)" in report.format_human()
+
+
+# ----------------------------------------------------------------------
+# Rule crash isolation
+# ----------------------------------------------------------------------
+
+class _CrashingCheck(Rule):
+    id = "BOOM001"
+    title = "always crashes in check"
+
+    def check(self, module):
+        raise RuntimeError("kaboom")
+        yield  # pragma: no cover
+
+
+class _CrashingFinalize(Rule):
+    id = "BOOM002"
+    title = "always crashes in finalize"
+
+    def finalize(self, modules, root):
+        raise ValueError("late kaboom")
+        yield  # pragma: no cover
+
+
+def test_crashing_rule_is_isolated_and_reported(tmp_path):
+    mod = tmp_path / "mod.py"
+    mod.write_text("import time\nNOW = time.time()\n", encoding="utf-8")
+    rules = list(default_rules()) + [_CrashingCheck(), _CrashingFinalize()]
+    report = run([mod], rules, root=tmp_path)
+    # Healthy rules still produced their findings...
+    assert any(f.rule == "DET001" for f in report.findings)
+    # ...the crashes were captured, once per rule, and poison ok.
+    assert set(report.rule_errors) == {"BOOM001", "BOOM002"}
+    assert "kaboom" in report.rule_errors["BOOM001"]
+    assert "late kaboom" in report.rule_errors["BOOM002"]
+    assert not report.ok
+    human = report.format_human()
+    assert "error:" in human
+
+
+def test_crashing_rule_poisons_an_otherwise_clean_run(tmp_path):
+    mod = tmp_path / "mod.py"
+    mod.write_text("X = 1\n", encoding="utf-8")
+    report = run([mod], [_CrashingCheck()], root=tmp_path)
+    assert not report.findings
+    assert not report.ok
+    payload = json.loads(report.to_json())
+    assert payload["ok"] is False
+    assert "BOOM001" in payload["rule_errors"]
+
+
+# ----------------------------------------------------------------------
+# Registry lookups
+# ----------------------------------------------------------------------
+
+def test_rule_by_id_is_case_insensitive():
+    for spelled in ("taint001", "Taint001", "TAINT001", "api001"):
+        rule = rule_by_id(spelled)
+        assert rule is not None
+        assert rule.id == spelled.upper()
+    assert rule_by_id("nope999") is None
+
+
+# ----------------------------------------------------------------------
+# SARIF serialization
+# ----------------------------------------------------------------------
+
+def test_sarif_document_shape(tmp_path):
+    mod = tmp_path / "mod.py"
+    mod.write_text("import time\nNOW = time.time()\n", encoding="utf-8")
+    rules = default_rules()
+    report = run([mod], rules, root=tmp_path)
+    document = json.loads(to_sarif(report, rules))
+    assert document["version"] == "2.1.0"
+    run_obj = document["runs"][0]
+    driver = run_obj["tool"]["driver"]
+    assert driver["name"] == "repro.analysis"
+    assert [d["id"] for d in driver["rules"]] == [r.id for r in rules]
+    result = run_obj["results"][0]
+    assert result["ruleId"] == "DET001"
+    assert result["ruleIndex"] == [r.id for r in rules].index("DET001")
+    region = result["locations"][0]["physicalLocation"]["region"]
+    assert region["startLine"] == 2
+    assert region["startColumn"] >= 1
+    location = result["locations"][0]["physicalLocation"]["artifactLocation"]
+    assert location == {"uri": "mod.py", "uriBaseId": "%SRCROOT%"}
+    assert run_obj["invocations"][0]["executionSuccessful"] is True
+
+
+def test_sarif_surfaces_rule_errors_as_notifications(tmp_path):
+    mod = tmp_path / "mod.py"
+    mod.write_text("X = 1\n", encoding="utf-8")
+    rules = [_CrashingCheck()]
+    report = run([mod], rules, root=tmp_path)
+    document = json.loads(to_sarif(report, rules))
+    invocation = document["runs"][0]["invocations"][0]
+    assert invocation["executionSuccessful"] is False
+    notes = invocation["toolExecutionNotifications"]
+    assert notes and "kaboom" in notes[0]["message"]["text"]
+
+
+# ----------------------------------------------------------------------
+# --changed-only selection
+# ----------------------------------------------------------------------
+
+def _load_tree(root):
+    modules = []
+    for path in iter_python_files([root]):
+        module = load_module(path, root)
+        if module is not None:
+            modules.append(module)
+    return modules, SymbolTable.build(modules)
+
+
+def _fake_repo(tmp_path):
+    """A tiny layered tree: wire core imports a helper; a tool stands alone."""
+    (tmp_path / "repro" / "core").mkdir(parents=True)
+    (tmp_path / "repro" / "utils").mkdir()
+    (tmp_path / "repro" / "tools").mkdir()
+    for pkg in ("", "core", "utils", "tools"):
+        (tmp_path / "repro" / pkg / "__init__.py").write_text(
+            "", encoding="utf-8"
+        )
+    (tmp_path / "repro" / "utils" / "helper.py").write_text(
+        "def clamp(x, cap):\n    return min(x, cap)\n", encoding="utf-8"
+    )
+    (tmp_path / "repro" / "core" / "session.py").write_text(
+        "from repro.utils.helper import clamp\n"
+        "\n"
+        "def apply(x):\n"
+        "    return clamp(x, 10)\n",
+        encoding="utf-8",
+    )
+    (tmp_path / "repro" / "tools" / "report.py").write_text(
+        "def render(rows):\n    return len(rows)\n", encoding="utf-8"
+    )
+    return tmp_path
+
+
+def test_select_changed_empty_when_nothing_changed(tmp_path):
+    root = _fake_repo(tmp_path)
+    modules, table = _load_tree(root)
+    assert select_changed(modules, table, []) == []
+
+
+def test_select_changed_falls_back_for_wire_reachable_helper(tmp_path):
+    root = _fake_repo(tmp_path)
+    modules, table = _load_tree(root)
+    changed = [root / "repro" / "utils" / "helper.py"]
+    # helper is imported by repro.core.session → full-repo fallback.
+    assert select_changed(modules, table, changed) is None
+
+
+def test_select_changed_narrows_to_isolated_tooling(tmp_path):
+    root = _fake_repo(tmp_path)
+    modules, table = _load_tree(root)
+    changed = [root / "repro" / "tools" / "report.py"]
+    selected = select_changed(modules, table, changed)
+    assert selected is not None
+    assert [m.relpath for m in selected] == ["repro/tools/report.py"]
+
+
+def test_json_report_carries_waiver_debt_for_src():
+    report = run([REPO / "src"], default_rules(), root=REPO)
+    payload = json.loads(report.to_json())
+    assert sum(payload["waivers"].values()) >= 1
+    assert payload["ok"] is True

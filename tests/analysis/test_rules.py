@@ -1,4 +1,4 @@
-"""The lint engine and the nine repo-aware rules."""
+"""The lint engine and the twelve repo-aware rules."""
 
 import json
 import subprocess
@@ -23,6 +23,9 @@ EXPECTED = {
     "FP002": FIXTURES / "fp002_bad.py",
     "OBS001": FIXTURES / "obs001_bad.py",
     "REL001": FIXTURES / "repro" / "overload" / "rel001_bad.py",
+    "TAINT001": FIXTURES / "taint" / "core" / "taint001_bad.py",
+    "TAINT002": FIXTURES / "taint" / "core" / "taint002_bad.py",
+    "API001": FIXTURES / "taint" / "api001_bad.py",
 }
 
 
@@ -274,7 +277,7 @@ def test_cli_explain_unknown_rule_is_usage_error():
     assert proc.returncode == 2
 
 
-def test_cli_list_rules_names_all_eight():
+def test_cli_list_rules_names_every_rule():
     proc = _cli("--list-rules")
     assert proc.returncode == 0
     for rule_id in EXPECTED:
